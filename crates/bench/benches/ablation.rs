@@ -1,0 +1,95 @@
+//! Ablation bench: how much of the campaign's error mass each injected
+//! defect class accounts for, and what the fault model costs at
+//! runtime.
+//!
+//! DESIGN.md calls out the major design choice of this reproduction —
+//! generator defects are *planted in the artifact model and discovered
+//! by the compilers*, rather than looked up. This bench ablates the
+//! plants one at a time (via `StubOptions`) and measures (a) that the
+//! corresponding error class disappears and nothing else moves, and
+//! (b) the runtime cost of the honest pipeline versus a defect-free
+//! one.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wsinterop_compilers::{Compiler, Javac};
+use wsinterop_frameworks::client::facts::DocFacts;
+use wsinterop_frameworks::client::stubgen::{generate, StubOptions};
+use wsinterop_frameworks::server::{Metro, ServerSubsystem};
+use wsinterop_artifact::ArtifactLanguage;
+use wsinterop_wsdl::de::from_xml_str;
+
+/// Compiles the Axis1-style artifacts for every bindable throwable on
+/// Metro, with the fault-wrapper defect switched on or off.
+fn axis1_throwable_errors(with_defect: bool) -> usize {
+    let opts = StubOptions {
+        unchecked_lint: true,
+        fault_wrapper_bug: with_defect,
+        ..StubOptions::default()
+    };
+    let mut errors = 0;
+    for entry in Metro
+        .catalog()
+        .iter()
+        .filter(|e| e.is_throwable && e.is_bean_bindable())
+        .take(60)
+    {
+        let wsdl = Metro.deploy(entry).wsdl().unwrap().to_string();
+        let defs = from_xml_str(&wsdl).unwrap();
+        let facts = DocFacts::analyze(&defs);
+        let bundle = generate(&defs, ArtifactLanguage::Java, &opts, &facts);
+        if !Javac.compile(&bundle).success() {
+            errors += 1;
+        }
+    }
+    errors
+}
+
+fn ablation(c: &mut Criterion) {
+    // Shape: with the defect, every throwable service fails; without
+    // it, none do — the error mass is attributable to exactly this
+    // plant.
+    assert_eq!(axis1_throwable_errors(true), 60);
+    assert_eq!(axis1_throwable_errors(false), 0);
+
+    let mut group = c.benchmark_group("ablation_axis1_fault_wrapper");
+    group.sample_size(10);
+    for (label, with_defect) in [("defective", true), ("clean", false)] {
+        group.bench_with_input(
+            BenchmarkId::new("pipeline60", label),
+            &with_defect,
+            |b, &with_defect| b.iter(|| black_box(axis1_throwable_errors(with_defect))),
+        );
+    }
+    group.finish();
+}
+
+fn quirk_cost(c: &mut Criterion) {
+    // Cost of the fault-model machinery itself: generating artifacts
+    // with all defect switches off vs. the full Axis2 option set, over
+    // the same clean document.
+    let entry = Metro.catalog().get("javax.swing.JTable").unwrap();
+    let wsdl = Metro.deploy(entry).wsdl().unwrap().to_string();
+    let defs = from_xml_str(&wsdl).unwrap();
+    let facts = DocFacts::analyze(&defs);
+    let clean = StubOptions::default();
+    let axis2 = StubOptions {
+        unchecked_lint: true,
+        local_prefix_bug: true,
+        duplicate_local_bug: false,
+        ..StubOptions::default()
+    };
+
+    let mut group = c.benchmark_group("stubgen_options");
+    group.bench_function("defaults", |b| {
+        b.iter(|| black_box(generate(&defs, ArtifactLanguage::Java, &clean, &facts)))
+    });
+    group.bench_function("axis2_option_set", |b| {
+        b.iter(|| black_box(generate(&defs, ArtifactLanguage::Java, &axis2, &facts)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation, quirk_cost);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! End-to-end campaign throughput at different sample densities, and
+//! single- vs multi-thread scaling. (The paper reports no runtime
+//! numbers; these benches characterize this reproduction so a full
+//! 79 629-test run can be budgeted from a sample.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wsinterop_bench::assert_totals_shape;
+use wsinterop_core::Campaign;
+
+fn campaign_scaling(c: &mut Criterion) {
+    assert_totals_shape(&Campaign::sampled(80).run());
+
+    let mut group = c.benchmark_group("campaign_scaling");
+    group.sample_size(10);
+    for stride in [400usize, 200, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("stride", stride),
+            &stride,
+            |b, &stride| b.iter(|| black_box(Campaign::sampled(stride).run())),
+        );
+    }
+    group.finish();
+
+    let mut threads = c.benchmark_group("campaign_threads");
+    threads.sample_size(10);
+    for n in [1usize, 4] {
+        threads.bench_with_input(BenchmarkId::new("threads", n), &n, |b, &n| {
+            b.iter(|| black_box(Campaign::sampled(200).with_threads(n).run()))
+        });
+    }
+    threads.finish();
+}
+
+criterion_group!(benches, campaign_scaling);
+criterion_main!(benches);

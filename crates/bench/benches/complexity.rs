@@ -1,0 +1,49 @@
+//! Bench E10 (extension): the complexity-frontier experiment — client
+//! success as services grow nested parameters, operation fan-out, and
+//! the rpc/literal style.
+//!
+//! Shape asserted before timing: document/literal tiers interoperate
+//! universally; the rpc/literal tier splits the field.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wsinterop_core::complexity::{default_tiers, service_for, ComplexityMatrix, Tier};
+use wsinterop_wsdl::ser::to_xml_string;
+
+fn complexity(c: &mut Criterion) {
+    let tiers = default_tiers();
+    let matrix = ComplexityMatrix::run(&tiers);
+    for tier in &tiers {
+        let rate = matrix.success_rate(*tier);
+        if tier.rpc {
+            assert!(rate < 1.0, "rpc tier must split the field");
+        } else {
+            assert!((rate - 1.0).abs() < f64::EPSILON, "{tier} must be universal");
+        }
+    }
+
+    let mut group = c.benchmark_group("complexity");
+    group.sample_size(10);
+    for depth in [0usize, 3, 6] {
+        let tier = Tier {
+            depth,
+            operations: 4,
+            rpc: false,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("matrix_depth", depth),
+            &tier,
+            |b, &tier| b.iter(|| black_box(ComplexityMatrix::run(&[tier]))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("wsdl_bytes_depth", depth),
+            &tier,
+            |b, &tier| b.iter(|| black_box(to_xml_string(&service_for(tier)).len())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, complexity);
+criterion_main!(benches);

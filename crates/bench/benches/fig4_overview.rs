@@ -1,0 +1,44 @@
+//! Bench E1: regenerating the paper's **Fig. 4** — the per-server
+//! overview of warnings and errors across the three testing steps.
+//!
+//! The shape of the figure (compile warnings dominate; JScript
+//! warnings concentrate on the Java servers; the `.NET` column leads
+//! generation errors) is asserted before timing.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use wsinterop_bench::{assert_fig4_shape, sampled_results};
+use wsinterop_core::report::Fig4;
+use wsinterop_core::Campaign;
+
+fn fig4_overview(c: &mut Criterion) {
+    // Shape check once, on a denser sample than the timed runs.
+    let shape_run = sampled_results(40);
+    assert_fig4_shape(&shape_run);
+
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+
+    // End-to-end: campaign (1/100th sample) + report extraction.
+    group.bench_function("campaign_stride100_plus_report", |b| {
+        b.iter(|| {
+            let results = Campaign::sampled(100).run();
+            black_box(Fig4::from_results(&results))
+        });
+    });
+
+    // Report extraction alone over precomputed results.
+    group.bench_function("report_from_results_stride40", |b| {
+        b.iter_batched(
+            || shape_run.clone(),
+            |results| black_box(Fig4::from_results(&results)),
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, fig4_overview);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Bench E2/E3/E4: regenerating the paper's **Table I** and **Table
+//! II** inventories and the full **Table III** (server × client)
+//! result matrix.
+//!
+//! Table III's shape (Axis1 leads compile errors on the Java servers,
+//! the mature tools never emit uncompilable code, dynamic clients have
+//! no compile columns) is asserted before timing.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use wsinterop_bench::{assert_table3_shape, sampled_results};
+use wsinterop_core::report::TableIII;
+use wsinterop_core::Campaign;
+use wsinterop_frameworks::client::all_clients;
+use wsinterop_frameworks::server::all_servers;
+
+fn table_inventories(c: &mut Criterion) {
+    // Tables I and II are static inventories; assert their shape.
+    assert_eq!(all_servers().len(), 3, "Table I has three rows");
+    assert_eq!(all_clients().len(), 11, "Table II has eleven rows");
+
+    c.bench_function("table1_table2_inventories", |b| {
+        b.iter(|| {
+            let servers: Vec<_> = all_servers().iter().map(|s| s.info()).collect();
+            let clients: Vec<_> = all_clients().iter().map(|c| c.info()).collect();
+            black_box((servers, clients))
+        });
+    });
+}
+
+fn table3_matrix(c: &mut Criterion) {
+    let shape_run = sampled_results(40);
+    assert_table3_shape(&shape_run);
+
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+
+    group.bench_function("campaign_stride100_plus_matrix", |b| {
+        b.iter(|| {
+            let results = Campaign::sampled(100).run();
+            black_box(TableIII::from_results(&results))
+        });
+    });
+
+    group.bench_function("matrix_from_results_stride40", |b| {
+        b.iter_batched(
+            || shape_run.clone(),
+            |results| black_box(TableIII::from_results(&results)),
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.bench_function("matrix_render_text", |b| {
+        let table = TableIII::from_results(&shape_run);
+        b.iter(|| black_box(table.to_string()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, table_inventories, table3_matrix);
+criterion_main!(benches);

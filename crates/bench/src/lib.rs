@@ -1,0 +1,150 @@
+//! # wsinterop-bench
+//!
+//! The benchmark harness regenerating every table and figure of the
+//! paper's evaluation section, plus pipeline throughput benches.
+//!
+//! | bench target | regenerates |
+//! |---|---|
+//! | `fig4_overview` | Fig. 4 (per-server warning/error overview) |
+//! | `table3_matrix` | Table III (server × client matrix) + Tables I/II inventories |
+//! | `pipeline` | per-stage throughput (WSDL gen/parse, WS-I check, artifact gen, compile) |
+//! | `campaign_scaling` | end-to-end campaign throughput vs. sample size |
+//! | `ablation` | per-defect error attribution + fault-model overhead |
+//! | `complexity` | the complexity-frontier extension (E10) |
+//!
+//! Each table/figure bench *asserts the paper's result shape first*
+//! (who wins, by roughly what factor) on a sampled run, then times the
+//! regeneration. The exact full-campaign equality check lives in
+//! `tests/paper_numbers.rs`; `EXPERIMENTS.md` records paper-vs-measured
+//! values.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use wsinterop_core::report::{Fig4, TableIII, Totals};
+use wsinterop_core::{Campaign, CampaignResults};
+use wsinterop_frameworks::client::ClientId;
+use wsinterop_frameworks::server::ServerId;
+
+/// Runs a strided campaign (shared by the bench targets).
+pub fn sampled_results(stride: usize) -> CampaignResults {
+    Campaign::sampled(stride).run()
+}
+
+/// Asserts the qualitative *shape* of Fig. 4 on sampled results — the
+/// relations the paper's bar chart communicates, which must survive
+/// sampling:
+///
+/// * compilation warnings dwarf everything else (the Axis tools warn on
+///   every service),
+/// * generation warnings against the Java servers dwarf the `.NET`
+///   column (the JScript incompatibility),
+/// * the `.NET` server shows the most generation errors (DataSet
+///   family).
+///
+/// # Panics
+///
+/// Panics when a relation does not hold.
+pub fn assert_fig4_shape(results: &CampaignResults) {
+    let fig4 = Fig4::from_results(results);
+    for (server, row) in &fig4.rows {
+        assert!(
+            row.cac_warnings >= row.cag_warnings,
+            "{server}: compile warnings must dominate"
+        );
+        assert!(
+            row.cac_warnings > 0,
+            "{server}: Axis compile warnings must appear"
+        );
+    }
+    let metro = fig4.row(ServerId::Metro);
+    let wcf = fig4.row(ServerId::WcfDotNet);
+    assert!(
+        metro.cag_warnings > 10 * wcf.cag_warnings.max(1) / 2,
+        "JScript warnings must concentrate on the Java servers"
+    );
+    assert!(
+        wcf.cag_errors >= metro.cag_errors,
+        "the .NET server must show the most generation errors (DataSet family)"
+    );
+}
+
+/// Asserts the qualitative shape of Table III on sampled results:
+///
+/// * Axis1 is the dominant source of compilation errors on the Java
+///   servers (the Throwable-wrapper defect),
+/// * the mature tools (Metro/CXF/JBossWS/C#/gSOAP) never produce
+///   compilation errors,
+/// * the dynamic clients have no compilation columns at all.
+///
+/// # Panics
+///
+/// Panics when a relation does not hold.
+pub fn assert_table3_shape(results: &CampaignResults) {
+    let table = TableIII::from_results(results);
+    for &server in &[ServerId::Metro, ServerId::JBossWs] {
+        let axis1 = table.cell(ClientId::Axis1, server);
+        for &other in &ClientId::ALL {
+            if other == ClientId::Axis1 {
+                continue;
+            }
+            let cell = table.cell(other, server);
+            assert!(
+                axis1.compile_errors.unwrap_or(0) >= cell.compile_errors.unwrap_or(0),
+                "Axis1 must lead compile errors on {server}"
+            );
+        }
+    }
+    for client in [
+        ClientId::Metro,
+        ClientId::Cxf,
+        ClientId::JBossWs,
+        ClientId::DotnetCs,
+        ClientId::Gsoap,
+    ] {
+        for &server in &ServerId::ALL {
+            let cell = table.cell(client, server);
+            assert_eq!(
+                cell.compile_errors.unwrap_or(0),
+                0,
+                "mature tool {client} must not produce compile errors on {server}"
+            );
+        }
+    }
+    for client in [ClientId::Zend, ClientId::Suds] {
+        for &server in &ServerId::ALL {
+            let cell = table.cell(client, server);
+            assert_eq!(cell.compile_errors, None);
+            assert_eq!(cell.compile_warnings, None);
+        }
+    }
+}
+
+/// Asserts the headline-totals shape: tests ran, deployments filtered
+/// the catalogs roughly as the paper reports (≈33 % of the candidate
+/// services survive), and errors exist on both steps.
+///
+/// # Panics
+///
+/// Panics when a relation does not hold.
+pub fn assert_totals_shape(results: &CampaignResults) {
+    let totals = Totals::from_results(results);
+    assert_eq!(totals.tests_executed, totals.services_deployed * 11);
+    assert!(totals.services_excluded > totals.services_deployed);
+    assert!(totals.generation_errors > 0);
+    assert!(totals.compilation_errors > 0);
+    assert!(totals.compilation_warnings > totals.compilation_errors);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_hold_on_a_sampled_run() {
+        let results = sampled_results(40);
+        assert_fig4_shape(&results);
+        assert_table3_shape(&results);
+        assert_totals_shape(&results);
+    }
+}

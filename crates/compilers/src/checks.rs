@@ -1,0 +1,399 @@
+//! Shared semantic passes over the artifact code model.
+//!
+//! Each pass detects one genuine defect class; the per-language
+//! compilers compose passes and give the findings tool-appropriate
+//! codes and messages.
+
+use std::collections::HashSet;
+
+use wsinterop_artifact::{ArtifactBundle, ClassDecl, Expr, Function, Stmt};
+
+use crate::diag::Diagnostic;
+
+/// How a specific compiler phrases the shared findings.
+#[derive(Debug, Clone)]
+pub struct Dialect {
+    /// Duplicate field in one class.
+    pub duplicate_field: (&'static str, &'static str),
+    /// Duplicate local variable in one function.
+    pub duplicate_local: (&'static str, &'static str),
+    /// Field/method (or member/member) name collision.
+    pub member_collision: (&'static str, &'static str),
+    /// Unresolved variable reference.
+    pub unknown_variable: (&'static str, &'static str),
+    /// Unresolved field reference on `this`.
+    pub unknown_field: (&'static str, &'static str),
+    /// Unresolved type reference.
+    pub unknown_type: (&'static str, &'static str),
+    /// Unresolved free-function call.
+    pub unknown_function: (&'static str, &'static str),
+    /// Inheritance cycle.
+    pub inheritance_cycle: (&'static str, &'static str),
+    /// Identifiers are compared case-insensitively (Visual Basic).
+    pub case_insensitive: bool,
+    /// Built-in type names this language resolves implicitly.
+    pub builtin_types: &'static [&'static str],
+}
+
+fn fold_case(dialect: &Dialect, name: &str) -> String {
+    if dialect.case_insensitive {
+        name.to_ascii_lowercase()
+    } else {
+        name.to_string()
+    }
+}
+
+/// Duplicate fields within each class.
+pub fn check_duplicate_fields(
+    bundle: &ArtifactBundle,
+    dialect: &Dialect,
+    out: &mut Vec<Diagnostic>,
+) {
+    for class in bundle.all_classes() {
+        let mut seen = HashSet::new();
+        for field in &class.fields {
+            if !seen.insert(fold_case(dialect, &field.name)) {
+                let (code, template) = dialect.duplicate_field;
+                out.push(Diagnostic::error(
+                    code,
+                    class.name.clone(),
+                    template.replace("{}", &field.name),
+                ));
+            }
+        }
+    }
+}
+
+/// Duplicate local variables within each function body (params count).
+pub fn check_duplicate_locals(
+    bundle: &ArtifactBundle,
+    dialect: &Dialect,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut visit = |owner: &str, function: &Function| {
+        let mut seen: HashSet<String> = function
+            .params
+            .iter()
+            .map(|p| fold_case(dialect, &p.name))
+            .collect();
+        // A duplicated *parameter* is also a duplicate-local error.
+        if seen.len() != function.params.len() {
+            let (code, template) = dialect.duplicate_local;
+            out.push(Diagnostic::error(
+                code,
+                format!("{owner}.{}", function.name),
+                template.replace("{}", "parameter list"),
+            ));
+        }
+        for stmt in &function.body {
+            if let Stmt::Local(decl, _) = stmt {
+                if !seen.insert(fold_case(dialect, &decl.name)) {
+                    let (code, template) = dialect.duplicate_local;
+                    out.push(Diagnostic::error(
+                        code,
+                        format!("{owner}.{}", function.name),
+                        template.replace("{}", &decl.name),
+                    ));
+                }
+            }
+        }
+    };
+    for class in bundle.all_classes() {
+        for method in &class.methods {
+            visit(&class.name, method);
+        }
+    }
+    for function in bundle.all_functions() {
+        visit("<unit>", function);
+    }
+}
+
+/// Field-vs-method name collisions within each class.
+///
+/// Only meaningful for dialects with case-insensitive identifiers
+/// (Visual Basic reports `BC30260`); case-sensitive languages only
+/// collide on exact matches, which generators never produce.
+pub fn check_member_collisions(
+    bundle: &ArtifactBundle,
+    dialect: &Dialect,
+    out: &mut Vec<Diagnostic>,
+) {
+    for class in bundle.all_classes() {
+        let field_names: HashSet<String> = class
+            .fields
+            .iter()
+            .map(|f| fold_case(dialect, &f.name))
+            .collect();
+        for method in &class.methods {
+            if field_names.contains(&fold_case(dialect, &method.name)) {
+                let (code, template) = dialect.member_collision;
+                out.push(Diagnostic::error(
+                    code,
+                    class.name.clone(),
+                    template.replace("{}", &method.name),
+                ));
+            }
+            // Parameters colliding with the containing method's name are
+            // the wsdl.exe/VB emission the paper describes.
+            for param in &method.params {
+                if fold_case(dialect, &param.name) == fold_case(dialect, &method.name) {
+                    let (code, template) = dialect.member_collision;
+                    out.push(Diagnostic::error(
+                        code,
+                        format!("{}.{}", class.name, method.name),
+                        template.replace("{}", &param.name),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Unresolved variable and `this`-field references in bodies.
+pub fn check_name_resolution(
+    bundle: &ArtifactBundle,
+    dialect: &Dialect,
+    out: &mut Vec<Diagnostic>,
+) {
+    let visit = |owner: &str,
+                 class: Option<&ClassDecl>,
+                 function: &Function,
+                 out: &mut Vec<Diagnostic>| {
+        let mut scope: HashSet<String> = function
+            .params
+            .iter()
+            .map(|p| fold_case(dialect, &p.name))
+            .collect();
+        let fields: HashSet<String> = class
+            .map(|c| {
+                c.fields
+                    .iter()
+                    .map(|f| fold_case(dialect, &f.name))
+                    .collect()
+            })
+            .unwrap_or_default();
+        for stmt in &function.body {
+            let exprs: Vec<&Expr> = match stmt {
+                Stmt::Local(_, Some(e)) => vec![e],
+                Stmt::Local(_, None) => vec![],
+                Stmt::Assign { value, .. } => vec![value],
+                Stmt::AssignField { value, .. } => vec![value],
+                Stmt::Expr(e) => vec![e],
+                Stmt::Return(Some(e)) => vec![e],
+                Stmt::Return(None) => vec![],
+            };
+            for e in exprs {
+                walk_expr(e, &mut |expr| match expr {
+                    Expr::Var(name)
+                        if !scope.contains(&fold_case(dialect, name))
+                            && !fields.contains(&fold_case(dialect, name))
+                        => {
+                            let (code, template) = dialect.unknown_variable;
+                            out.push(Diagnostic::error(
+                                code,
+                                format!("{owner}.{}", function.name),
+                                template.replace("{}", name),
+                            ));
+                        }
+                    Expr::SelfField(name)
+                        if !fields.contains(&fold_case(dialect, name)) => {
+                            let (code, template) = dialect.unknown_field;
+                            out.push(Diagnostic::error(
+                                code,
+                                format!("{owner}.{}", function.name),
+                                template.replace("{}", name),
+                            ));
+                        }
+                    _ => {}
+                });
+            }
+            // Targets of assignments must resolve too; locals extend scope.
+            match stmt {
+                Stmt::Local(decl, _) => {
+                    scope.insert(fold_case(dialect, &decl.name));
+                }
+                Stmt::Assign { target, .. }
+                    if !scope.contains(&fold_case(dialect, target))
+                        && !fields.contains(&fold_case(dialect, target))
+                    => {
+                        let (code, template) = dialect.unknown_variable;
+                        out.push(Diagnostic::error(
+                            code,
+                            format!("{owner}.{}", function.name),
+                            template.replace("{}", target),
+                        ));
+                    }
+                Stmt::AssignField { field, .. }
+                    if !fields.contains(&fold_case(dialect, field)) => {
+                        let (code, template) = dialect.unknown_field;
+                        out.push(Diagnostic::error(
+                            code,
+                            format!("{owner}.{}", function.name),
+                            template.replace("{}", field),
+                        ));
+                    }
+                _ => {}
+            }
+        }
+    };
+    for class in bundle.all_classes() {
+        for method in &class.methods {
+            visit(&class.name, Some(class), method, out);
+        }
+    }
+    for function in bundle.all_functions() {
+        visit("<unit>", None, function, out);
+    }
+}
+
+/// Unresolved type references (field types, param types, returns,
+/// superclasses, `new` expressions).
+pub fn check_type_resolution(
+    bundle: &ArtifactBundle,
+    dialect: &Dialect,
+    out: &mut Vec<Diagnostic>,
+) {
+    let declared: HashSet<&str> = bundle.all_classes().map(|c| c.name.as_str()).collect();
+    let resolves = |name: &str| -> bool {
+        declared.contains(name)
+            || dialect.builtin_types.contains(&name)
+            // Dotted names reference platform libraries (assumed on the
+            // classpath); only bare names must resolve locally.
+            || name.contains('.')
+            || name.contains("::")
+    };
+    let check = |name: &str, location: String, out: &mut Vec<Diagnostic>| {
+        if !resolves(name) {
+            let (code, template) = dialect.unknown_type;
+            out.push(Diagnostic::error(code, location, template.replace("{}", name)));
+        }
+    };
+    for class in bundle.all_classes() {
+        if let Some(base) = &class.extends {
+            check(base.as_str(), class.name.clone(), out);
+        }
+        for field in &class.fields {
+            check(field.type_name.as_str(), class.name.clone(), out);
+        }
+        for method in &class.methods {
+            for param in &method.params {
+                check(
+                    param.type_name.as_str(),
+                    format!("{}.{}", class.name, method.name),
+                    out,
+                );
+            }
+            if let Some(ret) = &method.return_type {
+                check(ret.as_str(), format!("{}.{}", class.name, method.name), out);
+            }
+            for stmt in &method.body {
+                visit_news(stmt, &mut |type_name| {
+                    check(type_name, format!("{}.{}", class.name, method.name), out);
+                });
+            }
+        }
+    }
+}
+
+/// Calls to free functions must resolve within the bundle.
+pub fn check_function_calls(
+    bundle: &ArtifactBundle,
+    dialect: &Dialect,
+    out: &mut Vec<Diagnostic>,
+) {
+    let declared: HashSet<&str> = bundle.all_functions().map(|f| f.name.as_str()).collect();
+    let visit = |owner: &str, function: &Function, out: &mut Vec<Diagnostic>| {
+        for stmt in &function.body {
+            visit_stmt_exprs(stmt, &mut |e| {
+                if let Expr::Call { function: name, .. } = e {
+                    if !declared.contains(name.as_str()) {
+                        let (code, template) = dialect.unknown_function;
+                        out.push(Diagnostic::error(
+                            code,
+                            format!("{owner}.{}", function.name),
+                            template.replace("{}", name),
+                        ));
+                    }
+                }
+            });
+        }
+    };
+    for class in bundle.all_classes() {
+        for method in &class.methods {
+            visit(&class.name, method, out);
+        }
+    }
+    for function in bundle.all_functions() {
+        visit("<unit>", function, out);
+    }
+}
+
+/// Inheritance cycles across the bundle's classes.
+pub fn check_inheritance_cycles(
+    bundle: &ArtifactBundle,
+    dialect: &Dialect,
+    out: &mut Vec<Diagnostic>,
+) -> bool {
+    let mut found = false;
+    for class in bundle.all_classes() {
+        let mut seen = HashSet::new();
+        let mut current = Some(class.name.clone());
+        while let Some(name) = current {
+            if !seen.insert(name.clone()) {
+                let (code, template) = dialect.inheritance_cycle;
+                out.push(Diagnostic::error(
+                    code,
+                    class.name.clone(),
+                    template.replace("{}", &name),
+                ));
+                found = true;
+                break;
+            }
+            current = bundle
+                .all_classes()
+                .find(|c| c.name == name)
+                .and_then(|c| c.extends.as_ref().map(|t| t.0.clone()));
+        }
+    }
+    found
+}
+
+fn visit_stmt_exprs(stmt: &Stmt, visit: &mut dyn FnMut(&Expr)) {
+    let exprs: Vec<&Expr> = match stmt {
+        Stmt::Local(_, Some(e)) => vec![e],
+        Stmt::Assign { value, .. } => vec![value],
+        Stmt::AssignField { value, .. } => vec![value],
+        Stmt::Expr(e) => vec![e],
+        Stmt::Return(Some(e)) => vec![e],
+        _ => vec![],
+    };
+    for e in exprs {
+        walk_expr(e, visit);
+    }
+}
+
+fn visit_news(stmt: &Stmt, visit: &mut dyn FnMut(&str)) {
+    visit_stmt_exprs(stmt, &mut |e| {
+        if let Expr::New(type_name) = e {
+            visit(type_name.as_str());
+        }
+    });
+}
+
+fn walk_expr(e: &Expr, visit: &mut dyn FnMut(&Expr)) {
+    visit(e);
+    match e {
+        Expr::Call { args, .. } => {
+            for a in args {
+                walk_expr(a, visit);
+            }
+        }
+        Expr::MethodCall { receiver, args, .. } => {
+            walk_expr(receiver, visit);
+            for a in args {
+                walk_expr(a, visit);
+            }
+        }
+        _ => {}
+    }
+}

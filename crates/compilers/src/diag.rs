@@ -1,0 +1,195 @@
+//! Compiler diagnostics and outcomes.
+
+use std::fmt;
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Level {
+    /// Non-fatal; compilation still produces output.
+    Warning,
+    /// Fatal; no output produced.
+    Error,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Level::Warning => "warning",
+            Level::Error => "error",
+        })
+    }
+}
+
+/// A single compiler diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity.
+    pub level: Level,
+    /// Tool-specific code (`javac:unchecked`, `BC30260`, …).
+    pub code: String,
+    /// Location (`File.java:ClassName`).
+    pub location: String,
+    /// Message text.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Convenience constructor for a warning.
+    pub fn warning(
+        code: impl Into<String>,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            level: Level::Warning,
+            code: code.into(),
+            location: location.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for an error.
+    pub fn error(
+        code: impl Into<String>,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            level: Level::Error,
+            code: code.into(),
+            location: location.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: [{}] {}: {}",
+            self.level, self.code, self.location, self.message
+        )
+    }
+}
+
+/// The result of compiling one artifact bundle.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompileOutcome {
+    /// Emitted diagnostics.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The compiler itself crashed (distinct from reporting errors —
+    /// models the JScript `131 INTERNAL COMPILER CRASH`).
+    pub crashed: bool,
+}
+
+impl CompileOutcome {
+    /// A clean outcome.
+    pub fn clean() -> CompileOutcome {
+        CompileOutcome::default()
+    }
+
+    /// `true` when output was produced (no errors, no crash).
+    pub fn success(&self) -> bool {
+        !self.crashed && self.error_count() == 0
+    }
+
+    /// Number of error diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.level == Level::Error)
+            .count()
+    }
+
+    /// Number of warning diagnostics.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.level == Level::Warning)
+            .count()
+    }
+
+    /// Iterates over the errors.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.level == Level::Error)
+    }
+
+    /// Iterates over the warnings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.level == Level::Warning)
+    }
+}
+
+impl fmt::Display for CompileOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.crashed {
+            writeln!(f, "COMPILER CRASH")?;
+        }
+        writeln!(
+            f,
+            "{} error(s), {} warning(s)",
+            self.error_count(),
+            self.warning_count()
+        )?;
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_outcome_succeeds() {
+        assert!(CompileOutcome::clean().success());
+    }
+
+    #[test]
+    fn warnings_do_not_fail() {
+        let outcome = CompileOutcome {
+            diagnostics: vec![Diagnostic::warning("w", "l", "m")],
+            crashed: false,
+        };
+        assert!(outcome.success());
+        assert_eq!(outcome.warning_count(), 1);
+        assert_eq!(outcome.error_count(), 0);
+    }
+
+    #[test]
+    fn errors_fail() {
+        let outcome = CompileOutcome {
+            diagnostics: vec![Diagnostic::error("e", "l", "m")],
+            crashed: false,
+        };
+        assert!(!outcome.success());
+    }
+
+    #[test]
+    fn crash_fails_even_without_diagnostics() {
+        let outcome = CompileOutcome {
+            diagnostics: vec![],
+            crashed: true,
+        };
+        assert!(!outcome.success());
+        assert!(outcome.to_string().contains("COMPILER CRASH"));
+    }
+
+    #[test]
+    fn display_includes_counts() {
+        let outcome = CompileOutcome {
+            diagnostics: vec![
+                Diagnostic::warning("w", "a", "b"),
+                Diagnostic::error("e", "c", "d"),
+            ],
+            crashed: false,
+        };
+        let text = outcome.to_string();
+        assert!(text.contains("1 error(s), 1 warning(s)"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Runtime instantiation checks for dynamic-language artifacts.
+//!
+//! Zend (PHP) and suds (Python) have no compilation step; the paper
+//! instead verifies that the generated client *object* can be
+//! instantiated, and inspects whether it exposes any invocable
+//! methods. This module performs the equivalent check over the
+//! artifact model.
+
+use std::fmt;
+
+use wsinterop_artifact::ArtifactBundle;
+
+/// The result of the dynamic instantiation check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstantiationOutcome {
+    /// The client object could be constructed.
+    pub constructed: bool,
+    /// Number of service methods the client exposes.
+    pub method_count: usize,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl InstantiationOutcome {
+    /// `true` when the client is usable: constructed *and* has at
+    /// least one invocable method.
+    pub fn usable(&self) -> bool {
+        self.constructed && self.method_count > 0
+    }
+
+    /// `true` for the paper's "client object without methods" case.
+    pub fn empty_client(&self) -> bool {
+        self.constructed && self.method_count == 0
+    }
+}
+
+impl fmt::Display for InstantiationOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.constructed {
+            write!(f, "instantiation failed: {}", self.detail)
+        } else {
+            write!(
+                f,
+                "client instantiated with {} method(s): {}",
+                self.method_count, self.detail
+            )
+        }
+    }
+}
+
+/// Attempts to "instantiate" the bundle's entry-point client object.
+pub fn instantiate(bundle: &ArtifactBundle) -> InstantiationOutcome {
+    match bundle.entry_class() {
+        Some(class) => InstantiationOutcome {
+            constructed: true,
+            method_count: class.methods.len(),
+            detail: format!("proxy class `{}`", class.name),
+        },
+        None => InstantiationOutcome {
+            constructed: false,
+            method_count: 0,
+            detail: match &bundle.entry_point {
+                Some(name) => format!("proxy class `{name}` was not generated"),
+                None => "generator did not designate a proxy class".to_string(),
+            },
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsinterop_artifact::{ArtifactLanguage, ClassDecl, CodeUnit, Function};
+
+    #[test]
+    fn usable_client() {
+        let bundle = ArtifactBundle::new(ArtifactLanguage::Python)
+            .unit(CodeUnit::new("client.py").class(
+                ClassDecl::new("Client").method(Function::new("echo")),
+            ))
+            .entry("Client");
+        let outcome = instantiate(&bundle);
+        assert!(outcome.usable());
+        assert!(!outcome.empty_client());
+    }
+
+    #[test]
+    fn empty_client_detected() {
+        // The Zend/suds reaction to the operation-less JBossWS WSDLs.
+        let bundle = ArtifactBundle::new(ArtifactLanguage::Php)
+            .unit(CodeUnit::new("client.php").class(ClassDecl::new("Client")))
+            .entry("Client");
+        let outcome = instantiate(&bundle);
+        assert!(outcome.constructed);
+        assert!(outcome.empty_client());
+        assert!(!outcome.usable());
+    }
+
+    #[test]
+    fn missing_entry_point_fails() {
+        let bundle = ArtifactBundle::new(ArtifactLanguage::Php).entry("Ghost");
+        let outcome = instantiate(&bundle);
+        assert!(!outcome.constructed);
+        assert!(outcome.to_string().contains("Ghost"));
+    }
+
+    #[test]
+    fn undesignated_entry_point_fails() {
+        let bundle = ArtifactBundle::new(ArtifactLanguage::Python);
+        assert!(!instantiate(&bundle).constructed);
+    }
+}

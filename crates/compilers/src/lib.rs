@@ -1,0 +1,35 @@
+//! # wsinterop-compilers
+//!
+//! Simulated compiler toolchains for the artifact languages: `javac`,
+//! `csc`, `vbc`, `jsc` and `g++`, plus the dynamic-language
+//! instantiation check used for PHP/Python clients.
+//!
+//! Each compiler runs genuine semantic passes over the
+//! `wsinterop-artifact` code model — duplicate members, name/type
+//! resolution, inheritance cycles, case-insensitive collisions for
+//! Visual Basic — so every compilation error reproduced from the paper
+//! corresponds to a real defect in the generated artifacts.
+//!
+//! ## Example
+//!
+//! ```
+//! use wsinterop_compilers::{compiler_for, Javac, Compiler};
+//! use wsinterop_artifact::{ArtifactBundle, ArtifactLanguage, ClassDecl, CodeUnit};
+//!
+//! let bundle = ArtifactBundle::new(ArtifactLanguage::Java)
+//!     .unit(CodeUnit::new("A.java").class(ClassDecl::new("A")));
+//! assert!(Javac.compile(&bundle).success());
+//! assert!(compiler_for(ArtifactLanguage::Php).is_none()); // dynamic
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod checks;
+pub mod diag;
+pub mod instantiate;
+pub mod toolchain;
+
+pub use diag::{CompileOutcome, Diagnostic, Level};
+pub use instantiate::{instantiate, InstantiationOutcome};
+pub use toolchain::{compiler_for, Compiler, Csc, Gpp, Javac, Jsc, Vbc};

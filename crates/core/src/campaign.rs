@@ -1,0 +1,350 @@
+//! The interoperability campaign engine: the paper's Preparation and
+//! Testing phases, end to end.
+//!
+//! For every class of every server's catalog the engine attempts
+//! deployment (Service Description Generation), checks the published
+//! WSDL against WS-I BP 1.1, then drives all eleven client subsystems
+//! through Artifact Generation and Artifact Compilation (or the
+//! dynamic-language instantiation check), classifying each step.
+
+use std::sync::Mutex;
+
+use wsinterop_compilers::{compiler_for, instantiate};
+use wsinterop_frameworks::client::{all_clients, ClientSubsystem, CompilationMode};
+use wsinterop_frameworks::server::{all_servers, DeployOutcome, ServerSubsystem};
+use wsinterop_wsi::Analyzer;
+
+use crate::results::{CampaignResults, InstantiationKind, ServiceRecord, TestRecord};
+
+/// A configured interoperability campaign.
+pub struct Campaign {
+    servers: Vec<Box<dyn ServerSubsystem>>,
+    clients: Vec<Box<dyn ClientSubsystem>>,
+    /// Test every `stride`-th catalog entry (1 = full campaign).
+    stride: usize,
+    /// Worker threads for the testing phase.
+    threads: usize,
+}
+
+impl std::fmt::Debug for Campaign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Campaign")
+            .field("servers", &self.servers.len())
+            .field("clients", &self.clients.len())
+            .field("stride", &self.stride)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl Campaign {
+    /// The paper's full campaign: 3 servers × 11 clients over the full
+    /// catalogs (22 024 candidate services, 79 629 tests).
+    pub fn paper() -> Campaign {
+        Campaign {
+            servers: all_servers(),
+            clients: all_clients(),
+            stride: 1,
+            threads: default_threads(),
+        }
+    }
+
+    /// A strided sub-campaign: every `stride`-th catalog entry. Useful
+    /// for benchmarks and smoke tests; `stride = 1` is the full run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn sampled(stride: usize) -> Campaign {
+        assert!(stride > 0, "stride must be positive");
+        Campaign {
+            stride,
+            ..Campaign::paper()
+        }
+    }
+
+    /// The widened campaign of the paper's future work: the three paper
+    /// servers **plus** the extension platforms (the Axis2 server).
+    pub fn extended() -> Campaign {
+        Campaign {
+            servers: wsinterop_frameworks::server::extension_servers(),
+            ..Campaign::paper()
+        }
+    }
+
+    /// Strided variant of [`Campaign::extended`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn extended_sampled(stride: usize) -> Campaign {
+        assert!(stride > 0, "stride must be positive");
+        Campaign {
+            stride,
+            ..Campaign::extended()
+        }
+    }
+
+    /// Overrides the worker-thread count (defaults to available
+    /// parallelism).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Campaign {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Restricts the campaign to a subset of server subsystems.
+    #[must_use]
+    pub fn with_servers(
+        mut self,
+        ids: &[wsinterop_frameworks::server::ServerId],
+    ) -> Campaign {
+        self.servers.retain(|s| ids.contains(&s.info().id));
+        self
+    }
+
+    /// Restricts the campaign to a subset of client subsystems.
+    #[must_use]
+    pub fn with_clients(
+        mut self,
+        ids: &[wsinterop_frameworks::client::ClientId],
+    ) -> Campaign {
+        self.clients.retain(|c| ids.contains(&c.info().id));
+        self
+    }
+
+    /// Runs the campaign.
+    pub fn run(&self) -> CampaignResults {
+        let analyzer = Analyzer::basic_profile_1_1();
+        let mut results = CampaignResults::default();
+
+        for server in &self.servers {
+            let server_id = server.info().id;
+            let catalog = server.catalog();
+            let entries: Vec<_> = catalog
+                .entries()
+                .iter()
+                .step_by(self.stride)
+                .collect();
+
+            // Service Description Generation (parallel over entries).
+            let records = Mutex::new(Vec::with_capacity(entries.len()));
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..self.threads {
+                    scope.spawn(|| {
+                        let mut local: Vec<(ServiceRecord, Option<String>)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(entry) = entries.get(i) else { break };
+                            let (record, wsdl) = match server.deploy(entry) {
+                                DeployOutcome::Refused { .. } => (
+                                    ServiceRecord {
+                                        server: server_id,
+                                        fqcn: entry.fqcn.clone(),
+                                        deployed: false,
+                                        wsi_conformant: None,
+                                        description_warning: false,
+                                    },
+                                    None,
+                                ),
+                                DeployOutcome::Deployed { wsdl_xml } => {
+                                    let defs = wsinterop_wsdl::de::from_xml_str(&wsdl_xml)
+                                        .expect("servers publish well-formed WSDL");
+                                    let report = analyzer.analyze(&defs);
+                                    let conformant = report.conformant();
+                                    let advisory = report
+                                        .warnings()
+                                        .any(|w| w.assertion == "EXT0001");
+                                    (
+                                        ServiceRecord {
+                                            server: server_id,
+                                            fqcn: entry.fqcn.clone(),
+                                            deployed: true,
+                                            wsi_conformant: Some(conformant),
+                                            description_warning: !conformant || advisory,
+                                        },
+                                        Some(wsdl_xml),
+                                    )
+                                }
+                            };
+                            local.push((record, wsdl));
+                        }
+                        records.lock().unwrap().append(&mut local);
+                    });
+                }
+            });
+            let mut deployed: Vec<(ServiceRecord, Option<String>)> =
+                records.into_inner().unwrap();
+            deployed.sort_by(|a, b| a.0.fqcn.cmp(&b.0.fqcn));
+
+            // Testing phase: all clients × all published WSDLs.
+            let tests = Mutex::new(Vec::new());
+            let work: Vec<(&ServiceRecord, &String)> = deployed
+                .iter()
+                .filter_map(|(record, wsdl)| wsdl.as_ref().map(|w| (record, w)))
+                .collect();
+            let next_test = std::sync::atomic::AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..self.threads {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i =
+                                next_test.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some((record, wsdl)) = work.get(i) else { break };
+                            for client in &self.clients {
+                                local.push(run_test(server_id, record, wsdl, client.as_ref()));
+                            }
+                        }
+                        tests.lock().unwrap().append(&mut local);
+                    });
+                }
+            });
+
+            results
+                .services
+                .extend(deployed.into_iter().map(|(record, _)| record));
+            let mut server_tests = tests.into_inner().unwrap();
+            server_tests.sort_by(|a: &TestRecord, b: &TestRecord| {
+                (a.client, &a.fqcn).cmp(&(b.client, &b.fqcn))
+            });
+            results.tests.append(&mut server_tests);
+        }
+        results
+    }
+}
+
+fn run_test(
+    server_id: wsinterop_frameworks::server::ServerId,
+    record: &ServiceRecord,
+    wsdl: &str,
+    client: &dyn ClientSubsystem,
+) -> TestRecord {
+    let info = client.info();
+    let outcome = client.generate(wsdl);
+
+    let mut test = TestRecord {
+        server: server_id,
+        client: info.id,
+        fqcn: record.fqcn.clone(),
+        gen_warning: !outcome.warnings.is_empty(),
+        gen_error: outcome.error.is_some(),
+        compile_ran: false,
+        compile_warning: false,
+        compile_error: false,
+        compiler_crashed: false,
+        instantiation: None,
+    };
+
+    let Some(bundle) = &outcome.artifacts else {
+        return test;
+    };
+
+    match info.compilation {
+        CompilationMode::Dynamic => {
+            // Classification step for dynamic clients: instantiate the
+            // client object and check it is actually usable.
+            if outcome.error.is_none() {
+                let check = instantiate(bundle);
+                let kind = if !check.constructed {
+                    InstantiationKind::Failed
+                } else if check.empty_client() {
+                    InstantiationKind::Empty
+                } else {
+                    InstantiationKind::Usable
+                };
+                test.instantiation = Some(kind);
+                match kind {
+                    InstantiationKind::Empty => test.gen_warning = true,
+                    InstantiationKind::Failed => test.gen_error = true,
+                    InstantiationKind::Usable => {}
+                }
+            }
+        }
+        _ => {
+            if let Some(compiler) = compiler_for(bundle.language) {
+                let compiled = compiler.compile(bundle);
+                test.compile_ran = true;
+                test.compile_warning = compiled.warning_count() > 0;
+                test.compile_error = !compiled.success();
+                test.compiler_crashed = compiled.crashed;
+            }
+        }
+    }
+    test
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsinterop_frameworks::client::ClientId;
+    use wsinterop_frameworks::server::ServerId;
+
+    #[test]
+    fn sampled_campaign_has_consistent_shape() {
+        let results = Campaign::sampled(97).run();
+        // Every deployed service produced exactly 11 tests.
+        let deployed: usize = ServerId::ALL
+            .iter()
+            .map(|&s| results.deployed(s))
+            .sum();
+        assert_eq!(results.tests.len(), deployed * 11);
+        // Tests never report compilation without artifacts.
+        for t in &results.tests {
+            if t.compile_ran {
+                assert!(matches!(
+                    t.client,
+                    ClientId::Metro
+                        | ClientId::Axis1
+                        | ClientId::Axis2
+                        | ClientId::Cxf
+                        | ClientId::JBossWs
+                        | ClientId::DotnetCs
+                        | ClientId::DotnetVb
+                        | ClientId::DotnetJs
+                        | ClientId::Gsoap
+                ));
+            }
+            if t.instantiation.is_some() {
+                assert!(matches!(t.client, ClientId::Zend | ClientId::Suds));
+            }
+        }
+    }
+
+    #[test]
+    fn subset_campaigns_restrict_servers_and_clients() {
+        let results = Campaign::sampled(149)
+            .with_servers(&[ServerId::Metro])
+            .with_clients(&[ClientId::Axis1, ClientId::Suds])
+            .run();
+        assert!(results.tests.iter().all(|t| t.server == ServerId::Metro));
+        assert!(results
+            .tests
+            .iter()
+            .all(|t| matches!(t.client, ClientId::Axis1 | ClientId::Suds)));
+        let deployed = results.deployed(ServerId::Metro);
+        assert_eq!(results.tests.len(), deployed * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_rejected() {
+        let _ = Campaign::sampled(0);
+    }
+
+    #[test]
+    fn strided_runs_are_deterministic() {
+        let a = Campaign::sampled(149).with_threads(3).run();
+        let b = Campaign::sampled(149).with_threads(7).run();
+        assert_eq!(a.services.len(), b.services.len());
+        assert_eq!(a.tests.len(), b.tests.len());
+        assert_eq!(a.tests, b.tests);
+    }
+}

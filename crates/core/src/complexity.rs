@@ -1,0 +1,309 @@
+//! The complexity extension: "services with a higher level of
+//! complexity to cover more elaborate patterns of inter-operation" —
+//! the paper's second declared future-work item.
+//!
+//! The base study uses single-parameter echo services. This extension
+//! synthesizes service families along two axes the base study holds
+//! constant —
+//!
+//! * **nesting depth**: bean parameters whose fields are themselves
+//!   beans, `depth` levels down,
+//! * **operation fan-out**: multi-operation port types, including
+//!   rpc/literal signatures with several parameters —
+//!
+//! and drives every client subsystem over them, producing a
+//! success-rate matrix by complexity tier.
+
+use std::fmt;
+
+use wsinterop_compilers::{compiler_for, instantiate};
+use wsinterop_frameworks::client::{all_clients, ClientId, CompilationMode};
+use wsinterop_wsdl::builder::{DocLiteralBuilder, RpcLiteralBuilder};
+use wsinterop_wsdl::ser::to_xml_string;
+use wsinterop_wsdl::Definitions;
+use wsinterop_xsd::{BuiltIn, ComplexType, ElementDecl, Particle, TypeRef};
+
+/// One synthesized complexity tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tier {
+    /// Bean nesting depth (0 = built-in parameter).
+    pub depth: usize,
+    /// Operations per service.
+    pub operations: usize,
+    /// rpc/literal instead of document/literal.
+    pub rpc: bool,
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "depth={} ops={} style={}",
+            self.depth,
+            self.operations,
+            if self.rpc { "rpc" } else { "document" }
+        )
+    }
+}
+
+/// The default tier ladder exercised by the extension experiment.
+pub fn default_tiers() -> Vec<Tier> {
+    let mut tiers = Vec::new();
+    for depth in [0usize, 1, 3, 6] {
+        for operations in [1usize, 4] {
+            tiers.push(Tier {
+                depth,
+                operations,
+                rpc: false,
+            });
+        }
+    }
+    tiers.push(Tier {
+        depth: 1,
+        operations: 2,
+        rpc: true,
+    });
+    tiers
+}
+
+/// Builds the nested bean chain `Level0 → Level1 → …` and returns the
+/// complex types plus the root type reference.
+fn nested_types(tns: &str, depth: usize) -> (Vec<ComplexType>, TypeRef) {
+    if depth == 0 {
+        return (Vec::new(), TypeRef::BuiltIn(BuiltIn::String));
+    }
+    let mut types = Vec::new();
+    for level in 0..depth {
+        let mut ct = ComplexType::named(format!("Level{level}"))
+            .with_particle(Particle::Element(
+                ElementDecl::typed("label", TypeRef::BuiltIn(BuiltIn::String)).min(0),
+            ))
+            .with_particle(Particle::Element(
+                ElementDecl::typed("weight", TypeRef::BuiltIn(BuiltIn::Double)).min(0),
+            ));
+        if level + 1 < depth {
+            ct = ct.with_particle(Particle::Element(
+                ElementDecl::typed("child", TypeRef::named(tns, format!("Level{}", level + 1)))
+                    .min(0),
+            ));
+        }
+        types.push(ct);
+    }
+    (types, TypeRef::named(tns, "Level0"))
+}
+
+/// Synthesizes the service description for one tier.
+pub fn service_for(tier: Tier) -> Definitions {
+    let tns = format!(
+        "urn:complexity:d{}o{}{}",
+        tier.depth,
+        tier.operations,
+        if tier.rpc { "r" } else { "d" }
+    );
+    let (types, root) = nested_types(&tns, tier.depth);
+    if tier.rpc {
+        let mut builder = RpcLiteralBuilder::new("ComplexService", &tns);
+        for ct in types {
+            builder = builder.with_type(ct);
+        }
+        for i in 0..tier.operations {
+            builder = builder.operation(
+                format!("op{i}"),
+                vec![
+                    ("first".to_string(), root.clone()),
+                    ("second".to_string(), TypeRef::BuiltIn(BuiltIn::Int)),
+                ],
+                root.clone(),
+            );
+        }
+        builder.build()
+    } else {
+        let mut builder = DocLiteralBuilder::new("ComplexService", &tns);
+        for (i, _) in (0..tier.operations).enumerate() {
+            let extra = if i == 0 { types.clone() } else { Vec::new() };
+            builder = builder.operation_with_types(
+                format!("op{i}"),
+                root.clone(),
+                root.clone(),
+                extra,
+            );
+        }
+        builder.build()
+    }
+}
+
+/// Outcome of one tier × client cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellOutcome {
+    /// Generated (and compiled / instantiated) successfully.
+    Ok,
+    /// Generation succeeded with warnings only.
+    Warnings,
+    /// Generation failed.
+    GenerationError,
+    /// Artifacts failed to compile.
+    CompilationError,
+}
+
+impl CellOutcome {
+    /// Success (with or without warnings).
+    pub fn succeeded(self) -> bool {
+        matches!(self, CellOutcome::Ok | CellOutcome::Warnings)
+    }
+}
+
+/// The extension experiment's result matrix.
+#[derive(Debug, Clone)]
+pub struct ComplexityMatrix {
+    /// `(tier, client, outcome)` rows.
+    pub rows: Vec<(Tier, ClientId, CellOutcome)>,
+}
+
+impl ComplexityMatrix {
+    /// Runs the experiment over the given tiers with all eleven
+    /// clients.
+    pub fn run(tiers: &[Tier]) -> ComplexityMatrix {
+        let clients = all_clients();
+        let mut rows = Vec::new();
+        for &tier in tiers {
+            let wsdl = to_xml_string(&service_for(tier));
+            for client in &clients {
+                let info = client.info();
+                let outcome = client.generate(&wsdl);
+                let cell = if outcome.error.is_some() {
+                    CellOutcome::GenerationError
+                } else if let Some(bundle) = &outcome.artifacts {
+                    let failed = match info.compilation {
+                        CompilationMode::Dynamic => !instantiate(bundle).usable(),
+                        _ => compiler_for(bundle.language)
+                            .map(|c| !c.compile(bundle).success())
+                            .unwrap_or(false),
+                    };
+                    if failed {
+                        CellOutcome::CompilationError
+                    } else if outcome.warnings.is_empty() {
+                        CellOutcome::Ok
+                    } else {
+                        CellOutcome::Warnings
+                    }
+                } else {
+                    CellOutcome::GenerationError
+                };
+                rows.push((tier, info.id, cell));
+            }
+        }
+        ComplexityMatrix { rows }
+    }
+
+    /// Success rate for one tier across all clients.
+    pub fn success_rate(&self, tier: Tier) -> f64 {
+        let cells: Vec<_> = self.rows.iter().filter(|(t, _, _)| *t == tier).collect();
+        if cells.is_empty() {
+            return 0.0;
+        }
+        let ok = cells.iter().filter(|(_, _, c)| c.succeeded()).count();
+        ok as f64 / cells.len() as f64
+    }
+}
+
+impl fmt::Display for ComplexityMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Complexity extension — success matrix")?;
+        let mut tiers: Vec<Tier> = Vec::new();
+        for (tier, _, _) in &self.rows {
+            if !tiers.contains(tier) {
+                tiers.push(*tier);
+            }
+        }
+        for tier in tiers {
+            writeln!(
+                f,
+                "  {:<28} success rate {:>5.1}%",
+                tier.to_string(),
+                self.success_rate(tier) * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsinterop_wsi::Analyzer;
+
+    #[test]
+    fn all_tiers_produce_wsi_conformant_documents() {
+        for tier in default_tiers() {
+            let defs = service_for(tier);
+            let report = Analyzer::basic_profile_1_1().analyze(&defs);
+            assert!(report.conformant(), "{tier}: {report}");
+            // Roundtrip through XML too.
+            let xml = to_xml_string(&defs);
+            let back = wsinterop_wsdl::de::from_xml_str(&xml).unwrap();
+            assert_eq!(back, defs);
+        }
+    }
+
+    #[test]
+    fn doc_literal_tiers_succeed_for_every_client() {
+        let tiers: Vec<Tier> = default_tiers().into_iter().filter(|t| !t.rpc).collect();
+        let matrix = ComplexityMatrix::run(&tiers);
+        for (tier, client, cell) in &matrix.rows {
+            assert!(
+                cell.succeeded(),
+                "{client} failed doc-literal tier {tier}: {cell:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rpc_tier_splits_the_field() {
+        // The rpc/literal tier uses type= parts, which the wsdl.exe
+        // family and gSOAP reject even under rpc style — exactly the
+        // "elaborate patterns" divergence the future work anticipates.
+        let tiers = vec![Tier {
+            depth: 1,
+            operations: 2,
+            rpc: true,
+        }];
+        let matrix = ComplexityMatrix::run(&tiers);
+        let failed: Vec<ClientId> = matrix
+            .rows
+            .iter()
+            .filter(|(_, _, c)| !c.succeeded())
+            .map(|(_, id, _)| *id)
+            .collect();
+        assert!(failed.contains(&ClientId::DotnetCs), "{failed:?}");
+        assert!(failed.contains(&ClientId::Gsoap), "{failed:?}");
+        // The Java stacks cope.
+        assert!(!failed.contains(&ClientId::Metro), "{failed:?}");
+        assert!(!failed.contains(&ClientId::Axis1), "{failed:?}");
+    }
+
+    #[test]
+    fn success_rate_is_monotone_in_failure_count() {
+        let tiers = default_tiers();
+        let matrix = ComplexityMatrix::run(&tiers);
+        for tier in tiers {
+            let rate = matrix.success_rate(tier);
+            assert!((0.0..=1.0).contains(&rate));
+            if !tier.rpc {
+                assert!((rate - 1.0).abs() < f64::EPSILON, "{tier}: {rate}");
+            } else {
+                assert!(rate < 1.0, "{tier} should not be universally supported");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_renders() {
+        let matrix = ComplexityMatrix::run(&[Tier {
+            depth: 1,
+            operations: 1,
+            rpc: false,
+        }]);
+        let text = matrix.to_string();
+        assert!(text.contains("success rate"));
+    }
+}

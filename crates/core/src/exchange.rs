@@ -1,0 +1,374 @@
+//! The Communication and Execution steps (steps 4–5 of the paper's
+//! Fig. 1) — the paper's declared **future work**, implemented here as
+//! an extension.
+//!
+//! For a test that survived the three static steps, this module drives
+//! an actual message exchange over the workspace's SOAP 1.1 layer:
+//!
+//! 1. the *client side* builds a doc/literal request from **its own**
+//!    parse of the WSDL (exactly what a generated stub does),
+//! 2. the *server side* parses the request against its published
+//!    description and produces the echo response,
+//! 3. the client unwraps the response and checks the echoed value.
+//!
+//! Because both endpoints work from the same document, a service that
+//! passed the static steps should complete the exchange — and the
+//! operation-less documents demonstrably cannot, which is the paper's
+//! argument for flagging them at generation time.
+
+use std::fmt;
+
+use wsinterop_wsdl::de::from_xml_str;
+use wsinterop_wsdl::{soap, Definitions};
+use wsinterop_xml::writer::{write_document, WriteOptions};
+
+/// Outcome of one simulated message exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExchangeOutcome {
+    /// Request and response were exchanged and the echoed value
+    /// matched.
+    Completed {
+        /// Round-trip payload size in bytes (request + response).
+        bytes_on_wire: usize,
+    },
+    /// The client could not even form a request from the description.
+    ClientCannotInvoke {
+        /// Failure detail.
+        reason: String,
+    },
+    /// The server could not process the request (returned a fault).
+    ServerFault {
+        /// Fault reason.
+        reason: String,
+    },
+    /// The response did not carry the expected echo.
+    EchoMismatch {
+        /// What was sent.
+        sent: String,
+        /// What came back.
+        received: String,
+    },
+    /// A message violated the WS-I message-level profile.
+    NonConformantMessage {
+        /// `"request"` or `"response"`.
+        side: &'static str,
+        /// First violated assertion.
+        detail: String,
+    },
+}
+
+impl ExchangeOutcome {
+    /// `true` for [`ExchangeOutcome::Completed`].
+    pub fn completed(&self) -> bool {
+        matches!(self, ExchangeOutcome::Completed { .. })
+    }
+}
+
+impl fmt::Display for ExchangeOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExchangeOutcome::Completed { bytes_on_wire } => {
+                write!(f, "exchange completed ({bytes_on_wire} bytes on the wire)")
+            }
+            ExchangeOutcome::ClientCannotInvoke { reason } => {
+                write!(f, "client cannot invoke: {reason}")
+            }
+            ExchangeOutcome::ServerFault { reason } => write!(f, "server fault: {reason}"),
+            ExchangeOutcome::EchoMismatch { sent, received } => {
+                write!(f, "echo mismatch: sent {sent:?}, received {received:?}")
+            }
+            ExchangeOutcome::NonConformantMessage { side, detail } => {
+                write!(f, "non-conformant {side} message: {detail}")
+            }
+        }
+    }
+}
+
+/// Simulates the server's Execution step: parse the request envelope
+/// against the published description and produce the echo response (or
+/// a fault envelope).
+pub fn serve_echo(defs: &Definitions, request_xml: &str) -> String {
+    let compact = WriteOptions::compact();
+    let payload = match soap::payload(request_xml) {
+        Ok(el) => el,
+        Err(e) => {
+            return write_document(&soap::fault("Client", &e.to_string()), &compact);
+        }
+    };
+    let operation = payload.name().local_part().to_string();
+    if defs.find_operation(&operation).is_none() {
+        return write_document(
+            &soap::fault("Client", &format!("no such operation `{operation}`")),
+            &compact,
+        );
+    }
+    // Echo the full payload element (structured content included) under
+    // the operation's response wrapper.
+    let request_value = payload.child_elements().next().cloned();
+    match build_echo_response(defs, &operation, request_value.as_ref()) {
+        Ok(doc) => write_document(&doc, &compact),
+        Err(e) => write_document(&soap::fault("Server", &e), &compact),
+    }
+}
+
+/// First message-profile failure in a serialized envelope, if any.
+fn first_message_violation(xml: &str) -> Option<String> {
+    let report = wsinterop_wsi::message::check_message(xml);
+    let first = report.failures().next();
+    first.map(|f| format!("[{}] {}", f.assertion, f.detail))
+}
+
+fn build_echo_response(
+    defs: &Definitions,
+    operation: &str,
+    request_value: Option<&wsinterop_xml::Element>,
+) -> Result<wsinterop_xml::Document, String> {
+    use wsinterop_wsdl::PartKind;
+
+    let op = defs
+        .find_operation(operation)
+        .ok_or_else(|| format!("no such operation `{operation}`"))?;
+    let output = op
+        .output
+        .as_ref()
+        .ok_or_else(|| format!("operation `{operation}` is one-way"))?;
+    let message = defs
+        .message(&output.local)
+        .ok_or_else(|| format!("missing message `{}`", output.local))?;
+    let part = message.parts.first().ok_or("output message has no parts")?;
+    let PartKind::Element(wrapper_ref) = &part.kind else {
+        return Err("type-style output parts are not supported".to_string());
+    };
+    let wrapper_decl = defs
+        .resolve_part_element(part)
+        .ok_or_else(|| format!("unresolved wrapper `{}`", wrapper_ref.local))?;
+    let return_name = wrapper_decl
+        .inline
+        .as_ref()
+        .and_then(|inline| match inline.content.particles.first() {
+            Some(wsinterop_xsd::Particle::Element(el)) => Some(el.name.clone()),
+            _ => None,
+        })
+        .unwrap_or_else(|| "return".to_string());
+
+    let mut wrapper = wsinterop_xml::Element::new(&wrapper_decl.name)
+        .in_ns(wrapper_ref.ns_uri.clone());
+    wrapper.declare_ns(None, &wrapper_ref.ns_uri);
+    if let Some(value) = request_value {
+        // Re-root the echoed value under the response's element name,
+        // preserving all structured content.
+        let mut echoed = value.clone();
+        let renamed = wsinterop_xml::Element::new(&return_name);
+        let mut rebuilt = renamed;
+        for attr in echoed.attrs() {
+            rebuilt.set_attr(&attr.name().to_string(), attr.value());
+        }
+        for child in echoed.children_mut().drain(..) {
+            rebuilt.push_node(child);
+        }
+        wrapper.push_element(rebuilt);
+    }
+    Ok(soap::envelope(wrapper))
+}
+
+/// Runs the full Communication + Execution cycle for one operation of
+/// a published WSDL, echoing `value`.
+pub fn exchange(wsdl_xml: &str, operation: &str, value: &str) -> ExchangeOutcome {
+    // Client side: independent parse of the published description.
+    let client_defs = match from_xml_str(wsdl_xml) {
+        Ok(defs) => defs,
+        Err(e) => {
+            return ExchangeOutcome::ClientCannotInvoke {
+                reason: e.to_string(),
+            }
+        }
+    };
+    let request = match soap::request(&client_defs, operation, value) {
+        Ok(doc) => write_document(&doc, &WriteOptions::compact()),
+        Err(e) => {
+            return ExchangeOutcome::ClientCannotInvoke {
+                reason: e.to_string(),
+            }
+        }
+    };
+
+    // Wire conformance: the request must pass the WS-I message profile.
+    if let Some(violation) = first_message_violation(&request) {
+        return ExchangeOutcome::NonConformantMessage {
+            side: "request",
+            detail: violation,
+        };
+    }
+
+    // Server side: its own parse of the same document.
+    let server_defs = from_xml_str(wsdl_xml).expect("server republishes its own WSDL");
+    let response = serve_echo(&server_defs, &request);
+    if let Some(violation) = first_message_violation(&response) {
+        return ExchangeOutcome::NonConformantMessage {
+            side: "response",
+            detail: violation,
+        };
+    }
+    if soap::is_fault(&response) {
+        let reason = soap::payload(&response)
+            .ok()
+            .map(|f| f.text_content())
+            .unwrap_or_default();
+        return ExchangeOutcome::ServerFault { reason };
+    }
+
+    // Client side: unwrap the echoed value.
+    match soap::unwrap_single_value(&response) {
+        Ok(received) if received == value => ExchangeOutcome::Completed {
+            bytes_on_wire: request.len() + response.len(),
+        },
+        Ok(received) => ExchangeOutcome::EchoMismatch {
+            sent: value.to_string(),
+            received,
+        },
+        Err(e) => ExchangeOutcome::ServerFault {
+            reason: e.to_string(),
+        },
+    }
+}
+
+/// Aggregate outcome of exchanging against every deployed service.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExchangeSurvey {
+    /// Services whose echo roundtrip completed.
+    pub completed: usize,
+    /// Services a client cannot even invoke (no operations, or the
+    /// description gives the stub nothing to build a request from).
+    pub not_invocable: usize,
+    /// Services whose server side faulted or mangled the echo.
+    pub faulted: usize,
+}
+
+impl ExchangeSurvey {
+    /// Total services surveyed.
+    pub fn total(&self) -> usize {
+        self.completed + self.not_invocable + self.faulted
+    }
+}
+
+/// Runs the Communication + Execution cycle once against every
+/// `stride`-th deployed service of every server — the quantified form
+/// of the paper's future-work step 4/5.
+pub fn survey(stride: usize) -> ExchangeSurvey {
+    use wsinterop_frameworks::server::{all_servers, DeployOutcome};
+
+    let mut out = ExchangeSurvey::default();
+    for server in all_servers() {
+        for entry in server.catalog().entries().iter().step_by(stride.max(1)) {
+            let DeployOutcome::Deployed { wsdl_xml } = server.deploy(entry) else {
+                continue;
+            };
+            let operation = from_xml_str(&wsdl_xml)
+                .ok()
+                .and_then(|defs| {
+                    defs.port_types
+                        .iter()
+                        .flat_map(|pt| pt.operations.iter())
+                        .next()
+                        .map(|op| op.name.clone())
+                });
+            let outcome = match operation {
+                None => ExchangeOutcome::ClientCannotInvoke {
+                    reason: "no operations in the description".to_string(),
+                },
+                Some(op) => exchange(&wsdl_xml, &op, "survey-probe"),
+            };
+            match outcome {
+                ExchangeOutcome::Completed { .. } => out.completed += 1,
+                ExchangeOutcome::ClientCannotInvoke { .. } => out.not_invocable += 1,
+                _ => out.faulted += 1,
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsinterop_frameworks::server::{JBossWs, Metro, ServerSubsystem, WcfDotNet};
+    use wsinterop_typecat::java;
+
+    fn wsdl_of(server: &dyn ServerSubsystem, fqcn: &str) -> String {
+        server
+            .deploy(server.catalog().get(fqcn).unwrap())
+            .wsdl()
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn plain_services_complete_the_exchange_on_all_servers() {
+        for (server, fqcn) in [
+            (&Metro as &dyn ServerSubsystem, "java.lang.String"),
+            (&JBossWs, "java.util.Date"),
+            (&WcfDotNet, "System.Text.StringBuilder"),
+        ] {
+            let wsdl = wsdl_of(server, fqcn);
+            let outcome = exchange(&wsdl, "echo", "ping-42");
+            assert!(outcome.completed(), "{fqcn}: {outcome}");
+        }
+    }
+
+    #[test]
+    fn operation_less_documents_cannot_be_invoked() {
+        // The paper's core argument for EXT0001: these services pass
+        // every static check yet can never be called.
+        let wsdl = wsdl_of(&JBossWs, java::well_known::FUTURE);
+        let outcome = exchange(&wsdl, "echo", "x");
+        assert!(matches!(outcome, ExchangeOutcome::ClientCannotInvoke { .. }));
+    }
+
+    #[test]
+    fn unknown_operation_yields_server_fault() {
+        let wsdl = wsdl_of(&Metro, "java.lang.String");
+        let defs = from_xml_str(&wsdl).unwrap();
+        let request = soap::request(&defs, "echo", "v").unwrap();
+        let mut tampered =
+            write_document(&request, &WriteOptions::compact()).replace("echo", "vanish");
+        // Keep the envelope well-formed: only the wrapper was renamed.
+        tampered = tampered.replace("vanishResponse", "echoResponse");
+        let response = serve_echo(&defs, &tampered);
+        assert!(soap::is_fault(&response));
+    }
+
+    #[test]
+    fn malformed_request_yields_client_fault() {
+        let wsdl = wsdl_of(&Metro, "java.lang.String");
+        let defs = from_xml_str(&wsdl).unwrap();
+        let response = serve_echo(&defs, "<bogus/>");
+        assert!(soap::is_fault(&response));
+    }
+
+    #[test]
+    fn payload_value_survives_escaping() {
+        let wsdl = wsdl_of(&Metro, "java.lang.String");
+        let outcome = exchange(&wsdl, "echo", "a < b & \"c\"");
+        assert!(outcome.completed(), "{outcome}");
+    }
+
+    #[test]
+    fn strided_survey_matches_full_run_shape() {
+        // The full-corpus numbers (asserted in tests/exchange_survey.rs):
+        // 7 234 completed, 3 not invocable, 2 faulted. A strided survey
+        // must show the same dominant shape.
+        let s = survey(101);
+        assert!(s.completed > 0);
+        assert_eq!(s.total(), s.completed + s.not_invocable + s.faulted);
+        assert!(s.completed * 10 > s.total() * 9, "{s:?}");
+    }
+
+    #[test]
+    fn exchange_reports_wire_bytes() {
+        let wsdl = wsdl_of(&Metro, "java.lang.String");
+        match exchange(&wsdl, "echo", "x") {
+            ExchangeOutcome::Completed { bytes_on_wire } => assert!(bytes_on_wire > 200),
+            other => panic!("unexpected: {other}"),
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Machine-readable export of campaign results (the counterpart of the
+//! dataset the authors published alongside the paper).
+
+use std::fmt::Write as _;
+
+use crate::results::{CampaignResults, InstantiationKind};
+
+/// Serializes the per-service records as TSV
+/// (`server  class  deployed  wsi_conformant  description_warning`).
+pub fn services_tsv(results: &CampaignResults) -> String {
+    let mut out = String::with_capacity(results.services.len() * 48);
+    out.push_str("server\tclass\tdeployed\twsi_conformant\tdescription_warning\n");
+    for s in &results.services {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}",
+            s.server,
+            s.fqcn,
+            s.deployed,
+            s.wsi_conformant
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+            s.description_warning
+        );
+    }
+    out
+}
+
+/// Serializes the per-test records as TSV (one of the paper's 79 629
+/// tests per row).
+pub fn tests_tsv(results: &CampaignResults) -> String {
+    let mut out = String::with_capacity(results.tests.len() * 64);
+    out.push_str(
+        "server\tclient\tclass\tgen_warning\tgen_error\tcompile_ran\tcompile_warning\t\
+         compile_error\tcrashed\tinstantiation\n",
+    );
+    for t in &results.tests {
+        let inst = match t.instantiation {
+            None => "-",
+            Some(InstantiationKind::Usable) => "usable",
+            Some(InstantiationKind::Empty) => "empty",
+            Some(InstantiationKind::Failed) => "failed",
+        };
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            t.server,
+            t.client,
+            t.fqcn,
+            t.gen_warning,
+            t.gen_error,
+            t.compile_ran,
+            t.compile_warning,
+            t.compile_error,
+            t.compiler_crashed,
+            inst
+        );
+    }
+    out
+}
+
+/// Parses a `tests_tsv` export back into summary counters — the sanity
+/// check that the export is lossless for aggregate purposes.
+pub fn parse_tests_tsv_totals(tsv: &str) -> (usize, usize, usize) {
+    let mut tests = 0;
+    let mut gen_errors = 0;
+    let mut compile_errors = 0;
+    for line in tsv.lines().skip(1) {
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 10 {
+            continue;
+        }
+        tests += 1;
+        if fields[4] == "true" {
+            gen_errors += 1;
+        }
+        if fields[7] == "true" {
+            compile_errors += 1;
+        }
+    }
+    (tests, gen_errors, compile_errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Campaign;
+    use crate::report::Totals;
+
+    #[test]
+    fn tsv_exports_are_lossless_for_aggregates() {
+        let results = Campaign::sampled(83).run();
+        let totals = Totals::from_results(&results);
+
+        let services = services_tsv(&results);
+        assert_eq!(services.lines().count() - 1, results.services.len());
+        assert!(services.starts_with("server\tclass"));
+
+        let tests = tests_tsv(&results);
+        let (count, gen_errors, compile_errors) = parse_tests_tsv_totals(&tests);
+        assert_eq!(count, totals.tests_executed);
+        assert_eq!(gen_errors, totals.generation_errors);
+        assert_eq!(compile_errors, totals.compilation_errors);
+    }
+
+    #[test]
+    fn tsv_fields_do_not_collide_with_separators() {
+        let results = Campaign::sampled(211).run();
+        for line in tests_tsv(&results).lines().skip(1) {
+            assert_eq!(line.split('\t').count(), 10, "{line}");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # wsinterop-core
+//!
+//! The interoperability assessment campaign — the paper's primary
+//! contribution, reproduced end to end:
+//!
+//! 1. **Preparation** — select servers/clients, generate one echo
+//!    service per platform class ([`Campaign::paper`]).
+//! 2. **Testing** — Service Description Generation (deploy + WS-I
+//!    check), Client Artifact Generation, Client Artifact
+//!    Compilation / instantiation, with interleaved classification.
+//!
+//! Reports regenerate the paper's artifacts: [`report::Fig4`],
+//! [`report::TableIII`] and [`report::Totals`]; the
+//! [`expected`] module freezes the published numbers the full run must
+//! reproduce. The [`exchange`] module implements the paper's declared
+//! future work — the Communication and Execution steps — as an
+//! extension.
+//!
+//! ## Example
+//!
+//! ```
+//! use wsinterop_core::{Campaign, report::Totals};
+//! // A strided smoke run (the full campaign is `Campaign::paper()`).
+//! let results = Campaign::sampled(500).run();
+//! let totals = Totals::from_results(&results);
+//! assert_eq!(totals.tests_executed, totals.services_deployed * 11);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod campaign;
+pub mod complexity;
+pub mod exchange;
+pub mod expected;
+pub mod export;
+pub mod registry;
+pub mod report;
+pub mod results;
+
+pub use campaign::Campaign;
+pub use results::{CampaignResults, InstantiationKind, ServiceRecord, TestRecord};

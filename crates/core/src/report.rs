@@ -1,0 +1,458 @@
+//! Report builders: the paper's Fig. 4, Table III and headline totals,
+//! regenerated from campaign results.
+
+use std::fmt;
+
+use wsinterop_frameworks::client::ClientId;
+use wsinterop_frameworks::server::ServerId;
+
+use crate::results::CampaignResults;
+
+/// Servers covered by a result set: the paper's three (in Table I
+/// order) when present, then any extension servers, in first-seen
+/// order.
+fn servers_in(results: &CampaignResults) -> Vec<ServerId> {
+    let mut servers: Vec<ServerId> = ServerId::ALL
+        .iter()
+        .copied()
+        .filter(|&s| results.services.iter().any(|r| r.server == s))
+        .collect();
+    for record in &results.services {
+        if !servers.contains(&record.server) {
+            servers.push(record.server);
+        }
+    }
+    // An empty result set still reports the paper's three servers.
+    if servers.is_empty() {
+        servers = ServerId::ALL.to_vec();
+    }
+    servers
+}
+
+/// One server's bar group in Fig. 4.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fig4Row {
+    /// Service Description Generation warnings.
+    pub sdg_warnings: usize,
+    /// Service Description Generation errors (always 0: non-deployable
+    /// services are excluded, as in the paper).
+    pub sdg_errors: usize,
+    /// Client Artifact Generation warnings (tests with ≥1 warning).
+    pub cag_warnings: usize,
+    /// Client Artifact Generation errors.
+    pub cag_errors: usize,
+    /// Client Artifact Compilation warnings.
+    pub cac_warnings: usize,
+    /// Client Artifact Compilation errors.
+    pub cac_errors: usize,
+}
+
+/// The Fig. 4 overview: one row per server.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Fig4 {
+    /// Rows in Table I order (Metro, JBossWS CXF, WCF .NET).
+    pub rows: Vec<(ServerId, Fig4Row)>,
+}
+
+impl Fig4 {
+    /// Builds Fig. 4 from campaign results. Rows cover the paper's
+    /// three servers (Table I order) plus any extension servers present
+    /// in the results.
+    pub fn from_results(results: &CampaignResults) -> Fig4 {
+        let rows = servers_in(results)
+            .into_iter()
+            .map(|server| {
+                let mut row = Fig4Row {
+                    sdg_warnings: results
+                        .services
+                        .iter()
+                        .filter(|s| s.server == server && s.description_warning)
+                        .count(),
+                    ..Fig4Row::default()
+                };
+                for t in results.tests_for(server) {
+                    if t.gen_warning {
+                        row.cag_warnings += 1;
+                    }
+                    if t.gen_error {
+                        row.cag_errors += 1;
+                    }
+                    if t.compile_warning {
+                        row.cac_warnings += 1;
+                    }
+                    if t.compile_error {
+                        row.cac_errors += 1;
+                    }
+                }
+                (server, row)
+            })
+            .collect();
+        Fig4 { rows }
+    }
+
+    /// Looks up one server's row.
+    pub fn row(&self, server: ServerId) -> Fig4Row {
+        self.rows
+            .iter()
+            .find(|(s, _)| *s == server)
+            .map(|(_, r)| *r)
+            .unwrap_or_default()
+    }
+}
+
+impl Fig4 {
+    /// Renders the figure as an ASCII bar chart — the visual shape of
+    /// the paper's Fig. 4 (one bar group per server, one bar per
+    /// series, log-ish scaling so the 2-digit and 4-digit series stay
+    /// visible together).
+    pub fn render_chart(&self) -> String {
+        type Series = (&'static str, fn(&Fig4Row) -> usize);
+        const SERIES: [Series; 6] = [
+            ("SDG warnings", |r| r.sdg_warnings),
+            ("SDG errors", |r| r.sdg_errors),
+            ("CAG warnings", |r| r.cag_warnings),
+            ("CAG errors", |r| r.cag_errors),
+            ("CAC warnings", |r| r.cac_warnings),
+            ("CAC errors", |r| r.cac_errors),
+        ];
+        const WIDTH: f64 = 48.0;
+        let max = self
+            .rows
+            .iter()
+            .flat_map(|(_, r)| SERIES.iter().map(move |(_, f)| f(r)))
+            .max()
+            .unwrap_or(0)
+            .max(1) as f64;
+        let scale = |v: usize| -> usize {
+            if v == 0 {
+                0
+            } else {
+                // ln-scaled so small series remain visible next to the
+                // 5 000-class bars, with a 1-char floor for non-zero.
+                (((v as f64).ln_1p() / max.ln_1p()) * WIDTH).ceil() as usize
+            }
+        };
+        let mut out = String::new();
+        out.push_str("Figure 4 — chart view (log-scaled bars)\n");
+        for (server, row) in &self.rows {
+            out.push_str(&format!("{server}\n"));
+            for (label, f) in SERIES {
+                let v = f(row);
+                out.push_str(&format!(
+                    "  {label:<14} {:<48} {v}\n",
+                    "█".repeat(scale(v))
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Fig4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 4 — Overview of the experimental results")?;
+        writeln!(
+            f,
+            "{:<14} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+            "server", "SDG-W", "SDG-E", "CAG-W", "CAG-E", "CAC-W", "CAC-E"
+        )?;
+        for (server, row) in &self.rows {
+            writeln!(
+                f,
+                "{:<14} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+                server.to_string(),
+                row.sdg_warnings,
+                row.sdg_errors,
+                row.cag_warnings,
+                row.cag_errors,
+                row.cac_warnings,
+                row.cac_errors
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One Table III cell: a client's outcome against one server.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableIIICell {
+    /// Generation warnings (tests with ≥1 warning).
+    pub gen_warnings: usize,
+    /// Generation errors.
+    pub gen_errors: usize,
+    /// Compilation warnings; `None` when the client has no compile
+    /// step (Zend, suds).
+    pub compile_warnings: Option<usize>,
+    /// Compilation errors; `None` when the client has no compile step.
+    pub compile_errors: Option<usize>,
+}
+
+/// The paper's Table III: WS-I warnings per server plus the full
+/// (server × client) matrix.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TableIII {
+    /// Per-server: (description warnings, deployed service count).
+    pub wsi: Vec<(ServerId, usize, usize)>,
+    /// Matrix cells in (client, server) order.
+    pub cells: Vec<(ClientId, ServerId, TableIIICell)>,
+}
+
+impl TableIII {
+    /// Builds Table III from campaign results (paper servers plus any
+    /// extension servers present).
+    pub fn from_results(results: &CampaignResults) -> TableIII {
+        let servers = servers_in(results);
+        let wsi = servers
+            .iter()
+            .map(|&server| {
+                let warned = results
+                    .services
+                    .iter()
+                    .filter(|s| s.server == server && s.description_warning)
+                    .count();
+                (server, warned, results.deployed(server))
+            })
+            .collect();
+
+        let mut cells = Vec::new();
+        for &client in &ClientId::ALL {
+            for &server in &servers {
+                let mut cell = TableIIICell::default();
+                let mut compiled_any = false;
+                for t in results.cell(server, client) {
+                    if t.gen_warning {
+                        cell.gen_warnings += 1;
+                    }
+                    if t.gen_error {
+                        cell.gen_errors += 1;
+                    }
+                    if t.compile_ran {
+                        compiled_any = true;
+                        if t.compile_warning {
+                            *cell.compile_warnings.get_or_insert(0) += 1;
+                        }
+                        if t.compile_error {
+                            *cell.compile_errors.get_or_insert(0) += 1;
+                        }
+                    }
+                }
+                if compiled_any {
+                    cell.compile_warnings.get_or_insert(0);
+                    cell.compile_errors.get_or_insert(0);
+                }
+                cells.push((client, server, cell));
+            }
+        }
+        TableIII { wsi, cells }
+    }
+
+    /// Looks up one cell.
+    pub fn cell(&self, client: ClientId, server: ServerId) -> TableIIICell {
+        self.cells
+            .iter()
+            .find(|(c, s, _)| *c == client && *s == server)
+            .map(|(_, _, cell)| *cell)
+            .unwrap_or_default()
+    }
+
+    /// Per-server description warnings (the WS-I row of Table III).
+    pub fn wsi_warnings(&self, server: ServerId) -> usize {
+        self.wsi
+            .iter()
+            .find(|(s, _, _)| *s == server)
+            .map(|(_, w, _)| *w)
+            .unwrap_or(0)
+    }
+}
+
+fn opt(n: Option<usize>) -> String {
+    match n {
+        Some(v) => v.to_string(),
+        None => "—".to_string(),
+    }
+}
+
+impl fmt::Display for TableIII {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table III — Experimental results")?;
+        write!(f, "{:<24}", "WS-I / SDG warnings:")?;
+        for (server, warned, deployed) in &self.wsi {
+            write!(f, "  {server}: {warned} of {deployed}")?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "{:<26} {:^21} {:^21} {:^21}",
+            "", "Metro", "JBossWS CXF", "WCF .NET"
+        )?;
+        writeln!(
+            f,
+            "{:<26} {:>4} {:>4} {:>5} {:>5} {:>4} {:>4} {:>5} {:>5} {:>4} {:>4} {:>5} {:>5}",
+            "client-side FW",
+            "GW", "GE", "CW", "CE", "GW", "GE", "CW", "CE", "GW", "GE", "CW", "CE"
+        )?;
+        for &client in &ClientId::ALL {
+            write!(f, "{:<26}", client.to_string())?;
+            for &server in &ServerId::ALL {
+                let cell = self.cell(client, server);
+                write!(
+                    f,
+                    " {:>4} {:>4} {:>5} {:>5}",
+                    cell.gen_warnings,
+                    cell.gen_errors,
+                    opt(cell.compile_warnings),
+                    opt(cell.compile_errors)
+                )?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// The headline totals quoted in the paper's Section IV.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Totals {
+    /// Candidate services created (classes × servers).
+    pub services_created: usize,
+    /// Services the platforms could not deploy (excluded).
+    pub services_excluded: usize,
+    /// Services deployed with a published WSDL.
+    pub services_deployed: usize,
+    /// Total executed tests (deployed × 11 clients).
+    pub tests_executed: usize,
+    /// Service-description warnings (WS-I failures + advisories).
+    pub description_warnings: usize,
+    /// Artifact-generation warnings (tests).
+    pub generation_warnings: usize,
+    /// Artifact-generation errors (tests).
+    pub generation_errors: usize,
+    /// Compilation warnings (tests).
+    pub compilation_warnings: usize,
+    /// Compilation errors (tests).
+    pub compilation_errors: usize,
+    /// Tests where any step errored.
+    pub interop_errors: usize,
+    /// Error tests where client and server share a framework.
+    pub same_framework_errors: usize,
+}
+
+impl Totals {
+    /// Computes the totals from campaign results.
+    pub fn from_results(results: &CampaignResults) -> Totals {
+        let mut totals = Totals {
+            services_created: results.services.len(),
+            ..Totals::default()
+        };
+        for service in &results.services {
+            if service.deployed {
+                totals.services_deployed += 1;
+            } else {
+                totals.services_excluded += 1;
+            }
+            if service.description_warning {
+                totals.description_warnings += 1;
+            }
+        }
+        totals.tests_executed = results.tests.len();
+        for t in &results.tests {
+            if t.gen_warning {
+                totals.generation_warnings += 1;
+            }
+            if t.gen_error {
+                totals.generation_errors += 1;
+            }
+            if t.compile_warning {
+                totals.compilation_warnings += 1;
+            }
+            if t.compile_error {
+                totals.compilation_errors += 1;
+            }
+            if t.any_error() {
+                totals.interop_errors += 1;
+                if t.same_framework() {
+                    totals.same_framework_errors += 1;
+                }
+            }
+        }
+        totals
+    }
+}
+
+impl fmt::Display for Totals {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Campaign totals")?;
+        writeln!(f, "  services created:        {:>6}", self.services_created)?;
+        writeln!(f, "  services excluded:       {:>6}", self.services_excluded)?;
+        writeln!(f, "  services deployed:       {:>6}", self.services_deployed)?;
+        writeln!(f, "  tests executed:          {:>6}", self.tests_executed)?;
+        writeln!(f, "  description warnings:    {:>6}", self.description_warnings)?;
+        writeln!(f, "  generation warnings:     {:>6}", self.generation_warnings)?;
+        writeln!(f, "  generation errors:       {:>6}", self.generation_errors)?;
+        writeln!(f, "  compilation warnings:    {:>6}", self.compilation_warnings)?;
+        writeln!(f, "  compilation errors:      {:>6}", self.compilation_errors)?;
+        writeln!(f, "  interop-error tests:     {:>6}", self.interop_errors)?;
+        writeln!(f, "  same-framework errors:   {:>6}", self.same_framework_errors)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Campaign;
+
+    #[test]
+    fn reports_from_sampled_run_are_internally_consistent() {
+        let results = Campaign::sampled(61).run();
+        let fig4 = Fig4::from_results(&results);
+        let table = TableIII::from_results(&results);
+        let totals = Totals::from_results(&results);
+
+        // Fig.4 column sums equal the totals.
+        let sum = |f: fn(&Fig4Row) -> usize| -> usize {
+            fig4.rows.iter().map(|(_, r)| f(r)).sum()
+        };
+        assert_eq!(sum(|r| r.cag_warnings), totals.generation_warnings);
+        assert_eq!(sum(|r| r.cag_errors), totals.generation_errors);
+        assert_eq!(sum(|r| r.cac_warnings), totals.compilation_warnings);
+        assert_eq!(sum(|r| r.cac_errors), totals.compilation_errors);
+        assert_eq!(sum(|r| r.sdg_warnings), totals.description_warnings);
+
+        // Table III cell sums equal Fig.4 rows.
+        for &server in &ServerId::ALL {
+            let row = fig4.row(server);
+            let gen_w: usize = ClientId::ALL
+                .iter()
+                .map(|&c| table.cell(c, server).gen_warnings)
+                .sum();
+            assert_eq!(gen_w, row.cag_warnings, "{server}");
+            let comp_e: usize = ClientId::ALL
+                .iter()
+                .map(|&c| table.cell(c, server).compile_errors.unwrap_or(0))
+                .sum();
+            assert_eq!(comp_e, row.cac_errors, "{server}");
+        }
+
+        // Displays render.
+        assert!(fig4.to_string().contains("Figure 4"));
+        let chart = fig4.render_chart();
+        assert!(chart.contains("CAC warnings"));
+        assert!(chart.lines().count() > 18);
+        assert!(table.to_string().contains("Table III"));
+        assert!(totals.to_string().contains("tests executed"));
+    }
+
+    #[test]
+    fn dynamic_clients_have_no_compile_columns() {
+        let results = Campaign::sampled(131).run();
+        let table = TableIII::from_results(&results);
+        for &server in &ServerId::ALL {
+            for client in [ClientId::Zend, ClientId::Suds] {
+                let cell = table.cell(client, server);
+                assert_eq!(cell.compile_warnings, None, "{client} vs {server}");
+                assert_eq!(cell.compile_errors, None);
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Result records for the two campaign phases.
+
+use wsinterop_frameworks::client::ClientId;
+use wsinterop_frameworks::server::ServerId;
+
+/// Outcome of the Service Description Generation step for one service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceRecord {
+    /// The hosting server subsystem.
+    pub server: ServerId,
+    /// The class the echo service was generated from.
+    pub fqcn: String,
+    /// Whether the platform deployed the service and published a WSDL.
+    pub deployed: bool,
+    /// WS-I Basic Profile conformance of the published WSDL
+    /// (`None` when the service was not deployed).
+    pub wsi_conformant: Option<bool>,
+    /// The classification step flagged this description: a WS-I
+    /// failure, or an advisory finding such as an operation-less port
+    /// type (the paper's Fig. 4 "Service Description Generation
+    /// Warnings").
+    pub description_warning: bool,
+}
+
+/// How a dynamic-language client's instantiation check ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstantiationKind {
+    /// Proxy constructed with at least one invocable method.
+    Usable,
+    /// Proxy constructed but exposes no methods (the paper's
+    /// "client objects without methods").
+    Empty,
+    /// Proxy could not be constructed.
+    Failed,
+}
+
+/// Outcome of one client-versus-service test (one of the paper's
+/// 79 629 tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestRecord {
+    /// The hosting server subsystem.
+    pub server: ServerId,
+    /// The consuming client subsystem.
+    pub client: ClientId,
+    /// The class under test.
+    pub fqcn: String,
+    /// The generation step printed at least one warning.
+    pub gen_warning: bool,
+    /// The generation step failed.
+    pub gen_error: bool,
+    /// The compilation step ran (artifacts existed and the client's
+    /// language is compiled).
+    pub compile_ran: bool,
+    /// Compilation printed at least one warning.
+    pub compile_warning: bool,
+    /// Compilation failed (errors or a compiler crash).
+    pub compile_error: bool,
+    /// The compiler crashed outright (JScript's `131 INTERNAL COMPILER
+    /// CRASH`).
+    pub compiler_crashed: bool,
+    /// Dynamic-language instantiation outcome, when applicable.
+    pub instantiation: Option<InstantiationKind>,
+}
+
+impl TestRecord {
+    /// `true` when any step of this test surfaced an error.
+    pub fn any_error(&self) -> bool {
+        self.gen_error || self.compile_error
+    }
+
+    /// `true` when any step surfaced a warning (but see
+    /// [`TestRecord::any_error`] — a test can have both).
+    pub fn any_warning(&self) -> bool {
+        self.gen_warning || self.compile_warning
+    }
+
+    /// `true` when the client and server subsystems belong to the same
+    /// framework (Metro↔Metro, JBossWS↔JBossWS, .NET↔WCF).
+    pub fn same_framework(&self) -> bool {
+        self.client.framework_of() == Some(self.server)
+    }
+}
+
+/// Everything a campaign run produced.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignResults {
+    /// Per-service deployment records (Preparation + step a).
+    pub services: Vec<ServiceRecord>,
+    /// Per-test records (steps b–d).
+    pub tests: Vec<TestRecord>,
+}
+
+impl CampaignResults {
+    /// Number of candidate services (classes) per server.
+    pub fn created(&self, server: ServerId) -> usize {
+        self.services.iter().filter(|s| s.server == server).count()
+    }
+
+    /// Number of deployed services per server.
+    pub fn deployed(&self, server: ServerId) -> usize {
+        self.services
+            .iter()
+            .filter(|s| s.server == server && s.deployed)
+            .count()
+    }
+
+    /// Tests that ran against one server.
+    pub fn tests_for(&self, server: ServerId) -> impl Iterator<Item = &TestRecord> {
+        self.tests.iter().filter(move |t| t.server == server)
+    }
+
+    /// Tests for one (server, client) cell of Table III.
+    pub fn cell(
+        &self,
+        server: ServerId,
+        client: ClientId,
+    ) -> impl Iterator<Item = &TestRecord> {
+        self.tests
+            .iter()
+            .filter(move |t| t.server == server && t.client == client)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(server: ServerId, client: ClientId) -> TestRecord {
+        TestRecord {
+            server,
+            client,
+            fqcn: "x.Y".into(),
+            gen_warning: false,
+            gen_error: false,
+            compile_ran: false,
+            compile_warning: false,
+            compile_error: false,
+            compiler_crashed: false,
+            instantiation: None,
+        }
+    }
+
+    #[test]
+    fn same_framework_detection() {
+        assert!(record(ServerId::Metro, ClientId::Metro).same_framework());
+        assert!(record(ServerId::WcfDotNet, ClientId::DotnetJs).same_framework());
+        assert!(!record(ServerId::Metro, ClientId::Axis1).same_framework());
+        assert!(!record(ServerId::JBossWs, ClientId::Metro).same_framework());
+    }
+
+    #[test]
+    fn error_and_warning_flags() {
+        let mut r = record(ServerId::Metro, ClientId::Axis1);
+        assert!(!r.any_error());
+        r.compile_error = true;
+        assert!(r.any_error());
+        r.gen_warning = true;
+        assert!(r.any_warning());
+    }
+
+    #[test]
+    fn results_filtering() {
+        let mut results = CampaignResults::default();
+        results.services.push(ServiceRecord {
+            server: ServerId::Metro,
+            fqcn: "a.B".into(),
+            deployed: true,
+            wsi_conformant: Some(true),
+            description_warning: false,
+        });
+        results.services.push(ServiceRecord {
+            server: ServerId::Metro,
+            fqcn: "a.C".into(),
+            deployed: false,
+            wsi_conformant: None,
+            description_warning: false,
+        });
+        results.tests.push(record(ServerId::Metro, ClientId::Suds));
+        assert_eq!(results.created(ServerId::Metro), 2);
+        assert_eq!(results.deployed(ServerId::Metro), 1);
+        assert_eq!(results.tests_for(ServerId::Metro).count(), 1);
+        assert_eq!(results.cell(ServerId::Metro, ClientId::Suds).count(), 1);
+        assert_eq!(results.cell(ServerId::Metro, ClientId::Axis1).count(), 0);
+    }
+}

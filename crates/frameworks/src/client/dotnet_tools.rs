@@ -1,0 +1,336 @@
+//! The three `.NET` `wsdl.exe` client subsystems (C#, Visual Basic,
+//! JScript). They share wsdl.exe's front-end policy and differ in the
+//! emitted language — and in the JScript back-end's defects.
+
+use wsinterop_artifact::ArtifactLanguage;
+use wsinterop_wsdl::Definitions;
+
+use super::facts::DocFacts;
+use super::stubgen::{fixup_jscript_cycle, generate, StubOptions};
+use super::{ClientId, ClientInfo, ClientSubsystem, CompilationMode, GenOutcome};
+
+/// Shared wsdl.exe front-end policy: fatal conditions and warnings.
+fn wsdl_exe_policy(facts: &DocFacts) -> (Option<String>, Vec<String>) {
+    let mut warnings = Vec::new();
+    let error = if let Some(t) = facts.unresolved_types.first() {
+        Some(format!("unable to import binding: undefined type `{t}`"))
+    } else if let Some((ns, local)) = facts.unresolved_element_refs.first() {
+        Some(format!("schema validation: element `{{{ns}}}{local}` is not declared"))
+    } else if facts.has_type_parts {
+        Some("document-style binding with type= parts is not supported".to_string())
+    } else if facts.missing_soap_operation {
+        Some("binding operation is missing its soap:operation extension".to_string())
+    } else if facts.operation_count == 0 {
+        Some("no classes were generated: the WSDL defines no operations".to_string())
+    } else {
+        None
+    };
+    if facts.msdata_import {
+        warnings.push(
+            "schema imports the msdata extension namespace; typed-DataSet fidelity is not guaranteed"
+                .to_string(),
+        );
+    }
+    (error, warnings)
+}
+
+macro_rules! dotnet_client {
+    ($(#[$doc:meta])* $name:ident, $id:expr, $tool:expr, $language:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Default, Clone, Copy)]
+        pub struct $name;
+
+        impl ClientSubsystem for $name {
+            fn info(&self) -> ClientInfo {
+                ClientInfo {
+                    id: $id,
+                    framework: "Microsoft WCF .NET Framework 4.0.30319.17929",
+                    tool: $tool,
+                    language: $language,
+                    compilation: CompilationMode::CompiledViaScript,
+                }
+            }
+
+            fn generate_from(&self, defs: &Definitions, facts: &DocFacts) -> GenOutcome {
+                self.generate_impl(defs, facts)
+            }
+        }
+    };
+}
+
+dotnet_client!(
+    /// wsdl.exe emitting C# — the mature back-end: clean artifacts for
+    /// everything the front-end accepts.
+    DotnetCs,
+    ClientId::DotnetCs,
+    "wsdl.exe",
+    ArtifactLanguage::CSharp
+);
+
+dotnet_client!(
+    /// wsdl.exe emitting Visual Basic. The *generator* is identical to
+    /// the C# one; VB's case-insensitive identifiers turn the
+    /// case-colliding element pairs some services expose into `vbc`
+    /// errors.
+    DotnetVb,
+    ClientId::DotnetVb,
+    "wsdl.exe /language:VB",
+    ArtifactLanguage::VisualBasic
+);
+
+dotnet_client!(
+    /// wsdl.exe emitting JScript — the immature back-end: warns on
+    /// every non-.NET document, skips the transport function when the
+    /// schema carries base64 content, drops extension base classes,
+    /// and mis-links deep extension chains into inheritance cycles
+    /// that crash `jsc` outright.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wsinterop_frameworks::server::{Metro, ServerSubsystem};
+    /// use wsinterop_frameworks::client::{DotnetJs, ClientSubsystem};
+    ///
+    /// // The paper: warnings "at every execution" against Java platforms.
+    /// let entry = Metro.catalog().get("java.util.Date").unwrap();
+    /// let wsdl = Metro.deploy(entry).wsdl().unwrap().to_string();
+    /// let outcome = DotnetJs.generate(&wsdl);
+    /// assert!(outcome.succeeded());
+    /// assert_eq!(outcome.warnings.len(), 1);
+    /// ```
+    DotnetJs,
+    ClientId::DotnetJs,
+    "wsdl.exe /language:JS",
+    ArtifactLanguage::JScript
+);
+
+impl DotnetCs {
+    fn generate_impl(&self, defs: &Definitions, facts: &DocFacts) -> GenOutcome {
+        let (error, warnings) = wsdl_exe_policy(facts);
+        if let Some(message) = error {
+            return GenOutcome {
+                warnings,
+                error: Some(message),
+                artifacts: None,
+            };
+        }
+        let bundle = generate(defs, ArtifactLanguage::CSharp, &StubOptions::default(), facts);
+        GenOutcome {
+            warnings,
+            error: None,
+            artifacts: Some(bundle),
+        }
+    }
+}
+
+impl DotnetVb {
+    fn generate_impl(&self, defs: &Definitions, facts: &DocFacts) -> GenOutcome {
+        let (error, warnings) = wsdl_exe_policy(facts);
+        if let Some(message) = error {
+            return GenOutcome {
+                warnings,
+                error: Some(message),
+                artifacts: None,
+            };
+        }
+        let bundle = generate(
+            defs,
+            ArtifactLanguage::VisualBasic,
+            &StubOptions::default(),
+            facts,
+        );
+        GenOutcome {
+            warnings,
+            error: None,
+            artifacts: Some(bundle),
+        }
+    }
+}
+
+impl DotnetJs {
+    fn generate_impl(&self, defs: &Definitions, facts: &DocFacts) -> GenOutcome {
+        let (error, mut warnings) = wsdl_exe_policy(facts);
+        if !facts.dotnet_dialect {
+            // The paper: "an incompatibility with the Java platforms...
+            // generates warnings at every execution of the tool".
+            warnings.insert(
+                0,
+                "WSDL was produced by a non-.NET toolchain; JScript proxy fidelity is limited"
+                    .to_string(),
+            );
+        }
+        if let Some(message) = error {
+            return GenOutcome {
+                warnings,
+                error: Some(message),
+                artifacts: None,
+            };
+        }
+        let opts = StubOptions {
+            omit_transport_for_base64: true,
+            jscript_extension_bug: true,
+            ..StubOptions::default()
+        };
+        let mut bundle = generate(defs, ArtifactLanguage::JScript, &opts, facts);
+        if facts.max_extension_depth >= 2 {
+            fixup_jscript_cycle(&mut bundle);
+        }
+        GenOutcome {
+            warnings,
+            error: None,
+            artifacts: Some(bundle),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{JBossWs, Metro, ServerSubsystem, WcfDotNet};
+    use wsinterop_compilers::{compiler_for, Compiler, Csc, Jsc, Vbc};
+    use wsinterop_typecat::{dotnet, java, Catalog, Quirk};
+
+    fn wsdl_of(server: &dyn ServerSubsystem, fqcn: &str) -> String {
+        server
+            .deploy(server.catalog().get(fqcn).unwrap())
+            .wsdl()
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn plain_java_service_generates_and_compiles_for_all_three() {
+        let wsdl = wsdl_of(&Metro, "java.lang.String");
+        for client in [&DotnetCs as &dyn ClientSubsystem, &DotnetVb, &DotnetJs] {
+            let outcome = client.generate(&wsdl);
+            assert!(outcome.succeeded(), "{}", client.info().id);
+            let bundle = outcome.artifacts.as_ref().unwrap();
+            let compiler = compiler_for(bundle.language).unwrap();
+            assert!(
+                compiler.compile(bundle).success(),
+                "{}",
+                client.info().id
+            );
+        }
+    }
+
+    #[test]
+    fn jscript_warns_on_every_java_document_but_not_on_dotnet() {
+        let java_wsdl = wsdl_of(&Metro, "java.lang.String");
+        let outcome = DotnetJs.generate(&java_wsdl);
+        assert!(outcome.succeeded());
+        assert_eq!(outcome.warnings.len(), 1);
+
+        let net_wsdl = wsdl_of(&WcfDotNet, "System.Text.StringBuilder");
+        let outcome = DotnetJs.generate(&net_wsdl);
+        assert!(outcome.succeeded());
+        assert!(outcome.warnings.is_empty());
+    }
+
+    #[test]
+    fn wsdl_exe_errors_on_all_four_java_defects() {
+        // a/d: unresolved addressing; b: type= parts; e: missing
+        // soap:operation; c: operation-less.
+        for (server, fqcn) in [
+            (&Metro as &dyn ServerSubsystem, java::well_known::W3C_ENDPOINT_REFERENCE),
+            (&Metro, java::well_known::SIMPLE_DATE_FORMAT),
+            (&JBossWs, java::well_known::W3C_ENDPOINT_REFERENCE),
+            (&JBossWs, java::well_known::SIMPLE_DATE_FORMAT),
+            (&JBossWs, java::well_known::FUTURE),
+        ] {
+            let wsdl = wsdl_of(server, fqcn);
+            for client in [&DotnetCs as &dyn ClientSubsystem, &DotnetVb, &DotnetJs] {
+                assert!(
+                    !client.generate(&wsdl).succeeded(),
+                    "{} should fail on {fqcn}",
+                    client.info().id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dotnet_tools_accept_their_own_dataset_wsdl_with_msdata_warning() {
+        let wsdl = wsdl_of(&WcfDotNet, dotnet::well_known::DATA_SET);
+        for client in [&DotnetCs as &dyn ClientSubsystem, &DotnetVb, &DotnetJs] {
+            let outcome = client.generate(&wsdl);
+            assert!(outcome.succeeded(), "{}", client.info().id);
+            assert_eq!(outcome.warnings.len(), 1, "{}", client.info().id);
+        }
+    }
+
+    #[test]
+    fn vb_artifacts_collide_on_case_pair_services() {
+        let wsdl = wsdl_of(&Metro, java::well_known::VB_COLLISION);
+        let vb = DotnetVb.generate(&wsdl);
+        assert!(vb.succeeded());
+        assert!(!Vbc.compile(vb.artifacts.as_ref().unwrap()).success());
+        // The same service compiles fine as C#.
+        let cs = DotnetCs.generate(&wsdl);
+        assert!(Csc.compile(cs.artifacts.as_ref().unwrap()).success());
+    }
+
+    #[test]
+    fn vb_webcontrols_fail_on_own_platform() {
+        for fqcn in dotnet::well_known::WEB_CONTROLS {
+            let wsdl = wsdl_of(&WcfDotNet, fqcn);
+            let outcome = DotnetVb.generate(&wsdl);
+            assert!(outcome.succeeded());
+            assert!(
+                !Vbc.compile(outcome.artifacts.as_ref().unwrap()).success(),
+                "{fqcn}"
+            );
+        }
+    }
+
+    #[test]
+    fn jscript_transport_gap_artifacts_fail_to_compile() {
+        let entry = Catalog::java_se7()
+            .with_quirk(Quirk::JscriptTransportGap)
+            .next()
+            .unwrap();
+        let wsdl = Metro.deploy(entry).wsdl().unwrap().to_string();
+        let outcome = DotnetJs.generate(&wsdl);
+        assert!(outcome.succeeded());
+        let compiled = Jsc.compile(outcome.artifacts.as_ref().unwrap());
+        assert!(!compiled.success());
+        assert!(!compiled.crashed);
+    }
+
+    #[test]
+    fn jscript_hostile_artifacts_fail_and_crash_variants_crash() {
+        let catalog = Catalog::dotnet40();
+        let plain = catalog
+            .iter()
+            .find(|e| e.has_quirk(Quirk::JscriptHostile) && !e.has_quirk(Quirk::JscriptCrash))
+            .unwrap();
+        let crash = catalog.with_quirk(Quirk::JscriptCrash).next().unwrap();
+
+        let plain_wsdl = WcfDotNet.deploy(plain).wsdl().unwrap().to_string();
+        let outcome = DotnetJs.generate(&plain_wsdl);
+        assert!(outcome.succeeded());
+        let compiled = Jsc.compile(outcome.artifacts.as_ref().unwrap());
+        assert!(!compiled.success(), "{}", plain.fqcn);
+        assert!(!compiled.crashed);
+
+        let crash_wsdl = WcfDotNet.deploy(crash).wsdl().unwrap().to_string();
+        let outcome = DotnetJs.generate(&crash_wsdl);
+        assert!(outcome.succeeded());
+        let compiled = Jsc.compile(outcome.artifacts.as_ref().unwrap());
+        assert!(compiled.crashed, "{}", crash.fqcn);
+        assert!(compiled
+            .errors()
+            .any(|d| d.message.contains("131 INTERNAL COMPILER CRASH")));
+    }
+
+    #[test]
+    fn csharp_compiles_hostile_extension_chains_fine() {
+        let crash = Catalog::dotnet40()
+            .with_quirk(Quirk::JscriptCrash)
+            .next()
+            .unwrap();
+        let wsdl = WcfDotNet.deploy(crash).wsdl().unwrap().to_string();
+        let outcome = DotnetCs.generate(&wsdl);
+        assert!(Csc.compile(outcome.artifacts.as_ref().unwrap()).success());
+    }
+}

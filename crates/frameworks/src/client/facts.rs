@@ -1,0 +1,326 @@
+//! Document facts: everything a client tool can observe in a parsed
+//! WSDL, precomputed once.
+//!
+//! Client policies are written entirely against these facts (plus the
+//! document itself) — never against catalog metadata — so a client's
+//! reaction to a WSDL depends only on the document's content, exactly
+//! as for the real tools.
+
+use wsinterop_wsdl::{Definitions, PartKind};
+use wsinterop_wsi::resolve::{walk_schema_refs, SymbolTable};
+use wsinterop_xml::name::ns;
+use wsinterop_xsd::{BuiltIn, ComplexType, Group, Particle, TypeRef};
+
+/// Facts extracted from one service description.
+#[derive(Debug, Clone, Default)]
+pub struct DocFacts {
+    /// The document uses the `.NET` serialization dialect (`s:` prefix).
+    pub dotnet_dialect: bool,
+    /// Total operations across port types.
+    pub operation_count: usize,
+    /// Any message part uses `type=` under a document-style binding.
+    pub has_type_parts: bool,
+    /// Any binding operation lacks its `soap:operation` extension.
+    pub missing_soap_operation: bool,
+    /// Named type references that do not resolve (local name list).
+    pub unresolved_types: Vec<String>,
+    /// Element references into namespaces other than XSD that do not
+    /// resolve (`(ns, local)` pairs).
+    pub unresolved_element_refs: Vec<(String, String)>,
+    /// Count of element references into the XSD namespace itself
+    /// (`ref="s:schema"`).
+    pub xsd_schema_refs: usize,
+    /// A message wrapper's content model is an `xsd:any` wildcard.
+    pub any_in_wrapper: bool,
+    /// Any schema group uses `xsd:choice`.
+    pub has_choice: bool,
+    /// Names of top-level enumeration simple types.
+    pub enum_simple_types: Vec<String>,
+    /// The document imports the Microsoft `msdata` extension namespace.
+    pub msdata_import: bool,
+    /// Complex types exposing a `message` element (Throwable beans).
+    pub fault_wrapper_types: Vec<String>,
+    /// Complex types containing a `gYearMonth`-typed element.
+    pub gyearmonth_types: Vec<String>,
+    /// Any bean element is `base64Binary`-typed.
+    pub base64_in_bean: bool,
+    /// Maximum `complexContent` extension chain depth in the document
+    /// (0 = no extension).
+    pub max_extension_depth: usize,
+}
+
+impl DocFacts {
+    /// Analyzes a parsed document.
+    pub fn analyze(defs: &Definitions) -> DocFacts {
+        let table = SymbolTable::build(defs);
+        let mut facts = DocFacts {
+            dotnet_dialect: defs.dotnet_prefixes,
+            operation_count: defs.operation_count(),
+            ..DocFacts::default()
+        };
+
+        facts.missing_soap_operation = defs
+            .bindings
+            .iter()
+            .flat_map(|b| b.operations.iter())
+            .any(|op| op.soap_action.is_none());
+
+        for message in &defs.messages {
+            for part in &message.parts {
+                if matches!(part.kind, PartKind::Type(_)) {
+                    facts.has_type_parts = true;
+                }
+            }
+        }
+
+        for schema in &defs.schemas {
+            walk_schema_refs(
+                schema,
+                &mut |type_ref, _| {
+                    if !table.type_resolves(type_ref) {
+                        facts.unresolved_types.push(type_ref.local_name().to_string());
+                    }
+                },
+                &mut |_, ns_uri, local| {
+                    if ns_uri == ns::XSD {
+                        facts.xsd_schema_refs += 1;
+                    } else if !table.has_element(ns_uri, local) {
+                        facts
+                            .unresolved_element_refs
+                            .push((ns_uri.to_string(), local.to_string()));
+                    }
+                },
+                &mut |_, _, _| {},
+            );
+
+            if schema.imports.iter().any(|i| i.namespace == ns::MS_DATA) {
+                facts.msdata_import = true;
+            }
+            for st in &schema.simple_types {
+                if !st.enumeration.is_empty() {
+                    facts.enum_simple_types.push(st.name.clone());
+                }
+            }
+            for el in &schema.elements {
+                if let Some(inline) = &el.inline {
+                    if inline
+                        .content
+                        .particles
+                        .iter()
+                        .any(|p| matches!(p, Particle::Any { .. }))
+                    {
+                        facts.any_in_wrapper = true;
+                    }
+                    scan_group(&inline.content, &mut facts);
+                }
+            }
+            for ct in &schema.complex_types {
+                scan_complex_type(ct, &mut facts);
+                let depth = extension_depth(schema, ct, 0);
+                facts.max_extension_depth = facts.max_extension_depth.max(depth);
+            }
+        }
+        facts
+    }
+
+    /// The wrapped-doc-literal wrapper has a broken or wildcard content
+    /// model somewhere (used by the stricter Java tools).
+    pub fn strict_java_fatal(&self) -> bool {
+        !self.unresolved_types.is_empty()
+            || !self.unresolved_element_refs.is_empty()
+            || self.xsd_schema_refs > 0
+            || self.any_in_wrapper
+    }
+}
+
+fn scan_complex_type(ct: &ComplexType, facts: &mut DocFacts) {
+    let mut has_message = false;
+    let mut has_gyearmonth = false;
+    scan_group_inner(&ct.content, facts, &mut has_message, &mut has_gyearmonth);
+    if let Some(name) = &ct.name {
+        if has_message {
+            facts.fault_wrapper_types.push(name.clone());
+        }
+        if has_gyearmonth {
+            facts.gyearmonth_types.push(name.clone());
+        }
+    }
+}
+
+fn scan_group(group: &Group, facts: &mut DocFacts) {
+    let mut ignored_a = false;
+    let mut ignored_b = false;
+    scan_group_inner(group, facts, &mut ignored_a, &mut ignored_b);
+}
+
+fn scan_group_inner(
+    group: &Group,
+    facts: &mut DocFacts,
+    has_message: &mut bool,
+    has_gyearmonth: &mut bool,
+) {
+    if group.compositor == wsinterop_xsd::Compositor::Choice {
+        facts.has_choice = true;
+    }
+    for particle in &group.particles {
+        match particle {
+            Particle::Element(el) => {
+                if el.name == "message" {
+                    *has_message = true;
+                }
+                match &el.type_ref {
+                    Some(TypeRef::BuiltIn(BuiltIn::GYearMonth)) => *has_gyearmonth = true,
+                    Some(TypeRef::BuiltIn(BuiltIn::Base64Binary)) => {
+                        facts.base64_in_bean = true;
+                    }
+                    _ => {}
+                }
+                if let Some(inline) = &el.inline {
+                    scan_group_inner(&inline.content, facts, has_message, has_gyearmonth);
+                }
+            }
+            Particle::Group(inner) => {
+                scan_group_inner(inner, facts, has_message, has_gyearmonth)
+            }
+            _ => {}
+        }
+    }
+}
+
+fn extension_depth(
+    schema: &wsinterop_xsd::Schema,
+    ct: &ComplexType,
+    seen: usize,
+) -> usize {
+    if seen > 8 {
+        return seen; // defensive bound against malformed cycles
+    }
+    match &ct.extends {
+        None => 0,
+        Some(TypeRef::Named { local, .. }) => match schema.complex_type(local) {
+            Some(base) => 1 + extension_depth(schema, base, seen + 1),
+            None => 1,
+        },
+        Some(TypeRef::BuiltIn(_)) => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{JBossWs, Metro, ServerSubsystem, WcfDotNet};
+    use wsinterop_typecat::{dotnet, java, Catalog};
+    use wsinterop_wsdl::de::from_xml_str;
+
+    fn facts_for(server: &dyn ServerSubsystem, fqcn: &str) -> DocFacts {
+        let entry = server.catalog().get(fqcn).unwrap();
+        let outcome = server.deploy(entry);
+        let defs = from_xml_str(outcome.wsdl().unwrap()).unwrap();
+        DocFacts::analyze(&defs)
+    }
+
+    #[test]
+    fn plain_service_has_no_fatal_facts() {
+        let facts = facts_for(&Metro, "java.lang.String");
+        assert!(!facts.strict_java_fatal());
+        assert_eq!(facts.operation_count, 1);
+        assert!(!facts.dotnet_dialect);
+        assert!(facts.fault_wrapper_types.is_empty());
+    }
+
+    #[test]
+    fn metro_addressing_yields_unresolved_type() {
+        let facts = facts_for(&Metro, java::well_known::W3C_ENDPOINT_REFERENCE);
+        assert!(!facts.unresolved_types.is_empty());
+        assert!(facts.unresolved_element_refs.is_empty());
+        assert!(facts.strict_java_fatal());
+    }
+
+    #[test]
+    fn jboss_addressing_yields_unresolved_element_ref() {
+        let facts = facts_for(&JBossWs, java::well_known::W3C_ENDPOINT_REFERENCE);
+        assert!(facts.unresolved_types.is_empty());
+        assert_eq!(facts.unresolved_element_refs.len(), 1);
+    }
+
+    #[test]
+    fn type_parts_and_missing_soap_operation_detected() {
+        let metro_facts = facts_for(&Metro, java::well_known::SIMPLE_DATE_FORMAT);
+        assert!(metro_facts.has_type_parts);
+        assert!(!metro_facts.missing_soap_operation);
+        let jboss_facts = facts_for(&JBossWs, java::well_known::SIMPLE_DATE_FORMAT);
+        assert!(jboss_facts.missing_soap_operation);
+        assert!(!jboss_facts.has_type_parts);
+    }
+
+    #[test]
+    fn dataset_families_detected() {
+        let dataset = facts_for(&WcfDotNet, dotnet::well_known::DATA_SET);
+        assert_eq!(dataset.xsd_schema_refs, 2); // Axis1-fatal double ref
+        assert!(dataset.has_choice); // gSOAP-fatal marker
+        assert!(dataset.msdata_import); // .NET-warn marker
+        assert!(dataset.dotnet_dialect);
+
+        let table = facts_for(&WcfDotNet, dotnet::well_known::DATA_TABLE);
+        assert!(table.any_in_wrapper);
+        assert_eq!(table.xsd_schema_refs, 0);
+
+        let sock = facts_for(&WcfDotNet, dotnet::well_known::SOCKET_ERROR);
+        assert_eq!(sock.enum_simple_types, ["SocketError"]);
+    }
+
+    #[test]
+    fn throwable_and_calendar_markers_detected() {
+        let io = facts_for(&Metro, "java.io.IOException");
+        assert_eq!(io.fault_wrapper_types, ["IOException"]);
+        let cal = facts_for(&Metro, java::well_known::XML_GREGORIAN_CALENDAR);
+        assert_eq!(cal.gyearmonth_types, ["XMLGregorianCalendar"]);
+    }
+
+    #[test]
+    fn transport_gap_marker_detected() {
+        let catalog = Catalog::java_se7();
+        let entry = catalog
+            .with_quirk(wsinterop_typecat::Quirk::JscriptTransportGap)
+            .next()
+            .unwrap();
+        let outcome = Metro.deploy(entry);
+        let defs = from_xml_str(outcome.wsdl().unwrap()).unwrap();
+        let facts = DocFacts::analyze(&defs);
+        assert!(facts.base64_in_bean);
+    }
+
+    #[test]
+    fn extension_depths_detected() {
+        let catalog = Catalog::dotnet40();
+        let plain = catalog
+            .iter()
+            .find(|e| {
+                e.has_quirk(wsinterop_typecat::Quirk::JscriptHostile)
+                    && !e.has_quirk(wsinterop_typecat::Quirk::JscriptCrash)
+            })
+            .unwrap();
+        let crash = catalog
+            .with_quirk(wsinterop_typecat::Quirk::JscriptCrash)
+            .next()
+            .unwrap();
+        let plain_facts = {
+            let defs =
+                from_xml_str(WcfDotNet.deploy(plain).wsdl().unwrap()).unwrap();
+            DocFacts::analyze(&defs)
+        };
+        let crash_facts = {
+            let defs =
+                from_xml_str(WcfDotNet.deploy(crash).wsdl().unwrap()).unwrap();
+            DocFacts::analyze(&defs)
+        };
+        assert_eq!(plain_facts.max_extension_depth, 1);
+        assert_eq!(crash_facts.max_extension_depth, 2);
+    }
+
+    #[test]
+    fn operation_less_counted() {
+        let facts = facts_for(&JBossWs, java::well_known::FUTURE);
+        assert_eq!(facts.operation_count, 0);
+    }
+}

@@ -1,0 +1,410 @@
+//! The five Java client subsystems: Metro `wsimport`, Apache Axis1 and
+//! Axis2 `wsdl2java`, Apache CXF `wsdl2java`, and JBossWS `wsconsume`.
+
+use wsinterop_artifact::ArtifactLanguage;
+use wsinterop_wsdl::Definitions;
+
+use super::facts::DocFacts;
+use super::stubgen::{generate, StubOptions};
+use super::{ClientId, ClientInfo, ClientSubsystem, CompilationMode, GenOutcome};
+
+/// Oracle Metro 2.3 `wsimport` — a mature tool: it refuses every
+/// document it cannot fully resolve (unresolved types/element refs,
+/// schema-in-schema references, wildcard wrappers, operation-less port
+/// types) and warns about missing `soap:operation` extensions; the code
+/// it does emit always compiles cleanly.
+///
+/// # Examples
+///
+/// ```
+/// use wsinterop_frameworks::server::{JBossWs, ServerSubsystem};
+/// use wsinterop_frameworks::client::{MetroClient, ClientSubsystem};
+///
+/// // The operation-less JBossWS document: wsimport refuses it.
+/// let entry = JBossWs.catalog().get("java.util.concurrent.Future").unwrap();
+/// let wsdl = JBossWs.deploy(entry).wsdl().unwrap().to_string();
+/// assert!(!MetroClient.generate(&wsdl).succeeded());
+/// ```
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MetroClient;
+
+impl ClientSubsystem for MetroClient {
+    fn info(&self) -> ClientInfo {
+        ClientInfo {
+            id: ClientId::Metro,
+            framework: "Oracle Metro 2.3",
+            tool: "wsimport",
+            language: ArtifactLanguage::Java,
+            compilation: CompilationMode::Compiled,
+        }
+    }
+
+    fn generate_from(&self, defs: &Definitions, facts: &DocFacts) -> GenOutcome {
+        if let Some(t) = facts.unresolved_types.first() {
+            return GenOutcome::fail(format!("undefined type referenced: `{t}`"));
+        }
+        if let Some((ns, local)) = facts.unresolved_element_refs.first() {
+            return GenOutcome::fail(format!(
+                "undefined element declaration `{{{ns}}}{local}`"
+            ));
+        }
+        if facts.xsd_schema_refs > 0 {
+            return GenOutcome::fail(
+                "s:schema element reference is not recognized (schema-in-schema)",
+            );
+        }
+        if facts.any_in_wrapper {
+            return GenOutcome::fail("s:any is not supported in a wrapper content model");
+        }
+        if facts.operation_count == 0 {
+            return GenOutcome::fail("the WSDL defines no operations to import");
+        }
+        let mut outcome = GenOutcome::ok(generate(
+            defs,
+            ArtifactLanguage::Java,
+            &StubOptions::default(),
+            facts,
+        ));
+        if facts.missing_soap_operation {
+            outcome = outcome.warn(
+                "binding operation has no soap:operation extension; assuming empty soapAction",
+            );
+        }
+        outcome
+    }
+}
+
+/// Apache CXF 2.7.6 `wsdl2java` — mature like wsimport, with one
+/// documented lapse: it **silently** accepts operation-less documents,
+/// emitting an empty (but compilable) service class.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Cxf;
+
+impl ClientSubsystem for Cxf {
+    fn info(&self) -> ClientInfo {
+        ClientInfo {
+            id: ClientId::Cxf,
+            framework: "Apache CXF 2.7.6",
+            tool: "wsdl2java",
+            language: ArtifactLanguage::Java,
+            compilation: CompilationMode::Compiled,
+        }
+    }
+
+    fn generate_from(&self, defs: &Definitions, facts: &DocFacts) -> GenOutcome {
+        if let Some(t) = facts.unresolved_types.first() {
+            return GenOutcome::fail(format!("undefined type referenced: `{t}`"));
+        }
+        if let Some((ns, local)) = facts.unresolved_element_refs.first() {
+            return GenOutcome::fail(format!(
+                "undefined element declaration `{{{ns}}}{local}`"
+            ));
+        }
+        if facts.xsd_schema_refs > 0 {
+            return GenOutcome::fail("unable to resolve s:schema reference");
+        }
+        if facts.any_in_wrapper {
+            return GenOutcome::fail("cannot map s:any wrapper content");
+        }
+        // Operation-less documents pass silently — the paper's finding.
+        GenOutcome::ok(generate(
+            defs,
+            ArtifactLanguage::Java,
+            &StubOptions::default(),
+            facts,
+        ))
+    }
+}
+
+/// JBossWS CXF 4.2.3 `wsconsume` — CXF-based, same behaviour profile
+/// as [`Cxf`] including the silent acceptance of operation-less
+/// documents.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct JBossWsClient;
+
+impl ClientSubsystem for JBossWsClient {
+    fn info(&self) -> ClientInfo {
+        ClientInfo {
+            id: ClientId::JBossWs,
+            framework: "JBossWS CXF 4.2.3",
+            tool: "wsconsume",
+            language: ArtifactLanguage::Java,
+            compilation: CompilationMode::Compiled,
+        }
+    }
+
+    fn generate_from(&self, defs: &Definitions, facts: &DocFacts) -> GenOutcome {
+        if let Some(t) = facts.unresolved_types.first() {
+            return GenOutcome::fail(format!("undefined type referenced: `{t}`"));
+        }
+        if let Some((ns, local)) = facts.unresolved_element_refs.first() {
+            return GenOutcome::fail(format!(
+                "undefined element declaration `{{{ns}}}{local}`"
+            ));
+        }
+        if facts.xsd_schema_refs > 0 {
+            return GenOutcome::fail("unable to resolve s:schema reference");
+        }
+        if facts.any_in_wrapper {
+            return GenOutcome::fail("cannot map s:any wrapper content");
+        }
+        GenOutcome::ok(generate(
+            defs,
+            ArtifactLanguage::Java,
+            &StubOptions::default(),
+            facts,
+        ))
+    }
+}
+
+/// Apache Axis1 1.4 `wsdl2java` — the least defensive tool in the set.
+/// It accepts almost anything (operation-less documents, single
+/// `s:schema` refs — mapped to a DOM element — and `type=` parts),
+/// always stamps its output with the unchecked-operations lint, leaves
+/// **partial output** behind when it does fail, and mis-names the
+/// inherited `message` member of Throwable-derived beans, which is the
+/// source of its 889 compilation failures in the paper.
+///
+/// # Examples
+///
+/// ```
+/// use wsinterop_frameworks::server::{Metro, ServerSubsystem};
+/// use wsinterop_frameworks::client::{Axis1, ClientSubsystem};
+/// use wsinterop_compilers::{Compiler, Javac};
+///
+/// let entry = Metro.catalog().get("java.lang.Exception").unwrap();
+/// let wsdl = Metro.deploy(entry).wsdl().unwrap().to_string();
+/// let outcome = Axis1.generate(&wsdl);
+/// assert!(outcome.succeeded());          // the tool is happy…
+/// let stubs = outcome.artifacts.unwrap();
+/// assert!(!Javac.compile(&stubs).success()); // …its output is not.
+/// ```
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Axis1;
+
+impl ClientSubsystem for Axis1 {
+    fn info(&self) -> ClientInfo {
+        ClientInfo {
+            id: ClientId::Axis1,
+            framework: "Apache Axis1 1.4",
+            tool: "wsdl2java",
+            language: ArtifactLanguage::Java,
+            compilation: CompilationMode::CompiledViaScript,
+        }
+    }
+
+    fn generate_from(&self, defs: &Definitions, facts: &DocFacts) -> GenOutcome {
+        let opts = StubOptions {
+            unchecked_lint: true,
+            fault_wrapper_bug: true,
+            ..StubOptions::default()
+        };
+        // Unresolvable references are fatal...
+        let fatal = if let Some(t) = facts.unresolved_types.first() {
+            Some(format!("cannot resolve type `{t}`"))
+        } else if let Some((ns, local)) = facts.unresolved_element_refs.first() {
+            Some(format!("cannot resolve element `{{{ns}}}{local}`"))
+        } else if facts.xsd_schema_refs >= 2 {
+            // ...and so are *repeated* s:schema refs (a single one is
+            // mapped to org.w3c.dom.Element; two are ambiguous).
+            Some("ambiguous repeated s:schema references".to_string())
+        } else {
+            None
+        };
+        if let Some(message) = fatal {
+            // Axis1 writes files as it goes: the support classes are on
+            // disk even though the tool exits with an error.
+            let mut partial = Definitions::new(&defs.target_ns);
+            partial.services = defs.services.clone();
+            partial.name = defs.name.clone();
+            let bundle = generate(&partial, ArtifactLanguage::Java, &opts, facts);
+            return GenOutcome {
+                warnings: Vec::new(),
+                error: Some(message),
+                artifacts: Some(bundle),
+            };
+        }
+        GenOutcome::ok(generate(defs, ArtifactLanguage::Java, &opts, facts))
+    }
+}
+
+/// Apache Axis2 1.6.2 `wsdl2java` — accepts schema-in-schema refs and
+/// wildcards (it skips them), errors on operation-less documents and
+/// unresolved *types*, and carries two generation defects the compiler
+/// later exposes: the `local_` prefix loss for `gYearMonth` temporals
+/// and duplicate `returnValue` locals for wildcard/enumeration
+/// documents. Leaves partial output behind on failure, like Axis1.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Axis2;
+
+impl ClientSubsystem for Axis2 {
+    fn info(&self) -> ClientInfo {
+        ClientInfo {
+            id: ClientId::Axis2,
+            framework: "Apache Axis2 1.6.2",
+            tool: "wsdl2java",
+            language: ArtifactLanguage::Java,
+            compilation: CompilationMode::CompiledViaAnt,
+        }
+    }
+
+    fn generate_from(&self, defs: &Definitions, facts: &DocFacts) -> GenOutcome {
+        let opts = StubOptions {
+            unchecked_lint: true,
+            local_prefix_bug: true,
+            duplicate_local_bug: facts.any_in_wrapper || !facts.enum_simple_types.is_empty(),
+            ..StubOptions::default()
+        };
+        let fatal = if let Some(t) = facts.unresolved_types.first() {
+            Some(format!("databinding cannot resolve type `{t}`"))
+        } else if facts.operation_count == 0 {
+            Some("no operations found in the WSDL".to_string())
+        } else {
+            None
+        };
+        if let Some(message) = fatal {
+            let mut partial = Definitions::new(&defs.target_ns);
+            partial.services = defs.services.clone();
+            partial.name = defs.name.clone();
+            let bundle = generate(&partial, ArtifactLanguage::Java, &opts, facts);
+            return GenOutcome {
+                warnings: Vec::new(),
+                error: Some(message),
+                artifacts: Some(bundle),
+            };
+        }
+        GenOutcome::ok(generate(defs, ArtifactLanguage::Java, &opts, facts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{JBossWs, Metro, ServerSubsystem, WcfDotNet};
+    use wsinterop_compilers::{Compiler, Javac};
+    use wsinterop_typecat::{dotnet, java};
+
+    fn wsdl_of(server: &dyn ServerSubsystem, fqcn: &str) -> String {
+        server
+            .deploy(server.catalog().get(fqcn).unwrap())
+            .wsdl()
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn all_java_tools_handle_plain_service() {
+        let wsdl = wsdl_of(&Metro, "java.lang.String");
+        for client in [
+            &MetroClient as &dyn ClientSubsystem,
+            &Axis1,
+            &Axis2,
+            &Cxf,
+            &JBossWsClient,
+        ] {
+            let outcome = client.generate(&wsdl);
+            assert!(outcome.succeeded(), "{}", client.info().id);
+            let compiled = Javac.compile(outcome.artifacts.as_ref().unwrap());
+            assert_eq!(compiled.error_count(), 0, "{}: {compiled}", client.info().id);
+        }
+    }
+
+    #[test]
+    fn strict_tools_fail_on_metro_addressing() {
+        let wsdl = wsdl_of(&Metro, java::well_known::W3C_ENDPOINT_REFERENCE);
+        for client in [
+            &MetroClient as &dyn ClientSubsystem,
+            &Axis1,
+            &Axis2,
+            &Cxf,
+            &JBossWsClient,
+        ] {
+            assert!(!client.generate(&wsdl).succeeded(), "{}", client.info().id);
+        }
+    }
+
+    #[test]
+    fn axis2_tolerates_jboss_addressing_but_others_do_not() {
+        let wsdl = wsdl_of(&JBossWs, java::well_known::W3C_ENDPOINT_REFERENCE);
+        assert!(Axis2.generate(&wsdl).succeeded());
+        assert!(!MetroClient.generate(&wsdl).succeeded());
+        assert!(!Axis1.generate(&wsdl).succeeded());
+        assert!(!Cxf.generate(&wsdl).succeeded());
+        assert!(!JBossWsClient.generate(&wsdl).succeeded());
+    }
+
+    #[test]
+    fn operation_less_split_metro_errors_cxf_stays_silent() {
+        let wsdl = wsdl_of(&JBossWs, java::well_known::FUTURE);
+        assert!(!MetroClient.generate(&wsdl).succeeded());
+        assert!(!Axis2.generate(&wsdl).succeeded());
+        for silent in [&Axis1 as &dyn ClientSubsystem, &Cxf, &JBossWsClient] {
+            let outcome = silent.generate(&wsdl);
+            assert!(outcome.succeeded(), "{}", silent.info().id);
+            assert!(outcome.warnings.is_empty());
+        }
+    }
+
+    #[test]
+    fn metro_warns_on_missing_soap_operation() {
+        let wsdl = wsdl_of(&JBossWs, java::well_known::SIMPLE_DATE_FORMAT);
+        let outcome = MetroClient.generate(&wsdl);
+        assert!(outcome.succeeded());
+        assert_eq!(outcome.warnings.len(), 1);
+    }
+
+    #[test]
+    fn axis1_throwable_artifacts_fail_to_compile() {
+        let wsdl = wsdl_of(&Metro, "java.io.IOException");
+        let outcome = Axis1.generate(&wsdl);
+        assert!(outcome.succeeded());
+        let compiled = Javac.compile(outcome.artifacts.as_ref().unwrap());
+        assert!(!compiled.success());
+        assert!(compiled.errors().any(|d| d.message.contains("message")));
+        // The same service compiles fine from wsimport artifacts.
+        let metro = MetroClient.generate(&wsdl);
+        assert!(Javac.compile(metro.artifacts.as_ref().unwrap()).success());
+    }
+
+    #[test]
+    fn axis2_calendar_artifacts_fail_to_compile() {
+        let wsdl = wsdl_of(&Metro, java::well_known::XML_GREGORIAN_CALENDAR);
+        let outcome = Axis2.generate(&wsdl);
+        assert!(outcome.succeeded());
+        assert!(!Javac.compile(outcome.artifacts.as_ref().unwrap()).success());
+    }
+
+    #[test]
+    fn axis_partial_output_still_carries_the_lint() {
+        let wsdl = wsdl_of(&Metro, java::well_known::W3C_ENDPOINT_REFERENCE);
+        let outcome = Axis1.generate(&wsdl);
+        assert!(!outcome.succeeded());
+        let bundle = outcome.artifacts.expect("partial output");
+        let compiled = Javac.compile(&bundle);
+        assert!(compiled.success());
+        assert_eq!(compiled.warning_count(), 1);
+    }
+
+    #[test]
+    fn axis1_single_schema_ref_tolerated_double_fatal() {
+        let single = wsdl_of(&WcfDotNet, "System.Data.DataRowView");
+        let double = wsdl_of(&WcfDotNet, dotnet::well_known::DATA_SET);
+        assert!(Axis1.generate(&single).succeeded());
+        assert!(!Axis1.generate(&double).succeeded());
+    }
+
+    #[test]
+    fn axis2_enum_and_wildcard_artifacts_fail_to_compile() {
+        for fqcn in [
+            dotnet::well_known::SOCKET_ERROR,
+            dotnet::well_known::DATA_TABLE,
+            dotnet::well_known::DATA_TABLE_COLLECTION,
+        ] {
+            let wsdl = wsdl_of(&WcfDotNet, fqcn);
+            let outcome = Axis2.generate(&wsdl);
+            assert!(outcome.succeeded(), "{fqcn}");
+            let compiled = Javac.compile(outcome.artifacts.as_ref().unwrap());
+            assert!(!compiled.success(), "{fqcn}");
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Client-side framework subsystems: the eleven artifact generators of
+//! the paper's Table II.
+
+pub mod facts;
+pub mod stubgen;
+
+mod dotnet_tools;
+mod java_tools;
+mod native_tools;
+
+pub use dotnet_tools::{DotnetCs, DotnetJs, DotnetVb};
+pub use java_tools::{Axis1, Axis2, Cxf, JBossWsClient, MetroClient};
+pub use native_tools::{Gsoap, Suds, Zend};
+
+use std::fmt;
+
+use wsinterop_artifact::{ArtifactBundle, ArtifactLanguage};
+use wsinterop_wsdl::de::from_xml_str;
+use wsinterop_wsdl::Definitions;
+
+use facts::DocFacts;
+
+/// Identifies one of the eleven client-side subsystems under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ClientId {
+    /// Oracle Metro 2.3 `wsimport`.
+    Metro,
+    /// Apache Axis1 1.4 `wsdl2java`.
+    Axis1,
+    /// Apache Axis2 1.6.2 `wsdl2java`.
+    Axis2,
+    /// Apache CXF 2.7.6 `wsdl2java`.
+    Cxf,
+    /// JBossWS CXF 4.2.3 `wsconsume`.
+    JBossWs,
+    /// .NET `wsdl.exe` generating C#.
+    DotnetCs,
+    /// .NET `wsdl.exe` generating Visual Basic.
+    DotnetVb,
+    /// .NET `wsdl.exe` generating JScript.
+    DotnetJs,
+    /// gSOAP 2.8.16 `wsdl2h` + `soapcpp2`.
+    Gsoap,
+    /// Zend Framework `Zend_Soap_Client`.
+    Zend,
+    /// Python suds 0.4.
+    Suds,
+}
+
+impl ClientId {
+    /// All clients, in the paper's Table II order.
+    pub const ALL: [ClientId; 11] = [
+        ClientId::Metro,
+        ClientId::Axis1,
+        ClientId::Axis2,
+        ClientId::Cxf,
+        ClientId::JBossWs,
+        ClientId::DotnetCs,
+        ClientId::DotnetVb,
+        ClientId::DotnetJs,
+        ClientId::Gsoap,
+        ClientId::Zend,
+        ClientId::Suds,
+    ];
+
+    /// The framework this client subsystem belongs to, for
+    /// same-framework analysis (`.NET` clients ↔ the WCF server,
+    /// Metro ↔ GlassFish, JBossWS ↔ JBoss AS).
+    pub fn framework_of(self) -> Option<crate::server::ServerId> {
+        match self {
+            ClientId::Metro => Some(crate::server::ServerId::Metro),
+            ClientId::JBossWs => Some(crate::server::ServerId::JBossWs),
+            ClientId::DotnetCs | ClientId::DotnetVb | ClientId::DotnetJs => {
+                Some(crate::server::ServerId::WcfDotNet)
+            }
+            // Extension: the Axis2 client pairs with the Axis2 server
+            // platform (never present in the paper campaign).
+            ClientId::Axis2 => Some(crate::server::ServerId::Axis2Java),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ClientId::Metro => "Metro wsimport",
+            ClientId::Axis1 => "Axis1 wsdl2java",
+            ClientId::Axis2 => "Axis2 wsdl2java",
+            ClientId::Cxf => "CXF wsdl2java",
+            ClientId::JBossWs => "JBossWS wsconsume",
+            ClientId::DotnetCs => ".NET wsdl.exe (C#)",
+            ClientId::DotnetVb => ".NET wsdl.exe (VB)",
+            ClientId::DotnetJs => ".NET wsdl.exe (JScript)",
+            ClientId::Gsoap => "gSOAP wsdl2h+soapcpp2",
+            ClientId::Zend => "Zend_Soap_Client",
+            ClientId::Suds => "suds",
+        })
+    }
+}
+
+/// How the client's artifacts reach executable form (Table II's
+/// "Compilation" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompilationMode {
+    /// The tool compiles automatically.
+    Compiled,
+    /// Compilation is performed by an added script (Axis1, wsdl.exe,
+    /// gSOAP in the paper's setup).
+    CompiledViaScript,
+    /// Compilation via a generated Ant task (Axis2).
+    CompiledViaAnt,
+    /// No compilation; client objects are built dynamically at runtime
+    /// and checked by instantiation (Zend, suds).
+    Dynamic,
+}
+
+/// Static description of a client subsystem (the paper's Table II row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientInfo {
+    /// Subsystem identifier.
+    pub id: ClientId,
+    /// Framework name and version.
+    pub framework: &'static str,
+    /// The artifact-generation tool.
+    pub tool: &'static str,
+    /// Target language.
+    pub language: ArtifactLanguage,
+    /// Compilation mode.
+    pub compilation: CompilationMode,
+}
+
+/// The result of the Client Artifact Generation step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenOutcome {
+    /// Warnings the tool printed.
+    pub warnings: Vec<String>,
+    /// Fatal error, if the tool failed.
+    pub error: Option<String>,
+    /// Generated artifacts. May be `Some` even when `error` is set —
+    /// the Axis tools write files as they go, leaving partial output
+    /// behind on failure (the paper's "silently reach this phase"
+    /// observation).
+    pub artifacts: Option<ArtifactBundle>,
+}
+
+impl GenOutcome {
+    /// A clean success.
+    pub fn ok(bundle: ArtifactBundle) -> GenOutcome {
+        GenOutcome {
+            warnings: Vec::new(),
+            error: None,
+            artifacts: Some(bundle),
+        }
+    }
+
+    /// A fatal failure with no output.
+    pub fn fail(message: impl Into<String>) -> GenOutcome {
+        GenOutcome {
+            warnings: Vec::new(),
+            error: Some(message.into()),
+            artifacts: None,
+        }
+    }
+
+    /// Builder: attaches a warning.
+    #[must_use]
+    pub fn warn(mut self, message: impl Into<String>) -> GenOutcome {
+        self.warnings.push(message.into());
+        self
+    }
+
+    /// `true` when the tool reported no fatal error.
+    pub fn succeeded(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// A client-side framework subsystem.
+pub trait ClientSubsystem: Send + Sync {
+    /// Static subsystem description.
+    fn info(&self) -> ClientInfo;
+
+    /// Generates client artifacts from WSDL *text* (the tool's actual
+    /// input). Parse failures are generation errors.
+    fn generate(&self, wsdl_xml: &str) -> GenOutcome {
+        match from_xml_str(wsdl_xml) {
+            Ok(defs) => {
+                let facts = DocFacts::analyze(&defs);
+                self.generate_from(&defs, &facts)
+            }
+            Err(e) => GenOutcome::fail(format!("cannot read WSDL: {e}")),
+        }
+    }
+
+    /// Policy + generation over a parsed document.
+    fn generate_from(&self, defs: &Definitions, facts: &DocFacts) -> GenOutcome;
+}
+
+/// All eleven client subsystems, in Table II order.
+pub fn all_clients() -> Vec<Box<dyn ClientSubsystem>> {
+    vec![
+        Box::new(MetroClient),
+        Box::new(Axis1),
+        Box::new(Axis2),
+        Box::new(Cxf),
+        Box::new(JBossWsClient),
+        Box::new(DotnetCs),
+        Box::new(DotnetVb),
+        Box::new(DotnetJs),
+        Box::new(Gsoap),
+        Box::new(Zend),
+        Box::new(Suds),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_clients_cover_table_ii() {
+        let clients = all_clients();
+        assert_eq!(clients.len(), 11);
+        let ids: Vec<_> = clients.iter().map(|c| c.info().id).collect();
+        assert_eq!(ids, ClientId::ALL);
+    }
+
+    #[test]
+    fn framework_mapping_for_same_framework_analysis() {
+        assert_eq!(
+            ClientId::DotnetJs.framework_of(),
+            Some(crate::server::ServerId::WcfDotNet)
+        );
+        assert_eq!(ClientId::Gsoap.framework_of(), None);
+        assert_eq!(ClientId::Axis1.framework_of(), None);
+        assert_eq!(
+            ClientId::Axis2.framework_of(),
+            Some(crate::server::ServerId::Axis2Java)
+        );
+    }
+
+    #[test]
+    fn malformed_wsdl_is_a_generation_error_for_every_client() {
+        for client in all_clients() {
+            let outcome = client.generate("<not-wsdl/>");
+            assert!(!outcome.succeeded(), "{}", client.info().id);
+        }
+    }
+
+    #[test]
+    fn dynamic_clients_declare_dynamic_mode() {
+        for client in all_clients() {
+            let info = client.info();
+            let dynamic = matches!(info.compilation, CompilationMode::Dynamic);
+            assert_eq!(
+                dynamic,
+                !info.language.compiled(),
+                "{} mode/language mismatch",
+                info.id
+            );
+        }
+    }
+}

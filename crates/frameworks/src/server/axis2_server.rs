@@ -1,0 +1,131 @@
+//! The simulated Apache Axis2 1.6.2 **server** subsystem — an
+//! *extension* platform (the paper's future work proposes "increasing
+//! the number of server side frameworks"; Axis2 is the natural fourth
+//! candidate, since its client subsystem is already under test).
+//!
+//! Not part of [`super::all_servers`]: the paper campaign stays at
+//! three servers. Use [`super::extension_servers`] to include it.
+
+use wsinterop_typecat::{Catalog, Quirk, TypeEntry};
+use wsinterop_wsdl::ser::to_xml_string;
+use wsinterop_wsdl::{NameRef, Port};
+
+use super::binding::plain_echo;
+use super::{DeployOutcome, ServerId, ServerInfo, ServerSubsystem};
+
+/// Apache Axis2 1.6.2 hosting Java services (extension platform).
+///
+/// Simulated behaviour (documented here, not taken from the paper):
+///
+/// * binds the same bean set as Metro (ADB databinding, 2 489 classes);
+/// * shares CXF's lineage bug for the JAX-WS async infrastructure
+///   types: it **refuses** them (like Metro) rather than publishing
+///   operation-less documents — the conservative behaviour;
+/// * publishes **two ports per service** (the Axis2 signature: an HTTP
+///   and an HTTPS endpoint over the same binding), which every
+///   conformant consumer must tolerate;
+/// * emits none of Metro's special-case damage (no WS-Addressing
+///   imports, no `type=` parts) — its WSDLs are uniformly WS-I
+///   conformant.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Axis2Server;
+
+impl ServerSubsystem for Axis2Server {
+    fn info(&self) -> ServerInfo {
+        ServerInfo {
+            id: ServerId::Axis2Java,
+            app_server: "Apache Tomcat 7.0 (simulated)",
+            framework: "Apache Axis2 1.6.2 (server)",
+            language: "Java",
+        }
+    }
+
+    fn catalog(&self) -> &'static Catalog {
+        Catalog::java_se7()
+    }
+
+    fn deploy(&self, entry: &TypeEntry) -> DeployOutcome {
+        if entry.has_quirk(Quirk::AsyncInfrastructure) || !entry.is_bean_bindable() {
+            return DeployOutcome::Refused {
+                reason: format!("ADB databinding cannot map `{}`", entry.fqcn),
+            };
+        }
+        let mut defs = plain_echo(entry, "axis2", false);
+        // The Axis2 signature: a second (HTTPS) endpoint on the same
+        // binding.
+        if let Some(service) = defs.services.first_mut() {
+            if let Some(first) = service.ports.first().cloned() {
+                service.ports.push(Port {
+                    name: format!("{}HttpsPort", service.name),
+                    binding: NameRef::new(first.binding.ns_uri.clone(), first.binding.local),
+                    address: first
+                        .address
+                        .map(|url| url.replacen("http://", "https://", 1)),
+                });
+            }
+        }
+        DeployOutcome::Deployed {
+            wsdl_xml: to_xml_string(&defs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsinterop_typecat::java::well_known;
+    use wsinterop_wsdl::de::from_xml_str;
+    use wsinterop_wsi::Analyzer;
+
+    fn deploy(fqcn: &str) -> DeployOutcome {
+        Axis2Server.deploy(Catalog::java_se7().get(fqcn).unwrap())
+    }
+
+    #[test]
+    fn deploys_the_metro_bindable_set() {
+        let deployed = Catalog::java_se7()
+            .iter()
+            .filter(|e| matches!(Axis2Server.deploy(e), DeployOutcome::Deployed { .. }))
+            .count();
+        assert_eq!(deployed, 2489);
+    }
+
+    #[test]
+    fn refuses_async_infrastructure_like_metro() {
+        assert!(matches!(
+            deploy(well_known::FUTURE),
+            DeployOutcome::Refused { .. }
+        ));
+        assert!(matches!(
+            deploy(well_known::RESPONSE),
+            DeployOutcome::Refused { .. }
+        ));
+    }
+
+    #[test]
+    fn publishes_two_ports_and_stays_conformant() {
+        let outcome = deploy("java.lang.String");
+        let defs = from_xml_str(outcome.wsdl().unwrap()).unwrap();
+        assert_eq!(defs.services[0].ports.len(), 2);
+        assert!(defs.services[0].ports[1]
+            .address
+            .as_deref()
+            .unwrap()
+            .starts_with("https://"));
+        let report = Analyzer::basic_profile_1_1().analyze(&defs);
+        assert!(report.clean(), "{report}");
+    }
+
+    #[test]
+    fn emits_no_metro_special_cases() {
+        for fqcn in [
+            well_known::W3C_ENDPOINT_REFERENCE,
+            well_known::SIMPLE_DATE_FORMAT,
+        ] {
+            let outcome = deploy(fqcn);
+            let defs = from_xml_str(outcome.wsdl().unwrap()).unwrap();
+            let report = Analyzer::basic_profile_1_1().analyze(&defs);
+            assert!(report.conformant(), "{fqcn}: {report}");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Server-side framework subsystems: Metro/GlassFish, JBossWS
+//! CXF/JBoss AS, and WCF .NET/IIS.
+
+pub mod binding;
+mod axis2_server;
+mod jbossws;
+mod metro;
+mod wcf;
+
+pub use axis2_server::Axis2Server;
+pub use jbossws::JBossWs;
+pub use metro::Metro;
+pub use wcf::WcfDotNet;
+
+use std::fmt;
+
+use wsinterop_typecat::{Catalog, TypeEntry};
+
+/// Identifies one of the three server-side subsystems under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ServerId {
+    /// Oracle Metro 2.3 on GlassFish 4.0 (Java).
+    Metro,
+    /// JBossWS CXF 4.2.3 on JBoss AS 7.2 (Java).
+    JBossWs,
+    /// WCF .NET 4.0.30319.17929 on IIS 8.0 Express (C#).
+    WcfDotNet,
+    /// Apache Axis2 1.6.2 hosting Java services — an **extension**
+    /// platform (not part of the paper's Table I or the paper
+    /// campaign; see [`extension_servers`]).
+    Axis2Java,
+}
+
+impl ServerId {
+    /// All servers, in the paper's Table I order.
+    pub const ALL: [ServerId; 3] = [ServerId::Metro, ServerId::JBossWs, ServerId::WcfDotNet];
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ServerId::Metro => "Metro",
+            ServerId::JBossWs => "JBossWS CXF",
+            ServerId::WcfDotNet => "WCF .NET",
+            ServerId::Axis2Java => "Axis2 (server)",
+        })
+    }
+}
+
+/// Static description of a server platform (the paper's Table I row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Subsystem identifier.
+    pub id: ServerId,
+    /// Application server hosting the framework.
+    pub app_server: &'static str,
+    /// Web-service framework name and version.
+    pub framework: &'static str,
+    /// Implementation language of the hosted services.
+    pub language: &'static str,
+}
+
+/// The result of deploying one echo service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeployOutcome {
+    /// The platform refused to create the service (cannot bind the
+    /// class to any XSD type). Excluded from further testing, exactly
+    /// as in the paper.
+    Refused {
+        /// Tool-style reason text.
+        reason: String,
+    },
+    /// The service deployed; the published WSDL bytes follow.
+    Deployed {
+        /// Serialized WSDL document as clients will fetch it.
+        wsdl_xml: String,
+    },
+}
+
+impl DeployOutcome {
+    /// Convenience accessor for the published WSDL.
+    pub fn wsdl(&self) -> Option<&str> {
+        match self {
+            DeployOutcome::Deployed { wsdl_xml } => Some(wsdl_xml),
+            DeployOutcome::Refused { .. } => None,
+        }
+    }
+}
+
+/// A server-side framework subsystem.
+pub trait ServerSubsystem: Send + Sync {
+    /// Static platform description.
+    fn info(&self) -> ServerInfo;
+
+    /// The class catalog this platform's services are generated from.
+    fn catalog(&self) -> &'static Catalog;
+
+    /// Attempts to deploy the echo service for one class and publish
+    /// its WSDL (the paper's Service Description Generation step).
+    fn deploy(&self, entry: &TypeEntry) -> DeployOutcome;
+}
+
+/// All three server subsystems, in Table I order.
+pub fn all_servers() -> Vec<Box<dyn ServerSubsystem>> {
+    vec![Box::new(Metro), Box::new(JBossWs), Box::new(WcfDotNet)]
+}
+
+/// The paper's three servers plus the extension platforms (currently
+/// the Axis2 server) — the "widened setup" of the paper's future work.
+pub fn extension_servers() -> Vec<Box<dyn ServerSubsystem>> {
+    let mut servers = all_servers();
+    servers.push(Box::new(Axis2Server));
+    servers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_servers_have_distinct_ids() {
+        let servers = all_servers();
+        assert_eq!(servers.len(), 3);
+        let ids: Vec<_> = servers.iter().map(|s| s.info().id).collect();
+        assert_eq!(ids, ServerId::ALL);
+    }
+
+    #[test]
+    fn deployment_counts_match_the_paper() {
+        // Table/section IV: 2489 GlassFish, 2248 JBoss AS, 2502 IIS.
+        let expected = [2489usize, 2248, 2502];
+        for (server, want) in all_servers().iter().zip(expected) {
+            let catalog = server.catalog();
+            let deployed = catalog
+                .iter()
+                .filter(|e| matches!(server.deploy(e), DeployOutcome::Deployed { .. }))
+                .count();
+            assert_eq!(deployed, want, "{}", server.info().id);
+        }
+    }
+
+    #[test]
+    fn refused_outcome_has_no_wsdl() {
+        let outcome = DeployOutcome::Refused {
+            reason: "x".into(),
+        };
+        assert!(outcome.wsdl().is_none());
+    }
+}

@@ -1,0 +1,197 @@
+//! The complete client-policy matrix, locked as one table-driven test.
+//!
+//! Rows are the document *symptoms* the servers can emit (each obtained
+//! by deploying the pinned class that exhibits it); columns are the
+//! eleven client subsystems; cells are the expected reaction at the
+//! generation step. This is the fault model of DESIGN.md §4 in
+//! executable form — any change to a client policy or a server emitter
+//! that shifts a single cell fails here with a precise message.
+
+use wsinterop_compilers::{compiler_for, instantiate};
+use wsinterop_frameworks::client::{all_clients, ClientId, CompilationMode};
+use wsinterop_frameworks::server::{JBossWs, Metro, ServerSubsystem, WcfDotNet};
+
+/// Expected generation-step reaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Expect {
+    /// Clean success.
+    Ok,
+    /// Success with ≥1 warning.
+    Warn,
+    /// Fatal generation error.
+    Err,
+    /// Success, but the dynamic client object has no methods.
+    Empty,
+}
+
+use Expect::{Empty, Err, Ok as Okay, Warn};
+
+/// One row: symptom name, producing (server, class), and the eleven
+/// expected reactions in `ClientId::ALL` order:
+/// Metro, Axis1, Axis2, CXF, JBossWS, C#, VB, JScript, gSOAP, Zend, suds.
+struct Row {
+    symptom: &'static str,
+    server: &'static dyn ServerSubsystem,
+    fqcn: &'static str,
+    expected: [Expect; 11],
+}
+
+fn rows() -> Vec<Row> {
+    vec![
+        Row {
+            symptom: "plain bean (Java)",
+            server: &Metro,
+            fqcn: "java.lang.String",
+            //        Metro  Axis1  Axis2  CXF    JBoss  C#     VB     JS     gSOAP  Zend   suds
+            expected: [Okay, Okay, Okay, Okay, Okay, Okay, Okay, Warn, Okay, Okay, Okay],
+        },
+        Row {
+            symptom: "unresolved type import (Metro addressing, a)",
+            server: &Metro,
+            fqcn: "javax.xml.ws.wsaddressing.W3CEndpointReference",
+            expected: [Err, Err, Err, Err, Err, Err, Err, Err, Okay, Okay, Err],
+        },
+        Row {
+            symptom: "unresolved element ref (JBossWS addressing, d)",
+            server: &JBossWs,
+            fqcn: "javax.xml.ws.wsaddressing.W3CEndpointReference",
+            expected: [Err, Err, Okay, Err, Err, Err, Err, Err, Okay, Okay, Err],
+        },
+        Row {
+            symptom: "type= doc-literal parts (Metro SimpleDateFormat, b)",
+            server: &Metro,
+            fqcn: "java.text.SimpleDateFormat",
+            expected: [Okay, Okay, Okay, Okay, Okay, Err, Err, Err, Err, Okay, Okay],
+        },
+        Row {
+            symptom: "missing soap:operation (JBossWS SimpleDateFormat, e)",
+            server: &JBossWs,
+            fqcn: "java.text.SimpleDateFormat",
+            expected: [Warn, Okay, Okay, Okay, Okay, Err, Err, Err, Okay, Okay, Okay],
+        },
+        Row {
+            symptom: "operation-less WSDL (JBossWS Future, c)",
+            server: &JBossWs,
+            fqcn: "java.util.concurrent.Future",
+            expected: [Err, Okay, Err, Okay, Okay, Err, Err, Err, Err, Empty, Empty],
+        },
+        Row {
+            symptom: "double s:schema + choice + msdata (DataSet, f)",
+            server: &WcfDotNet,
+            fqcn: "System.Data.DataSet",
+            expected: [Err, Err, Okay, Err, Err, Warn, Warn, Warn, Err, Okay, Err],
+        },
+        Row {
+            symptom: "single s:schema (plain DataSet-style, f)",
+            server: &WcfDotNet,
+            fqcn: "System.Data.DataRowView",
+            expected: [Err, Okay, Okay, Err, Err, Warn, Warn, Warn, Okay, Okay, Okay],
+        },
+        Row {
+            symptom: "xsd:any wrapper (DataTable, g)",
+            server: &WcfDotNet,
+            fqcn: "System.Data.DataTable",
+            expected: [Err, Okay, Okay, Err, Err, Okay, Okay, Okay, Okay, Okay, Okay],
+        },
+        Row {
+            symptom: "bare enum (SocketError, h)",
+            server: &WcfDotNet,
+            fqcn: "System.Net.Sockets.SocketError",
+            expected: [Okay, Okay, Okay, Okay, Okay, Okay, Okay, Okay, Okay, Okay, Okay],
+        },
+        Row {
+            symptom: "plain bean (.NET)",
+            server: &WcfDotNet,
+            fqcn: "System.Text.StringBuilder",
+            expected: [Okay, Okay, Okay, Okay, Okay, Okay, Okay, Okay, Okay, Okay, Okay],
+        },
+    ]
+}
+
+#[test]
+fn generation_policy_matrix_holds_cell_by_cell() {
+    let clients = all_clients();
+    for row in rows() {
+        let entry = row.server.catalog().get(row.fqcn).unwrap();
+        let wsdl = row
+            .server
+            .deploy(entry)
+            .wsdl()
+            .unwrap_or_else(|| panic!("{} must deploy", row.fqcn))
+            .to_string();
+        for (client, &expected) in clients.iter().zip(row.expected.iter()) {
+            let info = client.info();
+            let outcome = client.generate(&wsdl);
+            let actual = if outcome.error.is_some() {
+                Err
+            } else if matches!(info.compilation, CompilationMode::Dynamic)
+                && outcome
+                    .artifacts
+                    .as_ref()
+                    .is_some_and(|b| instantiate(b).empty_client())
+            {
+                Empty
+            } else if !outcome.warnings.is_empty() {
+                Warn
+            } else {
+                Okay
+            };
+            assert_eq!(
+                actual, expected,
+                "symptom `{}` × client `{}`: expected {expected:?}, got {actual:?} \
+                 (error: {:?}, warnings: {:?})",
+                row.symptom, info.id, outcome.error, outcome.warnings
+            );
+        }
+    }
+}
+
+#[test]
+fn compilation_policy_for_successfully_generated_artifacts() {
+    // Rows: (server, class) → clients whose *compilation* must fail.
+    let cases: Vec<(&dyn ServerSubsystem, &str, Vec<ClientId>)> = vec![
+        (&Metro, "java.lang.Exception", vec![ClientId::Axis1]),
+        (&JBossWs, "java.io.IOException", vec![ClientId::Axis1]),
+        (
+            &Metro,
+            "javax.xml.datatype.XMLGregorianCalendar",
+            vec![ClientId::Axis2],
+        ),
+        (&Metro, "java.awt.Insets", vec![ClientId::DotnetVb]),
+        (
+            &WcfDotNet,
+            "System.Net.Sockets.SocketError",
+            vec![ClientId::Axis2],
+        ),
+        (
+            &WcfDotNet,
+            "System.Web.UI.WebControls.TextBox",
+            vec![ClientId::DotnetVb],
+        ),
+        (&Metro, "java.lang.String", vec![]),
+    ];
+    let clients = all_clients();
+    for (server, fqcn, failing) in cases {
+        let entry = server.catalog().get(fqcn).unwrap();
+        let wsdl = server.deploy(entry).wsdl().unwrap().to_string();
+        for client in &clients {
+            let info = client.info();
+            if matches!(info.compilation, CompilationMode::Dynamic) {
+                continue;
+            }
+            let outcome = client.generate(&wsdl);
+            if !outcome.succeeded() {
+                continue;
+            }
+            let bundle = outcome.artifacts.as_ref().unwrap();
+            let compiled = compiler_for(bundle.language).unwrap().compile(bundle);
+            let should_fail = failing.contains(&info.id);
+            assert_eq!(
+                !compiled.success(),
+                should_fail,
+                "{fqcn} × {}: compile success mismatch ({compiled})",
+                info.id
+            );
+        }
+    }
+}

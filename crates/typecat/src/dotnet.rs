@@ -1,0 +1,468 @@
+//! The synthetic .NET Framework 4.0 class catalog.
+//!
+//! The paper crawled the .NET Framework class library documentation:
+//! **14 082** classes, of which IIS/WCF could expose **2 502** as
+//! service parameters. Within the bindable population the fault model
+//! pins: 76 DataSet-style types (WS-I failures via `s:schema`/`s:lang`),
+//! 4 `s:lang`-only types, 2 `xsd:any` types (`DataTable`,
+//! `DataTableCollection`), `SocketError`, 4 `WebControls` classes, and
+//! 301 JScript-hostile classes (15 of which crash the JScript
+//! compiler).
+
+use crate::entry::{Quirk, QuirkSet, TypeEntry, TypeKind};
+use crate::gen::{Gen, GroupSpec};
+
+/// Well-known fully-qualified names pinned by the fault model.
+pub mod well_known {
+    /// The DataSet itself — the one DataSet-style service that also
+    /// breaks suds.
+    pub const DATA_SET: &str = "System.Data.DataSet";
+    /// WS-I-conformant `xsd:any` service that Java consumers reject.
+    pub const DATA_TABLE: &str = "System.Data.DataTable";
+    /// Second `xsd:any` service.
+    pub const DATA_TABLE_COLLECTION: &str = "System.Data.DataTableCollection";
+    /// Bare enum binding that breaks Axis2 compilation.
+    pub const SOCKET_ERROR: &str = "System.Net.Sockets.SocketError";
+    /// The four WebControls classes with VB name collisions.
+    pub const WEB_CONTROLS: [&str; 4] = [
+        "System.Web.UI.WebControls.Button",
+        "System.Web.UI.WebControls.Label",
+        "System.Web.UI.WebControls.TextBox",
+        "System.Web.UI.WebControls.CheckBox",
+    ];
+}
+
+const SYNTH_NAMESPACES: [&str; 30] = [
+    "System",
+    "System.Collections",
+    "System.Collections.Specialized",
+    "System.ComponentModel",
+    "System.Configuration",
+    "System.Diagnostics",
+    "System.Drawing",
+    "System.Drawing.Drawing2D",
+    "System.Drawing.Imaging",
+    "System.Globalization",
+    "System.IO",
+    "System.IO.Compression",
+    "System.Media",
+    "System.Messaging",
+    "System.Net",
+    "System.Net.Mail",
+    "System.Printing",
+    "System.Reflection",
+    "System.Resources",
+    "System.Runtime.Serialization",
+    "System.Security.Cryptography",
+    "System.ServiceProcess",
+    "System.Text",
+    "System.Threading",
+    "System.Timers",
+    "System.Transactions",
+    "System.Windows.Forms",
+    "System.Xml",
+    "System.Xml.Schema",
+    "System.Xml.Serialization",
+];
+
+const DATASET_NAMESPACES: [&str; 3] =
+    ["System.Data", "System.Data.Common", "System.Data.SqlClient"];
+
+const JSCRIPT_HOSTILE_NAMESPACES: [&str; 3] =
+    ["System.Windows.Forms", "System.Web.UI", "System.Web.UI.HtmlControls"];
+
+/// Builds the .NET 4.0 catalog (14 082 entries).
+///
+/// # Panics
+///
+/// Panics if any internal quota drifts.
+pub fn build() -> Vec<TypeEntry> {
+    let mut gen = Gen::new(0x444f_544e_4554_3430); // "DOTNET40"
+
+    // ---- pinned fault-model classes -------------------------------------
+    gen.real(
+        well_known::DATA_SET,
+        TypeKind::Class,
+        true,
+        0,
+        5,
+        false,
+        QuirkSet::of(Quirk::DataSetStyle)
+            .with(Quirk::DataSetAxis1Fatal)
+            .with(Quirk::DataSetGsoapFatal)
+            .with(Quirk::DataSetDotnetWarn)
+            .with(Quirk::DataSetSudsFatal),
+    );
+    gen.real(
+        well_known::DATA_TABLE,
+        TypeKind::Class,
+        true,
+        0,
+        4,
+        false,
+        QuirkSet::of(Quirk::AnyContent),
+    );
+    gen.real(
+        well_known::DATA_TABLE_COLLECTION,
+        TypeKind::Class,
+        true,
+        0,
+        2,
+        false,
+        QuirkSet::of(Quirk::AnyContent),
+    );
+    gen.real(
+        well_known::SOCKET_ERROR,
+        TypeKind::Enum,
+        true,
+        0,
+        0,
+        false,
+        QuirkSet::of(Quirk::BareEnum),
+    );
+    for fqcn in well_known::WEB_CONTROLS {
+        gen.real(
+            fqcn,
+            TypeKind::Class,
+            true,
+            0,
+            5,
+            false,
+            QuirkSet::of(Quirk::WebControlsCollision),
+        );
+    }
+    // Curated DataSet-family classes: 1 pinned above + 5 here; the
+    // remaining 70 DataSet-style entries are synthetic.
+    for (fqcn, extra) in [
+        ("System.Data.DataView", Some(Quirk::DataSetAxis1Fatal)),
+        ("System.Data.DataColumn", Some(Quirk::DataSetAxis1Fatal)),
+        ("System.Data.DataRelation", Some(Quirk::DataSetGsoapFatal)),
+        ("System.Data.DataViewManager", Some(Quirk::DataSetGsoapFatal)),
+        ("System.Data.DataRowView", Some(Quirk::DataSetDotnetWarn)),
+    ] {
+        let mut quirks = QuirkSet::of(Quirk::DataSetStyle);
+        if let Some(q) = extra {
+            quirks.insert(q);
+        }
+        gen.real(fqcn, TypeKind::Class, true, 0, 4, false, quirks);
+    }
+
+    // ---- curated regular bindable classes (45) ---------------------------
+    for (fqcn, kind, fields) in [
+        ("System.Collections.Queue", TypeKind::Class, 2u8),
+        ("System.Collections.Stack", TypeKind::Class, 2),
+        ("System.Collections.SortedList", TypeKind::Class, 3),
+        ("System.Collections.BitArray", TypeKind::Class, 2),
+        ("System.Collections.Specialized.StringCollection", TypeKind::Class, 1),
+        ("System.Collections.Specialized.NameValueCollection", TypeKind::Class, 2),
+        ("System.ComponentModel.BackgroundWorker", TypeKind::Class, 3),
+        ("System.ComponentModel.Container", TypeKind::Class, 2),
+        ("System.DateTimeOffset", TypeKind::Struct, 2),
+        ("System.Decimal", TypeKind::Struct, 1),
+        ("System.Drawing.PointF", TypeKind::Struct, 2),
+        ("System.Drawing.SizeF", TypeKind::Struct, 2),
+        ("System.Drawing.RectangleF", TypeKind::Struct, 4),
+        ("System.Globalization.GregorianCalendar", TypeKind::Class, 2),
+        ("System.Globalization.NumberFormatInfo", TypeKind::Class, 5),
+        ("System.Globalization.DateTimeFormatInfo", TypeKind::Class, 5),
+        ("System.IO.StringWriter", TypeKind::Class, 1),
+        ("System.Net.Cookie", TypeKind::Class, 5),
+        ("System.Net.WebHeaderCollection", TypeKind::Class, 2),
+        ("System.Security.Cryptography.RijndaelManaged", TypeKind::Class, 3),
+        ("System.Security.Cryptography.SHA256Managed", TypeKind::Class, 1),
+        ("System.Text.ASCIIEncoding", TypeKind::Class, 1),
+        ("System.Text.UTF8Encoding", TypeKind::Class, 1),
+        ("System.Text.UnicodeEncoding", TypeKind::Class, 1),
+        ("System.Timers.Timer", TypeKind::Class, 3),
+        ("System.Windows.Forms.Button", TypeKind::Class, 4),
+        ("System.Windows.Forms.Timer", TypeKind::Class, 2),
+        ("System.Net.Sockets.TcpClient", TypeKind::Class, 3),
+        ("System.Net.Sockets.UdpClient", TypeKind::Class, 2),
+        ("System.Diagnostics.Stopwatch", TypeKind::Class, 1),
+        ("System.Object", TypeKind::Class, 0u8),
+        ("System.Text.StringBuilder", TypeKind::Class, 2),
+        ("System.Random", TypeKind::Class, 1),
+        ("System.DateTime", TypeKind::Struct, 2),
+        ("System.TimeSpan", TypeKind::Struct, 1),
+        ("System.Guid", TypeKind::Struct, 1),
+        ("System.Net.WebClient", TypeKind::Class, 4),
+        ("System.Net.CookieContainer", TypeKind::Class, 3),
+        ("System.IO.MemoryStream", TypeKind::Class, 3),
+        ("System.Collections.ArrayList", TypeKind::Class, 2),
+        ("System.Collections.Hashtable", TypeKind::Class, 2),
+        ("System.Xml.XmlDocument", TypeKind::Class, 5),
+        ("System.Drawing.Point", TypeKind::Struct, 2),
+        ("System.Drawing.Size", TypeKind::Struct, 2),
+        ("System.Drawing.Rectangle", TypeKind::Struct, 4),
+    ] {
+        gen.real(fqcn, kind, true, 0, fields, false, QuirkSet::empty());
+    }
+
+    // ---- curated non-bindable classes ------------------------------------
+    for fqcn in [
+        "System.Collections.IEnumerator",
+        "System.Collections.IComparer",
+        "System.ComponentModel.IComponent",
+        "System.ComponentModel.IContainer",
+        "System.IServiceProvider",
+        "System.IAsyncResult",
+        "System.IConvertible",
+        "System.ICustomFormatter",
+        "System.IFormatProvider",
+        "System.Runtime.Serialization.ISerializable",
+        "System.IDisposable",
+        "System.Collections.IEnumerable",
+        "System.Collections.ICollection",
+        "System.IComparable",
+        "System.ICloneable",
+        "System.Collections.IList",
+        "System.Collections.IDictionary",
+        "System.IFormattable",
+    ] {
+        gen.real(fqcn, TypeKind::Interface, false, 0, 0, false, QuirkSet::empty());
+    }
+    for fqcn in [
+        "System.IO.TextReader",
+        "System.IO.TextWriter",
+        "System.Globalization.Calendar",
+        "System.Security.Cryptography.HashAlgorithm",
+        "System.Security.Cryptography.SymmetricAlgorithm",
+        "System.Array",
+        "System.IO.Stream",
+        "System.Text.Encoding",
+        "System.Net.WebRequest",
+        "System.Net.WebResponse",
+        "System.MarshalByRefObject",
+    ] {
+        gen.real(fqcn, TypeKind::AbstractClass, true, 0, 1, false, QuirkSet::empty());
+    }
+    for (fqcn, arity) in [
+        ("System.Collections.Generic.LinkedList", 1u8),
+        ("System.Collections.Generic.SortedDictionary", 2),
+        ("System.Collections.Generic.SortedSet", 1),
+        ("System.Nullable", 1),
+        ("System.Tuple", 2),
+        ("System.Collections.Generic.List", 1),
+        ("System.Collections.Generic.Dictionary", 2),
+        ("System.Collections.Generic.Queue", 1),
+        ("System.Collections.Generic.Stack", 1),
+        ("System.Collections.Generic.KeyValuePair", 2),
+    ] {
+        gen.real(fqcn, TypeKind::Class, true, arity, 1, false, QuirkSet::empty());
+    }
+    for fqcn in [
+        "System.String",
+        "System.Uri",
+        "System.Reflection.Assembly",
+        "System.Type",
+        "System.IO.FileInfo",
+        "System.IO.DirectoryInfo",
+        "System.IO.FileStream",
+        "System.Net.IPAddress",
+        "System.Threading.Thread",
+        "System.Text.RegularExpressions.Regex",
+    ] {
+        gen.real(fqcn, TypeKind::Class, false, 0, 1, false, QuirkSet::empty());
+    }
+    for fqcn in [
+        "System.EventHandler",
+        "System.AsyncCallback",
+        "System.Threading.ThreadStart",
+        "System.Threading.WaitCallback",
+        "System.ComponentModel.PropertyChangedEventHandler",
+        "System.Timers.ElapsedEventHandler",
+    ] {
+        gen.real(fqcn, TypeKind::Delegate, false, 0, 0, false, QuirkSet::empty());
+    }
+    for fqcn in [
+        "System.ObsoleteAttribute",
+        "System.FlagsAttribute",
+        "System.AttributeUsageAttribute",
+        "System.SerializableAttribute",
+        "System.CLSCompliantAttribute",
+        "System.Diagnostics.ConditionalAttribute",
+    ] {
+        gen.real(fqcn, TypeKind::Annotation, false, 0, 0, false, QuirkSet::empty());
+    }
+
+    // ---- synthetic groups -------------------------------------------------
+    // DataSet-style: 76 total − 6 curated = 70, with fatal sub-flags
+    // completing the exact sub-quotas (Axis1 3, gSOAP 13, .NET warn 7).
+    let dataset = |count, quirks: QuirkSet| GroupSpec {
+        count,
+        packages: &DATASET_NAMESPACES,
+        kind: TypeKind::Class,
+        has_default_ctor: true,
+        generic_arity: (0, 0),
+        field_count: (2, 6),
+        is_throwable: false,
+        forced_suffix: None,
+        quirks: quirks.with(Quirk::DataSetStyle),
+    };
+    // gSOAP-fatal: 13 total = DataSet(1) + DataRelation + DataViewManager + 10 synthetic.
+    gen.group(&dataset(10, QuirkSet::of(Quirk::DataSetGsoapFatal)));
+    // .NET-warn: 7 total = DataSet(1) + DataRowView + 5 synthetic.
+    gen.group(&dataset(5, QuirkSet::of(Quirk::DataSetDotnetWarn)));
+    // Plain DataSet-style: 70 − 10 − 5 = 55.
+    gen.group(&dataset(55, QuirkSet::empty()));
+
+    // `s:lang`-only types: 4.
+    gen.group(&GroupSpec {
+        count: 4,
+        packages: &["System.Globalization"],
+        kind: TypeKind::Class,
+        has_default_ctor: true,
+        generic_arity: (0, 0),
+        field_count: (1, 3),
+        is_throwable: false,
+        forced_suffix: None,
+        quirks: QuirkSet::of(Quirk::LangAttrOnly),
+    });
+
+    // JScript-hostile: 301 total, 15 of which crash the compiler.
+    gen.group(&GroupSpec {
+        count: 15,
+        packages: &JSCRIPT_HOSTILE_NAMESPACES,
+        kind: TypeKind::Class,
+        has_default_ctor: true,
+        generic_arity: (0, 0),
+        field_count: (1, 6),
+        is_throwable: false,
+        forced_suffix: None,
+        quirks: QuirkSet::of(Quirk::JscriptHostile).with(Quirk::JscriptCrash),
+    });
+    gen.group(&GroupSpec {
+        count: 286,
+        packages: &JSCRIPT_HOSTILE_NAMESPACES,
+        kind: TypeKind::Class,
+        has_default_ctor: true,
+        generic_arity: (0, 0),
+        field_count: (1, 6),
+        is_throwable: false,
+        forced_suffix: None,
+        quirks: QuirkSet::of(Quirk::JscriptHostile),
+    });
+
+    // Regular bindable: 2114 total − 45 curated = 2069.
+    gen.group(&GroupSpec {
+        count: 2069,
+        packages: &SYNTH_NAMESPACES,
+        kind: TypeKind::Class,
+        has_default_ctor: true,
+        generic_arity: (0, 0),
+        field_count: (0, 6),
+        is_throwable: false,
+        forced_suffix: None,
+        quirks: QuirkSet::empty(),
+    });
+
+    // ---- non-bindable filler ----------------------------------------------
+    let filler = |count, kind, has_default_ctor, generic_arity, forced_suffix| GroupSpec {
+        count,
+        packages: &SYNTH_NAMESPACES,
+        kind,
+        has_default_ctor,
+        generic_arity,
+        field_count: (0, 4),
+        is_throwable: false,
+        forced_suffix,
+        quirks: QuirkSet::empty(),
+    };
+    // Interfaces: 2600 − 18 curated = 2582.
+    gen.group(&filler(2582, TypeKind::Interface, false, (0, 1), None));
+    // Abstract classes: 1800 − 11 = 1789.
+    gen.group(&filler(1789, TypeKind::AbstractClass, true, (0, 0), None));
+    // Generic types: 3200 − 10 = 3190.
+    gen.group(&filler(3190, TypeKind::Class, true, (1, 2), None));
+    // No default constructor: 2400 − 10 = 2390.
+    gen.group(&filler(2390, TypeKind::Class, false, (0, 0), None));
+    // Delegates: 900 − 6 = 894.
+    gen.group(&filler(894, TypeKind::Delegate, false, (0, 0), Some("Callback")));
+    // Attribute types: 680 − 6 = 674.
+    gen.group(&filler(674, TypeKind::Annotation, false, (0, 0), Some("Attribute")));
+
+    let entries = gen.finish();
+    assert_quotas(&entries);
+    entries
+}
+
+fn assert_quotas(entries: &[TypeEntry]) {
+    let count_quirk = |quirk| entries.iter().filter(|e| e.has_quirk(quirk)).count();
+    assert_eq!(entries.len(), 14_082, "total .NET classes");
+    assert_eq!(
+        entries.iter().filter(|e| e.is_bean_bindable()).count(),
+        2_502,
+        "WCF-bindable classes"
+    );
+    assert_eq!(count_quirk(Quirk::DataSetStyle), 76, "DataSet-style");
+    assert_eq!(count_quirk(Quirk::DataSetAxis1Fatal), 3, "Axis1-fatal subset");
+    assert_eq!(count_quirk(Quirk::DataSetGsoapFatal), 13, "gSOAP-fatal subset");
+    assert_eq!(count_quirk(Quirk::DataSetDotnetWarn), 7, ".NET-warn subset");
+    assert_eq!(count_quirk(Quirk::DataSetSudsFatal), 1, "suds-fatal subset");
+    assert_eq!(count_quirk(Quirk::LangAttrOnly), 4, "s:lang-only types");
+    assert_eq!(count_quirk(Quirk::AnyContent), 2, "xsd:any types");
+    assert_eq!(count_quirk(Quirk::BareEnum), 1, "bare enums");
+    assert_eq!(count_quirk(Quirk::WebControlsCollision), 4, "WebControls");
+    assert_eq!(count_quirk(Quirk::JscriptHostile), 301, "JScript-hostile");
+    assert_eq!(count_quirk(Quirk::JscriptCrash), 15, "JScript crashes");
+    // Every quirk-bearing class must be bindable: the fault model only
+    // fires after deployment.
+    for e in entries {
+        if !e.quirks.is_empty() {
+            assert!(e.is_bean_bindable(), "{} must be bindable", e.fqcn);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quotas_hold_and_build_is_deterministic() {
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pinned_classes_have_expected_quirks() {
+        let entries = build();
+        let find = |fqcn: &str| entries.iter().find(|e| e.fqcn == fqcn).unwrap();
+        assert!(find(well_known::DATA_SET).has_quirk(Quirk::DataSetSudsFatal));
+        assert!(find(well_known::DATA_TABLE).has_quirk(Quirk::AnyContent));
+        assert_eq!(find(well_known::SOCKET_ERROR).kind, TypeKind::Enum);
+        for fqcn in well_known::WEB_CONTROLS {
+            assert!(find(fqcn).has_quirk(Quirk::WebControlsCollision));
+        }
+    }
+
+    #[test]
+    fn fqcns_are_unique() {
+        let entries = build();
+        let mut names: Vec<_> = entries.iter().map(|e| &e.fqcn).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), entries.len());
+    }
+
+    #[test]
+    fn dataset_subsets_are_within_dataset_style() {
+        let entries = build();
+        for e in &entries {
+            for sub in [
+                Quirk::DataSetAxis1Fatal,
+                Quirk::DataSetGsoapFatal,
+                Quirk::DataSetDotnetWarn,
+                Quirk::DataSetSudsFatal,
+            ] {
+                if e.has_quirk(sub) {
+                    assert!(e.has_quirk(Quirk::DataSetStyle), "{}", e.fqcn);
+                }
+            }
+            if e.has_quirk(Quirk::JscriptCrash) {
+                assert!(e.has_quirk(Quirk::JscriptHostile), "{}", e.fqcn);
+            }
+        }
+    }
+}

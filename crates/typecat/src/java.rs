@@ -1,0 +1,584 @@
+//! The synthetic Java SE 7 class catalog.
+//!
+//! The paper crawled the Java SE 7 API documentation and generated one
+//! echo service per class: **3 971** classes, of which GlassFish/Metro
+//! could bind **2 489** and JBossWS **2 248** (including two async
+//! infrastructure types it should have refused). This module
+//! reconstructs a catalog with exactly those population counts, pinning
+//! every class the paper names and filling the remainder with
+//! deterministic synthetic classes.
+//!
+//! Quota ledger (all enforced by assertions in [`build`]):
+//!
+//! | population | count |
+//! |---|---|
+//! | total classes | 3971 |
+//! | bean-bindable (Metro deploys) | 2489 |
+//! | bindable with ≥1 field (+2 infra = JBossWS deploys) | 2246 |
+//! | bindable `Throwable`s (Axis1 compile errors, Metro) | 477 |
+//! | bindable `Throwable`s with ≥1 field (…, JBossWS) | 412 |
+//! | `JscriptTransportGap` flags | 50 |
+
+use crate::entry::{Quirk, QuirkSet, TypeEntry, TypeKind};
+use crate::gen::{Gen, GroupSpec};
+
+/// Well-known fully-qualified names pinned by the fault model.
+pub mod well_known {
+    /// JAX-WS endpoint reference (WS-Addressing import quirk).
+    pub const W3C_ENDPOINT_REFERENCE: &str = "javax.xml.ws.wsaddressing.W3CEndpointReference";
+    /// Date formatter (doc-literal `type=` part quirk).
+    pub const SIMPLE_DATE_FORMAT: &str = "java.text.SimpleDateFormat";
+    /// Async infrastructure interface (operation-less WSDL on JBossWS).
+    pub const FUTURE: &str = "java.util.concurrent.Future";
+    /// Async infrastructure interface (operation-less WSDL on JBossWS).
+    pub const RESPONSE: &str = "javax.xml.ws.Response";
+    /// Calendar type (Axis2 `local_` suffix quirk).
+    pub const XML_GREGORIAN_CALENDAR: &str = "javax.xml.datatype.XMLGregorianCalendar";
+    /// The class whose artifacts collide a VB member with a method.
+    pub const VB_COLLISION: &str = "java.awt.Insets";
+}
+
+const SYNTH_PACKAGES: [&str; 28] = [
+    "java.awt",
+    "java.awt.event",
+    "java.awt.geom",
+    "java.awt.image",
+    "java.beans",
+    "java.io",
+    "java.lang.management",
+    "java.lang.reflect",
+    "java.net",
+    "java.nio.channels",
+    "java.rmi.server",
+    "java.security.cert",
+    "java.sql",
+    "java.util",
+    "java.util.concurrent",
+    "java.util.jar",
+    "java.util.prefs",
+    "java.util.zip",
+    "javax.imageio",
+    "javax.management",
+    "javax.naming.directory",
+    "javax.print.attribute",
+    "javax.sound.midi",
+    "javax.sql.rowset",
+    "javax.swing.plaf",
+    "javax.swing.text",
+    "javax.xml.stream",
+    "org.omg.CORBA",
+];
+
+const THROWABLE_PACKAGES: [&str; 12] = [
+    "java.awt",
+    "java.beans",
+    "java.io",
+    "java.lang",
+    "java.net",
+    "java.rmi",
+    "java.security",
+    "java.sql",
+    "java.util",
+    "java.util.concurrent",
+    "javax.naming",
+    "javax.xml.stream",
+];
+
+/// Builds the Java SE 7 catalog (3 971 entries).
+///
+/// # Panics
+///
+/// Panics if any internal quota drifts — the counts are contractual for
+/// every experiment in `EXPERIMENTS.md`.
+pub fn build() -> Vec<TypeEntry> {
+    let mut gen = Gen::new(0x4a41_5641_5345_3700); // "JAVASE7"
+
+    // ---- pinned fault-model classes (6) --------------------------------
+    gen.real(
+        well_known::W3C_ENDPOINT_REFERENCE,
+        TypeKind::Class,
+        true,
+        0,
+        2,
+        false,
+        QuirkSet::of(Quirk::WsAddressing),
+    );
+    gen.real(
+        well_known::SIMPLE_DATE_FORMAT,
+        TypeKind::Class,
+        true,
+        0,
+        3,
+        false,
+        QuirkSet::of(Quirk::TextFormat),
+    );
+    gen.real(
+        well_known::XML_GREGORIAN_CALENDAR,
+        TypeKind::Class,
+        true,
+        0,
+        4,
+        false,
+        QuirkSet::of(Quirk::XmlCalendar),
+    );
+    gen.real(
+        well_known::VB_COLLISION,
+        TypeKind::Class,
+        true,
+        0,
+        4,
+        false,
+        QuirkSet::of(Quirk::VbNameCollision),
+    );
+    gen.real(
+        well_known::FUTURE,
+        TypeKind::Interface,
+        false,
+        1,
+        0,
+        false,
+        QuirkSet::of(Quirk::AsyncInfrastructure),
+    );
+    gen.real(
+        well_known::RESPONSE,
+        TypeKind::Interface,
+        false,
+        1,
+        0,
+        false,
+        QuirkSet::of(Quirk::AsyncInfrastructure),
+    );
+
+    // ---- curated real classes ------------------------------------------
+    // Bindable, ≥1 field (60).
+    for (fqcn, fields) in [
+        ("java.awt.Button", 3),
+        ("java.awt.Canvas", 2),
+        ("java.awt.Checkbox", 3),
+        ("java.awt.Choice", 2),
+        ("java.awt.FlowLayout", 3),
+        ("java.awt.GridLayout", 4),
+        ("java.awt.Label", 2),
+        ("java.awt.List", 4),
+        ("java.awt.Panel", 2),
+        ("java.awt.TextArea", 4),
+        ("java.awt.TextField", 3),
+        ("java.awt.Frame", 5),
+        ("java.awt.Polygon", 3),
+        ("javax.swing.JCheckBox", 4),
+        ("javax.swing.JTextField", 4),
+        ("javax.swing.JTextArea", 4),
+        ("javax.swing.JProgressBar", 3),
+        ("javax.swing.JSlider", 4),
+        ("javax.swing.JSpinner", 3),
+        ("javax.swing.JToolBar", 3),
+        ("javax.swing.JMenuBar", 2),
+        ("javax.swing.JMenu", 4),
+        ("javax.swing.JMenuItem", 4),
+        ("javax.swing.JPopupMenu", 3),
+        ("javax.swing.JScrollPane", 4),
+        ("javax.swing.JSplitPane", 5),
+        ("javax.swing.JTabbedPane", 4),
+        ("javax.swing.JRadioButton", 3),
+        ("javax.swing.JPasswordField", 3),
+        ("java.io.ByteArrayOutputStream", 2),
+        ("java.io.CharArrayWriter", 2),
+        ("java.io.StringWriter", 1),
+        ("java.net.DatagramSocket", 3),
+        ("java.net.ServerSocket", 3),
+        ("java.security.SecureRandom", 2),
+        ("java.util.zip.CRC32", 1),
+        ("java.util.zip.Adler32", 1),
+        ("java.util.zip.Deflater", 3),
+        ("java.util.zip.Inflater", 3),
+        ("java.util.Timer", 2),
+        ("java.lang.String", 1),
+        ("java.lang.StringBuffer", 2),
+        ("java.lang.Thread", 4),
+        ("java.lang.ThreadGroup", 3),
+        ("java.util.Date", 1),
+        ("java.util.BitSet", 2),
+        ("java.util.Properties", 2),
+        ("java.util.Random", 1),
+        ("java.util.GregorianCalendar", 5),
+        ("java.awt.Point", 2),
+        ("java.awt.Dimension", 2),
+        ("java.awt.Rectangle", 4),
+        ("javax.swing.JButton", 6),
+        ("javax.swing.JLabel", 5),
+        ("javax.swing.JPanel", 4),
+        ("javax.swing.JTable", 6),
+        ("javax.swing.JTree", 6),
+        ("java.text.DecimalFormat", 3),
+        ("java.text.ChoiceFormat", 2),
+        ("java.net.Socket", 3),
+    ] {
+        gen.real(fqcn, TypeKind::Class, true, 0, fields, false, QuirkSet::empty());
+    }
+    // Bindable, no fields (6).
+    gen.real("java.lang.Object", TypeKind::Class, true, 0, 0, false, QuirkSet::empty());
+    gen.real("java.util.Observable", TypeKind::Class, true, 0, 0, false, QuirkSet::empty());
+    gen.real("java.beans.SimpleBeanInfo", TypeKind::Class, true, 0, 0, false, QuirkSet::empty());
+    gen.real("java.util.logging.SimpleFormatter", TypeKind::Class, true, 0, 0, false, QuirkSet::empty());
+    gen.real("java.util.logging.XMLFormatter", TypeKind::Class, true, 0, 0, false, QuirkSet::empty());
+    gen.real("javax.security.auth.Subject", TypeKind::Class, true, 0, 0, false, QuirkSet::empty());
+    // Bindable throwables, ≥1 field (35).
+    for fqcn in [
+        "java.lang.ArrayIndexOutOfBoundsException",
+        "java.lang.StringIndexOutOfBoundsException",
+        "java.lang.NumberFormatException",
+        "java.lang.UnsupportedOperationException",
+        "java.lang.SecurityException",
+        "java.lang.NegativeArraySizeException",
+        "java.lang.ArrayStoreException",
+        "java.lang.ClassNotFoundException",
+        "java.lang.NoSuchFieldException",
+        "java.lang.InstantiationException",
+        "java.lang.IllegalAccessException",
+        "java.lang.UnsupportedClassVersionError",
+        "java.io.EOFException",
+        "java.io.UnsupportedEncodingException",
+        "java.io.UTFDataFormatException",
+        "java.net.MalformedURLException",
+        "java.net.ProtocolException",
+        "java.net.SocketException",
+        "java.net.UnknownHostException",
+        "java.util.NoSuchElementException",
+        "java.lang.Throwable",
+        "java.lang.Exception",
+        "java.lang.RuntimeException",
+        "java.lang.Error",
+        "java.lang.IllegalStateException",
+        "java.lang.IllegalArgumentException",
+        "java.lang.NullPointerException",
+        "java.lang.IndexOutOfBoundsException",
+        "java.lang.ClassCastException",
+        "java.lang.ArithmeticException",
+        "java.io.IOException",
+        "java.io.FileNotFoundException",
+        "java.lang.OutOfMemoryError",
+        "java.lang.StackOverflowError",
+        "java.lang.AssertionError",
+    ] {
+        gen.real(fqcn, TypeKind::Class, true, 0, 2, true, QuirkSet::empty());
+    }
+    // Bindable throwables, no fields (7).
+    for fqcn in [
+        "java.lang.InterruptedException",
+        "java.lang.CloneNotSupportedException",
+        "java.lang.NoSuchMethodException",
+        "java.util.EmptyStackException",
+        "java.util.ConcurrentModificationException",
+        "java.io.NotSerializableException",
+        "java.lang.ClassCircularityError",
+    ] {
+        gen.real(fqcn, TypeKind::Class, true, 0, 0, true, QuirkSet::empty());
+    }
+    // Interfaces (32).
+    for fqcn in [
+        "java.util.Queue",
+        "java.util.Deque",
+        "java.util.SortedMap",
+        "java.util.SortedSet",
+        "java.util.NavigableMap",
+        "java.util.NavigableSet",
+        "java.util.ListIterator",
+        "java.util.RandomAccess",
+        "java.lang.Iterable",
+        "java.lang.Appendable",
+        "java.lang.Readable",
+        "java.lang.AutoCloseable",
+        "java.io.Closeable",
+        "java.io.Flushable",
+        "java.io.DataInput",
+        "java.io.DataOutput",
+        "java.io.ObjectInput",
+        "java.io.ObjectOutput",
+        "java.util.concurrent.Executor",
+        "java.util.concurrent.ExecutorService",
+        "java.util.List",
+        "java.util.Map",
+        "java.util.Set",
+        "java.util.Collection",
+        "java.util.Iterator",
+        "java.util.Comparator",
+        "java.lang.Runnable",
+        "java.lang.Comparable",
+        "java.lang.CharSequence",
+        "java.lang.Cloneable",
+        "java.io.Serializable",
+        "java.util.concurrent.Callable",
+    ] {
+        gen.real(fqcn, TypeKind::Interface, false, 0, 0, false, QuirkSet::empty());
+    }
+    // Abstract classes (18).
+    for fqcn in [
+        "java.awt.Component",
+        "java.awt.Graphics",
+        "java.awt.Image",
+        "java.awt.FontMetrics",
+        "java.io.FilterInputStream",
+        "java.io.FilterOutputStream",
+        "java.net.URLConnection",
+        "java.net.HttpURLConnection",
+        "java.util.Calendar",
+        "java.security.Permission",
+        "java.lang.Number",
+        "java.io.Reader",
+        "java.io.Writer",
+        "java.io.InputStream",
+        "java.io.OutputStream",
+        "java.util.TimerTask",
+        "java.text.Format",
+        "javax.swing.JComponent",
+    ] {
+        gen.real(fqcn, TypeKind::AbstractClass, true, 0, 1, false, QuirkSet::empty());
+    }
+    // Generic collections (14).
+    for fqcn in [
+        "java.util.ArrayList",
+        "java.util.HashMap",
+        "java.util.HashSet",
+        "java.util.LinkedList",
+        "java.util.TreeMap",
+        "java.util.WeakHashMap",
+        "java.util.TreeSet",
+        "java.util.LinkedHashMap",
+        "java.util.LinkedHashSet",
+        "java.util.PriorityQueue",
+        "java.util.ArrayDeque",
+        "java.util.Vector",
+        "java.util.Stack",
+        "java.util.Hashtable",
+    ] {
+        let arity = if fqcn.contains("Map") { 2 } else { 1 };
+        gen.real(fqcn, TypeKind::Class, true, arity, 1, false, QuirkSet::empty());
+    }
+    // No default constructor (16).
+    for fqcn in [
+        "java.lang.Integer",
+        "java.lang.Long",
+        "java.lang.Double",
+        "java.lang.Boolean",
+        "java.lang.Character",
+        "java.io.File",
+        "java.net.URL",
+        "java.net.URI",
+        "java.lang.Short",
+        "java.lang.Byte",
+        "java.lang.Float",
+        "java.math.BigInteger",
+        "java.math.BigDecimal",
+        "java.util.UUID",
+        "java.net.InetSocketAddress",
+        "java.util.Scanner",
+    ] {
+        gen.real(fqcn, TypeKind::Class, false, 0, 1, false, QuirkSet::empty());
+    }
+    // Annotations (6).
+    for fqcn in [
+        "java.lang.Override",
+        "java.lang.Deprecated",
+        "java.lang.SuppressWarnings",
+        "java.lang.SafeVarargs",
+        "java.lang.annotation.Retention",
+        "java.lang.annotation.Target",
+    ] {
+        gen.real(fqcn, TypeKind::Annotation, false, 0, 0, false, QuirkSet::empty());
+    }
+
+    // ---- synthetic groups ----------------------------------------------
+    let class_group = |count, field_count, is_throwable, quirks| GroupSpec {
+        count,
+        packages: if is_throwable {
+            &THROWABLE_PACKAGES[..]
+        } else {
+            &SYNTH_PACKAGES[..]
+        },
+        kind: TypeKind::Class,
+        has_default_ctor: true,
+        generic_arity: (0, 0),
+        field_count,
+        is_throwable,
+        forced_suffix: if is_throwable { Some("Exception") } else { None },
+        quirks,
+    };
+
+    // Regular bindable, ≥1 field: 1780 total − 60 curated = 1720.
+    gen.group(&class_group(1720, (1, 6), false, QuirkSet::empty()));
+    // Regular bindable, 0 fields: 178 − 6 curated = 172.
+    gen.group(&class_group(172, (0, 0), false, QuirkSet::empty()));
+    // Bindable throwables, ≥1 field: 412 − 35 curated = 377.
+    gen.group(&class_group(377, (1, 3), true, QuirkSet::empty()));
+    // Bindable throwables, 0 fields: 65 − 7 curated = 58.
+    gen.group(&class_group(58, (0, 0), true, QuirkSet::empty()));
+    // JScript transport-gap classes: 50 (bindable, ≥1 field).
+    gen.group(&class_group(50, (1, 4), false, QuirkSet::of(Quirk::JscriptTransportGap)));
+
+    // Non-bindable filler: interfaces 520 − 32 = 488.
+    gen.group(&GroupSpec {
+        count: 488,
+        packages: &SYNTH_PACKAGES,
+        kind: TypeKind::Interface,
+        has_default_ctor: false,
+        generic_arity: (0, 1),
+        field_count: (0, 0),
+        is_throwable: false,
+        forced_suffix: None,
+        quirks: QuirkSet::empty(),
+    });
+    // Abstract classes 330 − 18 = 312.
+    gen.group(&GroupSpec {
+        count: 312,
+        packages: &SYNTH_PACKAGES,
+        kind: TypeKind::AbstractClass,
+        has_default_ctor: true,
+        generic_arity: (0, 0),
+        field_count: (0, 4),
+        is_throwable: false,
+        forced_suffix: None,
+        quirks: QuirkSet::empty(),
+    });
+    // Generic classes 350 − 14 = 336.
+    gen.group(&GroupSpec {
+        count: 336,
+        packages: &SYNTH_PACKAGES,
+        kind: TypeKind::Class,
+        has_default_ctor: true,
+        generic_arity: (1, 2),
+        field_count: (0, 4),
+        is_throwable: false,
+        forced_suffix: None,
+        quirks: QuirkSet::empty(),
+    });
+    // Classes without a default constructor 200 − 16 = 184.
+    gen.group(&GroupSpec {
+        count: 184,
+        packages: &SYNTH_PACKAGES,
+        kind: TypeKind::Class,
+        has_default_ctor: false,
+        generic_arity: (0, 0),
+        field_count: (0, 5),
+        is_throwable: false,
+        forced_suffix: None,
+        quirks: QuirkSet::empty(),
+    });
+    // Annotations 80 − 6 = 74.
+    gen.group(&GroupSpec {
+        count: 74,
+        packages: &SYNTH_PACKAGES,
+        kind: TypeKind::Annotation,
+        has_default_ctor: false,
+        generic_arity: (0, 0),
+        field_count: (0, 0),
+        is_throwable: false,
+        forced_suffix: Some("Annotation"),
+        quirks: QuirkSet::empty(),
+    });
+
+    let entries = gen.finish();
+    assert_quotas(&entries);
+    entries
+}
+
+fn assert_quotas(entries: &[TypeEntry]) {
+    let total = entries.len();
+    let bindable = entries.iter().filter(|e| e.is_bean_bindable()).count();
+    let bindable_with_fields = entries
+        .iter()
+        .filter(|e| e.is_bean_bindable() && !e.fields.is_empty())
+        .count();
+    let throwable_bindable = entries
+        .iter()
+        .filter(|e| e.is_bean_bindable() && e.is_throwable)
+        .count();
+    let throwable_with_fields = entries
+        .iter()
+        .filter(|e| e.is_bean_bindable() && e.is_throwable && !e.fields.is_empty())
+        .count();
+    let gap = entries
+        .iter()
+        .filter(|e| e.has_quirk(Quirk::JscriptTransportGap))
+        .count();
+    let infra = entries
+        .iter()
+        .filter(|e| e.has_quirk(Quirk::AsyncInfrastructure))
+        .count();
+    assert_eq!(total, 3971, "total Java classes");
+    assert_eq!(bindable, 2489, "Metro-bindable classes");
+    assert_eq!(bindable_with_fields, 2246, "JBossWS-bindable (minus infra)");
+    assert_eq!(throwable_bindable, 477, "bindable throwables (Metro)");
+    assert_eq!(throwable_with_fields, 412, "bindable throwables (JBossWS)");
+    assert_eq!(gap, 50, "JScript transport-gap flags");
+    assert_eq!(infra, 2, "async infrastructure types");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quotas_hold() {
+        // `build` asserts internally; this also exercises determinism.
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pinned_classes_present_with_expected_shape() {
+        let entries = build();
+        let find = |fqcn: &str| entries.iter().find(|e| e.fqcn == fqcn).unwrap();
+
+        let epr = find(well_known::W3C_ENDPOINT_REFERENCE);
+        assert!(epr.is_bean_bindable());
+        assert!(epr.has_quirk(Quirk::WsAddressing));
+
+        let sdf = find(well_known::SIMPLE_DATE_FORMAT);
+        assert!(sdf.is_bean_bindable());
+        assert!(!sdf.fields.is_empty());
+
+        let future = find(well_known::FUTURE);
+        assert_eq!(future.kind, TypeKind::Interface);
+        assert!(!future.is_bean_bindable());
+        assert!(future.has_quirk(Quirk::AsyncInfrastructure));
+
+        let cal = find(well_known::XML_GREGORIAN_CALENDAR);
+        assert!(cal.is_bean_bindable());
+        assert!(cal.has_quirk(Quirk::XmlCalendar));
+
+        let vb = find(well_known::VB_COLLISION);
+        assert!(vb.is_bean_bindable());
+        assert!(!vb.fields.is_empty());
+    }
+
+    #[test]
+    fn fqcns_are_unique() {
+        let entries = build();
+        let mut names: Vec<_> = entries.iter().map(|e| &e.fqcn).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), entries.len());
+    }
+
+    #[test]
+    fn throwables_look_like_exceptions() {
+        let entries = build();
+        let synthetic_throwables = entries
+            .iter()
+            .filter(|e| e.is_throwable && e.fqcn.contains("Exception"))
+            .count();
+        assert!(synthetic_throwables > 400);
+    }
+
+    #[test]
+    fn quirk_classes_are_bindable_where_required() {
+        let entries = build();
+        for e in &entries {
+            if e.has_quirk(Quirk::JscriptTransportGap) || e.has_quirk(Quirk::VbNameCollision) {
+                assert!(e.is_bean_bindable(), "{} must be bindable", e.fqcn);
+                assert!(!e.fields.is_empty(), "{} must deploy on JBossWS too", e.fqcn);
+            }
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! High-level construction of document/literal-wrapped WSDL documents.
+//!
+//! Every service in the reproduced study has the same canonical shape —
+//! one operation, one input, one output of the same type — so the
+//! builder API centres on that pattern while staying general enough for
+//! the framework emitters to express their quirks (extra faults,
+//! operation-less port types, irregular schemas).
+
+use wsinterop_xsd::{ComplexType, ElementDecl, Particle, Schema, TypeRef};
+
+use crate::model::{
+    Binding, BindingOperation, Definitions, Fault, Message, NameRef, Operation, Part, PartKind,
+    PortType, Service, SoapBinding, Port, Use,
+};
+
+/// Builder for a document/literal-wrapped service description.
+///
+/// # Examples
+///
+/// ```
+/// use wsinterop_wsdl::builder::DocLiteralBuilder;
+/// use wsinterop_xsd::{BuiltIn, TypeRef};
+///
+/// let defs = DocLiteralBuilder::new("CalcService", "urn:calc")
+///     .operation("add", TypeRef::BuiltIn(BuiltIn::Int), TypeRef::BuiltIn(BuiltIn::Int))
+///     .build();
+/// assert_eq!(defs.operation_count(), 1);
+/// assert_eq!(defs.messages.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DocLiteralBuilder {
+    service_name: String,
+    target_ns: String,
+    operations: Vec<OpSpec>,
+    faults: Vec<(String, ComplexType)>,
+    endpoint: Option<String>,
+    dotnet_prefixes: bool,
+}
+
+#[derive(Debug, Clone)]
+struct OpSpec {
+    name: String,
+    input: TypeRef,
+    output: TypeRef,
+    /// Extra schema types the operation drags in (wrapper beans, etc.).
+    extra_types: Vec<ComplexType>,
+}
+
+impl DocLiteralBuilder {
+    /// Starts a builder for `service_name` in `target_ns`.
+    pub fn new(service_name: impl Into<String>, target_ns: impl Into<String>) -> Self {
+        DocLiteralBuilder {
+            service_name: service_name.into(),
+            target_ns: target_ns.into(),
+            operations: Vec::new(),
+            faults: Vec::new(),
+            endpoint: None,
+            dotnet_prefixes: false,
+        }
+    }
+
+    /// Adds an operation with a single `arg0` input and a `return`
+    /// output of the given types.
+    #[must_use]
+    pub fn operation(mut self, name: impl Into<String>, input: TypeRef, output: TypeRef) -> Self {
+        self.operations.push(OpSpec {
+            name: name.into(),
+            input,
+            output,
+            extra_types: Vec::new(),
+        });
+        self
+    }
+
+    /// Adds an operation that also contributes named complex types to
+    /// the schema (framework emitters use this for bean graphs).
+    #[must_use]
+    pub fn operation_with_types(
+        mut self,
+        name: impl Into<String>,
+        input: TypeRef,
+        output: TypeRef,
+        extra_types: Vec<ComplexType>,
+    ) -> Self {
+        self.operations.push(OpSpec {
+            name: name.into(),
+            input,
+            output,
+            extra_types,
+        });
+        self
+    }
+
+    /// Declares a fault (name + detail bean) on every operation.
+    #[must_use]
+    pub fn fault(mut self, name: impl Into<String>, detail: ComplexType) -> Self {
+        self.faults.push((name.into(), detail));
+        self
+    }
+
+    /// Overrides the `soap:address` location.
+    #[must_use]
+    pub fn endpoint(mut self, url: impl Into<String>) -> Self {
+        self.endpoint = Some(url.into());
+        self
+    }
+
+    /// Serializes schemas with the `.NET` prefix convention (`s:`).
+    #[must_use]
+    pub fn dotnet_prefixes(mut self) -> Self {
+        self.dotnet_prefixes = true;
+        self
+    }
+
+    /// Builds the [`Definitions`].
+    pub fn build(self) -> Definitions {
+        let tns = self.target_ns.clone();
+        let mut defs = Definitions::new(&tns);
+        defs.name = Some(self.service_name.clone());
+        defs.dotnet_prefixes = self.dotnet_prefixes;
+
+        let mut schema = Schema::new(&tns);
+        let mut port_type = PortType {
+            name: format!("{}PortType", self.service_name),
+            operations: Vec::new(),
+        };
+        let mut binding_ops = Vec::new();
+
+        // Fault detail types + elements + messages (shared per service).
+        let mut fault_refs = Vec::new();
+        for (fault_name, detail) in &self.faults {
+            let detail_name = detail
+                .name
+                .clone()
+                .unwrap_or_else(|| format!("{fault_name}Bean"));
+            let mut named = detail.clone();
+            named.name = Some(detail_name.clone());
+            schema.complex_types.push(named);
+            schema.elements.push(ElementDecl::typed(
+                fault_name.clone(),
+                TypeRef::named(&tns, detail_name),
+            ));
+            let message_name = format!("{fault_name}Message");
+            defs.messages.push(Message {
+                name: message_name.clone(),
+                parts: vec![Part {
+                    name: "fault".into(),
+                    kind: PartKind::Element(NameRef::new(&tns, fault_name.clone())),
+                }],
+            });
+            fault_refs.push(Fault {
+                name: fault_name.clone(),
+                message: NameRef::new(&tns, message_name),
+            });
+        }
+
+        for op in &self.operations {
+            let req_el = op.name.clone();
+            let res_el = format!("{}Response", op.name);
+
+            schema.elements.push(ElementDecl::with_inline(
+                req_el.clone(),
+                ComplexType::anonymous().with_particle(Particle::Element(
+                    ElementDecl::typed("arg0", op.input.clone()).min(0),
+                )),
+            ));
+            schema.elements.push(ElementDecl::with_inline(
+                res_el.clone(),
+                ComplexType::anonymous().with_particle(Particle::Element(
+                    ElementDecl::typed("return", op.output.clone()).min(0),
+                )),
+            ));
+            schema.complex_types.extend(op.extra_types.iter().cloned());
+
+            let req_msg = format!("{}Request", op.name);
+            let res_msg = format!("{}ResponseMsg", op.name);
+            defs.messages.push(Message {
+                name: req_msg.clone(),
+                parts: vec![Part {
+                    name: "parameters".into(),
+                    kind: PartKind::Element(NameRef::new(&tns, req_el)),
+                }],
+            });
+            defs.messages.push(Message {
+                name: res_msg.clone(),
+                parts: vec![Part {
+                    name: "parameters".into(),
+                    kind: PartKind::Element(NameRef::new(&tns, res_el)),
+                }],
+            });
+
+            port_type.operations.push(Operation {
+                name: op.name.clone(),
+                input: Some(NameRef::new(&tns, req_msg)),
+                output: Some(NameRef::new(&tns, res_msg)),
+                faults: fault_refs.clone(),
+            });
+            binding_ops.push(BindingOperation {
+                name: op.name.clone(),
+                soap_action: Some(String::new()),
+                style: None,
+                input_use: Use::Literal,
+                output_use: Use::Literal,
+            });
+        }
+
+        defs.schemas.push(schema);
+        let port_type_name = port_type.name.clone();
+        defs.port_types.push(port_type);
+        let binding_name = format!("{}Binding", self.service_name);
+        defs.bindings.push(Binding {
+            name: binding_name.clone(),
+            port_type: NameRef::new(&tns, port_type_name),
+            soap: Some(SoapBinding::default()),
+            operations: binding_ops,
+            extension_attrs: Vec::new(),
+        });
+        defs.services.push(Service {
+            name: self.service_name.clone(),
+            ports: vec![Port {
+                name: format!("{}Port", self.service_name),
+                binding: NameRef::new(&tns, binding_name),
+                address: Some(self.endpoint.unwrap_or_else(|| {
+                    format!("http://localhost:8080/{}", self.service_name)
+                })),
+            }],
+        });
+        defs
+    }
+}
+
+/// An rpc operation signature: `(name, parameters, return type)`.
+type RpcSignature = (String, Vec<(String, TypeRef)>, TypeRef);
+
+/// Builder for an **rpc/literal** service description — the second
+/// WS-I-sanctioned binding pattern, used by the extension experiments
+/// ("more elaborate patterns of inter-operation" in the paper's future
+/// work). Parts reference *types* rather than elements, which is
+/// conformant under the rpc style (and a violation under document
+/// style — the distinction behind WS-I R2203/R2204).
+#[derive(Debug, Clone)]
+pub struct RpcLiteralBuilder {
+    service_name: String,
+    target_ns: String,
+    operations: Vec<RpcSignature>,
+    types: Vec<ComplexType>,
+}
+
+impl RpcLiteralBuilder {
+    /// Starts a builder for `service_name` in `target_ns`.
+    pub fn new(service_name: impl Into<String>, target_ns: impl Into<String>) -> Self {
+        RpcLiteralBuilder {
+            service_name: service_name.into(),
+            target_ns: target_ns.into(),
+            operations: Vec::new(),
+            types: Vec::new(),
+        }
+    }
+
+    /// Adds an operation with named, typed parameters and a return
+    /// type (rpc signatures support multiple parameters).
+    #[must_use]
+    pub fn operation(
+        mut self,
+        name: impl Into<String>,
+        params: Vec<(String, TypeRef)>,
+        output: TypeRef,
+    ) -> Self {
+        self.operations.push((name.into(), params, output));
+        self
+    }
+
+    /// Contributes a named complex type to the schema.
+    #[must_use]
+    pub fn with_type(mut self, ct: ComplexType) -> Self {
+        self.types.push(ct);
+        self
+    }
+
+    /// Builds the [`Definitions`].
+    pub fn build(self) -> Definitions {
+        use crate::model::{SoapBinding, Style};
+
+        let tns = self.target_ns.clone();
+        let mut defs = Definitions::new(&tns);
+        defs.name = Some(self.service_name.clone());
+
+        let mut schema = Schema::new(&tns);
+        schema.complex_types = self.types;
+        let mut port_type = PortType {
+            name: format!("{}PortType", self.service_name),
+            operations: Vec::new(),
+        };
+        let mut binding_ops = Vec::new();
+
+        for (name, params, output) in &self.operations {
+            let req_msg = format!("{name}Request");
+            let res_msg = format!("{name}ResponseMsg");
+            defs.messages.push(Message {
+                name: req_msg.clone(),
+                parts: params
+                    .iter()
+                    .map(|(pname, ptype)| Part {
+                        name: pname.clone(),
+                        kind: PartKind::Type(ptype.clone()),
+                    })
+                    .collect(),
+            });
+            defs.messages.push(Message {
+                name: res_msg.clone(),
+                parts: vec![Part {
+                    name: "return".into(),
+                    kind: PartKind::Type(output.clone()),
+                }],
+            });
+            port_type.operations.push(Operation {
+                name: name.clone(),
+                input: Some(NameRef::new(&tns, req_msg)),
+                output: Some(NameRef::new(&tns, res_msg)),
+                faults: Vec::new(),
+            });
+            binding_ops.push(BindingOperation {
+                name: name.clone(),
+                soap_action: Some(String::new()),
+                style: None,
+                input_use: Use::Literal,
+                output_use: Use::Literal,
+            });
+        }
+
+        defs.schemas.push(schema);
+        let port_type_name = port_type.name.clone();
+        defs.port_types.push(port_type);
+        let binding_name = format!("{}Binding", self.service_name);
+        defs.bindings.push(Binding {
+            name: binding_name.clone(),
+            port_type: NameRef::new(&tns, port_type_name),
+            soap: Some(SoapBinding {
+                style: Style::Rpc,
+                ..SoapBinding::default()
+            }),
+            operations: binding_ops,
+            extension_attrs: Vec::new(),
+        });
+        defs.services.push(Service {
+            name: self.service_name.clone(),
+            ports: vec![Port {
+                name: format!("{}Port", self.service_name),
+                binding: NameRef::new(&tns, binding_name),
+                address: Some(format!("http://localhost:8080/{}", self.service_name)),
+            }],
+        });
+        defs
+    }
+}
+
+/// One-call construction of the study's canonical echo service: a
+/// single operation whose input and output have the same type.
+///
+/// # Examples
+///
+/// ```
+/// use wsinterop_wsdl::builder::doc_literal_echo;
+/// use wsinterop_xsd::{BuiltIn, TypeRef};
+/// let defs = doc_literal_echo("EchoService", "urn:echo", "echo", TypeRef::BuiltIn(BuiltIn::Double));
+/// assert_eq!(defs.port_types[0].operations[0].name, "echo");
+/// ```
+pub fn doc_literal_echo(
+    service_name: &str,
+    target_ns: &str,
+    op_name: &str,
+    echo_type: TypeRef,
+) -> Definitions {
+    DocLiteralBuilder::new(service_name, target_ns)
+        .operation(op_name, echo_type.clone(), echo_type)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsinterop_xsd::BuiltIn;
+
+    #[test]
+    fn echo_service_shape() {
+        let defs = doc_literal_echo("S", "urn:t", "echo", TypeRef::BuiltIn(BuiltIn::Int));
+        assert_eq!(defs.schemas.len(), 1);
+        assert_eq!(defs.schemas[0].elements.len(), 2);
+        assert_eq!(defs.messages.len(), 2);
+        assert_eq!(defs.port_types.len(), 1);
+        assert_eq!(defs.bindings.len(), 1);
+        assert_eq!(defs.services.len(), 1);
+        assert_eq!(defs.bindings[0].operations.len(), 1);
+        let port = &defs.services[0].ports[0];
+        assert!(port.address.as_deref().unwrap().starts_with("http://"));
+    }
+
+    #[test]
+    fn messages_resolve_to_schema_elements() {
+        let defs = doc_literal_echo("S", "urn:t", "echo", TypeRef::BuiltIn(BuiltIn::Int));
+        for message in &defs.messages {
+            for part in &message.parts {
+                assert!(
+                    defs.resolve_part_element(part).is_some(),
+                    "part {} must resolve",
+                    part.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faults_share_across_operations() {
+        let defs = DocLiteralBuilder::new("S", "urn:t")
+            .operation("a", TypeRef::BuiltIn(BuiltIn::Int), TypeRef::BuiltIn(BuiltIn::Int))
+            .operation("b", TypeRef::BuiltIn(BuiltIn::Int), TypeRef::BuiltIn(BuiltIn::Int))
+            .fault("AppError", ComplexType::anonymous())
+            .build();
+        assert_eq!(defs.port_types[0].operations[0].faults.len(), 1);
+        assert_eq!(defs.port_types[0].operations[1].faults.len(), 1);
+        // Fault message + 2 ops × 2 messages
+        assert_eq!(defs.messages.len(), 5);
+    }
+
+    #[test]
+    fn extra_types_land_in_schema() {
+        let defs = DocLiteralBuilder::new("S", "urn:t")
+            .operation_with_types(
+                "op",
+                TypeRef::named("urn:t", "Bean"),
+                TypeRef::named("urn:t", "Bean"),
+                vec![ComplexType::named("Bean")],
+            )
+            .build();
+        assert!(defs.schemas[0].complex_type("Bean").is_some());
+    }
+
+    #[test]
+    fn rpc_literal_builder_shape() {
+        let defs = RpcLiteralBuilder::new("Calc", "urn:calc")
+            .operation(
+                "add",
+                vec![
+                    ("a".into(), TypeRef::BuiltIn(BuiltIn::Int)),
+                    ("b".into(), TypeRef::BuiltIn(BuiltIn::Int)),
+                ],
+                TypeRef::BuiltIn(BuiltIn::Int),
+            )
+            .build();
+        assert_eq!(defs.operation_count(), 1);
+        assert_eq!(defs.messages[0].parts.len(), 2);
+        assert!(defs.messages[0]
+            .parts
+            .iter()
+            .all(|p| matches!(p.kind, PartKind::Type(_))));
+        assert_eq!(
+            defs.bindings[0].soap.as_ref().unwrap().style,
+            crate::model::Style::Rpc
+        );
+        // Roundtrips like everything else.
+        let xml = crate::ser::to_xml_string(&defs);
+        assert_eq!(crate::de::from_xml_str(&xml).unwrap(), defs);
+    }
+
+    #[test]
+    fn custom_endpoint() {
+        let defs = DocLiteralBuilder::new("S", "urn:t")
+            .operation("op", TypeRef::BuiltIn(BuiltIn::Int), TypeRef::BuiltIn(BuiltIn::Int))
+            .endpoint("http://example.org/svc")
+            .build();
+        assert_eq!(
+            defs.services[0].ports[0].address.as_deref(),
+            Some("http://example.org/svc")
+        );
+    }
+}

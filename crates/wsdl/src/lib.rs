@@ -1,0 +1,40 @@
+//! # wsinterop-wsdl
+//!
+//! A WSDL 1.1 implementation: object model, document/literal-wrapped
+//! builder, XML serialization, a consuming parser, and a SOAP 1.1
+//! message layer.
+//!
+//! * [`model`] — [`Definitions`] and friends
+//! * [`builder`] — high-level doc/literal-wrapped construction
+//! * [`ser`] / [`de`] — XML (de)serialization
+//! * [`soap`] — SOAP 1.1 envelopes for the canonical echo exchange
+//! * [`values`] — typed data binding against the document's schema
+//!
+//! ## Example
+//!
+//! ```
+//! use wsinterop_wsdl::builder::doc_literal_echo;
+//! use wsinterop_wsdl::{ser::to_xml_string, de::from_xml_str};
+//! use wsinterop_xsd::{BuiltIn, TypeRef};
+//!
+//! let defs = doc_literal_echo("EchoService", "urn:echo", "echo",
+//!                             TypeRef::BuiltIn(BuiltIn::String));
+//! let xml = to_xml_string(&defs);
+//! assert_eq!(from_xml_str(&xml)?, defs);
+//! # Ok::<(), wsinterop_wsdl::de::WsdlReadError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod de;
+pub mod model;
+pub mod ser;
+pub mod soap;
+pub mod values;
+
+pub use model::{
+    Binding, BindingOperation, Definitions, ExtensionAttr, Fault, Message, NameRef, Operation,
+    Part, PartKind, Port, PortType, Service, SoapBinding, Style, Use,
+};

@@ -1,0 +1,380 @@
+//! The WSDL 1.1 object model.
+
+use wsinterop_xsd::Schema;
+
+/// A reference to a named WSDL component: `(namespace-uri, local-name)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NameRef {
+    /// Namespace URI (usually the document's target namespace).
+    pub ns_uri: String,
+    /// Local name of the referenced component.
+    pub local: String,
+}
+
+impl NameRef {
+    /// Convenience constructor.
+    pub fn new(ns_uri: impl Into<String>, local: impl Into<String>) -> NameRef {
+        NameRef {
+            ns_uri: ns_uri.into(),
+            local: local.into(),
+        }
+    }
+}
+
+/// What a message part points at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartKind {
+    /// `element="tns:foo"` — doc/literal style.
+    Element(NameRef),
+    /// `type="xsd:string"` — rpc style.
+    Type(wsinterop_xsd::TypeRef),
+}
+
+/// A `wsdl:part`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Part {
+    /// Part name (`parameters` by convention in wrapped style).
+    pub name: String,
+    /// The element or type the part carries.
+    pub kind: PartKind,
+}
+
+/// A `wsdl:message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Message name.
+    pub name: String,
+    /// The parts, in order.
+    pub parts: Vec<Part>,
+}
+
+/// A fault declared on an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// Fault name.
+    pub name: String,
+    /// The message carrying the fault detail.
+    pub message: NameRef,
+}
+
+/// A `wsdl:operation` inside a port type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    /// Operation name.
+    pub name: String,
+    /// Input message, if any.
+    pub input: Option<NameRef>,
+    /// Output message, if any (absent = one-way).
+    pub output: Option<NameRef>,
+    /// Declared faults.
+    pub faults: Vec<Fault>,
+}
+
+/// A `wsdl:portType`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortType {
+    /// Port type name.
+    pub name: String,
+    /// Operations. **May legitimately be empty** — the paper's JBossWS
+    /// case publishes operation-less port types, and the WSDL XML Schema
+    /// allows it (`minOccurs=0`), which the paper argues should change.
+    pub operations: Vec<Operation>,
+}
+
+/// SOAP binding style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Style {
+    /// `document` style.
+    #[default]
+    Document,
+    /// `rpc` style.
+    Rpc,
+}
+
+impl Style {
+    /// Attribute value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Style::Document => "document",
+            Style::Rpc => "rpc",
+        }
+    }
+}
+
+/// SOAP body use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Use {
+    /// `literal` (the only WS-I-conformant value).
+    #[default]
+    Literal,
+    /// `encoded` (SOAP-encoding; violates WS-I BP R2706).
+    Encoded,
+}
+
+impl Use {
+    /// Attribute value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Use::Literal => "literal",
+            Use::Encoded => "encoded",
+        }
+    }
+}
+
+/// The `soap:binding` extension on a `wsdl:binding`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoapBinding {
+    /// Default style for the binding.
+    pub style: Style,
+    /// Transport URI; WS-I requires the SOAP-over-HTTP transport.
+    pub transport: String,
+}
+
+impl Default for SoapBinding {
+    fn default() -> Self {
+        SoapBinding {
+            style: Style::Document,
+            transport: wsinterop_xml::name::ns::SOAP_HTTP_TRANSPORT.to_string(),
+        }
+    }
+}
+
+/// A `wsdl:operation` inside a binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BindingOperation {
+    /// Operation name (must match a port-type operation).
+    pub name: String,
+    /// `soap:operation/@soapAction`; `None` models a binding operation
+    /// that lost its `soap:operation` extension element entirely (a
+    /// WS-I violation some emitters produce).
+    pub soap_action: Option<String>,
+    /// Per-operation style override.
+    pub style: Option<Style>,
+    /// `soap:body/@use` on the input.
+    pub input_use: Use,
+    /// `soap:body/@use` on the output.
+    pub output_use: Use,
+}
+
+/// An extension attribute recorded verbatim (`wsaw:UsingAddressing`
+/// and friends); the name is the serialized lexical form including its
+/// prefix, with the namespace recorded separately.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtensionAttr {
+    /// Namespace URI the prefix must bind to.
+    pub ns_uri: String,
+    /// Lexical name (`wsaw:UsingAddressing`).
+    pub lexical: String,
+    /// Attribute value.
+    pub value: String,
+}
+
+/// A `wsdl:binding`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Binding {
+    /// Binding name.
+    pub name: String,
+    /// The bound port type.
+    pub port_type: NameRef,
+    /// The SOAP binding extension; `None` models a binding that lost its
+    /// `soap:binding` child (a WS-I violation some emitters produce).
+    pub soap: Option<SoapBinding>,
+    /// Bound operations.
+    pub operations: Vec<BindingOperation>,
+    /// Foreign extension attributes (e.g. WS-Addressing markers).
+    pub extension_attrs: Vec<ExtensionAttr>,
+}
+
+/// A `wsdl:port` inside a service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// The binding this port exposes.
+    pub binding: NameRef,
+    /// `soap:address/@location`; `None` models a port without an
+    /// address extension (WS-I violation).
+    pub address: Option<String>,
+}
+
+/// A `wsdl:service`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Service {
+    /// Service name.
+    pub name: String,
+    /// The ports.
+    pub ports: Vec<Port>,
+}
+
+/// A complete WSDL 1.1 document (`wsdl:definitions`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Definitions {
+    /// `name` attribute, if any.
+    pub name: Option<String>,
+    /// `targetNamespace`.
+    pub target_ns: String,
+    /// Inline schemas from the `types` section, in order.
+    pub schemas: Vec<Schema>,
+    /// Messages.
+    pub messages: Vec<Message>,
+    /// Port types.
+    pub port_types: Vec<PortType>,
+    /// Bindings.
+    pub bindings: Vec<Binding>,
+    /// Services.
+    pub services: Vec<Service>,
+    /// Prefer the `.NET` `s:`-for-XSD prefix style when serializing.
+    pub dotnet_prefixes: bool,
+}
+
+impl Definitions {
+    /// An empty document for the given target namespace.
+    pub fn new(target_ns: impl Into<String>) -> Definitions {
+        Definitions {
+            name: None,
+            target_ns: target_ns.into(),
+            schemas: Vec::new(),
+            messages: Vec::new(),
+            port_types: Vec::new(),
+            bindings: Vec::new(),
+            services: Vec::new(),
+            dotnet_prefixes: false,
+        }
+    }
+
+    /// Looks up a message by local name.
+    pub fn message(&self, local: &str) -> Option<&Message> {
+        self.messages.iter().find(|m| m.name == local)
+    }
+
+    /// Looks up a port type by local name.
+    pub fn port_type(&self, local: &str) -> Option<&PortType> {
+        self.port_types.iter().find(|p| p.name == local)
+    }
+
+    /// Looks up a binding by local name.
+    pub fn binding(&self, local: &str) -> Option<&Binding> {
+        self.bindings.iter().find(|b| b.name == local)
+    }
+
+    /// Looks up a service by local name.
+    pub fn service(&self, local: &str) -> Option<&Service> {
+        self.services.iter().find(|s| s.name == local)
+    }
+
+    /// Finds the global element declaration a part refers to, searching
+    /// every inline schema.
+    pub fn resolve_part_element(&self, part: &Part) -> Option<&wsinterop_xsd::ElementDecl> {
+        match &part.kind {
+            PartKind::Element(r) => self
+                .schemas
+                .iter()
+                .filter(|s| s.target_ns == r.ns_uri)
+                .find_map(|s| s.element(&r.local)),
+            PartKind::Type(_) => None,
+        }
+    }
+
+    /// Total number of operations across all port types.
+    pub fn operation_count(&self) -> usize {
+        self.port_types.iter().map(|p| p.operations.len()).sum()
+    }
+
+    /// Finds an operation by name across all port types.
+    pub fn find_operation(&self, name: &str) -> Option<&Operation> {
+        self.port_types
+            .iter()
+            .flat_map(|pt| pt.operations.iter())
+            .find(|op| op.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsinterop_xsd::{BuiltIn, ElementDecl, TypeRef};
+
+    #[test]
+    fn lookups_by_local_name() {
+        let mut d = Definitions::new("urn:t");
+        d.messages.push(Message {
+            name: "m".into(),
+            parts: vec![],
+        });
+        d.port_types.push(PortType {
+            name: "p".into(),
+            operations: vec![],
+        });
+        d.bindings.push(Binding {
+            name: "b".into(),
+            port_type: NameRef::new("urn:t", "p"),
+            soap: Some(SoapBinding::default()),
+            operations: vec![],
+            extension_attrs: vec![],
+        });
+        d.services.push(Service {
+            name: "s".into(),
+            ports: vec![],
+        });
+        assert!(d.message("m").is_some());
+        assert!(d.port_type("p").is_some());
+        assert!(d.binding("b").is_some());
+        assert!(d.service("s").is_some());
+        assert!(d.message("x").is_none());
+    }
+
+    #[test]
+    fn resolve_part_element_searches_schemas() {
+        let mut d = Definitions::new("urn:t");
+        let mut schema = Schema::new("urn:t");
+        schema
+            .elements
+            .push(ElementDecl::typed("echo", TypeRef::BuiltIn(BuiltIn::Int)));
+        d.schemas.push(schema);
+        let part = Part {
+            name: "parameters".into(),
+            kind: PartKind::Element(NameRef::new("urn:t", "echo")),
+        };
+        assert!(d.resolve_part_element(&part).is_some());
+        let missing = Part {
+            name: "parameters".into(),
+            kind: PartKind::Element(NameRef::new("urn:t", "nope")),
+        };
+        assert!(d.resolve_part_element(&missing).is_none());
+    }
+
+    #[test]
+    fn find_operation_searches_all_port_types() {
+        let mut d = Definitions::new("urn:t");
+        d.port_types.push(PortType {
+            name: "a".into(),
+            operations: vec![Operation {
+                name: "ping".into(),
+                input: None,
+                output: None,
+                faults: vec![],
+            }],
+        });
+        assert!(d.find_operation("ping").is_some());
+        assert!(d.find_operation("pong").is_none());
+    }
+
+    #[test]
+    fn operation_count_sums_port_types() {
+        let mut d = Definitions::new("urn:t");
+        d.port_types.push(PortType {
+            name: "a".into(),
+            operations: vec![Operation {
+                name: "op1".into(),
+                input: None,
+                output: None,
+                faults: vec![],
+            }],
+        });
+        d.port_types.push(PortType {
+            name: "b".into(),
+            operations: vec![],
+        });
+        assert_eq!(d.operation_count(), 1);
+    }
+}

@@ -1,0 +1,328 @@
+//! Serialization of [`Definitions`] to a WSDL XML document.
+
+use wsinterop_xml::name::ns;
+use wsinterop_xml::writer::{write_document, WriteOptions};
+use wsinterop_xml::{Document, Element};
+use wsinterop_xsd::ser::{schema_to_element, SerOptions};
+
+use crate::model::{
+    Binding, BindingOperation, Definitions, Message, NameRef, Operation, PartKind, PortType,
+    Service,
+};
+
+/// Serializes the definitions to a complete XML document string.
+///
+/// # Examples
+///
+/// ```
+/// use wsinterop_wsdl::builder::doc_literal_echo;
+/// use wsinterop_wsdl::ser::to_xml_string;
+/// use wsinterop_xsd::{BuiltIn, TypeRef};
+/// let defs = doc_literal_echo("EchoService", "urn:echo", "echo", TypeRef::BuiltIn(BuiltIn::Int));
+/// let xml = to_xml_string(&defs);
+/// assert!(xml.contains("wsdl:definitions"));
+/// assert!(xml.contains("soap:binding"));
+/// ```
+pub fn to_xml_string(defs: &Definitions) -> String {
+    write_document(&to_document(defs), &WriteOptions::pretty())
+}
+
+/// Serializes the definitions to an XML [`Document`].
+pub fn to_document(defs: &Definitions) -> Document {
+    let ctx = Ctx::new(defs);
+    let mut root = Element::new("wsdl:definitions")
+        .in_ns(ns::WSDL)
+        .with_ns_decl(Some("wsdl"), ns::WSDL)
+        .with_ns_decl(Some("soap"), ns::WSDL_SOAP)
+        .with_ns_decl(Some(&ctx.xsd_prefix), ns::XSD)
+        .with_ns_decl(Some("tns"), &defs.target_ns);
+    for (uri, prefix) in &ctx.extra {
+        root.declare_ns(Some(prefix), uri);
+    }
+    if let Some(name) = &defs.name {
+        root.set_attr("name", name);
+    }
+    root.set_attr("targetNamespace", &defs.target_ns);
+
+    if !defs.schemas.is_empty() {
+        let mut types = Element::new("wsdl:types").in_ns(ns::WSDL);
+        for schema in &defs.schemas {
+            let opts = SerOptions {
+                xsd_prefix: ctx.xsd_prefix.clone(),
+                tns_prefix: "tns".to_string(),
+                extra: ctx.extra.clone(),
+                // Prefixes are declared on wsdl:definitions, but schemas
+                // re-declare them so they stay valid when extracted.
+                declare_namespaces: true,
+            };
+            types.push_element(schema_to_element(schema, &opts));
+        }
+        root.push_element(types);
+    }
+
+    for message in &defs.messages {
+        root.push_element(message_to_element(message, &ctx));
+    }
+    for port_type in &defs.port_types {
+        root.push_element(port_type_to_element(port_type, &ctx));
+    }
+    for binding in &defs.bindings {
+        root.push_element(binding_to_element(binding, &ctx));
+    }
+    for service in &defs.services {
+        root.push_element(service_to_element(service, &ctx));
+    }
+    Document::new(root)
+}
+
+struct Ctx {
+    target_ns: String,
+    xsd_prefix: String,
+    extra: Vec<(String, String)>,
+}
+
+impl Ctx {
+    fn new(defs: &Definitions) -> Ctx {
+        let mut extra: Vec<(String, String)> = Vec::new();
+        let mut counter = 1;
+        let mut note = |uri: &str, extra: &mut Vec<(String, String)>, preferred: Option<&str>| {
+            if uri == defs.target_ns || uri == ns::XSD || uri == ns::WSDL || uri == ns::WSDL_SOAP
+            {
+                return;
+            }
+            if extra.iter().any(|(u, _)| u == uri) {
+                return;
+            }
+            let prefix = preferred
+                .map(str::to_string)
+                .unwrap_or_else(|| {
+                    let p = format!("ns{counter}");
+                    counter += 1;
+                    p
+                });
+            extra.push((uri.to_string(), prefix));
+        };
+        for schema in &defs.schemas {
+            for import in &schema.imports {
+                note(&import.namespace, &mut extra, None);
+            }
+            if schema.target_ns != defs.target_ns {
+                note(&schema.target_ns, &mut extra, None);
+            }
+        }
+        for binding in &defs.bindings {
+            for attr in &binding.extension_attrs {
+                let preferred = attr
+                    .lexical
+                    .split_once(':')
+                    .map(|(prefix, _)| prefix)
+                    .filter(|p| !p.is_empty());
+                note(&attr.ns_uri, &mut extra, preferred);
+            }
+        }
+        Ctx {
+            target_ns: defs.target_ns.clone(),
+            xsd_prefix: if defs.dotnet_prefixes { "s" } else { "xsd" }.to_string(),
+            extra,
+        }
+    }
+
+    fn qname(&self, r: &NameRef) -> String {
+        if r.ns_uri == self.target_ns {
+            format!("tns:{}", r.local)
+        } else if r.ns_uri == ns::XSD {
+            format!("{}:{}", self.xsd_prefix, r.local)
+        } else if let Some((_, p)) = self.extra.iter().find(|(u, _)| *u == r.ns_uri) {
+            format!("{p}:{}", r.local)
+        } else {
+            r.local.clone()
+        }
+    }
+
+    fn type_qname(&self, r: &wsinterop_xsd::TypeRef) -> String {
+        match r {
+            wsinterop_xsd::TypeRef::BuiltIn(b) => {
+                format!("{}:{}", self.xsd_prefix, b.xsd_name())
+            }
+            wsinterop_xsd::TypeRef::Named { ns_uri, local } => {
+                self.qname(&NameRef::new(ns_uri.clone(), local.clone()))
+            }
+        }
+    }
+}
+
+fn message_to_element(message: &Message, ctx: &Ctx) -> Element {
+    let mut el = Element::new("wsdl:message")
+        .in_ns(ns::WSDL)
+        .with_attr("name", &message.name);
+    for part in &message.parts {
+        let mut part_el = Element::new("wsdl:part")
+            .in_ns(ns::WSDL)
+            .with_attr("name", &part.name);
+        match &part.kind {
+            PartKind::Element(r) => part_el.set_attr("element", ctx.qname(r)),
+            PartKind::Type(r) => part_el.set_attr("type", ctx.type_qname(r)),
+        }
+        el.push_element(part_el);
+    }
+    el
+}
+
+fn operation_to_element(op: &Operation, ctx: &Ctx) -> Element {
+    let mut el = Element::new("wsdl:operation")
+        .in_ns(ns::WSDL)
+        .with_attr("name", &op.name);
+    if let Some(input) = &op.input {
+        el.push_element(
+            Element::new("wsdl:input")
+                .in_ns(ns::WSDL)
+                .with_attr("message", ctx.qname(input)),
+        );
+    }
+    if let Some(output) = &op.output {
+        el.push_element(
+            Element::new("wsdl:output")
+                .in_ns(ns::WSDL)
+                .with_attr("message", ctx.qname(output)),
+        );
+    }
+    for fault in &op.faults {
+        el.push_element(
+            Element::new("wsdl:fault")
+                .in_ns(ns::WSDL)
+                .with_attr("name", &fault.name)
+                .with_attr("message", ctx.qname(&fault.message)),
+        );
+    }
+    el
+}
+
+fn port_type_to_element(port_type: &PortType, ctx: &Ctx) -> Element {
+    let mut el = Element::new("wsdl:portType")
+        .in_ns(ns::WSDL)
+        .with_attr("name", &port_type.name);
+    for op in &port_type.operations {
+        el.push_element(operation_to_element(op, ctx));
+    }
+    el
+}
+
+fn binding_operation_to_element(op: &BindingOperation, _ctx: &Ctx) -> Element {
+    let mut el = Element::new("wsdl:operation")
+        .in_ns(ns::WSDL)
+        .with_attr("name", &op.name);
+    if let Some(action) = &op.soap_action {
+        let mut soap_op = Element::new("soap:operation")
+            .in_ns(ns::WSDL_SOAP)
+            .with_attr("soapAction", action);
+        if let Some(style) = op.style {
+            soap_op.set_attr("style", style.as_str());
+        }
+        el.push_element(soap_op);
+    }
+    el.with_child(
+            Element::new("wsdl:input").in_ns(ns::WSDL).with_child(
+                Element::new("soap:body")
+                    .in_ns(ns::WSDL_SOAP)
+                    .with_attr("use", op.input_use.as_str()),
+            ),
+        )
+        .with_child(
+            Element::new("wsdl:output").in_ns(ns::WSDL).with_child(
+                Element::new("soap:body")
+                    .in_ns(ns::WSDL_SOAP)
+                    .with_attr("use", op.output_use.as_str()),
+            ),
+        )
+}
+
+fn binding_to_element(binding: &Binding, ctx: &Ctx) -> Element {
+    let mut el = Element::new("wsdl:binding")
+        .in_ns(ns::WSDL)
+        .with_attr("name", &binding.name)
+        .with_attr("type", ctx.qname(&binding.port_type));
+    for attr in &binding.extension_attrs {
+        el.set_attr(&attr.lexical, &attr.value);
+    }
+    if let Some(soap) = &binding.soap {
+        el.push_element(
+            Element::new("soap:binding")
+                .in_ns(ns::WSDL_SOAP)
+                .with_attr("transport", &soap.transport)
+                .with_attr("style", soap.style.as_str()),
+        );
+    }
+    for op in &binding.operations {
+        el.push_element(binding_operation_to_element(op, ctx));
+    }
+    el
+}
+
+fn service_to_element(service: &Service, ctx: &Ctx) -> Element {
+    let mut el = Element::new("wsdl:service")
+        .in_ns(ns::WSDL)
+        .with_attr("name", &service.name);
+    for port in &service.ports {
+        let mut port_el = Element::new("wsdl:port")
+            .in_ns(ns::WSDL)
+            .with_attr("name", &port.name)
+            .with_attr("binding", ctx.qname(&port.binding));
+        if let Some(location) = &port.address {
+            port_el.push_element(
+                Element::new("soap:address")
+                    .in_ns(ns::WSDL_SOAP)
+                    .with_attr("location", location),
+            );
+        }
+        el.push_element(port_el);
+    }
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::doc_literal_echo;
+    use wsinterop_xsd::{BuiltIn, TypeRef};
+
+    #[test]
+    fn document_has_all_sections() {
+        let defs = doc_literal_echo("EchoService", "urn:echo", "echo", TypeRef::BuiltIn(BuiltIn::String));
+        let xml = to_xml_string(&defs);
+        for needle in [
+            "wsdl:types",
+            "wsdl:message",
+            "wsdl:portType",
+            "wsdl:binding",
+            "wsdl:service",
+            "soap:address",
+            r#"targetNamespace="urn:echo""#,
+        ] {
+            assert!(xml.contains(needle), "missing {needle} in:\n{xml}");
+        }
+    }
+
+    #[test]
+    fn dotnet_prefixes_use_s() {
+        let mut defs =
+            doc_literal_echo("EchoService", "urn:echo", "echo", TypeRef::BuiltIn(BuiltIn::Int));
+        defs.dotnet_prefixes = true;
+        let xml = to_xml_string(&defs);
+        assert!(xml.contains("xmlns:s="), "{xml}");
+        assert!(xml.contains("<s:schema"), "{xml}");
+    }
+
+    #[test]
+    fn extension_attrs_get_declared() {
+        let mut defs =
+            doc_literal_echo("EchoService", "urn:echo", "echo", TypeRef::BuiltIn(BuiltIn::Int));
+        defs.bindings[0].extension_attrs.push(crate::model::ExtensionAttr {
+            ns_uri: ns::WSAW.to_string(),
+            lexical: "wsaw:UsingAddressing".to_string(),
+            value: "true".to_string(),
+        });
+        let xml = to_xml_string(&defs);
+        assert!(xml.contains("xmlns:wsaw="), "{xml}");
+        assert!(xml.contains(r#"wsaw:UsingAddressing="true""#), "{xml}");
+    }
+}

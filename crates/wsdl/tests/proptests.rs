@@ -1,0 +1,97 @@
+//! Property-based tests: arbitrary doc/literal service shapes survive
+//! the build → serialize → parse cycle, and the SOAP layer echoes
+//! arbitrary payloads.
+
+use proptest::prelude::*;
+use wsinterop_wsdl::builder::DocLiteralBuilder;
+use wsinterop_wsdl::de::from_xml_str;
+use wsinterop_wsdl::ser::to_xml_string;
+use wsinterop_wsdl::soap;
+use wsinterop_xml::writer::{write_document, WriteOptions};
+use wsinterop_xsd::{BuiltIn, TypeRef};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-zA-Z0-9]{0,10}"
+}
+
+fn builtin() -> impl Strategy<Value = BuiltIn> {
+    prop::sample::select(BuiltIn::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any set of uniquely-named operations roundtrips through XML.
+    #[test]
+    fn builder_ser_de_roundtrip(
+        service in "[A-Z][a-zA-Z0-9]{0,8}",
+        ops in prop::collection::btree_map(ident(), (builtin(), builtin()), 1..5),
+        dotnet in any::<bool>(),
+    ) {
+        let mut builder = DocLiteralBuilder::new(&service, format!("urn:{service}"));
+        for (name, (input, output)) in &ops {
+            builder = builder.operation(
+                name.clone(),
+                TypeRef::BuiltIn(*input),
+                TypeRef::BuiltIn(*output),
+            );
+        }
+        if dotnet {
+            builder = builder.dotnet_prefixes();
+        }
+        let defs = builder.build();
+        let xml = to_xml_string(&defs);
+        let parsed = from_xml_str(&xml).unwrap();
+        prop_assert_eq!(parsed, defs);
+    }
+
+    /// Roundtripped documents keep their operation count.
+    #[test]
+    fn operation_count_is_preserved(
+        ops in prop::collection::btree_set(ident(), 1..6),
+    ) {
+        let mut builder = DocLiteralBuilder::new("S", "urn:s");
+        for name in &ops {
+            builder = builder.operation(
+                name.clone(),
+                TypeRef::BuiltIn(BuiltIn::Int),
+                TypeRef::BuiltIn(BuiltIn::Int),
+            );
+        }
+        let defs = builder.build();
+        let parsed = from_xml_str(&to_xml_string(&defs)).unwrap();
+        prop_assert_eq!(parsed.operation_count(), ops.len());
+    }
+
+    /// The SOAP layer echoes arbitrary printable payloads byte-exactly
+    /// (escaping roundtrip through a full envelope).
+    #[test]
+    fn soap_echo_roundtrip(value in "[ -~]{0,40}") {
+        let defs = wsinterop_wsdl::builder::doc_literal_echo(
+            "S", "urn:s", "echo", TypeRef::BuiltIn(BuiltIn::String),
+        );
+        let doc = soap::request(&defs, "echo", &value).unwrap();
+        let xml = write_document(&doc, &WriteOptions::compact());
+        let unwrapped = soap::unwrap_single_value(&xml).unwrap();
+        prop_assert_eq!(unwrapped, value);
+    }
+
+    /// Every WSDL the builder produces is WS-I clean — the baseline the
+    /// framework quirks deliberately break.
+    #[test]
+    fn builder_output_is_wsi_clean(
+        ops in prop::collection::btree_set(ident(), 1..4),
+    ) {
+        let mut builder = DocLiteralBuilder::new("S", "urn:s");
+        for name in &ops {
+            builder = builder.operation(
+                name.clone(),
+                TypeRef::BuiltIn(BuiltIn::Long),
+                TypeRef::BuiltIn(BuiltIn::Long),
+            );
+        }
+        let defs = builder.build();
+        let report = wsinterop_wsi::Analyzer::basic_profile_1_1().analyze(&defs);
+        prop_assert!(report.clean(), "{}", report);
+    }
+}

@@ -1,0 +1,139 @@
+//! Tracking of in-scope namespace bindings while walking a tree.
+//!
+//! The tree model resolves *element* namespaces at parse time, but
+//! attribute **values** that are lexical QNames (`type="xsd:int"`,
+//! `message="tns:echoRequest"`) must be resolved against the bindings in
+//! scope at the element that carries them. [`NsBindings`] is a small
+//! stack consumers push/pop while descending.
+
+use crate::name::{ns, QName};
+use crate::tree::Element;
+
+/// A stack of namespace-declaration frames.
+///
+/// # Examples
+///
+/// ```
+/// use wsinterop_xml::{parse_element, scope::NsBindings};
+/// let el = parse_element(r#"<a xmlns:x="urn:x"><b type="x:T"/></a>"#)?;
+/// let mut scope = NsBindings::new();
+/// scope.push_element(&el);
+/// let b = el.child_elements().next().unwrap();
+/// scope.push_element(b);
+/// let (ns_uri, local) = scope.resolve_qname_value(b.attr("type").unwrap()).unwrap();
+/// assert_eq!(ns_uri.as_deref(), Some("urn:x"));
+/// assert_eq!(local, "T");
+/// # Ok::<(), wsinterop_xml::ParseXmlError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NsBindings {
+    frames: Vec<Vec<(Option<String>, String)>>,
+}
+
+impl NsBindings {
+    /// An empty scope with the `xml:` prefix predeclared.
+    pub fn new() -> NsBindings {
+        NsBindings {
+            frames: vec![vec![(Some("xml".to_string()), ns::XML.to_string())]],
+        }
+    }
+
+    /// Pushes the namespace declarations found on `el` as a new frame.
+    ///
+    /// Call once per element while descending; pair with
+    /// [`NsBindings::pop`] when leaving the element.
+    pub fn push_element(&mut self, el: &Element) {
+        self.frames.push(
+            el.ns_decls()
+                .map(|(p, u)| (p.map(str::to_string), u.to_string()))
+                .collect(),
+        );
+    }
+
+    /// Pops the innermost frame.
+    pub fn pop(&mut self) {
+        self.frames.pop();
+    }
+
+    /// Resolves a prefix (`None` = default namespace) to a URI.
+    pub fn resolve(&self, prefix: Option<&str>) -> Option<&str> {
+        for frame in self.frames.iter().rev() {
+            for (p, uri) in frame.iter().rev() {
+                if p.as_deref() == prefix {
+                    return if uri.is_empty() { None } else { Some(uri) };
+                }
+            }
+        }
+        None
+    }
+
+    /// Resolves a lexical QName attribute value to `(ns-uri, local)`.
+    ///
+    /// Returns `None` when the value is not a lexical QName or uses an
+    /// undeclared prefix. Unprefixed values resolve to the in-scope
+    /// default namespace (per XSD QName-resolution rules).
+    pub fn resolve_qname_value(&self, raw: &str) -> Option<(Option<String>, String)> {
+        let q: QName = raw.parse().ok()?;
+        match q.prefix() {
+            Some(p) => {
+                let uri = self.resolve(Some(p))?;
+                Some((Some(uri.to_string()), q.local_part().to_string()))
+            }
+            None => Some((
+                self.resolve(None).map(str::to_string),
+                q.local_part().to_string(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_element;
+
+    #[test]
+    fn resolves_across_frames_with_shadowing() {
+        let el = parse_element(
+            r#"<a xmlns:p="urn:1"><b xmlns:p="urn:2"/></a>"#,
+        )
+        .unwrap();
+        let mut scope = NsBindings::new();
+        scope.push_element(&el);
+        assert_eq!(scope.resolve(Some("p")), Some("urn:1"));
+        let b = el.child_elements().next().unwrap();
+        scope.push_element(b);
+        assert_eq!(scope.resolve(Some("p")), Some("urn:2"));
+        scope.pop();
+        assert_eq!(scope.resolve(Some("p")), Some("urn:1"));
+    }
+
+    #[test]
+    fn unprefixed_value_uses_default_ns() {
+        let el = parse_element(r#"<a xmlns="urn:d"/>"#).unwrap();
+        let mut scope = NsBindings::new();
+        scope.push_element(&el);
+        let (uri, local) = scope.resolve_qname_value("T").unwrap();
+        assert_eq!(uri.as_deref(), Some("urn:d"));
+        assert_eq!(local, "T");
+    }
+
+    #[test]
+    fn undeclared_prefix_yields_none() {
+        let scope = NsBindings::new();
+        assert!(scope.resolve_qname_value("nope:T").is_none());
+    }
+
+    #[test]
+    fn xml_prefix_predeclared() {
+        let scope = NsBindings::new();
+        assert_eq!(scope.resolve(Some("xml")), Some(ns::XML));
+    }
+
+    #[test]
+    fn invalid_qname_yields_none() {
+        let scope = NsBindings::new();
+        assert!(scope.resolve_qname_value("a:b:c").is_none());
+        assert!(scope.resolve_qname_value("").is_none());
+    }
+}

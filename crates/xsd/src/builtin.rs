@@ -1,0 +1,228 @@
+//! The XML Schema built-in datatypes used by web-service bindings.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A built-in XML Schema simple type.
+///
+/// The set covers every type emitted by the simulated framework binding
+/// rules (JAX-WS/JAXB and the .NET `XmlSerializer`/`DataContract`
+/// mappings).
+///
+/// # Examples
+///
+/// ```
+/// use wsinterop_xsd::BuiltIn;
+/// assert_eq!(BuiltIn::Int.xsd_name(), "int");
+/// assert_eq!("dateTime".parse::<BuiltIn>()?, BuiltIn::DateTime);
+/// # Ok::<(), wsinterop_xsd::UnknownBuiltInError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum BuiltIn {
+    /// `xsd:string`
+    String,
+    /// `xsd:boolean`
+    Boolean,
+    /// `xsd:byte`
+    Byte,
+    /// `xsd:short`
+    Short,
+    /// `xsd:int`
+    Int,
+    /// `xsd:long`
+    Long,
+    /// `xsd:integer`
+    Integer,
+    /// `xsd:unsignedByte`
+    UnsignedByte,
+    /// `xsd:unsignedShort`
+    UnsignedShort,
+    /// `xsd:unsignedInt`
+    UnsignedInt,
+    /// `xsd:unsignedLong`
+    UnsignedLong,
+    /// `xsd:float`
+    Float,
+    /// `xsd:double`
+    Double,
+    /// `xsd:decimal`
+    Decimal,
+    /// `xsd:dateTime`
+    DateTime,
+    /// `xsd:date`
+    Date,
+    /// `xsd:time`
+    Time,
+    /// `xsd:duration`
+    Duration,
+    /// `xsd:gYearMonth`
+    GYearMonth,
+    /// `xsd:gYear`
+    GYear,
+    /// `xsd:base64Binary`
+    Base64Binary,
+    /// `xsd:hexBinary`
+    HexBinary,
+    /// `xsd:anyURI`
+    AnyUri,
+    /// `xsd:QName`
+    QName,
+    /// `xsd:anyType` — the universal type; frameworks fall back to it for
+    /// unbindable structures.
+    AnyType,
+    /// `xsd:anySimpleType`
+    AnySimpleType,
+}
+
+impl BuiltIn {
+    /// Every built-in, in a stable order.
+    pub const ALL: [BuiltIn; 26] = [
+        BuiltIn::String,
+        BuiltIn::Boolean,
+        BuiltIn::Byte,
+        BuiltIn::Short,
+        BuiltIn::Int,
+        BuiltIn::Long,
+        BuiltIn::Integer,
+        BuiltIn::UnsignedByte,
+        BuiltIn::UnsignedShort,
+        BuiltIn::UnsignedInt,
+        BuiltIn::UnsignedLong,
+        BuiltIn::Float,
+        BuiltIn::Double,
+        BuiltIn::Decimal,
+        BuiltIn::DateTime,
+        BuiltIn::Date,
+        BuiltIn::Time,
+        BuiltIn::Duration,
+        BuiltIn::GYearMonth,
+        BuiltIn::GYear,
+        BuiltIn::Base64Binary,
+        BuiltIn::HexBinary,
+        BuiltIn::AnyUri,
+        BuiltIn::QName,
+        BuiltIn::AnyType,
+        BuiltIn::AnySimpleType,
+    ];
+
+    /// The local name within the XSD namespace.
+    pub fn xsd_name(self) -> &'static str {
+        match self {
+            BuiltIn::String => "string",
+            BuiltIn::Boolean => "boolean",
+            BuiltIn::Byte => "byte",
+            BuiltIn::Short => "short",
+            BuiltIn::Int => "int",
+            BuiltIn::Long => "long",
+            BuiltIn::Integer => "integer",
+            BuiltIn::UnsignedByte => "unsignedByte",
+            BuiltIn::UnsignedShort => "unsignedShort",
+            BuiltIn::UnsignedInt => "unsignedInt",
+            BuiltIn::UnsignedLong => "unsignedLong",
+            BuiltIn::Float => "float",
+            BuiltIn::Double => "double",
+            BuiltIn::Decimal => "decimal",
+            BuiltIn::DateTime => "dateTime",
+            BuiltIn::Date => "date",
+            BuiltIn::Time => "time",
+            BuiltIn::Duration => "duration",
+            BuiltIn::GYearMonth => "gYearMonth",
+            BuiltIn::GYear => "gYear",
+            BuiltIn::Base64Binary => "base64Binary",
+            BuiltIn::HexBinary => "hexBinary",
+            BuiltIn::AnyUri => "anyURI",
+            BuiltIn::QName => "QName",
+            BuiltIn::AnyType => "anyType",
+            BuiltIn::AnySimpleType => "anySimpleType",
+        }
+    }
+
+    /// Returns `true` for numeric types (used by truncation heuristics in
+    /// the WS-I business-logic advisories).
+    pub fn is_numeric(self) -> bool {
+        matches!(
+            self,
+            BuiltIn::Byte
+                | BuiltIn::Short
+                | BuiltIn::Int
+                | BuiltIn::Long
+                | BuiltIn::Integer
+                | BuiltIn::UnsignedByte
+                | BuiltIn::UnsignedShort
+                | BuiltIn::UnsignedInt
+                | BuiltIn::UnsignedLong
+                | BuiltIn::Float
+                | BuiltIn::Double
+                | BuiltIn::Decimal
+        )
+    }
+}
+
+impl fmt::Display for BuiltIn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xsd:{}", self.xsd_name())
+    }
+}
+
+/// Error for [`BuiltIn::from_str`] on names outside the built-in set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownBuiltInError(pub(crate) String);
+
+impl fmt::Display for UnknownBuiltInError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown XSD built-in type `{}`", self.0)
+    }
+}
+
+impl std::error::Error for UnknownBuiltInError {}
+
+impl FromStr for BuiltIn {
+    type Err = UnknownBuiltInError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BuiltIn::ALL
+            .iter()
+            .copied()
+            .find(|b| b.xsd_name() == s)
+            .ok_or_else(|| UnknownBuiltInError(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for b in BuiltIn::ALL {
+            assert_eq!(b.xsd_name().parse::<BuiltIn>().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        let err = "notatype".parse::<BuiltIn>().unwrap_err();
+        assert!(err.to_string().contains("notatype"));
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(BuiltIn::Long.to_string(), "xsd:long");
+    }
+
+    #[test]
+    fn numeric_classification() {
+        assert!(BuiltIn::Decimal.is_numeric());
+        assert!(!BuiltIn::String.is_numeric());
+        assert!(!BuiltIn::DateTime.is_numeric());
+    }
+
+    #[test]
+    fn all_has_no_duplicates() {
+        let mut names: Vec<_> = BuiltIn::ALL.iter().map(|b| b.xsd_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), BuiltIn::ALL.len());
+    }
+}

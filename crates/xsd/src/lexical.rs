@@ -1,0 +1,446 @@
+//! Lexical mapping for built-in simple types: parsing and canonical
+//! serialization of XSD values.
+//!
+//! Implements the value spaces the echo services exchange: booleans,
+//! the integer ladder, floating point, `dateTime`, `base64Binary` and
+//! `hexBinary` — including a self-contained base64 codec (the offline
+//! crate set has none).
+
+use std::fmt;
+
+use crate::builtin::BuiltIn;
+
+/// An error produced when a lexical form does not belong to a type's
+/// lexical space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexicalError {
+    ty: BuiltIn,
+    raw: String,
+    reason: &'static str,
+}
+
+impl LexicalError {
+    fn new(ty: BuiltIn, raw: &str, reason: &'static str) -> LexicalError {
+        LexicalError {
+            ty,
+            raw: raw.to_string(),
+            reason,
+        }
+    }
+
+    /// The type whose lexical space was violated.
+    pub fn builtin(&self) -> BuiltIn {
+        self.ty
+    }
+}
+
+impl fmt::Display for LexicalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "`{}` is not a valid {}: {}",
+            self.raw, self.ty, self.reason
+        )
+    }
+}
+
+impl std::error::Error for LexicalError {}
+
+/// Validates a lexical form against a built-in's lexical space.
+///
+/// # Errors
+///
+/// Returns [`LexicalError`] when the text is outside the lexical space.
+///
+/// # Examples
+///
+/// ```
+/// use wsinterop_xsd::{BuiltIn, lexical::validate};
+/// assert!(validate(BuiltIn::Int, "-42").is_ok());
+/// assert!(validate(BuiltIn::Int, "forty-two").is_err());
+/// assert!(validate(BuiltIn::Boolean, "true").is_ok());
+/// assert!(validate(BuiltIn::DateTime, "2014-06-23T10:30:00Z").is_ok());
+/// assert!(validate(BuiltIn::DateTime, "yesterday").is_err());
+/// ```
+pub fn validate(ty: BuiltIn, raw: &str) -> Result<(), LexicalError> {
+    let text = raw.trim();
+    match ty {
+        BuiltIn::String | BuiltIn::AnyType | BuiltIn::AnySimpleType => Ok(()),
+        BuiltIn::AnyUri => {
+            if text.contains(' ') {
+                Err(LexicalError::new(ty, raw, "URIs must not contain spaces"))
+            } else {
+                Ok(())
+            }
+        }
+        BuiltIn::QName => {
+            if text.parse::<wsinterop_xml::QName>().is_ok() {
+                Ok(())
+            } else {
+                Err(LexicalError::new(ty, raw, "not a lexical QName"))
+            }
+        }
+        BuiltIn::Boolean => match text {
+            "true" | "false" | "1" | "0" => Ok(()),
+            _ => Err(LexicalError::new(ty, raw, "expected true/false/1/0")),
+        },
+        BuiltIn::Byte => int_in_range(ty, raw, text, i8::MIN as i128, i8::MAX as i128),
+        BuiltIn::Short => int_in_range(ty, raw, text, i16::MIN as i128, i16::MAX as i128),
+        BuiltIn::Int => int_in_range(ty, raw, text, i32::MIN as i128, i32::MAX as i128),
+        BuiltIn::Long => int_in_range(ty, raw, text, i64::MIN as i128, i64::MAX as i128),
+        BuiltIn::Integer => int_in_range(ty, raw, text, i128::MIN, i128::MAX),
+        BuiltIn::UnsignedByte => int_in_range(ty, raw, text, 0, u8::MAX as i128),
+        BuiltIn::UnsignedShort => int_in_range(ty, raw, text, 0, u16::MAX as i128),
+        BuiltIn::UnsignedInt => int_in_range(ty, raw, text, 0, u32::MAX as i128),
+        BuiltIn::UnsignedLong => int_in_range(ty, raw, text, 0, u64::MAX as i128),
+        BuiltIn::Float | BuiltIn::Double => {
+            if matches!(text, "NaN" | "INF" | "-INF") || text.parse::<f64>().is_ok() {
+                Ok(())
+            } else {
+                Err(LexicalError::new(ty, raw, "not a floating-point literal"))
+            }
+        }
+        BuiltIn::Decimal => {
+            let no_exp = !text.contains(['e', 'E']);
+            if no_exp && text.parse::<f64>().is_ok() {
+                Ok(())
+            } else {
+                Err(LexicalError::new(ty, raw, "decimals take no exponent"))
+            }
+        }
+        BuiltIn::DateTime => date_time(ty, raw, text),
+        BuiltIn::Date => date_only(ty, raw, text),
+        BuiltIn::Time => time_only(ty, raw, text),
+        BuiltIn::Duration => {
+            // P[nY][nM][nD][T[nH][nM][nS]] — at least one component.
+            let body = text.strip_prefix('-').unwrap_or(text);
+            if body.starts_with('P') && body.len() > 1 {
+                Ok(())
+            } else {
+                Err(LexicalError::new(ty, raw, "expected ISO-8601 duration"))
+            }
+        }
+        BuiltIn::GYearMonth => {
+            let ok = text.len() >= 7
+                && text.as_bytes()[4] == b'-'
+                && text[..4].chars().all(|c| c.is_ascii_digit())
+                && text[5..7].chars().all(|c| c.is_ascii_digit());
+            if ok {
+                Ok(())
+            } else {
+                Err(LexicalError::new(ty, raw, "expected CCYY-MM"))
+            }
+        }
+        BuiltIn::GYear => {
+            if text.len() >= 4 && text[..4].chars().all(|c| c.is_ascii_digit()) {
+                Ok(())
+            } else {
+                Err(LexicalError::new(ty, raw, "expected CCYY"))
+            }
+        }
+        BuiltIn::Base64Binary => base64_decode(text)
+            .map(|_| ())
+            .map_err(|reason| LexicalError::new(ty, raw, reason)),
+        BuiltIn::HexBinary => {
+            if text.len().is_multiple_of(2) && text.chars().all(|c| c.is_ascii_hexdigit()) {
+                Ok(())
+            } else {
+                Err(LexicalError::new(ty, raw, "expected an even hex string"))
+            }
+        }
+    }
+}
+
+fn int_in_range(
+    ty: BuiltIn,
+    raw: &str,
+    text: &str,
+    min: i128,
+    max: i128,
+) -> Result<(), LexicalError> {
+    match text.parse::<i128>() {
+        Ok(v) if v >= min && v <= max => Ok(()),
+        Ok(_) => Err(LexicalError::new(ty, raw, "out of range")),
+        Err(_) => Err(LexicalError::new(ty, raw, "not an integer")),
+    }
+}
+
+fn date_only(ty: BuiltIn, raw: &str, text: &str) -> Result<(), LexicalError> {
+    let b = text.as_bytes();
+    let ok = b.len() >= 10
+        && b[0..4].iter().all(u8::is_ascii_digit)
+        && b[4] == b'-'
+        && b[5..7].iter().all(u8::is_ascii_digit)
+        && b[7] == b'-'
+        && b[8..10].iter().all(u8::is_ascii_digit)
+        && {
+            let month: u8 = text[5..7].parse().unwrap_or(0);
+            let day: u8 = text[8..10].parse().unwrap_or(0);
+            (1..=12).contains(&month) && (1..=31).contains(&day)
+        };
+    if ok {
+        Ok(())
+    } else {
+        Err(LexicalError::new(ty, raw, "expected CCYY-MM-DD"))
+    }
+}
+
+fn time_only(ty: BuiltIn, raw: &str, text: &str) -> Result<(), LexicalError> {
+    let b = text.as_bytes();
+    let ok = b.len() >= 8
+        && b[0..2].iter().all(u8::is_ascii_digit)
+        && b[2] == b':'
+        && b[3..5].iter().all(u8::is_ascii_digit)
+        && b[5] == b':'
+        && b[6..8].iter().all(u8::is_ascii_digit)
+        && {
+            let hh: u8 = text[0..2].parse().unwrap_or(99);
+            let mm: u8 = text[3..5].parse().unwrap_or(99);
+            let ss: u8 = text[6..8].parse().unwrap_or(99);
+            hh <= 23 && mm <= 59 && ss <= 60
+        };
+    if ok {
+        Ok(())
+    } else {
+        Err(LexicalError::new(ty, raw, "expected hh:mm:ss"))
+    }
+}
+
+fn date_time(ty: BuiltIn, raw: &str, text: &str) -> Result<(), LexicalError> {
+    let Some((date, time)) = text.split_once('T') else {
+        return Err(LexicalError::new(ty, raw, "expected CCYY-MM-DDThh:mm:ss"));
+    };
+    date_only(ty, raw, date)?;
+    time_only(ty, raw, time)
+}
+
+const B64_ALPHABET: &[u8; 64] =
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes bytes as standard base64 (with padding).
+///
+/// # Examples
+///
+/// ```
+/// use wsinterop_xsd::lexical::base64_encode;
+/// assert_eq!(base64_encode(b"interop"), "aW50ZXJvcA==");
+/// assert_eq!(base64_encode(b""), "");
+/// ```
+pub fn base64_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let b = [
+            chunk[0],
+            chunk.get(1).copied().unwrap_or(0),
+            chunk.get(2).copied().unwrap_or(0),
+        ];
+        let n = (u32::from(b[0]) << 16) | (u32::from(b[1]) << 8) | u32::from(b[2]);
+        let idx = [
+            (n >> 18) & 63,
+            (n >> 12) & 63,
+            (n >> 6) & 63,
+            n & 63,
+        ];
+        out.push(B64_ALPHABET[idx[0] as usize] as char);
+        out.push(B64_ALPHABET[idx[1] as usize] as char);
+        out.push(if chunk.len() > 1 {
+            B64_ALPHABET[idx[2] as usize] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            B64_ALPHABET[idx[3] as usize] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decodes standard base64 (padding required, whitespace ignored).
+///
+/// # Errors
+///
+/// Returns a static reason string on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use wsinterop_xsd::lexical::base64_decode;
+/// assert_eq!(base64_decode("aW50ZXJvcA==").unwrap(), b"interop");
+/// assert!(base64_decode("a").is_err());
+/// ```
+pub fn base64_decode(text: &str) -> Result<Vec<u8>, &'static str> {
+    let cleaned: Vec<u8> = text.bytes().filter(|b| !b.is_ascii_whitespace()).collect();
+    if cleaned.is_empty() {
+        return Ok(Vec::new());
+    }
+    if !cleaned.len().is_multiple_of(4) {
+        return Err("length must be a multiple of 4");
+    }
+    let value_of = |b: u8| -> Result<u32, &'static str> {
+        match b {
+            b'A'..=b'Z' => Ok(u32::from(b - b'A')),
+            b'a'..=b'z' => Ok(u32::from(b - b'a') + 26),
+            b'0'..=b'9' => Ok(u32::from(b - b'0') + 52),
+            b'+' => Ok(62),
+            b'/' => Ok(63),
+            _ => Err("invalid base64 character"),
+        }
+    };
+    let mut out = Vec::with_capacity(cleaned.len() / 4 * 3);
+    for (i, quad) in cleaned.chunks(4).enumerate() {
+        let last = i == cleaned.len() / 4 - 1;
+        let pads = quad.iter().filter(|&&b| b == b'=').count();
+        if pads > 2 || (!last && pads > 0) {
+            return Err("misplaced padding");
+        }
+        if (quad[0] == b'=') || (quad[1] == b'=') {
+            return Err("misplaced padding");
+        }
+        if quad[2] == b'=' && quad[3] != b'=' {
+            return Err("misplaced padding");
+        }
+        let mut n = (value_of(quad[0])? << 18) | (value_of(quad[1])? << 12);
+        if quad[2] != b'=' {
+            n |= value_of(quad[2])? << 6;
+        }
+        if quad[3] != b'=' {
+            n |= value_of(quad[3])?;
+        }
+        out.push((n >> 16) as u8);
+        if quad[2] != b'=' {
+            out.push((n >> 8) as u8);
+        }
+        if quad[3] != b'=' {
+            out.push(n as u8);
+        }
+    }
+    Ok(out)
+}
+
+/// A canonical sample value from the type's lexical space (used by the
+/// typed exchange simulator and the examples).
+pub fn sample(ty: BuiltIn) -> &'static str {
+    match ty {
+        BuiltIn::String | BuiltIn::AnyType | BuiltIn::AnySimpleType => "sample",
+        BuiltIn::AnyUri => "http://example.org/resource",
+        BuiltIn::QName => "tns:name",
+        BuiltIn::Boolean => "true",
+        BuiltIn::Byte | BuiltIn::Short | BuiltIn::Int | BuiltIn::Long | BuiltIn::Integer => "42",
+        BuiltIn::UnsignedByte
+        | BuiltIn::UnsignedShort
+        | BuiltIn::UnsignedInt
+        | BuiltIn::UnsignedLong => "7",
+        BuiltIn::Float | BuiltIn::Double => "3.25",
+        BuiltIn::Decimal => "19.90",
+        BuiltIn::DateTime => "2014-06-23T10:30:00",
+        BuiltIn::Date => "2014-06-23",
+        BuiltIn::Time => "10:30:00",
+        BuiltIn::Duration => "P1DT2H",
+        BuiltIn::GYearMonth => "2014-06",
+        BuiltIn::GYear => "2014",
+        BuiltIn::Base64Binary => "aW50ZXJvcA==",
+        BuiltIn::HexBinary => "DEADBEEF",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_sample_is_valid_for_its_type() {
+        for ty in BuiltIn::ALL {
+            assert!(validate(ty, sample(ty)).is_ok(), "{ty}");
+        }
+    }
+
+    #[test]
+    fn integer_ranges_enforced() {
+        assert!(validate(BuiltIn::Byte, "127").is_ok());
+        assert!(validate(BuiltIn::Byte, "128").is_err());
+        assert!(validate(BuiltIn::UnsignedInt, "-1").is_err());
+        assert!(validate(BuiltIn::Long, "9223372036854775807").is_ok());
+        assert!(validate(BuiltIn::Long, "9223372036854775808").is_err());
+        assert!(validate(BuiltIn::Int, "not-int").is_err());
+    }
+
+    #[test]
+    fn floats_accept_special_values_decimals_do_not() {
+        assert!(validate(BuiltIn::Double, "NaN").is_ok());
+        assert!(validate(BuiltIn::Double, "-INF").is_ok());
+        assert!(validate(BuiltIn::Double, "1e9").is_ok());
+        assert!(validate(BuiltIn::Decimal, "1e9").is_err());
+        assert!(validate(BuiltIn::Decimal, "10.50").is_ok());
+    }
+
+    #[test]
+    fn date_time_shapes() {
+        assert!(validate(BuiltIn::DateTime, "2014-06-23T10:30:00Z").is_ok());
+        assert!(validate(BuiltIn::DateTime, "2014-13-23T10:30:00").is_err());
+        assert!(validate(BuiltIn::DateTime, "2014-06-23").is_err());
+        assert!(validate(BuiltIn::Date, "2014-06-23").is_ok());
+        assert!(validate(BuiltIn::Time, "25:00:00").is_err());
+        assert!(validate(BuiltIn::GYearMonth, "2014-06").is_ok());
+        assert!(validate(BuiltIn::GYearMonth, "201406").is_err());
+    }
+
+    #[test]
+    fn base64_roundtrip() {
+        for data in [
+            &b""[..],
+            b"a",
+            b"ab",
+            b"abc",
+            b"abcd",
+            b"\x00\xff\x10\x80",
+            b"the quick brown fox",
+        ] {
+            let encoded = base64_encode(data);
+            assert_eq!(base64_decode(&encoded).unwrap(), data, "{encoded}");
+        }
+    }
+
+    #[test]
+    fn base64_rejects_malformed() {
+        assert!(base64_decode("abc").is_err());
+        assert!(base64_decode("ab=c").is_err());
+        assert!(base64_decode("====").is_err());
+        assert!(base64_decode("a*==").is_err());
+    }
+
+    #[test]
+    fn base64_ignores_whitespace() {
+        assert_eq!(base64_decode("aW50\nZXJv cA==").unwrap(), b"interop");
+    }
+
+    #[test]
+    fn hex_binary() {
+        assert!(validate(BuiltIn::HexBinary, "00ff").is_ok());
+        assert!(validate(BuiltIn::HexBinary, "0f0").is_err());
+        assert!(validate(BuiltIn::HexBinary, "zz").is_err());
+    }
+
+    #[test]
+    fn qname_and_uri() {
+        assert!(validate(BuiltIn::QName, "a:b").is_ok());
+        assert!(validate(BuiltIn::QName, "a:b:c").is_err());
+        assert!(validate(BuiltIn::AnyUri, "urn:with space").is_err());
+    }
+
+    #[test]
+    fn boolean_forms() {
+        for ok in ["true", "false", "1", "0"] {
+            assert!(validate(BuiltIn::Boolean, ok).is_ok());
+        }
+        assert!(validate(BuiltIn::Boolean, "TRUE").is_err());
+    }
+
+    #[test]
+    fn lexical_error_reports_type_and_input() {
+        let err = validate(BuiltIn::Int, "xyz").unwrap_err();
+        assert_eq!(err.builtin(), BuiltIn::Int);
+        assert!(err.to_string().contains("xyz"));
+    }
+}

@@ -1,0 +1,50 @@
+//! # wsinterop-xsd
+//!
+//! An XML Schema (XSD) object model covering the subset of schema
+//! constructs that SOAP web-service frameworks emit into WSDL `types`
+//! sections: global elements, (anonymous) complex types with
+//! sequence/choice/all content, element/attribute references, wildcards,
+//! enumerated simple types, imports and form defaults.
+//!
+//! The model intentionally includes the *irregular* shapes the study
+//! depends on — `ref="s:schema"` element references into the XSD
+//! namespace itself and `ref="s:lang"` attribute references — because
+//! the reproduced interoperability failures hinge on them.
+//!
+//! * [`model`] — the object model ([`Schema`], [`ComplexType`], …)
+//! * [`builtin`] — the built-in simple types ([`BuiltIn`])
+//! * [`ser`] — serialization to `wsinterop-xml` elements
+//! * [`de`] — parsing back from elements
+//! * [`lexical`] — lexical validation and canonical values (incl. a
+//!   self-contained base64 codec)
+//!
+//! ## Example
+//!
+//! ```
+//! use wsinterop_xsd::{Schema, ElementDecl, TypeRef, BuiltIn};
+//! use wsinterop_xsd::ser::{schema_to_element, SerOptions};
+//! use wsinterop_xsd::de::schema_from_element;
+//! use wsinterop_xml::scope::NsBindings;
+//!
+//! let mut schema = Schema::new("urn:quick");
+//! schema.elements.push(ElementDecl::typed("value", TypeRef::BuiltIn(BuiltIn::Long)));
+//! let el = schema_to_element(&schema, &SerOptions::default());
+//! let back = schema_from_element(&el, &NsBindings::new())?;
+//! assert_eq!(back, schema);
+//! # Ok::<(), wsinterop_xsd::de::SchemaReadError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builtin;
+pub mod de;
+pub mod lexical;
+pub mod model;
+pub mod ser;
+
+pub use builtin::{BuiltIn, UnknownBuiltInError};
+pub use model::{
+    AttributeDecl, ComplexType, Compositor, ElementDecl, Form, Group, Import, MaxOccurs,
+    Particle, ProcessContents, Schema, SimpleType, TypeRef,
+};

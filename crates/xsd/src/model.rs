@@ -1,0 +1,468 @@
+//! The XML Schema object model used by the WSDL `types` section.
+
+use crate::builtin::BuiltIn;
+
+/// A reference to a type: either a built-in or a named (possibly
+/// cross-namespace) type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TypeRef {
+    /// A built-in XSD simple type.
+    BuiltIn(BuiltIn),
+    /// A named type: `(namespace-uri, local-name)`.
+    Named {
+        /// Namespace URI of the referenced type.
+        ns_uri: String,
+        /// Local name of the referenced type.
+        local: String,
+    },
+}
+
+impl TypeRef {
+    /// Convenience constructor for a named reference.
+    pub fn named(ns_uri: impl Into<String>, local: impl Into<String>) -> TypeRef {
+        TypeRef::Named {
+            ns_uri: ns_uri.into(),
+            local: local.into(),
+        }
+    }
+
+    /// Returns the built-in, when this reference is one.
+    pub fn as_built_in(&self) -> Option<BuiltIn> {
+        match self {
+            TypeRef::BuiltIn(b) => Some(*b),
+            TypeRef::Named { .. } => None,
+        }
+    }
+
+    /// Local name of the referenced type (built-ins use their XSD name).
+    pub fn local_name(&self) -> &str {
+        match self {
+            TypeRef::BuiltIn(b) => b.xsd_name(),
+            TypeRef::Named { local, .. } => local,
+        }
+    }
+}
+
+/// Upper bound of an occurrence constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MaxOccurs {
+    /// A finite bound.
+    Bounded(u32),
+    /// `maxOccurs="unbounded"`.
+    Unbounded,
+}
+
+impl Default for MaxOccurs {
+    fn default() -> Self {
+        MaxOccurs::Bounded(1)
+    }
+}
+
+/// An element declaration (top-level or inside a particle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementDecl {
+    /// Element name.
+    pub name: String,
+    /// Declared type; `None` means the element carries an inline
+    /// anonymous complex type (see [`ElementDecl::inline`]) or is
+    /// typeless (`anyType` semantics).
+    pub type_ref: Option<TypeRef>,
+    /// Inline anonymous complex type, if any.
+    pub inline: Option<Box<ComplexType>>,
+    /// `minOccurs` (default 1).
+    pub min_occurs: u32,
+    /// `maxOccurs` (default 1).
+    pub max_occurs: MaxOccurs,
+    /// `nillable="true"`.
+    pub nillable: bool,
+}
+
+impl ElementDecl {
+    /// A `minOccurs=1 maxOccurs=1` element of the given type.
+    pub fn typed(name: impl Into<String>, type_ref: TypeRef) -> ElementDecl {
+        ElementDecl {
+            name: name.into(),
+            type_ref: Some(type_ref),
+            inline: None,
+            min_occurs: 1,
+            max_occurs: MaxOccurs::default(),
+            nillable: false,
+        }
+    }
+
+    /// An element with an inline anonymous complex type.
+    pub fn with_inline(name: impl Into<String>, inline: ComplexType) -> ElementDecl {
+        ElementDecl {
+            name: name.into(),
+            type_ref: None,
+            inline: Some(Box::new(inline)),
+            min_occurs: 1,
+            max_occurs: MaxOccurs::default(),
+            nillable: false,
+        }
+    }
+
+    /// Builder: sets `minOccurs`.
+    #[must_use]
+    pub fn min(mut self, min_occurs: u32) -> ElementDecl {
+        self.min_occurs = min_occurs;
+        self
+    }
+
+    /// Builder: sets `maxOccurs`.
+    #[must_use]
+    pub fn max(mut self, max_occurs: MaxOccurs) -> ElementDecl {
+        self.max_occurs = max_occurs;
+        self
+    }
+
+    /// Builder: marks the element nillable.
+    #[must_use]
+    pub fn nillable(mut self) -> ElementDecl {
+        self.nillable = true;
+        self
+    }
+}
+
+/// How `xsd:any` content is validated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ProcessContents {
+    /// `processContents="strict"`.
+    Strict,
+    /// `processContents="lax"`.
+    #[default]
+    Lax,
+    /// `processContents="skip"`.
+    Skip,
+}
+
+impl ProcessContents {
+    /// The attribute value for serialization.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ProcessContents::Strict => "strict",
+            ProcessContents::Lax => "lax",
+            ProcessContents::Skip => "skip",
+        }
+    }
+}
+
+/// A content-model particle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Particle {
+    /// A local element declaration.
+    Element(ElementDecl),
+    /// A reference to a global element declaration (`<xsd:element ref=…>`).
+    ///
+    /// The infamous `.NET` DataSet binding emits `ref="s:schema"` — a
+    /// reference *into the XSD namespace itself* — which several Java
+    /// consumers cannot resolve. Modeling refs explicitly lets that
+    /// document shape exist honestly.
+    ElementRef {
+        /// Namespace URI of the referenced global element.
+        ns_uri: String,
+        /// Local name of the referenced global element.
+        local: String,
+    },
+    /// An `xsd:any` wildcard.
+    Any {
+        /// Validation mode.
+        process_contents: ProcessContents,
+        /// `minOccurs`.
+        min_occurs: u32,
+        /// `maxOccurs`.
+        max_occurs: MaxOccurs,
+    },
+    /// A nested model group.
+    Group(Box<Group>),
+}
+
+/// The compositor of a model group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Compositor {
+    /// `xsd:sequence`
+    #[default]
+    Sequence,
+    /// `xsd:choice`
+    Choice,
+    /// `xsd:all`
+    All,
+}
+
+impl Compositor {
+    /// The XSD element local name.
+    pub fn xsd_name(self) -> &'static str {
+        match self {
+            Compositor::Sequence => "sequence",
+            Compositor::Choice => "choice",
+            Compositor::All => "all",
+        }
+    }
+}
+
+/// A model group: compositor plus particles.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Group {
+    /// The compositor.
+    pub compositor: Compositor,
+    /// The contained particles, in order.
+    pub particles: Vec<Particle>,
+}
+
+impl Group {
+    /// An empty sequence.
+    pub fn sequence() -> Group {
+        Group::default()
+    }
+
+    /// Builder: appends a particle.
+    #[must_use]
+    pub fn with(mut self, particle: Particle) -> Group {
+        self.particles.push(particle);
+        self
+    }
+}
+
+/// An attribute declaration on a complex type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttributeDecl {
+    /// A local attribute with a name and simple type.
+    Local {
+        /// Attribute name.
+        name: String,
+        /// Attribute simple type.
+        type_ref: TypeRef,
+        /// `use="required"`.
+        required: bool,
+    },
+    /// A reference to a global attribute (`<xsd:attribute ref=…>`), e.g.
+    /// the `.NET`-emitted `ref="s:lang"` that Java consumers reject.
+    Ref {
+        /// Namespace URI of the referenced global attribute.
+        ns_uri: String,
+        /// Local name of the referenced global attribute.
+        local: String,
+    },
+}
+
+/// A (possibly named) complex type definition.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ComplexType {
+    /// Type name; `None` for anonymous inline types.
+    pub name: Option<String>,
+    /// The content model.
+    pub content: Group,
+    /// Attribute declarations.
+    pub attributes: Vec<AttributeDecl>,
+    /// `abstract="true"`.
+    pub is_abstract: bool,
+    /// Base type for `complexContent/extension`, if any.
+    pub extends: Option<TypeRef>,
+}
+
+impl ComplexType {
+    /// A named complex type with an empty sequence.
+    pub fn named(name: impl Into<String>) -> ComplexType {
+        ComplexType {
+            name: Some(name.into()),
+            ..ComplexType::default()
+        }
+    }
+
+    /// An anonymous complex type with an empty sequence.
+    pub fn anonymous() -> ComplexType {
+        ComplexType::default()
+    }
+
+    /// Builder: appends a particle to the content group.
+    #[must_use]
+    pub fn with_particle(mut self, particle: Particle) -> ComplexType {
+        self.content.particles.push(particle);
+        self
+    }
+
+    /// Builder: appends an attribute declaration.
+    #[must_use]
+    pub fn with_attribute(mut self, attr: AttributeDecl) -> ComplexType {
+        self.attributes.push(attr);
+        self
+    }
+
+    /// Builder: sets the extension base.
+    #[must_use]
+    pub fn extending(mut self, base: TypeRef) -> ComplexType {
+        self.extends = Some(base);
+        self
+    }
+}
+
+/// A named simple type (restriction of a built-in, optionally an
+/// enumeration — the shape used for C# `enum` bindings).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimpleType {
+    /// Type name.
+    pub name: String,
+    /// Restriction base.
+    pub base: BuiltIn,
+    /// Enumeration facet values (empty = plain restriction).
+    pub enumeration: Vec<String>,
+}
+
+/// An `xsd:import`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Import {
+    /// The imported namespace.
+    pub namespace: String,
+    /// Optional `schemaLocation`.
+    pub schema_location: Option<String>,
+}
+
+/// Element/attribute form defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Form {
+    /// `unqualified` (XSD default).
+    #[default]
+    Unqualified,
+    /// `qualified`.
+    Qualified,
+}
+
+impl Form {
+    /// The attribute value for serialization.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Form::Unqualified => "unqualified",
+            Form::Qualified => "qualified",
+        }
+    }
+}
+
+/// A complete schema document (one `<xsd:schema>` element).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    /// `targetNamespace`.
+    pub target_ns: String,
+    /// `elementFormDefault`.
+    pub element_form_default: Form,
+    /// Imports.
+    pub imports: Vec<Import>,
+    /// Global element declarations.
+    pub elements: Vec<ElementDecl>,
+    /// Named complex types.
+    pub complex_types: Vec<ComplexType>,
+    /// Named simple types.
+    pub simple_types: Vec<SimpleType>,
+}
+
+impl Schema {
+    /// An empty schema for the given target namespace.
+    pub fn new(target_ns: impl Into<String>) -> Schema {
+        Schema {
+            target_ns: target_ns.into(),
+            element_form_default: Form::Qualified,
+            imports: Vec::new(),
+            elements: Vec::new(),
+            complex_types: Vec::new(),
+            simple_types: Vec::new(),
+        }
+    }
+
+    /// Looks up a global element by name.
+    pub fn element(&self, name: &str) -> Option<&ElementDecl> {
+        self.elements.iter().find(|e| e.name == name)
+    }
+
+    /// Looks up a named complex type.
+    pub fn complex_type(&self, name: &str) -> Option<&ComplexType> {
+        self.complex_types.iter().find(|t| t.name.as_deref() == Some(name))
+    }
+
+    /// Looks up a named simple type.
+    pub fn simple_type(&self, name: &str) -> Option<&SimpleType> {
+        self.simple_types.iter().find(|t| t.name == name)
+    }
+
+    /// Counts every element declaration in the schema, including nested
+    /// inline ones (used by campaign statistics).
+    pub fn element_decl_count(&self) -> usize {
+        fn count_group(g: &Group) -> usize {
+            g.particles
+                .iter()
+                .map(|p| match p {
+                    Particle::Element(e) => {
+                        1 + e.inline.as_ref().map_or(0, |ct| count_group(&ct.content))
+                    }
+                    Particle::Group(inner) => count_group(inner),
+                    _ => 0,
+                })
+                .sum()
+        }
+        self.elements
+            .iter()
+            .map(|e| 1 + e.inline.as_ref().map_or(0, |ct| count_group(&ct.content)))
+            .sum::<usize>()
+            + self
+                .complex_types
+                .iter()
+                .map(|ct| count_group(&ct.content))
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_builders_compose() {
+        let e = ElementDecl::typed("x", TypeRef::BuiltIn(BuiltIn::Int))
+            .min(0)
+            .max(MaxOccurs::Unbounded)
+            .nillable();
+        assert_eq!(e.min_occurs, 0);
+        assert_eq!(e.max_occurs, MaxOccurs::Unbounded);
+        assert!(e.nillable);
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let mut s = Schema::new("urn:t");
+        s.elements.push(ElementDecl::typed("a", TypeRef::BuiltIn(BuiltIn::String)));
+        s.complex_types.push(ComplexType::named("T"));
+        s.simple_types.push(SimpleType {
+            name: "E".into(),
+            base: BuiltIn::String,
+            enumeration: vec!["A".into()],
+        });
+        assert!(s.element("a").is_some());
+        assert!(s.element("b").is_none());
+        assert!(s.complex_type("T").is_some());
+        assert!(s.simple_type("E").is_some());
+    }
+
+    #[test]
+    fn element_decl_count_includes_inline() {
+        let inline = ComplexType::anonymous().with_particle(Particle::Element(
+            ElementDecl::typed("inner", TypeRef::BuiltIn(BuiltIn::Int)),
+        ));
+        let mut s = Schema::new("urn:t");
+        s.elements.push(ElementDecl::with_inline("outer", inline));
+        s.complex_types.push(
+            ComplexType::named("T").with_particle(Particle::Element(ElementDecl::typed(
+                "f",
+                TypeRef::BuiltIn(BuiltIn::String),
+            ))),
+        );
+        assert_eq!(s.element_decl_count(), 3);
+    }
+
+    #[test]
+    fn type_ref_accessors() {
+        let b = TypeRef::BuiltIn(BuiltIn::Double);
+        assert_eq!(b.as_built_in(), Some(BuiltIn::Double));
+        assert_eq!(b.local_name(), "double");
+        let n = TypeRef::named("urn:x", "Foo");
+        assert_eq!(n.as_built_in(), None);
+        assert_eq!(n.local_name(), "Foo");
+    }
+}

@@ -1,0 +1,403 @@
+//! Serialization of the schema object model to XML elements.
+
+use wsinterop_xml::name::ns;
+use wsinterop_xml::Element;
+
+use crate::model::{
+    AttributeDecl, ComplexType, ElementDecl, Group, Import, MaxOccurs, Particle, Schema,
+    SimpleType, TypeRef,
+};
+
+/// Prefix assignments used while serializing a schema.
+///
+/// The XSD namespace and the schema's target namespace always have a
+/// prefix; additional namespaces can be registered for cross-namespace
+/// type references.
+#[derive(Debug, Clone)]
+pub struct SerOptions {
+    /// Prefix bound to the XSD namespace (JAX-WS emits `xs`/`xsd`,
+    /// `.NET` emits `s` — the difference is visible in the paper's
+    /// error messages, so it is configurable).
+    pub xsd_prefix: String,
+    /// Prefix bound to the target namespace.
+    pub tns_prefix: String,
+    /// Extra `(namespace-uri, prefix)` pairs.
+    pub extra: Vec<(String, String)>,
+    /// Emit `xmlns` declarations on the `schema` element itself
+    /// (standalone document form). When embedded in a WSDL the
+    /// declarations usually live on `wsdl:definitions` instead.
+    pub declare_namespaces: bool,
+}
+
+impl Default for SerOptions {
+    fn default() -> Self {
+        SerOptions {
+            xsd_prefix: "xsd".to_string(),
+            tns_prefix: "tns".to_string(),
+            extra: Vec::new(),
+            declare_namespaces: true,
+        }
+    }
+}
+
+impl SerOptions {
+    /// The `.NET`-style prefix assignment (`s:` for XSD).
+    pub fn dotnet() -> SerOptions {
+        SerOptions {
+            xsd_prefix: "s".to_string(),
+            ..SerOptions::default()
+        }
+    }
+
+    fn prefix_for(&self, uri: &str, target_ns: &str) -> Option<&str> {
+        if uri == ns::XSD {
+            Some(&self.xsd_prefix)
+        } else if uri == target_ns {
+            Some(&self.tns_prefix)
+        } else {
+            self.extra
+                .iter()
+                .find(|(u, _)| u == uri)
+                .map(|(_, p)| p.as_str())
+        }
+    }
+
+    fn qname(&self, uri: &str, local: &str, target_ns: &str) -> String {
+        match self.prefix_for(uri, target_ns) {
+            Some(p) => format!("{p}:{local}"),
+            // Unknown namespace: emit the raw local name; consumers will
+            // fail to resolve it, which is precisely the failure mode
+            // some real generators exhibit.
+            None => local.to_string(),
+        }
+    }
+
+    fn type_ref(&self, r: &TypeRef, target_ns: &str) -> String {
+        match r {
+            TypeRef::BuiltIn(b) => format!("{}:{}", self.xsd_prefix, b.xsd_name()),
+            TypeRef::Named { ns_uri, local } => self.qname(ns_uri, local, target_ns),
+        }
+    }
+}
+
+/// Serializes a [`Schema`] to an `xsd:schema` element.
+///
+/// # Examples
+///
+/// ```
+/// use wsinterop_xsd::{Schema, ElementDecl, TypeRef, BuiltIn, ser::{schema_to_element, SerOptions}};
+/// let mut schema = Schema::new("urn:example");
+/// schema.elements.push(ElementDecl::typed("echo", TypeRef::BuiltIn(BuiltIn::String)));
+/// let el = schema_to_element(&schema, &SerOptions::default());
+/// assert_eq!(el.attr("targetNamespace"), Some("urn:example"));
+/// assert_eq!(el.child_elements().count(), 1);
+/// ```
+pub fn schema_to_element(schema: &Schema, opts: &SerOptions) -> Element {
+    let xp = &opts.xsd_prefix;
+    let mut root = Element::new(&format!("{xp}:schema"))
+        .in_ns(ns::XSD)
+        .with_attr("targetNamespace", &schema.target_ns)
+        .with_attr(
+            "elementFormDefault",
+            schema.element_form_default.as_str(),
+        );
+    if opts.declare_namespaces {
+        root.declare_ns(Some(xp), ns::XSD);
+        root.declare_ns(Some(&opts.tns_prefix), &schema.target_ns);
+        for (uri, p) in &opts.extra {
+            root.declare_ns(Some(p), uri);
+        }
+    }
+    for import in &schema.imports {
+        root.push_element(import_to_element(import, opts));
+    }
+    for el in &schema.elements {
+        root.push_element(element_decl_to_element(el, schema, opts));
+    }
+    for ct in &schema.complex_types {
+        root.push_element(complex_type_to_element(ct, schema, opts));
+    }
+    for st in &schema.simple_types {
+        root.push_element(simple_type_to_element(st, opts));
+    }
+    root
+}
+
+fn import_to_element(import: &Import, opts: &SerOptions) -> Element {
+    let mut el = Element::new(&format!("{}:import", opts.xsd_prefix))
+        .in_ns(ns::XSD)
+        .with_attr("namespace", &import.namespace);
+    if let Some(loc) = &import.schema_location {
+        el.set_attr("schemaLocation", loc);
+    }
+    el
+}
+
+fn element_decl_to_element(decl: &ElementDecl, schema: &Schema, opts: &SerOptions) -> Element {
+    let mut el = Element::new(&format!("{}:element", opts.xsd_prefix))
+        .in_ns(ns::XSD)
+        .with_attr("name", &decl.name);
+    if decl.min_occurs != 1 {
+        el.set_attr("minOccurs", decl.min_occurs.to_string());
+    }
+    match decl.max_occurs {
+        MaxOccurs::Bounded(1) => {}
+        MaxOccurs::Bounded(n) => el.set_attr("maxOccurs", n.to_string()),
+        MaxOccurs::Unbounded => el.set_attr("maxOccurs", "unbounded"),
+    }
+    if decl.nillable {
+        el.set_attr("nillable", "true");
+    }
+    if let Some(r) = &decl.type_ref {
+        el.set_attr("type", opts.type_ref(r, &schema.target_ns));
+    }
+    if let Some(inline) = &decl.inline {
+        el.push_element(complex_type_to_element(inline, schema, opts));
+    }
+    el
+}
+
+fn complex_type_to_element(ct: &ComplexType, schema: &Schema, opts: &SerOptions) -> Element {
+    let xp = &opts.xsd_prefix;
+    let mut el = Element::new(&format!("{xp}:complexType")).in_ns(ns::XSD);
+    if let Some(name) = &ct.name {
+        el.set_attr("name", name);
+    }
+    if ct.is_abstract {
+        el.set_attr("abstract", "true");
+    }
+    let body = group_to_element(&ct.content, schema, opts);
+    if let Some(base) = &ct.extends {
+        let ext = Element::new(&format!("{xp}:extension"))
+            .in_ns(ns::XSD)
+            .with_attr("base", opts.type_ref(base, &schema.target_ns))
+            .with_child(body);
+        el.push_element(
+            Element::new(&format!("{xp}:complexContent"))
+                .in_ns(ns::XSD)
+                .with_child(ext),
+        );
+    } else {
+        el.push_element(body);
+    }
+    for attr in &ct.attributes {
+        el.push_element(attribute_to_element(attr, schema, opts));
+    }
+    el
+}
+
+fn group_to_element(group: &Group, schema: &Schema, opts: &SerOptions) -> Element {
+    let xp = &opts.xsd_prefix;
+    let mut el =
+        Element::new(&format!("{xp}:{}", group.compositor.xsd_name())).in_ns(ns::XSD);
+    for particle in &group.particles {
+        match particle {
+            Particle::Element(decl) => {
+                el.push_element(element_decl_to_element(decl, schema, opts));
+            }
+            Particle::ElementRef { ns_uri, local } => {
+                el.push_element(
+                    Element::new(&format!("{xp}:element"))
+                        .in_ns(ns::XSD)
+                        .with_attr("ref", opts.qname(ns_uri, local, &schema.target_ns)),
+                );
+            }
+            Particle::Any {
+                process_contents,
+                min_occurs,
+                max_occurs,
+            } => {
+                let mut any = Element::new(&format!("{xp}:any"))
+                    .in_ns(ns::XSD)
+                    .with_attr("processContents", process_contents.as_str());
+                if *min_occurs != 1 {
+                    any.set_attr("minOccurs", min_occurs.to_string());
+                }
+                match max_occurs {
+                    MaxOccurs::Bounded(1) => {}
+                    MaxOccurs::Bounded(n) => any.set_attr("maxOccurs", n.to_string()),
+                    MaxOccurs::Unbounded => any.set_attr("maxOccurs", "unbounded"),
+                }
+                el.push_element(any);
+            }
+            Particle::Group(inner) => {
+                el.push_element(group_to_element(inner, schema, opts));
+            }
+        }
+    }
+    el
+}
+
+fn attribute_to_element(attr: &AttributeDecl, schema: &Schema, opts: &SerOptions) -> Element {
+    let xp = &opts.xsd_prefix;
+    match attr {
+        AttributeDecl::Local {
+            name,
+            type_ref,
+            required,
+        } => {
+            let mut el = Element::new(&format!("{xp}:attribute"))
+                .in_ns(ns::XSD)
+                .with_attr("name", name)
+                .with_attr("type", opts.type_ref(type_ref, &schema.target_ns));
+            if *required {
+                el.set_attr("use", "required");
+            }
+            el
+        }
+        AttributeDecl::Ref { ns_uri, local } => Element::new(&format!("{xp}:attribute"))
+            .in_ns(ns::XSD)
+            .with_attr("ref", opts.qname(ns_uri, local, &schema.target_ns)),
+    }
+}
+
+fn simple_type_to_element(st: &SimpleType, opts: &SerOptions) -> Element {
+    let xp = &opts.xsd_prefix;
+    let mut restriction = Element::new(&format!("{xp}:restriction"))
+        .in_ns(ns::XSD)
+        .with_attr("base", format!("{xp}:{}", st.base.xsd_name()));
+    for value in &st.enumeration {
+        restriction.push_element(
+            Element::new(&format!("{xp}:enumeration"))
+                .in_ns(ns::XSD)
+                .with_attr("value", value),
+        );
+    }
+    Element::new(&format!("{xp}:simpleType"))
+        .in_ns(ns::XSD)
+        .with_attr("name", &st.name)
+        .with_child(restriction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::BuiltIn;
+    use crate::model::{AttributeDecl, ProcessContents};
+    use wsinterop_xml::writer::{write_element, WriteOptions};
+
+    fn echo_schema() -> Schema {
+        let mut s = Schema::new("urn:echo");
+        let req = ComplexType::anonymous().with_particle(Particle::Element(
+            ElementDecl::typed("arg0", TypeRef::BuiltIn(BuiltIn::String)).min(0),
+        ));
+        s.elements.push(ElementDecl::with_inline("echo", req));
+        s
+    }
+
+    #[test]
+    fn schema_root_shape() {
+        let el = schema_to_element(&echo_schema(), &SerOptions::default());
+        assert!(el.is_named(ns::XSD, "schema"));
+        assert_eq!(el.attr("targetNamespace"), Some("urn:echo"));
+        assert_eq!(el.attr("elementFormDefault"), Some("qualified"));
+        assert_eq!(el.attr("xmlns:xsd"), Some(ns::XSD));
+    }
+
+    #[test]
+    fn dotnet_prefix_is_s() {
+        let el = schema_to_element(&echo_schema(), &SerOptions::dotnet());
+        assert_eq!(el.name().prefix(), Some("s"));
+        assert_eq!(el.attr("xmlns:s"), Some(ns::XSD));
+    }
+
+    #[test]
+    fn inline_complex_type_nests() {
+        let el = schema_to_element(&echo_schema(), &SerOptions::default());
+        let decl = el.element(ns::XSD, "element").unwrap();
+        assert_eq!(decl.attr("name"), Some("echo"));
+        let ct = decl.element(ns::XSD, "complexType").unwrap();
+        let seq = ct.element(ns::XSD, "sequence").unwrap();
+        let arg = seq.element(ns::XSD, "element").unwrap();
+        assert_eq!(arg.attr("type"), Some("xsd:string"));
+        assert_eq!(arg.attr("minOccurs"), Some("0"));
+    }
+
+    #[test]
+    fn element_ref_serializes_with_known_prefix() {
+        let mut s = Schema::new("urn:x");
+        s.complex_types.push(ComplexType::named("T").with_particle(
+            Particle::ElementRef {
+                ns_uri: ns::XSD.to_string(),
+                local: "schema".to_string(),
+            },
+        ));
+        let el = schema_to_element(&s, &SerOptions::dotnet());
+        let xml = write_element(&el, &WriteOptions::compact());
+        assert!(xml.contains(r#"ref="s:schema""#), "{xml}");
+    }
+
+    #[test]
+    fn any_and_occurs_attributes() {
+        let mut s = Schema::new("urn:x");
+        s.complex_types.push(ComplexType::named("T").with_particle(Particle::Any {
+            process_contents: ProcessContents::Lax,
+            min_occurs: 0,
+            max_occurs: MaxOccurs::Unbounded,
+        }));
+        let xml = write_element(
+            &schema_to_element(&s, &SerOptions::default()),
+            &WriteOptions::compact(),
+        );
+        assert!(xml.contains(r#"<xsd:any processContents="lax" minOccurs="0" maxOccurs="unbounded"/>"#), "{xml}");
+    }
+
+    #[test]
+    fn attribute_ref_serializes() {
+        let mut s = Schema::new("urn:x");
+        s.complex_types.push(
+            ComplexType::named("T").with_attribute(AttributeDecl::Ref {
+                ns_uri: ns::XSD.to_string(),
+                local: "lang".to_string(),
+            }),
+        );
+        let xml = write_element(
+            &schema_to_element(&s, &SerOptions::dotnet()),
+            &WriteOptions::compact(),
+        );
+        assert!(xml.contains(r#"<s:attribute ref="s:lang"/>"#), "{xml}");
+    }
+
+    #[test]
+    fn simple_type_enumeration() {
+        let mut s = Schema::new("urn:x");
+        s.simple_types.push(SimpleType {
+            name: "Color".into(),
+            base: BuiltIn::String,
+            enumeration: vec!["Red".into(), "Green".into()],
+        });
+        let xml = write_element(
+            &schema_to_element(&s, &SerOptions::default()),
+            &WriteOptions::compact(),
+        );
+        assert!(xml.contains(r#"<xsd:enumeration value="Red"/>"#));
+        assert!(xml.contains(r#"base="xsd:string""#));
+    }
+
+    #[test]
+    fn extension_wraps_in_complex_content() {
+        let mut s = Schema::new("urn:x");
+        s.complex_types.push(
+            ComplexType::named("Derived").extending(TypeRef::named("urn:x", "Base")),
+        );
+        let xml = write_element(
+            &schema_to_element(&s, &SerOptions::default()),
+            &WriteOptions::compact(),
+        );
+        assert!(xml.contains("complexContent"), "{xml}");
+        assert!(xml.contains(r#"base="tns:Base""#), "{xml}");
+    }
+
+    #[test]
+    fn import_with_location() {
+        let mut s = Schema::new("urn:x");
+        s.imports.push(Import {
+            namespace: "urn:other".into(),
+            schema_location: Some("other.xsd".into()),
+        });
+        let el = schema_to_element(&s, &SerOptions::default());
+        let import = el.element(ns::XSD, "import").unwrap();
+        assert_eq!(import.attr("namespace"), Some("urn:other"));
+        assert_eq!(import.attr("schemaLocation"), Some("other.xsd"));
+    }
+}

@@ -1,0 +1,45 @@
+//! The complexity extension (the paper's future work): how the eleven
+//! client subsystems cope as services grow more elaborate — nested
+//! bean parameters, multi-operation port types, and the rpc/literal
+//! binding style.
+//!
+//! ```text
+//! cargo run --release --example complexity_frontier
+//! ```
+
+use wsinterop::core::complexity::{default_tiers, service_for, ComplexityMatrix};
+use wsinterop::frameworks::client::ClientId;
+use wsinterop::wsdl::ser::to_xml_string;
+
+fn main() {
+    let tiers = default_tiers();
+    println!("synthesized {} complexity tiers:", tiers.len());
+    for tier in &tiers {
+        let wsdl = to_xml_string(&service_for(*tier));
+        println!("  {:<30} WSDL {} bytes", tier.to_string(), wsdl.len());
+    }
+
+    println!("\nrunning all 11 clients over every tier…\n");
+    let matrix = ComplexityMatrix::run(&tiers);
+    println!("{matrix}");
+
+    println!("per-client verdicts on the rpc/literal tier:");
+    for (tier, client, cell) in &matrix.rows {
+        if !tier.rpc {
+            continue;
+        }
+        println!("  {:<26} {:?}", client.to_string(), cell);
+    }
+
+    let rpc_failures = matrix
+        .rows
+        .iter()
+        .filter(|(t, _, c)| t.rpc && !c.succeeded())
+        .count();
+    println!(
+        "\nfinding: document/literal tiers interoperate universally; the \
+         rpc/literal tier loses {rpc_failures} of {} clients — the \"more \
+         elaborate patterns\" the paper flags as untested territory.",
+        ClientId::ALL.len()
+    );
+}

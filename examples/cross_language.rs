@@ -1,0 +1,94 @@
+//! Cross-language interop matrix: one service consumed by all eleven
+//! client subsystems, showing where the chain breaks.
+//!
+//! Pass a fully-qualified class name to test a specific service:
+//!
+//! ```text
+//! cargo run --example cross_language -- java.text.SimpleDateFormat
+//! cargo run --example cross_language -- System.Data.DataSet
+//! ```
+
+use wsinterop::compilers::{compiler_for, instantiate};
+use wsinterop::frameworks::client::{all_clients, CompilationMode};
+use wsinterop::frameworks::server::{all_servers, DeployOutcome, ServerSubsystem};
+
+fn main() {
+    let fqcn = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "java.lang.Exception".to_string());
+
+    let servers = all_servers();
+    let server: &dyn ServerSubsystem = servers
+        .iter()
+        .map(|s| s.as_ref())
+        .find(|s| s.catalog().get(&fqcn).is_some())
+        .unwrap_or_else(|| {
+            eprintln!("class `{fqcn}` is in neither catalog");
+            std::process::exit(2);
+        });
+    let entry = server.catalog().get(&fqcn).unwrap();
+    println!(
+        "service: echo({fqcn}) hosted on {} [{}]",
+        server.info().id,
+        server.info().app_server
+    );
+
+    let wsdl = match server.deploy(entry) {
+        DeployOutcome::Refused { reason } => {
+            println!("deployment REFUSED: {reason}");
+            return;
+        }
+        DeployOutcome::Deployed { wsdl_xml } => wsdl_xml,
+    };
+    println!("WSDL published ({} bytes)\n", wsdl.len());
+    println!(
+        "{:<26} {:<12} {:<34} compilation / instantiation",
+        "client", "generation", "detail"
+    );
+    println!("{}", "-".repeat(100));
+
+    for client in all_clients() {
+        let info = client.info();
+        let outcome = client.generate(&wsdl);
+        let (gen_status, detail) = match (&outcome.error, outcome.warnings.len()) {
+            (Some(e), _) => ("ERROR", e.clone()),
+            (None, 0) => ("ok", String::new()),
+            (None, n) => ("warning", format!("{n} warning(s): {}", outcome.warnings[0])),
+        };
+        let tail = match &outcome.artifacts {
+            None => "(no artifacts)".to_string(),
+            Some(bundle) => match info.compilation {
+                CompilationMode::Dynamic => instantiate(bundle).to_string(),
+                _ => {
+                    let compiled = compiler_for(bundle.language).unwrap().compile(bundle);
+                    if outcome.error.is_some() {
+                        format!("partial output: {} warning(s)", compiled.warning_count())
+                    } else if compiled.crashed {
+                        "COMPILER CRASH".to_string()
+                    } else if compiled.success() {
+                        format!("compiled ({} warning(s))", compiled.warning_count())
+                    } else {
+                        let first = compiled.errors().next().unwrap();
+                        format!("FAILED: [{}] {}", first.code, first.message)
+                    }
+                }
+            },
+        };
+        println!(
+            "{:<26} {:<12} {:<34} {}",
+            info.id.to_string(),
+            gen_status,
+            truncate(&detail, 34),
+            tail
+        );
+    }
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(max - 1).collect();
+        format!("{cut}…")
+    }
+}

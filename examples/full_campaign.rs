@@ -1,0 +1,139 @@
+//! Runs the paper's complete experimental campaign — 22 024 candidate
+//! services across three server platforms, 7 239 deployed services,
+//! 79 629 client tests — and prints the regenerated Fig. 4, Table III
+//! and headline totals next to the paper's published values.
+//!
+//! ```text
+//! cargo run --release --example full_campaign
+//! ```
+
+use std::time::Instant;
+
+use wsinterop::core::report::{Fig4, TableIII, Totals};
+use wsinterop::core::{expected, Campaign};
+use wsinterop::frameworks::client::all_clients;
+use wsinterop::frameworks::server::all_servers;
+
+fn main() {
+    println!("== wsinterop: full interoperability campaign ==\n");
+
+    println!("Table I — server platforms");
+    for server in all_servers() {
+        let info = server.info();
+        println!(
+            "  {:<12} {:<28} {:<22} {}",
+            info.id.to_string(),
+            info.app_server,
+            info.framework,
+            info.language
+        );
+    }
+    println!("\nTable II — client-side frameworks");
+    for client in all_clients() {
+        let info = client.info();
+        println!(
+            "  {:<26} {:<28} {:?}",
+            info.id.to_string(),
+            info.tool,
+            info.compilation
+        );
+    }
+
+    println!("\nRunning the campaign (3 servers × 11 clients, full catalogs)…");
+    let started = Instant::now();
+    let results = Campaign::paper().run();
+    let elapsed = started.elapsed();
+    println!("done in {elapsed:.2?}\n");
+
+    let fig4 = Fig4::from_results(&results);
+    let table3 = TableIII::from_results(&results);
+    let totals = Totals::from_results(&results);
+
+    println!("{fig4}");
+    println!("{}", fig4.render_chart());
+    println!("{table3}");
+    println!("{totals}");
+
+    println!("Paper-vs-measured check:");
+    let mut mismatches = 0;
+    let mut check = |label: &str, expected: usize, measured: usize| {
+        let mark = if expected == measured { "ok " } else { "DIFF" };
+        if expected != measured {
+            mismatches += 1;
+        }
+        println!("  [{mark}] {label:<42} paper={expected:<7} measured={measured}");
+    };
+    check("total services created", expected::TOTAL_CREATED, results.services.len());
+    check("total deployed", expected::TOTAL_DEPLOYED, totals.services_deployed);
+    check("total tests", expected::TOTAL_TESTS, totals.tests_executed);
+    check(
+        "description warnings",
+        expected::TOTAL_DESCRIPTION_WARNINGS,
+        totals.description_warnings,
+    );
+    check(
+        "generation warnings",
+        expected::TOTAL_GENERATION_WARNINGS,
+        totals.generation_warnings,
+    );
+    check(
+        "generation errors",
+        expected::TOTAL_GENERATION_ERRORS,
+        totals.generation_errors,
+    );
+    check(
+        "compilation warnings",
+        expected::TOTAL_COMPILATION_WARNINGS,
+        totals.compilation_warnings,
+    );
+    check(
+        "compilation errors",
+        expected::TOTAL_COMPILATION_ERRORS,
+        totals.compilation_errors,
+    );
+    check(
+        "same-framework errors",
+        expected::SAME_FRAMEWORK_ERRORS,
+        totals.same_framework_errors,
+    );
+    for (server, row) in expected::FIG4 {
+        let measured = fig4.row(server);
+        check(&format!("{server}: CAG warnings"), row[0], measured.cag_warnings);
+        check(&format!("{server}: CAG errors"), row[1], measured.cag_errors);
+        check(&format!("{server}: CAC warnings"), row[2], measured.cac_warnings);
+        check(&format!("{server}: CAC errors"), row[3], measured.cac_errors);
+    }
+    for (client, server, cell) in expected::TABLE3 {
+        let measured = table3.cell(client, server);
+        check(
+            &format!("{client} vs {server}: genW"),
+            cell[0],
+            measured.gen_warnings,
+        );
+        check(
+            &format!("{client} vs {server}: genE"),
+            cell[1],
+            measured.gen_errors,
+        );
+        if cell[2] != expected::NO_COMPILE {
+            check(
+                &format!("{client} vs {server}: compW"),
+                cell[2],
+                measured.compile_warnings.unwrap_or(usize::MAX),
+            );
+        }
+        if cell[3] != expected::NO_COMPILE {
+            check(
+                &format!("{client} vs {server}: compE"),
+                cell[3],
+                measured.compile_errors.unwrap_or(usize::MAX),
+            );
+        }
+    }
+    if mismatches == 0 {
+        println!("\nAll paper aggregates reproduced exactly.");
+    } else {
+        println!("\n{mismatches} mismatches — see above.");
+        std::process::exit(1);
+    }
+}

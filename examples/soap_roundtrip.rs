@@ -1,0 +1,43 @@
+//! Bonus example: what a *successful* interop chain goes on to
+//! exchange — a doc/literal SOAP 1.1 request/response roundtrip built
+//! from the published service description.
+//!
+//! The paper scopes out the Communication/Execution steps; this example
+//! shows the message layer the rest of the workspace would drive.
+//!
+//! ```text
+//! cargo run --example soap_roundtrip
+//! ```
+
+use wsinterop::frameworks::server::{Metro, ServerSubsystem};
+use wsinterop::wsdl::de::from_xml_str;
+use wsinterop::wsdl::soap;
+use wsinterop::xml::writer::{write_document, WriteOptions};
+
+fn main() {
+    let entry = Metro.catalog().get("java.lang.String").unwrap();
+    let wsdl = Metro.deploy(entry).wsdl().unwrap().to_string();
+    let defs = from_xml_str(&wsdl).unwrap();
+
+    // Client side: build the request envelope from the description.
+    let request = soap::request(&defs, "echo", "hello interop").unwrap();
+    let request_xml = write_document(&request, &WriteOptions::pretty());
+    println!("request:\n{request_xml}");
+
+    // "Server" side: unwrap, echo, wrap the response.
+    let value = soap::unwrap_single_value(&request_xml).unwrap();
+    let response = soap::request(&defs, "echo", &value).unwrap();
+    let response_xml = write_document(&response, &WriteOptions::pretty());
+    println!("response:\n{response_xml}");
+
+    // Client side again: extract the echoed value.
+    let echoed = soap::unwrap_single_value(&response_xml).unwrap();
+    assert_eq!(echoed, "hello interop");
+    println!("echo roundtrip ok: {echoed:?}");
+
+    // And the failure path: a SOAP fault envelope.
+    let fault = soap::fault("Server", "simulated failure");
+    let fault_xml = write_document(&fault, &WriteOptions::pretty());
+    assert!(soap::is_fault(&fault_xml));
+    println!("\nfault envelope:\n{fault_xml}");
+}

@@ -1,0 +1,73 @@
+//! WS-I Basic Profile 1.1 audit of a WSDL document.
+//!
+//! With a file argument, audits that WSDL; without one, audits the
+//! generated descriptions of a handful of interesting catalog classes.
+//!
+//! ```text
+//! cargo run --example wsi_audit -- path/to/service.wsdl
+//! cargo run --example wsi_audit
+//! ```
+
+use wsinterop::frameworks::server::all_servers;
+use wsinterop::wsdl::de::from_xml_str;
+use wsinterop::wsi::Analyzer;
+
+fn main() {
+    let analyzer = Analyzer::basic_profile_1_1();
+    println!("WS-I Basic Profile 1.1 analyzer — assertion catalog:");
+    for (id, description) in analyzer.assertion_catalog() {
+        println!("  {id:<8} {description}");
+    }
+    println!();
+
+    if let Some(path) = std::env::args().nth(1) {
+        let xml = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        audit(&analyzer, &path, &xml);
+        return;
+    }
+
+    // No file: audit the famous catalog classes on their platforms.
+    let interesting = [
+        "java.util.Date",
+        "javax.xml.ws.wsaddressing.W3CEndpointReference",
+        "java.text.SimpleDateFormat",
+        "java.util.concurrent.Future",
+        "System.Data.DataSet",
+        "System.Data.DataTable",
+        "System.Net.Sockets.SocketError",
+    ];
+    for server in all_servers() {
+        for fqcn in interesting {
+            let Some(entry) = server.catalog().get(fqcn) else {
+                continue;
+            };
+            let Some(wsdl) = server.deploy(entry).wsdl().map(str::to_string) else {
+                println!(
+                    "== {fqcn} on {}: deployment refused ==\n",
+                    server.info().id
+                );
+                continue;
+            };
+            audit(
+                &analyzer,
+                &format!("{fqcn} on {}", server.info().id),
+                &wsdl,
+            );
+        }
+    }
+}
+
+fn audit(analyzer: &Analyzer, label: &str, xml: &str) {
+    println!("== {label} ==");
+    match from_xml_str(xml) {
+        Err(e) => println!("  unreadable WSDL: {e}\n"),
+        Ok(defs) => {
+            let report = analyzer.analyze(&defs);
+            print!("{report}");
+            println!();
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! `wsitool` — the command-line face of the interoperability
+//! assessment approach (the counterpart of the tool the paper
+//! published alongside the study).
+//!
+//! ```text
+//! wsitool catalogs                      # platform catalog statistics
+//! wsitool deploy <fqcn>                 # publish one service, print its WSDL
+//! wsitool audit <fqcn|file.wsdl>        # WS-I BP 1.1 audit
+//! wsitool matrix <fqcn>                 # one service × all 11 clients
+//! wsitool campaign [stride]             # run the (sub-)campaign, print reports
+//! wsitool invoke <fqcn> [value]         # deploy + typed echo roundtrip
+//! wsitool export [stride] [dir]         # run + write services.tsv / tests.tsv
+//! wsitool complexity                    # run the complexity-extension matrix
+//! ```
+
+use std::process::ExitCode;
+
+use wsinterop::core::registry::ServiceHost;
+use wsinterop::core::report::{Fig4, TableIII, Totals};
+use wsinterop::core::Campaign;
+use wsinterop::compilers::{compiler_for, instantiate};
+use wsinterop::frameworks::client::{all_clients, CompilationMode};
+use wsinterop::frameworks::server::{all_servers, DeployOutcome, ServerSubsystem};
+use wsinterop::wsdl::de::from_xml_str;
+use wsinterop::wsdl::values;
+use wsinterop::wsi::Analyzer;
+use wsinterop::xml::writer::{write_document, WriteOptions};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut argv = args.iter().map(String::as_str);
+    match argv.next() {
+        Some("catalogs") => catalogs(),
+        Some("deploy") => with_fqcn(argv.next(), deploy),
+        Some("audit") => {
+            let mut rest: Vec<&str> = argv.collect();
+            let xml = rest.iter().position(|a| *a == "--xml").map(|i| {
+                rest.remove(i);
+            });
+            match rest.first() {
+                Some(target) => audit(target, xml.is_some()),
+                None => usage(),
+            }
+        }
+        Some("matrix") => with_fqcn(argv.next(), matrix),
+        Some("invoke") => {
+            let Some(fqcn) = argv.next() else {
+                return usage();
+            };
+            invoke(fqcn, argv.next())
+        }
+        Some("campaign") => {
+            let rest: Vec<&str> = argv.collect();
+            let extended = rest.contains(&"--extended");
+            let stride = rest.iter().find_map(|a| a.parse().ok());
+            campaign(stride, extended)
+        }
+        Some("export") => export(
+            argv.next().and_then(|s| s.parse().ok()),
+            argv.next().unwrap_or("."),
+        ),
+        Some("complexity") => complexity(),
+        _ => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: wsitool <command>\n\
+         \n\
+         commands:\n\
+         \x20 catalogs               platform catalog statistics\n\
+         \x20 deploy  <fqcn>         publish one service, print its WSDL\n\
+         \x20 audit   <fqcn|file> [--xml]  WS-I Basic Profile 1.1 audit\n\
+         \x20 matrix  <fqcn>         one service against all 11 clients\n\
+         \x20 invoke  <fqcn> [val]   deploy + typed echo roundtrip\n\
+         \x20 campaign [stride] [--extended]  run the campaign (default stride 50)\n\
+         \x20 export  [stride] [dir] run + write services.tsv / tests.tsv\n\
+         \x20 complexity             run the complexity-extension matrix"
+    );
+    ExitCode::from(2)
+}
+
+fn with_fqcn(arg: Option<&str>, run: fn(&str) -> ExitCode) -> ExitCode {
+    match arg {
+        Some(fqcn) => run(fqcn),
+        None => usage(),
+    }
+}
+
+fn find_server(fqcn: &str) -> Option<Box<dyn ServerSubsystem>> {
+    all_servers()
+        .into_iter()
+        .find(|s| s.catalog().get(fqcn).is_some())
+}
+
+fn catalogs() -> ExitCode {
+    for server in all_servers() {
+        let info = server.info();
+        let stats = server.catalog().stats();
+        println!("{} ({} / {}):", info.id, info.framework, info.app_server);
+        println!("  {stats}");
+        let deployable = server
+            .catalog()
+            .iter()
+            .filter(|e| matches!(server.deploy(e), DeployOutcome::Deployed { .. }))
+            .count();
+        println!("  deployable services: {deployable}\n");
+    }
+    ExitCode::SUCCESS
+}
+
+fn deploy(fqcn: &str) -> ExitCode {
+    let Some(server) = find_server(fqcn) else {
+        eprintln!("`{fqcn}` is in neither catalog");
+        return ExitCode::FAILURE;
+    };
+    match server.deploy(server.catalog().get(fqcn).unwrap()) {
+        DeployOutcome::Refused { reason } => {
+            eprintln!("{}: deployment refused: {reason}", server.info().id);
+            ExitCode::FAILURE
+        }
+        DeployOutcome::Deployed { wsdl_xml } => {
+            println!("{wsdl_xml}");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn audit(target: &str, as_xml: bool) -> ExitCode {
+    let xml = if std::path::Path::new(target).exists() {
+        match std::fs::read_to_string(target) {
+            Ok(xml) => xml,
+            Err(e) => {
+                eprintln!("cannot read {target}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let Some(server) = find_server(target) else {
+            eprintln!("`{target}` is neither a file nor a catalog class");
+            return ExitCode::FAILURE;
+        };
+        match server.deploy(server.catalog().get(target).unwrap()) {
+            DeployOutcome::Refused { reason } => {
+                eprintln!("deployment refused: {reason}");
+                return ExitCode::FAILURE;
+            }
+            DeployOutcome::Deployed { wsdl_xml } => wsdl_xml,
+        }
+    };
+    match from_xml_str(&xml) {
+        Err(e) => {
+            eprintln!("unreadable WSDL: {e}");
+            ExitCode::FAILURE
+        }
+        Ok(defs) => {
+            let report = Analyzer::basic_profile_1_1().analyze(&defs);
+            if as_xml {
+                print!("{}", report.to_xml());
+            } else {
+                print!("{report}");
+            }
+            if report.conformant() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+fn matrix(fqcn: &str) -> ExitCode {
+    let Some(server) = find_server(fqcn) else {
+        eprintln!("`{fqcn}` is in neither catalog");
+        return ExitCode::FAILURE;
+    };
+    let wsdl = match server.deploy(server.catalog().get(fqcn).unwrap()) {
+        DeployOutcome::Refused { reason } => {
+            println!("deployment refused: {reason}");
+            return ExitCode::SUCCESS;
+        }
+        DeployOutcome::Deployed { wsdl_xml } => wsdl_xml,
+    };
+    println!("{fqcn} on {}:", server.info().id);
+    for client in all_clients() {
+        let info = client.info();
+        let outcome = client.generate(&wsdl);
+        let status = if let Some(error) = &outcome.error {
+            format!("generation ERROR: {error}")
+        } else {
+            let tail = match &outcome.artifacts {
+                None => "no artifacts".to_string(),
+                Some(bundle) => match info.compilation {
+                    CompilationMode::Dynamic => instantiate(bundle).to_string(),
+                    _ => {
+                        let compiled = compiler_for(bundle.language).unwrap().compile(bundle);
+                        if compiled.crashed {
+                            "COMPILER CRASH".to_string()
+                        } else if compiled.success() {
+                            format!("compiled, {} warning(s)", compiled.warning_count())
+                        } else {
+                            format!("{} compile error(s)", compiled.error_count())
+                        }
+                    }
+                },
+            };
+            match outcome.warnings.len() {
+                0 => tail,
+                n => format!("{n} warning(s); {tail}"),
+            }
+        };
+        println!("  {:<26} {status}", info.id.to_string());
+    }
+    ExitCode::SUCCESS
+}
+
+fn invoke(fqcn: &str, value: Option<&str>) -> ExitCode {
+    let Some(server) = find_server(fqcn) else {
+        eprintln!("`{fqcn}` is in neither catalog");
+        return ExitCode::FAILURE;
+    };
+    let mut host = ServiceHost::new();
+    let url = match host.deploy_one(server.as_ref(), fqcn) {
+        Ok(url) => url,
+        Err(reason) => {
+            eprintln!("deployment refused: {reason}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("deployed at {url}");
+    let defs = from_xml_str(host.wsdl(&url).unwrap()).unwrap();
+    let Some(param_type) = values::echo_parameter_type(&defs) else {
+        eprintln!("service declares no invocable echo operation");
+        return ExitCode::FAILURE;
+    };
+    let mut payload = values::sample_value(&defs, &param_type).unwrap();
+    if let Some(text) = value {
+        // Thread the user's value into the payload: directly for simple
+        // parameters, into the first string-typed field of a bean.
+        match &mut payload {
+            values::Value::Simple(_, slot) => *slot = text.to_string(),
+            values::Value::Struct(fields) => {
+                if let Some((_, values::Value::Simple(b, slot))) = fields
+                    .iter_mut()
+                    .find(|(_, v)| matches!(v, values::Value::Simple(b, _) if *b == wsinterop::xsd::BuiltIn::String))
+                {
+                    let _ = b;
+                    *slot = text.to_string();
+                } else {
+                    eprintln!("note: bean has no string field; echoing the sample value instead");
+                }
+            }
+            _ => {}
+        }
+    }
+    let request = match values::typed_request(&defs, "echo", &payload) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("cannot build request: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let request_xml = write_document(&request, &WriteOptions::compact());
+    println!("request:  {request_xml}");
+    let response = host.dispatch(&url, &request_xml).unwrap();
+    println!("response: {response}");
+    match values::typed_payload_value(&defs, &response) {
+        Ok(echoed) => {
+            println!("echoed value: {echoed}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bad response: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn export(stride: Option<usize>, dir: &str) -> ExitCode {
+    use wsinterop::core::export::{services_tsv, tests_tsv};
+    let stride = stride.unwrap_or(50).max(1);
+    println!("running campaign with stride {stride}…");
+    let results = Campaign::sampled(stride).run();
+    let services_path = format!("{dir}/services.tsv");
+    let tests_path = format!("{dir}/tests.tsv");
+    if let Err(e) = std::fs::write(&services_path, services_tsv(&results)) {
+        eprintln!("cannot write {services_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&tests_path, tests_tsv(&results)) {
+        eprintln!("cannot write {tests_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {services_path} ({} services) and {tests_path} ({} tests)",
+        results.services.len(),
+        results.tests.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn complexity() -> ExitCode {
+    use wsinterop::core::complexity::{default_tiers, ComplexityMatrix};
+    let matrix = ComplexityMatrix::run(&default_tiers());
+    print!("{matrix}");
+    ExitCode::SUCCESS
+}
+
+fn campaign(stride: Option<usize>, extended: bool) -> ExitCode {
+    let stride = stride.unwrap_or(50).max(1);
+    println!(
+        "running {} campaign with stride {stride}…",
+        if extended { "extended (4-server)" } else { "paper (3-server)" }
+    );
+    let results = if extended {
+        Campaign::extended_sampled(stride).run()
+    } else {
+        Campaign::sampled(stride).run()
+    };
+    println!("{}", Fig4::from_results(&results));
+    println!("{}", TableIII::from_results(&results));
+    println!("{}", Totals::from_results(&results));
+    ExitCode::SUCCESS
+}

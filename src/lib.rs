@@ -1,0 +1,41 @@
+//! # wsinterop
+//!
+//! Facade crate for the `wsinterop` workspace: a from-scratch Rust
+//! reproduction of *Understanding Interoperability Issues of Web
+//! Service Frameworks* (Elia, Laranjeiro, Vieira — DSN 2014).
+//!
+//! The sub-crates are re-exported under short names:
+//!
+//! * [`xml`] — XML 1.0 + Namespaces (tree, parser, writer)
+//! * [`xsd`] — XML Schema object model
+//! * [`wsdl`] — WSDL 1.1 + SOAP 1.1 messages
+//! * [`wsi`] — WS-I Basic Profile 1.1 analyzer
+//! * [`typecat`] — Java SE 7 / .NET 4.0 synthetic class catalogs
+//! * [`artifact`] — client-artifact code model + renderers
+//! * [`compilers`] — simulated javac/csc/vbc/jsc/g++ toolchains
+//! * [`frameworks`] — the 3 server + 11 client framework subsystems
+//! * [`core`] — the campaign engine, classification and reports
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wsinterop::frameworks::server::{Metro, ServerSubsystem};
+//! use wsinterop::frameworks::client::{Suds, ClientSubsystem};
+//!
+//! let entry = Metro.catalog().get("java.util.Date").unwrap();
+//! let wsdl = Metro.deploy(entry).wsdl().unwrap().to_string();
+//! assert!(Suds.generate(&wsdl).succeeded());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use wsinterop_artifact as artifact;
+pub use wsinterop_compilers as compilers;
+pub use wsinterop_core as core;
+pub use wsinterop_frameworks as frameworks;
+pub use wsinterop_typecat as typecat;
+pub use wsinterop_wsdl as wsdl;
+pub use wsinterop_wsi as wsi;
+pub use wsinterop_xml as xml;
+pub use wsinterop_xsd as xsd;

@@ -1,0 +1,116 @@
+//! Smoke tests for the `wsitool` CLI binary, driven through the real
+//! executable (`CARGO_BIN_EXE_wsitool`).
+
+use std::process::Command;
+
+fn wsitool(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_wsitool"))
+        .args(args)
+        .output()
+        .expect("wsitool runs")
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = wsitool(&[]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage: wsitool"), "{stderr}");
+    assert!(stderr.contains("campaign"));
+}
+
+#[test]
+fn catalogs_lists_all_three_platforms() {
+    let out = wsitool(&["catalogs"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["Metro", "JBossWS CXF", "WCF .NET", "deployable services: 2489"] {
+        assert!(stdout.contains(needle), "missing {needle}:\n{stdout}");
+    }
+}
+
+#[test]
+fn deploy_prints_wsdl_for_known_class() {
+    let out = wsitool(&["deploy", "java.util.Date"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wsdl:definitions"), "{stdout}");
+    assert!(stdout.contains("DateService"), "{stdout}");
+}
+
+#[test]
+fn deploy_fails_for_unknown_class() {
+    let out = wsitool(&["deploy", "no.such.Class"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn audit_flags_dataset_and_passes_date() {
+    let bad = wsitool(&["audit", "System.Data.DataSet"]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stdout).contains("NOT conformant"));
+
+    let good = wsitool(&["audit", "java.util.Date"]);
+    assert!(good.status.success());
+    assert!(String::from_utf8_lossy(&good.stdout).contains("conformant"));
+}
+
+#[test]
+fn audit_xml_emits_a_conformance_report() {
+    let out = wsitool(&["audit", "System.Data.DataSet", "--xml"]);
+    assert!(!out.status.success()); // non-conformant → non-zero
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("<wsi:report"), "{stdout}");
+    assert!(stdout.contains(r#"conformant="false""#), "{stdout}");
+    assert!(stdout.contains(r#"assertion="R2105""#), "{stdout}");
+}
+
+#[test]
+fn matrix_shows_eleven_clients() {
+    let out = wsitool(&["matrix", "java.lang.Exception"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Axis1 wsdl2java"), "{stdout}");
+    assert!(stdout.contains("compile error"), "{stdout}");
+    assert_eq!(stdout.lines().count(), 12); // header + 11 clients
+}
+
+#[test]
+fn invoke_roundtrips_a_value_through_a_bean_field() {
+    // java.util.Properties has a string-typed bean field, so the CLI
+    // threads the given value into the typed payload.
+    let out = wsitool(&["invoke", "java.util.Properties", "cli-probe"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("value: cli-probe"), "{stdout}");
+}
+
+#[test]
+fn invoke_without_value_echoes_a_sample() {
+    let out = wsitool(&["invoke", "java.util.Date"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("echoed value:"), "{stdout}");
+}
+
+#[test]
+fn export_writes_tsv_files() {
+    let dir = std::env::temp_dir().join("wsitool-export-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir_str = dir.to_str().unwrap();
+    let out = wsitool(&["export", "400", dir_str]);
+    assert!(out.status.success());
+    let tests = std::fs::read_to_string(dir.join("tests.tsv")).unwrap();
+    assert!(tests.starts_with("server\tclient\tclass"));
+    assert!(tests.lines().count() > 100);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn complexity_prints_the_matrix() {
+    let out = wsitool(&["complexity"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("success rate"), "{stdout}");
+    assert!(stdout.contains("style=rpc"), "{stdout}");
+}

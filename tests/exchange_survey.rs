@@ -1,0 +1,29 @@
+//! E9 quantified: the Communication + Execution cycle run once against
+//! **every** deployed service of the corpus (the paper's future work,
+//! measured).
+//!
+//! Of the 7 239 deployed services:
+//!
+//! * 7 234 complete the echo roundtrip,
+//! * 3 cannot be invoked at all — the two WS-I-conformant
+//!   operation-less JBossWS services plus Metro's `type=`-parts
+//!   `SimpleDateFormat` document (nothing for a doc/literal stub to
+//!   build a request from),
+//! * 2 fault — the `xsd:any` DataTable family, whose wildcard wrappers
+//!   give the echo no element to carry the value back in.
+//!
+//! All five non-completing services passed, or could have passed,
+//! earlier static steps for at least some clients — the quantitative
+//! core of the paper's argument that step-1/2/3 screening is not
+//! sufficient.
+
+use wsinterop::core::exchange::survey;
+
+#[test]
+fn full_corpus_exchange_survey() {
+    let s = survey(1);
+    assert_eq!(s.total(), 7_239, "every deployed service is surveyed");
+    assert_eq!(s.completed, 7_234);
+    assert_eq!(s.not_invocable, 3);
+    assert_eq!(s.faulted, 2);
+}

@@ -1,0 +1,75 @@
+//! E12: the paper's third future-work item — "widen our setup by
+//! increasing the number of server side frameworks" — implemented as an
+//! extension platform (the Axis2 server) and a widened campaign.
+
+use wsinterop::core::report::{Fig4, TableIII, Totals};
+use wsinterop::core::Campaign;
+use wsinterop::frameworks::client::ClientId;
+use wsinterop::frameworks::server::{extension_servers, ServerId};
+
+#[test]
+fn extension_server_is_not_in_the_paper_campaign() {
+    assert_eq!(wsinterop::frameworks::server::all_servers().len(), 3);
+    assert_eq!(extension_servers().len(), 4);
+    assert!(!ServerId::ALL.contains(&ServerId::Axis2Java));
+}
+
+#[test]
+fn widened_campaign_adds_the_fourth_column_without_touching_the_paper_ones() {
+    let stride = 43;
+    let paper = Campaign::sampled(stride).run();
+    let widened = Campaign::extended_sampled(stride).run();
+
+    // The three paper columns are bit-identical in the widened run.
+    for &server in &ServerId::ALL {
+        let a: Vec<_> = paper.tests_for(server).collect();
+        let b: Vec<_> = widened.tests_for(server).collect();
+        assert_eq!(a, b, "{server} column changed");
+    }
+
+    // The fourth column exists and has the Metro-like shape minus the
+    // special-case generation errors (the Axis2 server emits none of
+    // Metro's damaged documents).
+    let fig4 = Fig4::from_results(&widened);
+    let extension_row = fig4.row(ServerId::Axis2Java);
+    let metro_row = fig4.row(ServerId::Metro);
+    assert_eq!(extension_row.cag_errors, 0, "no damaged documents");
+    assert_eq!(extension_row.sdg_warnings, 0, "all WS-I conformant");
+    // JScript still warns on every Java-hosted service…
+    assert_eq!(extension_row.cag_warnings, metro_row.cag_warnings);
+    // …and the Axis compile-side behaviour carries over: warnings on
+    // every service, Throwable wrapper failures on the sampled subset.
+    assert!(extension_row.cac_warnings > 0);
+
+    let table = TableIII::from_results(&widened);
+    let axis1 = table.cell(ClientId::Axis1, ServerId::Axis2Java);
+    let metro_axis1 = table.cell(ClientId::Axis1, ServerId::Metro);
+    assert_eq!(
+        axis1.compile_errors, metro_axis1.compile_errors,
+        "Axis1's Throwable failures are client-side, so they follow the corpus"
+    );
+}
+
+#[test]
+fn full_extension_column_census() {
+    // Full (non-strided) run of the extension server only.
+    let results = Campaign::extended()
+        .with_servers(&[ServerId::Axis2Java])
+        .run();
+    assert_eq!(results.deployed(ServerId::Axis2Java), 2489);
+    assert_eq!(results.tests.len(), 2489 * 11);
+
+    let totals = Totals::from_results(&results);
+    assert_eq!(totals.description_warnings, 0);
+    assert_eq!(totals.generation_errors, 0);
+    // JScript dialect warnings on all 2489 services.
+    assert_eq!(totals.generation_warnings, 2489);
+    // Axis1 (477 Throwables) + Axis2 (1 XMLGregorianCalendar) +
+    // VB (1 case pair) + JScript (50 transport gaps).
+    assert_eq!(totals.compilation_errors, 529);
+    // Axis1 + Axis2 unchecked-operation warnings on every service.
+    assert_eq!(totals.compilation_warnings, 2 * 2489);
+    // The Axis2 client against its own server platform: the
+    // XMLGregorianCalendar compile failure is a same-framework error.
+    assert_eq!(totals.same_framework_errors, 1);
+}

@@ -1,0 +1,91 @@
+//! Golden artifact-source snapshots: for one Throwable echo service
+//! (the Axis1 case study), every client's generated artifacts are
+//! rendered to source text and locked byte-for-byte. This pins the
+//! stub generators, the per-language renderers, and the visible form
+//! of the planted defects (e.g. Axis1's `message1` field next to a
+//! getter that still reads `message`).
+
+use wsinterop::artifact::render::render_bundle;
+use wsinterop::frameworks::client::all_clients;
+use wsinterop::frameworks::server::{Metro, ServerSubsystem};
+
+fn rendered_for(tag: &str) -> Option<String> {
+    let entry = Metro.catalog().get("java.io.IOException").unwrap();
+    let wsdl = Metro.deploy(entry).wsdl().unwrap().to_string();
+    for client in all_clients() {
+        let info = client.info();
+        if format!("{:?}", info.id).to_lowercase() != tag {
+            continue;
+        }
+        let outcome = client.generate(&wsdl);
+        let bundle = outcome.artifacts?;
+        let mut source = String::new();
+        for (file, text) in render_bundle(&bundle) {
+            source.push_str(&format!("// ===== {file} =====\n{text}\n"));
+        }
+        return Some(source);
+    }
+    None
+}
+
+fn check(tag: &str) {
+    let expected = std::fs::read_to_string(format!(
+        "{}/tests/golden_artifacts/{tag}.txt",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .unwrap_or_else(|e| panic!("missing golden artifacts for {tag}: {e}"));
+    let actual = rendered_for(tag).unwrap_or_else(|| panic!("{tag} produced no artifacts"));
+    assert_eq!(
+        actual, expected,
+        "{tag}: rendered artifacts drifted from the golden snapshot"
+    );
+}
+
+#[test]
+fn metro_artifacts_snapshot() {
+    check("metro");
+}
+
+#[test]
+fn axis1_artifacts_snapshot() {
+    check("axis1");
+}
+
+#[test]
+fn axis2_artifacts_snapshot() {
+    check("axis2");
+}
+
+#[test]
+fn cxf_and_jbossws_artifacts_snapshot() {
+    check("cxf");
+    check("jbossws");
+}
+
+#[test]
+fn dotnet_artifacts_snapshots() {
+    check("dotnetcs");
+    check("dotnetvb");
+    check("dotnetjs");
+}
+
+#[test]
+fn gsoap_zend_suds_artifacts_snapshots() {
+    check("gsoap");
+    check("zend");
+    check("suds");
+}
+
+#[test]
+fn axis1_snapshot_contains_the_planted_defect() {
+    let text = std::fs::read_to_string(format!(
+        "{}/tests/golden_artifacts/axis1.txt",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .unwrap();
+    assert!(text.contains("message1"), "misnamed field must be visible");
+    assert!(
+        text.contains("return this.message;"),
+        "dangling accessor must be visible"
+    );
+}

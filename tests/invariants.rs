@@ -1,0 +1,221 @@
+//! Cross-crate campaign invariants, checked over strided sub-campaigns
+//! (property-style, but on deterministic samples so failures are
+//! reproducible).
+
+use wsinterop::core::exchange::{exchange, ExchangeOutcome};
+use wsinterop::core::report::{Fig4, TableIII, Totals};
+use wsinterop::core::{Campaign, InstantiationKind};
+use wsinterop::frameworks::client::{all_clients, ClientId, CompilationMode};
+use wsinterop::frameworks::server::{all_servers, DeployOutcome, ServerId};
+use wsinterop::wsdl::de::from_xml_str;
+use wsinterop::wsi::Analyzer;
+
+#[test]
+fn monotonicity_error_in_generation_blocks_compilation_except_axis_partial_output() {
+    let results = Campaign::sampled(23).run();
+    for t in &results.tests {
+        if t.gen_error && t.compile_ran {
+            assert!(matches!(t.client, ClientId::Axis1 | ClientId::Axis2));
+        }
+        if !t.compile_ran {
+            assert!(!t.compile_warning && !t.compile_error && !t.compiler_crashed);
+        }
+        if t.compiler_crashed {
+            assert!(t.compile_error, "a crash is an error");
+            assert_eq!(t.client, ClientId::DotnetJs, "only jsc crashes");
+        }
+    }
+}
+
+#[test]
+fn dynamic_clients_never_compile_and_compiled_clients_never_instantiate() {
+    let results = Campaign::sampled(29).run();
+    for t in &results.tests {
+        match t.client {
+            ClientId::Zend | ClientId::Suds => {
+                assert!(!t.compile_ran, "{}", t.client);
+            }
+            _ => assert!(t.instantiation.is_none(), "{}", t.client),
+        }
+    }
+}
+
+#[test]
+fn deployment_is_a_pure_function_of_the_entry() {
+    // Re-deploying the same class yields byte-identical WSDL.
+    for server in all_servers() {
+        let catalog = server.catalog();
+        for entry in catalog.entries().iter().step_by(977) {
+            let a = server.deploy(entry);
+            let b = server.deploy(entry);
+            assert_eq!(a, b, "{}", entry.fqcn);
+        }
+    }
+}
+
+#[test]
+fn every_published_wsdl_reparses_and_reserializes_stably() {
+    for server in all_servers() {
+        let catalog = server.catalog();
+        for entry in catalog.entries().iter().step_by(613) {
+            let DeployOutcome::Deployed { wsdl_xml } = server.deploy(entry) else {
+                continue;
+            };
+            let defs = from_xml_str(&wsdl_xml)
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.fqcn));
+            let again = wsinterop::wsdl::ser::to_xml_string(&defs);
+            let defs2 = from_xml_str(&again).unwrap();
+            assert_eq!(defs, defs2, "{}", entry.fqcn);
+        }
+    }
+}
+
+#[test]
+fn wsi_conformant_services_without_advisories_are_clean_for_mature_java_tools() {
+    // A WS-I-clean description must never fail generation for the
+    // mature tools — the contrapositive of the paper's 97% claim.
+    let results = Campaign::sampled(31).run();
+    let analyzer = Analyzer::basic_profile_1_1();
+    let servers = all_servers();
+    for service in &results.services {
+        if !service.deployed || service.description_warning {
+            continue;
+        }
+        let server = servers
+            .iter()
+            .find(|s| s.info().id == service.server)
+            .unwrap();
+        let entry = server.catalog().get(&service.fqcn).unwrap();
+        let wsdl = server.deploy(entry).wsdl().unwrap().to_string();
+        let report = analyzer.analyze(&from_xml_str(&wsdl).unwrap());
+        assert!(report.conformant());
+        for t in results.cell(service.server, ClientId::Metro) {
+            if t.fqcn == service.fqcn {
+                assert!(!t.gen_error, "Metro failed on clean {}", service.fqcn);
+            }
+        }
+        for t in results.cell(service.server, ClientId::Cxf) {
+            if t.fqcn == service.fqcn {
+                assert!(!t.gen_error, "CXF failed on clean {}", service.fqcn);
+            }
+        }
+    }
+}
+
+#[test]
+fn clean_static_chain_implies_completed_exchange() {
+    // Extension (the paper's future work): whenever the three static
+    // steps all succeed for a compiled client, the Communication +
+    // Execution cycle completes too.
+    let results = Campaign::sampled(37).run();
+    let servers = all_servers();
+    for t in &results.tests {
+        if t.client != ClientId::Metro || t.gen_error || t.compile_error {
+            continue;
+        }
+        let server = servers.iter().find(|s| s.info().id == t.server).unwrap();
+        let entry = server.catalog().get(&t.fqcn).unwrap();
+        let wsdl = server.deploy(entry).wsdl().unwrap().to_string();
+        let defs = from_xml_str(&wsdl).unwrap();
+        let Some(op) = defs
+            .port_types
+            .iter()
+            .flat_map(|pt| pt.operations.iter())
+            .next()
+        else {
+            continue;
+        };
+        let outcome = exchange(&wsdl, &op.name, "probe");
+        assert!(
+            outcome.completed(),
+            "{} on {}: {outcome}",
+            t.fqcn,
+            t.server
+        );
+    }
+}
+
+#[test]
+fn operation_less_services_fail_the_exchange_despite_passing_wsi() {
+    let wsdl = {
+        let servers = all_servers();
+        let jboss = servers
+            .iter()
+            .find(|s| s.info().id == ServerId::JBossWs)
+            .unwrap();
+        let entry = jboss
+            .catalog()
+            .get("java.util.concurrent.Future")
+            .unwrap();
+        jboss.deploy(entry).wsdl().unwrap().to_string()
+    };
+    let report = Analyzer::basic_profile_1_1().analyze(&from_xml_str(&wsdl).unwrap());
+    assert!(report.conformant());
+    assert!(matches!(
+        exchange(&wsdl, "echo", "x"),
+        ExchangeOutcome::ClientCannotInvoke { .. }
+    ));
+}
+
+#[test]
+fn table_iii_is_a_refinement_of_fig4_at_any_stride() {
+    for stride in [53usize, 211] {
+        let results = Campaign::sampled(stride).run();
+        let fig4 = Fig4::from_results(&results);
+        let table = TableIII::from_results(&results);
+        let totals = Totals::from_results(&results);
+        let mut gen_w = 0;
+        let mut gen_e = 0;
+        let mut comp_w = 0;
+        let mut comp_e = 0;
+        for &server in &ServerId::ALL {
+            for &client in &ClientId::ALL {
+                let cell = table.cell(client, server);
+                gen_w += cell.gen_warnings;
+                gen_e += cell.gen_errors;
+                comp_w += cell.compile_warnings.unwrap_or(0);
+                comp_e += cell.compile_errors.unwrap_or(0);
+            }
+        }
+        assert_eq!(gen_w, totals.generation_warnings, "stride {stride}");
+        assert_eq!(gen_e, totals.generation_errors);
+        assert_eq!(comp_w, totals.compilation_warnings);
+        assert_eq!(comp_e, totals.compilation_errors);
+        let fig_sum: usize = fig4.rows.iter().map(|(_, r)| r.cag_errors).sum();
+        assert_eq!(fig_sum, gen_e);
+    }
+}
+
+#[test]
+fn empty_instantiations_only_for_operation_less_documents() {
+    let results = Campaign::sampled(19).run();
+    let servers = all_servers();
+    for t in &results.tests {
+        if t.instantiation == Some(InstantiationKind::Empty) {
+            let server = servers.iter().find(|s| s.info().id == t.server).unwrap();
+            let entry = server.catalog().get(&t.fqcn).unwrap();
+            let wsdl = server.deploy(entry).wsdl().unwrap().to_string();
+            let defs = from_xml_str(&wsdl).unwrap();
+            assert_eq!(defs.operation_count(), 0, "{} on {}", t.fqcn, t.server);
+        }
+    }
+}
+
+#[test]
+fn all_clients_declare_distinct_tools() {
+    let clients = all_clients();
+    let mut tools: Vec<_> = clients
+        .iter()
+        .map(|c| (c.info().tool, c.info().language))
+        .collect();
+    tools.sort();
+    tools.dedup();
+    // wsdl2java appears for Axis1/Axis2/CXF (same tool name, same
+    // language) — the paper distinguishes them by framework.
+    assert!(tools.len() >= 8);
+    let mode_counts = clients
+        .iter()
+        .filter(|c| matches!(c.info().compilation, CompilationMode::Dynamic))
+        .count();
+    assert_eq!(mode_counts, 2);
+}

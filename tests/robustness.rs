@@ -1,0 +1,129 @@
+//! Robustness under document corruption: whatever we feed the client
+//! tools and the WS-I analyzer, they must classify — never panic.
+//!
+//! The corpus is every golden WSDL crossed with a set of systematic
+//! mutations (truncation, tag swaps, attribute damage, encoding
+//! garbage), each pushed through all eleven clients, the analyzer, and
+//! the compilers.
+
+use wsinterop::compilers::compiler_for;
+use wsinterop::frameworks::client::all_clients;
+use wsinterop::wsdl::de::from_xml_str;
+use wsinterop::wsi::Analyzer;
+
+fn corpus() -> Vec<String> {
+    let dir = format!("{}/tests/golden", env!("CARGO_MANIFEST_DIR"));
+    let mut docs: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|entry| entry.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "wsdl"))
+        .map(|e| std::fs::read_to_string(e.path()).unwrap())
+        .collect();
+    docs.sort();
+    assert!(docs.len() >= 9, "golden corpus must exist");
+    docs
+}
+
+fn mutations(doc: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    // Truncations at several points.
+    for fraction in [4, 2, 3] {
+        let cut = doc.len() / fraction;
+        if let Some(prefix) = doc.get(..cut) {
+            out.push(prefix.to_string());
+        }
+    }
+    // Structural damage.
+    out.push(doc.replace("wsdl:portType", "wsdl:portTyp"));
+    out.push(doc.replace("targetNamespace", "targetNamespac"));
+    out.push(doc.replacen("element=\"tns:", "element=\"ghost:", 1));
+    out.push(doc.replacen("message=\"tns:", "message=\"", 1));
+    out.push(doc.replace("soap:binding", "soapx:binding"));
+    out.push(doc.replace("<wsdl:service", "<wsdl:service><wsdl:service"));
+    out.push(doc.replace("xmlns:wsdl", "xmlns:wsdl-broken"));
+    // Content-level garbage.
+    out.push(doc.replace('<', "&lt;"));
+    out.push(format!("{doc}<trailing/>"));
+    out.push(doc.replace("UTF-8", "\u{0}UTF-8\u{0}"));
+    out.push(String::new());
+    out.push("<?xml version=\"1.0\"?>".to_string());
+    out
+}
+
+#[test]
+fn clients_never_panic_on_corrupted_documents() {
+    let clients = all_clients();
+    for doc in corpus() {
+        for mutated in mutations(&doc) {
+            for client in &clients {
+                let outcome = client.generate(&mutated);
+                // Whatever happened must be *classified*: either artifacts
+                // exist, or an error message exists.
+                assert!(
+                    outcome.artifacts.is_some() || outcome.error.is_some(),
+                    "{} returned neither artifacts nor an error",
+                    client.info().id
+                );
+                // Any artifacts that do exist must survive compilation
+                // (possibly with diagnostics) without panicking.
+                if let Some(bundle) = &outcome.artifacts {
+                    if let Some(compiler) = compiler_for(bundle.language) {
+                        let _ = compiler.compile(bundle);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn analyzer_never_panics_on_corrupted_documents() {
+    let analyzer = Analyzer::basic_profile_1_1();
+    for doc in corpus() {
+        for mutated in mutations(&doc) {
+            if let Ok(defs) = from_xml_str(&mutated) {
+                let report = analyzer.analyze(&defs);
+                // Reports must render without panicking, too.
+                let _ = report.to_string();
+            }
+        }
+    }
+}
+
+#[test]
+fn mutated_documents_fail_closed_not_open() {
+    // A document whose message references were damaged must not be
+    // reported WS-I conformant-and-clean.
+    for doc in corpus() {
+        let damaged = doc.replacen("element=\"tns:", "element=\"ghost:", 1);
+        if damaged == doc {
+            continue; // this golden file has no element refs (op-less)
+        }
+        match from_xml_str(&damaged) {
+            Err(_) => {} // failing to parse is failing closed
+            Ok(defs) => {
+                let report = Analyzer::basic_profile_1_1().analyze(&defs);
+                assert!(
+                    !report.conformant() || !report.clean(),
+                    "damaged document sailed through the analyzer"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dropping_the_soap_binding_is_always_detected() {
+    for doc in corpus() {
+        if !doc.contains("<soap:binding") {
+            continue;
+        }
+        // Remove the soap:binding extension element entirely.
+        let start = doc.find("<soap:binding").unwrap();
+        let end = doc[start..].find("/>").unwrap() + start + 2;
+        let damaged = format!("{}{}", &doc[..start], &doc[end..]);
+        let defs = from_xml_str(&damaged).expect("still well-formed");
+        let report = Analyzer::basic_profile_1_1().analyze(&defs);
+        assert!(report.failures().any(|f| f.assertion == "R2701"));
+    }
+}

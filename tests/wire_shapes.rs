@@ -1,0 +1,144 @@
+//! Document-level calibration: counts of the fault-model wire shapes
+//! across **all** published WSDLs, measured from the serialized bytes
+//! (no catalog metadata involved). These counts are what make the
+//! client policies land exactly on the paper's Table III.
+
+use wsinterop::frameworks::server::{all_servers, DeployOutcome, ServerId};
+
+struct Shapes {
+    sschema_any: usize,
+    sschema_double: usize,
+    choice: usize,
+    slang: usize,
+    any_wrapper: usize,
+    base64: usize,
+    gyearmonth: usize,
+    message_element: usize,
+    no_soap_operation: usize,
+    type_parts: usize,
+    operation_less: usize,
+    extension_depth1: usize,
+    extension_depth2: usize,
+    msdata_import: usize,
+}
+
+fn scan(server_id: ServerId) -> Shapes {
+    let servers = all_servers();
+    let server = servers
+        .iter()
+        .find(|s| s.info().id == server_id)
+        .unwrap();
+    let mut shapes = Shapes {
+        sschema_any: 0,
+        sschema_double: 0,
+        choice: 0,
+        slang: 0,
+        any_wrapper: 0,
+        base64: 0,
+        gyearmonth: 0,
+        message_element: 0,
+        no_soap_operation: 0,
+        type_parts: 0,
+        operation_less: 0,
+        extension_depth1: 0,
+        extension_depth2: 0,
+        msdata_import: 0,
+    };
+    for entry in server.catalog().entries() {
+        let DeployOutcome::Deployed { wsdl_xml } = server.deploy(entry) else {
+            continue;
+        };
+        let sschema = wsdl_xml.matches("ref=\"s:schema\"").count();
+        if sschema >= 1 {
+            shapes.sschema_any += 1;
+        }
+        if sschema >= 2 {
+            shapes.sschema_double += 1;
+        }
+        if wsdl_xml.contains(":choice>") {
+            shapes.choice += 1;
+        }
+        if wsdl_xml.contains("ref=\"s:lang\"") {
+            shapes.slang += 1;
+        }
+        if wsdl_xml.contains("<s:any") || wsdl_xml.contains("<xsd:any") {
+            shapes.any_wrapper += 1;
+        }
+        if wsdl_xml.contains("base64Binary") {
+            shapes.base64 += 1;
+        }
+        if wsdl_xml.contains("gYearMonth") {
+            shapes.gyearmonth += 1;
+        }
+        if wsdl_xml.contains("name=\"message\"") {
+            shapes.message_element += 1;
+        }
+        if !wsdl_xml.contains("soap:operation") && wsdl_xml.contains("wsdl:operation") {
+            shapes.no_soap_operation += 1;
+        }
+        if wsdl_xml.contains("type=\"tns:") && wsdl_xml.contains("<wsdl:part") {
+            // type= on a part (as opposed to binding/@type) needs a finer
+            // check: look for it on the part element itself.
+            if wsdl_xml.contains("<wsdl:part name=\"parameters\" type=") {
+                shapes.type_parts += 1;
+            }
+        }
+        if !wsdl_xml.contains("<wsdl:operation") {
+            shapes.operation_less += 1;
+        }
+        let extensions = wsdl_xml.matches("<s:extension").count()
+            + wsdl_xml.matches("<xsd:extension").count();
+        if extensions == 1 {
+            shapes.extension_depth1 += 1;
+        }
+        if extensions >= 2 {
+            shapes.extension_depth2 += 1;
+        }
+        if wsdl_xml.contains("urn:schemas-microsoft-com:xml-msdata") {
+            shapes.msdata_import += 1;
+        }
+    }
+    shapes
+}
+
+#[test]
+fn metro_wire_shape_census() {
+    let shapes = scan(ServerId::Metro);
+    assert_eq!(shapes.message_element, 477, "Throwable beans");
+    assert_eq!(shapes.base64, 50, "transport-gap beans");
+    assert_eq!(shapes.gyearmonth, 1, "XMLGregorianCalendar");
+    assert_eq!(shapes.type_parts, 1, "SimpleDateFormat");
+    assert_eq!(shapes.operation_less, 0, "Metro refuses the async types");
+    assert_eq!(shapes.sschema_any, 0);
+    assert_eq!(shapes.no_soap_operation, 0);
+}
+
+#[test]
+fn jbossws_wire_shape_census() {
+    let shapes = scan(ServerId::JBossWs);
+    assert_eq!(shapes.message_element, 412, "Throwable beans");
+    assert_eq!(shapes.base64, 50, "transport-gap beans");
+    assert_eq!(shapes.gyearmonth, 1, "XMLGregorianCalendar");
+    assert_eq!(shapes.no_soap_operation, 1, "SimpleDateFormat");
+    assert_eq!(shapes.operation_less, 2, "Future + Response");
+    assert_eq!(shapes.type_parts, 0);
+}
+
+#[test]
+fn wcf_wire_shape_census() {
+    let shapes = scan(ServerId::WcfDotNet);
+    assert_eq!(shapes.sschema_any, 76, "DataSet family");
+    assert_eq!(shapes.sschema_double, 3, "Axis1-fatal subset");
+    assert_eq!(shapes.choice, 13, "gSOAP-fatal subset");
+    assert_eq!(shapes.msdata_import, 7, ".NET-warn subset");
+    assert_eq!(shapes.slang, 80, "DataSet family + s:lang-only");
+    assert_eq!(shapes.any_wrapper, 2, "DataTable family");
+    assert_eq!(
+        shapes.extension_depth1 + shapes.extension_depth2,
+        301,
+        "JScript-hostile extension chains"
+    );
+    assert_eq!(shapes.extension_depth2, 15, "crash subset");
+    assert_eq!(shapes.message_element, 0);
+    assert_eq!(shapes.base64, 0);
+}
