@@ -6,14 +6,44 @@
 //! WSDL against WS-I BP 1.1, then drives all eleven client subsystems
 //! through Artifact Generation and Artifact Compilation (or the
 //! dynamic-language instantiation check), classifying each step.
+//!
+//! ## Resilience
+//!
+//! The runner never lets a disruptive step kill the campaign — every
+//! test ends in a classification:
+//!
+//! * a published description that fails to parse is recorded as a
+//!   deployed-but-non-conformant service with a description warning,
+//!   and its (corrupt) WSDL text still goes to all eleven clients;
+//! * transient deployment refusals (marked with
+//!   [`wsinterop_frameworks::fault::TRANSIENT_REFUSAL_PREFIX`]) are
+//!   retried within [`ResilienceConfig::max_retries`], charging a
+//!   deterministic virtual backoff;
+//! * a panicking test worker is isolated with `catch_unwind` and
+//!   becomes one Error-classified [`TestRecord`];
+//! * result collection uses poison-tolerant locks, so an isolated
+//!   panic can never cascade into a poisoned-lock abort.
+//!
+//! With [`Campaign::with_faults`] the runner layers a seeded
+//! [`FaultPlan`] over the subsystems (the chaos campaign, experiment
+//! E12) and [`Campaign::run_with_report`] additionally returns the
+//! [`FaultReport`] accounting of injected vs detected vs masked
+//! faults.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 
 use wsinterop_compilers::{compiler_for, instantiate};
 use wsinterop_frameworks::client::{all_clients, ClientSubsystem, CompilationMode};
-use wsinterop_frameworks::server::{all_servers, DeployOutcome, ServerSubsystem};
+use wsinterop_frameworks::fault::{is_transient_refusal, FaultyClient, FaultyServer};
+use wsinterop_frameworks::server::{all_servers, DeployOutcome, ServerId, ServerSubsystem};
 use wsinterop_wsi::Analyzer;
 
+use crate::exchange::exchange_with_faults;
+use crate::faults::{
+    deploy_site, gen_site, lock_unpoisoned, wire_site, FaultKind, FaultLog, FaultPlan,
+    FaultReport, PlanClientHook, PlanServerHook, ResilienceConfig,
+};
 use crate::results::{CampaignResults, InstantiationKind, ServiceRecord, TestRecord};
 
 /// A configured interoperability campaign.
@@ -24,6 +54,10 @@ pub struct Campaign {
     stride: usize,
     /// Worker threads for the testing phase.
     threads: usize,
+    /// Injected-fault plan (`None` for the faithful paper campaign).
+    faults: Option<FaultPlan>,
+    /// The runner's coping budget for disruptions.
+    resilience: ResilienceConfig,
 }
 
 impl std::fmt::Debug for Campaign {
@@ -33,6 +67,8 @@ impl std::fmt::Debug for Campaign {
             .field("clients", &self.clients.len())
             .field("stride", &self.stride)
             .field("threads", &self.threads)
+            .field("faults", &self.faults.as_ref().map(|p| p.seed()))
+            .field("resilience", &self.resilience)
             .finish()
     }
 }
@@ -46,6 +82,8 @@ impl Campaign {
             clients: all_clients(),
             stride: 1,
             threads: default_threads(),
+            faults: None,
+            resilience: ResilienceConfig::default(),
         }
     }
 
@@ -113,9 +151,34 @@ impl Campaign {
         self
     }
 
+    /// Layers a seeded fault plan over every subsystem boundary — the
+    /// chaos campaign. Sites the plan leaves untouched produce records
+    /// bit-identical to the fault-free run.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Campaign {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Overrides the resilience budget (retries, deadline, panic
+    /// isolation).
+    #[must_use]
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Campaign {
+        self.resilience = resilience;
+        self
+    }
+
     /// Runs the campaign.
     pub fn run(&self) -> CampaignResults {
+        self.run_with_report().0
+    }
+
+    /// Runs the campaign and returns the fault-injection accounting
+    /// alongside the results. Without [`Campaign::with_faults`] the
+    /// report is empty.
+    pub fn run_with_report(&self) -> (CampaignResults, FaultReport) {
         let analyzer = Analyzer::basic_profile_1_1();
+        let log = FaultLog::new();
         let mut results = CampaignResults::default();
 
         for server in &self.servers {
@@ -137,45 +200,21 @@ impl Campaign {
                         loop {
                             let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             let Some(entry) = entries.get(i) else { break };
-                            let (record, wsdl) = match server.deploy(entry) {
-                                DeployOutcome::Refused { .. } => (
-                                    ServiceRecord {
-                                        server: server_id,
-                                        fqcn: entry.fqcn.clone(),
-                                        deployed: false,
-                                        wsi_conformant: None,
-                                        description_warning: false,
-                                    },
-                                    None,
-                                ),
-                                DeployOutcome::Deployed { wsdl_xml } => {
-                                    let defs = wsinterop_wsdl::de::from_xml_str(&wsdl_xml)
-                                        .expect("servers publish well-formed WSDL");
-                                    let report = analyzer.analyze(&defs);
-                                    let conformant = report.conformant();
-                                    let advisory = report
-                                        .warnings()
-                                        .any(|w| w.assertion == "EXT0001");
-                                    (
-                                        ServiceRecord {
-                                            server: server_id,
-                                            fqcn: entry.fqcn.clone(),
-                                            deployed: true,
-                                            wsi_conformant: Some(conformant),
-                                            description_warning: !conformant || advisory,
-                                        },
-                                        Some(wsdl_xml),
-                                    )
-                                }
-                            };
-                            local.push((record, wsdl));
+                            local.push(self.deploy_entry(
+                                server.as_ref(),
+                                server_id,
+                                entry,
+                                &analyzer,
+                                &log,
+                            ));
                         }
-                        records.lock().unwrap().append(&mut local);
+                        lock_unpoisoned(&records).append(&mut local);
                     });
                 }
             });
-            let mut deployed: Vec<(ServiceRecord, Option<String>)> =
-                records.into_inner().unwrap();
+            let mut deployed: Vec<(ServiceRecord, Option<String>)> = records
+                .into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
             deployed.sort_by(|a, b| a.0.fqcn.cmp(&b.0.fqcn));
 
             // Testing phase: all clients × all published WSDLs.
@@ -194,25 +233,227 @@ impl Campaign {
                                 next_test.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             let Some((record, wsdl)) = work.get(i) else { break };
                             for client in &self.clients {
-                                local.push(run_test(server_id, record, wsdl, client.as_ref()));
+                                local.push(self.run_cell(
+                                    server_id,
+                                    record,
+                                    wsdl,
+                                    client.as_ref(),
+                                    &log,
+                                ));
                             }
                         }
-                        tests.lock().unwrap().append(&mut local);
+                        lock_unpoisoned(&tests).append(&mut local);
                     });
                 }
             });
 
+            // Communication-step wire faults (chaos campaigns only):
+            // probe each planned site through the faulted exchange.
+            // This pass feeds the fault report; it never alters the
+            // campaign records.
+            if let Some(plan) = &self.faults {
+                for (record, wsdl) in &work {
+                    wire_probe(plan, &log, server_id, record, wsdl);
+                }
+            }
+
             results
                 .services
                 .extend(deployed.into_iter().map(|(record, _)| record));
-            let mut server_tests = tests.into_inner().unwrap();
+            let mut server_tests = tests
+                .into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
             server_tests.sort_by(|a: &TestRecord, b: &TestRecord| {
                 (a.client, &a.fqcn).cmp(&(b.client, &b.fqcn))
             });
             results.tests.append(&mut server_tests);
         }
-        results
+        (results, log.report())
     }
+
+    /// One Service Description Generation step, with fault injection,
+    /// transient-refusal retries and graceful handling of unparseable
+    /// published descriptions.
+    fn deploy_entry(
+        &self,
+        server: &dyn ServerSubsystem,
+        server_id: ServerId,
+        entry: &wsinterop_typecat::TypeEntry,
+        analyzer: &Analyzer,
+        log: &FaultLog,
+    ) -> (ServiceRecord, Option<String>) {
+        let outcome = match &self.faults {
+            None => server.deploy(entry),
+            Some(plan) => {
+                let hook = PlanServerHook::new(plan, log, &self.resilience, server_id);
+                let faulty = FaultyServer::new(server, &hook);
+                let mut retry = 0u32;
+                loop {
+                    match faulty.deploy(entry) {
+                        DeployOutcome::Refused { reason }
+                            if is_transient_refusal(&reason)
+                                && retry < self.resilience.max_retries =>
+                        {
+                            log.retried(self.resilience.backoff_for(retry));
+                            retry += 1;
+                        }
+                        other => break other,
+                    }
+                }
+            }
+        };
+
+        let (record, wsdl) = match outcome {
+            DeployOutcome::Refused { .. } => (
+                ServiceRecord {
+                    server: server_id,
+                    fqcn: entry.fqcn.clone(),
+                    deployed: false,
+                    wsi_conformant: None,
+                    description_warning: false,
+                },
+                None,
+            ),
+            DeployOutcome::Deployed { wsdl_xml } => {
+                match wsinterop_wsdl::de::from_xml_str(&wsdl_xml) {
+                    Ok(defs) => {
+                        let report = analyzer.analyze(&defs);
+                        let conformant = report.conformant();
+                        let advisory = report
+                            .warnings()
+                            .any(|w| w.assertion == "EXT0001");
+                        (
+                            ServiceRecord {
+                                server: server_id,
+                                fqcn: entry.fqcn.clone(),
+                                deployed: true,
+                                wsi_conformant: Some(conformant),
+                                description_warning: !conformant || advisory,
+                            },
+                            Some(wsdl_xml),
+                        )
+                    }
+                    // Graceful degradation: an unparseable published
+                    // description is a real interoperability finding,
+                    // not a reason to abort the campaign. Record it as
+                    // deployed-but-non-conformant and keep the text —
+                    // all eleven clients still get to classify it.
+                    Err(_) => (
+                        ServiceRecord {
+                            server: server_id,
+                            fqcn: entry.fqcn.clone(),
+                            deployed: true,
+                            wsi_conformant: Some(false),
+                            description_warning: true,
+                        },
+                        Some(wsdl_xml),
+                    ),
+                }
+            }
+        };
+
+        if self.faults.is_some() {
+            let site = deploy_site(server_id, &entry.fqcn);
+            if log.is_affected(&site) {
+                // Detected when the step surfaced the disruption as a
+                // refusal or a flagged description; masked when the
+                // record came out clean (retry-absorbed refusals,
+                // benign corruption).
+                log.resolve(&site, !record.deployed || record.description_warning);
+            }
+        }
+        (record, wsdl)
+    }
+
+    /// One (server, client, service) test cell, with fault injection,
+    /// panic isolation and the virtual step deadline.
+    fn run_cell(
+        &self,
+        server_id: ServerId,
+        record: &ServiceRecord,
+        wsdl: &str,
+        client: &dyn ClientSubsystem,
+        log: &FaultLog,
+    ) -> TestRecord {
+        let Some(plan) = &self.faults else {
+            return run_test(server_id, record, wsdl, client);
+        };
+
+        let site = gen_site(server_id, client.info().id, &record.fqcn);
+        let hook = PlanClientHook::new(plan, log);
+        let faulty = FaultyClient::new(client, &hook, site.clone());
+        let mut test = if self.resilience.isolate_panics {
+            match catch_unwind(AssertUnwindSafe(|| {
+                run_test(server_id, record, wsdl, &faulty)
+            })) {
+                Ok(test) => test,
+                Err(_) => {
+                    // The worker died mid-step; the test still gets a
+                    // verdict: generation failed.
+                    log.panic_isolated();
+                    TestRecord {
+                        server: server_id,
+                        client: client.info().id,
+                        fqcn: record.fqcn.clone(),
+                        gen_warning: false,
+                        gen_error: true,
+                        compile_ran: false,
+                        compile_warning: false,
+                        compile_error: false,
+                        compiler_crashed: false,
+                        instantiation: None,
+                    }
+                }
+            }
+        } else {
+            run_test(server_id, record, wsdl, &faulty)
+        };
+
+        if let Some(virtual_ms) = plan.slow_virtual_ms(&site) {
+            log.injected(FaultKind::SlowStep, &site);
+            if virtual_ms > self.resilience.step_deadline_ms {
+                // The step blew its deadline budget: classified as an
+                // Error, exactly like a hung tool killed by a watchdog.
+                log.deadline_hit();
+                test.gen_error = true;
+            }
+        }
+        if log.is_affected(&site) {
+            log.resolve(&site, test.any_error() || test.any_warning());
+        }
+        test
+    }
+}
+
+/// Runs one wire-fault probe for the chaos campaign's Communication
+/// step, resolving the injection as detected unless the exchange still
+/// completed.
+fn wire_probe(
+    plan: &FaultPlan,
+    log: &FaultLog,
+    server_id: ServerId,
+    record: &ServiceRecord,
+    wsdl: &str,
+) {
+    let site = wire_site(server_id, &record.fqcn);
+    let Some(wire) = plan.wire_fault(&site) else {
+        return;
+    };
+    log.injected(wire.kind(), &site);
+    let operation = wsinterop_wsdl::de::from_xml_str(wsdl).ok().and_then(|defs| {
+        defs.port_types
+            .iter()
+            .flat_map(|pt| pt.operations.iter())
+            .next()
+            .map(|op| op.name.clone())
+    });
+    let detected = match operation {
+        // No invocable operation (or unparseable description): the
+        // wire fault never gets a chance to bite — masked.
+        None => false,
+        Some(op) => !exchange_with_faults(wsdl, &op, "chaos-probe", Some(wire)).completed(),
+    };
+    log.resolve(&site, detected);
 }
 
 fn run_test(
@@ -346,5 +587,50 @@ mod tests {
         assert_eq!(a.services.len(), b.services.len());
         assert_eq!(a.tests.len(), b.tests.len());
         assert_eq!(a.tests, b.tests);
+    }
+
+    #[test]
+    fn faultless_plan_report_is_empty_and_results_match_baseline() {
+        let baseline = Campaign::sampled(199).run();
+        let (results, report) = Campaign::sampled(199)
+            .with_faults(FaultPlan::silent(5))
+            .run_with_report();
+        assert_eq!(report.injected_total(), 0);
+        assert_eq!(report.retries_spent, 0);
+        assert_eq!(results.services, baseline.services);
+        assert_eq!(results.tests, baseline.tests);
+    }
+
+    #[test]
+    fn transient_refusals_within_budget_are_masked() {
+        // Force a transient refusal at one deploy site; with the
+        // default budget (2 retries) a 1–3-failure fault either
+        // recovers (masked) or exhausts the budget (detected) — but it
+        // must always be accounted and never panic the run.
+        let fqcn = "java.lang.String";
+        let plan = FaultPlan::silent(9).force_at(
+            FaultKind::TransientDeployRefusal,
+            deploy_site(ServerId::Metro, fqcn),
+        );
+        let (results, report) = Campaign::sampled(1)
+            .with_servers(&[ServerId::Metro])
+            .with_clients(&[ClientId::Metro])
+            .with_faults(plan)
+            .run_with_report();
+        let counts = report.counts(FaultKind::TransientDeployRefusal);
+        assert_eq!(counts.injected, 1);
+        assert_eq!(counts.detected + counts.masked, 1);
+        assert!(report.retries_spent >= 1);
+        let record = results
+            .services
+            .iter()
+            .find(|s| s.fqcn == fqcn)
+            .expect("record exists");
+        // Either the retries recovered it (deployed) or the budget ran
+        // out (refused) — in both cases the campaign shape holds.
+        assert_eq!(
+            results.tests.iter().filter(|t| t.fqcn == fqcn).count(),
+            usize::from(record.deployed)
+        );
     }
 }

@@ -55,6 +55,12 @@ pub enum ExchangeOutcome {
         /// First violated assertion.
         detail: String,
     },
+    /// The transport lost the message (e.g. an injected dropped
+    /// response in the chaos campaign, or a timeout).
+    TransportError {
+        /// Failure detail.
+        reason: String,
+    },
 }
 
 impl ExchangeOutcome {
@@ -79,6 +85,9 @@ impl fmt::Display for ExchangeOutcome {
             }
             ExchangeOutcome::NonConformantMessage { side, detail } => {
                 write!(f, "non-conformant {side} message: {detail}")
+            }
+            ExchangeOutcome::TransportError { reason } => {
+                write!(f, "transport error: {reason}")
             }
         }
     }
@@ -174,6 +183,20 @@ fn build_echo_response(
 /// Runs the full Communication + Execution cycle for one operation of
 /// a published WSDL, echoing `value`.
 pub fn exchange(wsdl_xml: &str, operation: &str, value: &str) -> ExchangeOutcome {
+    exchange_with_faults(wsdl_xml, operation, value, None)
+}
+
+/// [`exchange`] with an optional injected wire fault (the chaos
+/// campaign's Communication-step disruption): the request can be
+/// truncated or namespace-mangled in transit, or the response dropped.
+pub fn exchange_with_faults(
+    wsdl_xml: &str,
+    operation: &str,
+    value: &str,
+    fault: Option<crate::faults::WireFault>,
+) -> ExchangeOutcome {
+    use crate::faults::WireFault;
+
     // Client side: independent parse of the published description.
     let client_defs = match from_xml_str(wsdl_xml) {
         Ok(defs) => defs,
@@ -192,17 +215,53 @@ pub fn exchange(wsdl_xml: &str, operation: &str, value: &str) -> ExchangeOutcome
         }
     };
 
-    // Wire conformance: the request must pass the WS-I message profile.
-    if let Some(violation) = first_message_violation(&request) {
-        return ExchangeOutcome::NonConformantMessage {
-            side: "request",
-            detail: violation,
-        };
+    // The injected transit damage happens *after* the stub serialized a
+    // correct request — it models the wire, not the client.
+    let request = match fault {
+        Some(WireFault::TruncateEnvelope) => {
+            let mut cut = request.len() * 3 / 5;
+            while cut > 0 && !request.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            request[..cut].to_string()
+        }
+        Some(WireFault::WrongNamespace) => request.replace(
+            "http://schemas.xmlsoap.org/soap/envelope/",
+            "http://schemas.xmlsoap.org/soap/envelope-tampered/",
+        ),
+        _ => request,
+    };
+
+    // Wire conformance: an untampered request must pass the WS-I
+    // message profile. Tampered requests skip the check and go straight
+    // to the server — the damage happened below the conformance
+    // tooling.
+    if fault.is_none() {
+        if let Some(violation) = first_message_violation(&request) {
+            return ExchangeOutcome::NonConformantMessage {
+                side: "request",
+                detail: violation,
+            };
+        }
     }
 
-    // Server side: its own parse of the same document.
-    let server_defs = from_xml_str(wsdl_xml).expect("server republishes its own WSDL");
+    // Server side: its own parse of the same document. A server that
+    // cannot re-parse its own published description is reported as a
+    // fault, never a crash.
+    let server_defs = match from_xml_str(wsdl_xml) {
+        Ok(defs) => defs,
+        Err(e) => {
+            return ExchangeOutcome::ServerFault {
+                reason: format!("server cannot re-parse its own description: {e}"),
+            }
+        }
+    };
     let response = serve_echo(&server_defs, &request);
+    if fault == Some(WireFault::DropResponse) {
+        return ExchangeOutcome::TransportError {
+            reason: "response dropped in transit".to_string(),
+        };
+    }
     if let Some(violation) = first_message_violation(&response) {
         return ExchangeOutcome::NonConformantMessage {
             side: "response",
@@ -361,6 +420,36 @@ mod tests {
         assert!(s.completed > 0);
         assert_eq!(s.total(), s.completed + s.not_invocable + s.faulted);
         assert!(s.completed * 10 > s.total() * 9, "{s:?}");
+    }
+
+    #[test]
+    fn injected_wire_faults_break_the_exchange() {
+        use crate::faults::WireFault;
+        let wsdl = wsdl_of(&Metro, "java.lang.String");
+        // Baseline sanity: the fault-free exchange completes.
+        assert!(exchange_with_faults(&wsdl, "echo", "x", None).completed());
+        let truncated =
+            exchange_with_faults(&wsdl, "echo", "x", Some(WireFault::TruncateEnvelope));
+        assert!(!truncated.completed(), "{truncated}");
+        let dropped = exchange_with_faults(&wsdl, "echo", "x", Some(WireFault::DropResponse));
+        assert!(
+            matches!(dropped, ExchangeOutcome::TransportError { .. }),
+            "{dropped}"
+        );
+        let tampered =
+            exchange_with_faults(&wsdl, "echo", "x", Some(WireFault::WrongNamespace));
+        assert!(!tampered.completed(), "{tampered}");
+    }
+
+    #[test]
+    fn unparseable_description_never_panics_the_exchange() {
+        // An unparseable document is rejected at the client-side parse;
+        // no input may panic the Communication step.
+        let outcome = exchange("<not-a-wsdl", "echo", "x");
+        assert!(
+            matches!(outcome, ExchangeOutcome::ClientCannotInvoke { .. }),
+            "{outcome}"
+        );
     }
 
     #[test]

@@ -1,0 +1,744 @@
+//! Deterministic fault injection and campaign resilience.
+//!
+//! The paper's methodology only works because the campaign *classifies*
+//! disruptive behaviour instead of dying on it: every one of the
+//! 79 629 tests must end in a Success/Warning/Error verdict even when a
+//! subsystem misbehaves. This module turns that contract into an
+//! executable experiment (E12, the chaos campaign):
+//!
+//! * [`FaultPlan`] — a seeded, deterministic plan deciding, per
+//!   campaign *site* (a deploy, a test cell, a wire exchange), which
+//!   [`FaultKind`] to inject. Decisions are pure functions of
+//!   `(seed, kind, site)`, so the same seed produces the same faults
+//!   regardless of stride order or worker-thread count.
+//! * [`ResilienceConfig`] — the runner's coping budget: bounded
+//!   retries with a deterministic backoff schedule for transient
+//!   faults, a per-step deadline, and `catch_unwind` panic isolation.
+//! * [`FaultReport`] — the accounting: per kind, how many faults were
+//!   injected, how many were *detected* (surfaced as a Warning/Error
+//!   classification or a refused deployment), and how many were
+//!   *masked* (absorbed by retries or harmless to the pipeline), plus
+//!   retries spent, virtual backoff, and deadline hits.
+//!
+//! Time is **virtual**: slow-step faults carry a deterministic
+//! simulated duration that is compared against the deadline budget
+//! without real sleeping, so chaos campaigns stay fast and their
+//! reports bit-reproducible.
+//!
+//! The *injected* faults modelled here are deliberately distinct from
+//! the *modeled* faults of the framework simulations (DESIGN.md §4):
+//! modeled faults are the paper's measured platform defects and are
+//! always on; injected faults are synthetic disruptions layered on top
+//! by wrapping subsystems in [`wsinterop_frameworks::fault`]
+//! decorators.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use wsinterop_frameworks::client::{ClientId, ClientSubsystem, GenOutcome};
+use wsinterop_frameworks::fault::{
+    ClientFaultHook, ServerFaultHook, TRANSIENT_REFUSAL_PREFIX,
+};
+use wsinterop_frameworks::server::{DeployOutcome, ServerId, ServerSubsystem};
+use wsinterop_typecat::TypeEntry;
+
+/// One kind of injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// Truncate the published WSDL bytes after deployment.
+    WsdlTruncation,
+    /// Corrupt the published WSDL bytes after deployment (sometimes
+    /// malforming the document, sometimes a benign whitespace tweak —
+    /// the latter population is what the *masked* column measures).
+    WsdlCorruption,
+    /// Refuse the first deploy attempt(s) with a retryable I/O-style
+    /// error; the resilient runner's retry budget may absorb it.
+    TransientDeployRefusal,
+    /// Panic inside the client artifact-generation tool.
+    ClientGenPanic,
+    /// A slow or hanging step, modelled as a deterministic virtual
+    /// duration checked against the per-step deadline budget.
+    SlowStep,
+    /// Wire fault: truncate the request envelope mid-document.
+    WireTruncateEnvelope,
+    /// Wire fault: rewrite the SOAP envelope namespace.
+    WireWrongNamespace,
+    /// Wire fault: drop the response on the floor.
+    WireDropResponse,
+}
+
+impl FaultKind {
+    /// Every kind, in report order.
+    pub const ALL: [FaultKind; 8] = [
+        FaultKind::WsdlTruncation,
+        FaultKind::WsdlCorruption,
+        FaultKind::TransientDeployRefusal,
+        FaultKind::ClientGenPanic,
+        FaultKind::SlowStep,
+        FaultKind::WireTruncateEnvelope,
+        FaultKind::WireWrongNamespace,
+        FaultKind::WireDropResponse,
+    ];
+
+    fn index(self) -> usize {
+        FaultKind::ALL.iter().position(|&k| k == self).unwrap()
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultKind::WsdlTruncation => "wsdl-truncation",
+            FaultKind::WsdlCorruption => "wsdl-corruption",
+            FaultKind::TransientDeployRefusal => "transient-deploy-refusal",
+            FaultKind::ClientGenPanic => "client-gen-panic",
+            FaultKind::SlowStep => "slow-step",
+            FaultKind::WireTruncateEnvelope => "wire-truncate-envelope",
+            FaultKind::WireWrongNamespace => "wire-wrong-namespace",
+            FaultKind::WireDropResponse => "wire-drop-response",
+        })
+    }
+}
+
+/// A wire-level fault for the Communication/Execution (E9) step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFault {
+    /// Truncate the request envelope.
+    TruncateEnvelope,
+    /// Rewrite the SOAP envelope namespace of the request.
+    WrongNamespace,
+    /// Drop the response.
+    DropResponse,
+}
+
+impl WireFault {
+    /// The [`FaultKind`] this wire fault is accounted under.
+    pub fn kind(self) -> FaultKind {
+        match self {
+            WireFault::TruncateEnvelope => FaultKind::WireTruncateEnvelope,
+            WireFault::WrongNamespace => FaultKind::WireWrongNamespace,
+            WireFault::DropResponse => FaultKind::WireDropResponse,
+        }
+    }
+}
+
+/// Site key for a Service Description Generation step.
+pub fn deploy_site(server: ServerId, fqcn: &str) -> String {
+    format!("deploy/{server:?}/{fqcn}")
+}
+
+/// Site key for one (server, client, service) test cell.
+pub fn gen_site(server: ServerId, client: ClientId, fqcn: &str) -> String {
+    format!("gen/{server:?}/{client:?}/{fqcn}")
+}
+
+/// Site key for one wire exchange.
+pub fn wire_site(server: ServerId, fqcn: &str) -> String {
+    format!("wire/{server:?}/{fqcn}")
+}
+
+/// A seeded, deterministic fault plan.
+///
+/// Decisions are pure functions of `(seed, kind, site)`; the plan
+/// carries no mutable state and can be shared across runs — two runs
+/// under the same plan inject exactly the same faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Injection rate per kind, in permille of sites.
+    rates: [u32; FaultKind::ALL.len()],
+    /// Sites where a kind is unconditionally injected.
+    forced: BTreeSet<(FaultKind, String)>,
+}
+
+impl FaultPlan {
+    /// A plan with the standard chaos-campaign rates (roughly 1–3 % of
+    /// sites per kind).
+    pub fn seeded(seed: u64) -> FaultPlan {
+        let mut plan = FaultPlan::silent(seed);
+        plan.rates[FaultKind::WsdlTruncation.index()] = 12;
+        plan.rates[FaultKind::WsdlCorruption.index()] = 15;
+        plan.rates[FaultKind::TransientDeployRefusal.index()] = 20;
+        plan.rates[FaultKind::ClientGenPanic.index()] = 6;
+        plan.rates[FaultKind::SlowStep.index()] = 10;
+        plan.rates[FaultKind::WireTruncateEnvelope.index()] = 25;
+        plan.rates[FaultKind::WireWrongNamespace.index()] = 25;
+        plan.rates[FaultKind::WireDropResponse.index()] = 25;
+        plan
+    }
+
+    /// A plan that injects nothing unless told to — the base for
+    /// targeted plans built with [`FaultPlan::with_rate`] and
+    /// [`FaultPlan::force_at`].
+    pub fn silent(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rates: [0; FaultKind::ALL.len()],
+            forced: BTreeSet::new(),
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Overrides the injection rate (permille of sites) for one kind.
+    #[must_use]
+    pub fn with_rate(mut self, kind: FaultKind, per_mille: u32) -> FaultPlan {
+        self.rates[kind.index()] = per_mille.min(1000);
+        self
+    }
+
+    /// Unconditionally injects `kind` at one site (see [`deploy_site`],
+    /// [`gen_site`], [`wire_site`] for the key grammar).
+    #[must_use]
+    pub fn force_at(mut self, kind: FaultKind, site: impl Into<String>) -> FaultPlan {
+        self.forced.insert((kind, site.into()));
+        self
+    }
+
+    /// Number of kinds with a non-zero chance of injection.
+    pub fn active_kinds(&self) -> usize {
+        let forced: BTreeSet<FaultKind> = self.forced.iter().map(|(k, _)| *k).collect();
+        FaultKind::ALL
+            .iter()
+            .filter(|k| self.rates[k.index()] > 0 || forced.contains(k))
+            .count()
+    }
+
+    fn hash(&self, kind: FaultKind, site: &str) -> u64 {
+        // FNV-1a over the site, mixed with the seed and kind, then a
+        // splitmix64 finalizer. Stable across platforms and releases.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed;
+        for b in site.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= (kind.index() as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Whether `kind` is injected at `site`.
+    pub fn decide(&self, kind: FaultKind, site: &str) -> bool {
+        if self.forced.contains(&(kind, site.to_string())) {
+            return true;
+        }
+        let rate = self.rates[kind.index()];
+        rate > 0 && self.hash(kind, site) % 1000 < u64::from(rate)
+    }
+
+    /// How many initial deploy attempts a transient refusal eats at
+    /// `site` (1–3; values above the retry budget become permanent).
+    pub fn transient_failures(&self, site: &str) -> u32 {
+        1 + (self.hash(FaultKind::TransientDeployRefusal, site) >> 16) as u32 % 3
+    }
+
+    /// Virtual duration of a slow step at `site`, when injected.
+    pub fn slow_virtual_ms(&self, site: &str) -> Option<u64> {
+        if !self.decide(FaultKind::SlowStep, site) {
+            return None;
+        }
+        Some(10 + (self.hash(FaultKind::SlowStep, site) >> 16) % 190)
+    }
+
+    /// The wire fault (if any) injected at `site`, first match in
+    /// truncate → namespace → drop order.
+    pub fn wire_fault(&self, site: &str) -> Option<WireFault> {
+        if self.decide(FaultKind::WireTruncateEnvelope, site) {
+            Some(WireFault::TruncateEnvelope)
+        } else if self.decide(FaultKind::WireWrongNamespace, site) {
+            Some(WireFault::WrongNamespace)
+        } else if self.decide(FaultKind::WireDropResponse, site) {
+            Some(WireFault::DropResponse)
+        } else {
+            None
+        }
+    }
+
+    /// Applies the WSDL damage planned for `site` (if any), returning
+    /// the damaged document and the kind injected.
+    pub fn damage_wsdl(&self, site: &str, wsdl_xml: &str) -> Option<(String, FaultKind)> {
+        if self.decide(FaultKind::WsdlTruncation, site) {
+            let percent = 30 + (self.hash(FaultKind::WsdlTruncation, site) >> 16) % 51;
+            let cut = (wsdl_xml.len() as u64 * percent / 100) as usize;
+            let cut = floor_char_boundary(wsdl_xml, cut);
+            return Some((wsdl_xml[..cut].to_string(), FaultKind::WsdlTruncation));
+        }
+        if self.decide(FaultKind::WsdlCorruption, site) {
+            let h = self.hash(FaultKind::WsdlCorruption, site);
+            let damaged = if h & (1 << 9) == 0 {
+                // Malforming corruption: splice an unclosed element at a
+                // deterministic position.
+                let at = floor_char_boundary(wsdl_xml, (h >> 16) as usize % wsdl_xml.len().max(1));
+                format!(
+                    "{}<injected-fault>{}",
+                    &wsdl_xml[..at],
+                    &wsdl_xml[at..]
+                )
+            } else {
+                // Benign corruption: inter-element whitespace only. The
+                // document still parses identically — this is the
+                // population the `masked` column measures.
+                wsdl_xml.replacen("><", ">\n<", 1)
+            };
+            return Some((damaged, FaultKind::WsdlCorruption));
+        }
+        None
+    }
+}
+
+fn floor_char_boundary(s: &str, mut at: usize) -> usize {
+    at = at.min(s.len());
+    while at > 0 && !s.is_char_boundary(at) {
+        at -= 1;
+    }
+    at
+}
+
+/// The runner's coping budget for injected (and real) disruptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// Retry budget for transient deploy refusals.
+    pub max_retries: u32,
+    /// Deterministic backoff schedule (virtual milliseconds per retry;
+    /// the last entry repeats). Recorded in the report, never slept.
+    pub backoff_ms: Vec<u64>,
+    /// Per-step deadline budget in virtual milliseconds; a slow-step
+    /// fault exceeding it is classified as an Error.
+    pub step_deadline_ms: u64,
+    /// Isolate each test with `catch_unwind` so a panicking worker
+    /// becomes one Error-classified record instead of a dead campaign.
+    pub isolate_panics: bool,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> ResilienceConfig {
+        ResilienceConfig {
+            max_retries: 2,
+            backoff_ms: vec![1, 2, 4],
+            step_deadline_ms: 50,
+            isolate_panics: true,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Backoff for the `n`-th retry (0-based; the schedule's last
+    /// entry repeats).
+    pub fn backoff_for(&self, retry: u32) -> u64 {
+        match self.backoff_ms.as_slice() {
+            [] => 0,
+            s => s[(retry as usize).min(s.len() - 1)],
+        }
+    }
+}
+
+/// Thread-safe fault accounting for one campaign run.
+#[derive(Debug, Default)]
+pub struct FaultLog {
+    injected: [AtomicUsize; FaultKind::ALL.len()],
+    detected: [AtomicUsize; FaultKind::ALL.len()],
+    masked: [AtomicUsize; FaultKind::ALL.len()],
+    retries: AtomicUsize,
+    backoff_ms: AtomicUsize,
+    deadline_hits: AtomicUsize,
+    panics_isolated: AtomicUsize,
+    /// Injected kinds per site, pending resolution into
+    /// detected/masked.
+    sites: Mutex<BTreeMap<String, Vec<FaultKind>>>,
+}
+
+impl FaultLog {
+    /// A fresh, empty log.
+    pub fn new() -> FaultLog {
+        FaultLog::default()
+    }
+
+    /// Records an injection of `kind` at `site` (idempotent per
+    /// `(site, kind)` — retries re-observe the same fault).
+    pub fn injected(&self, kind: FaultKind, site: &str) {
+        let mut sites = lock_unpoisoned(&self.sites);
+        let kinds = sites.entry(site.to_string()).or_default();
+        if !kinds.contains(&kind) {
+            kinds.push(kind);
+            self.injected[kind.index()].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one retry and its virtual backoff.
+    pub fn retried(&self, backoff_ms: u64) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        self.backoff_ms
+            .fetch_add(backoff_ms as usize, Ordering::Relaxed);
+    }
+
+    /// Records a step exceeding its deadline budget.
+    pub fn deadline_hit(&self) {
+        self.deadline_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one isolated panic.
+    pub fn panic_isolated(&self) {
+        self.panics_isolated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Resolves every fault injected at `site`: `detected` means the
+    /// affected step surfaced a Warning/Error classification (or a
+    /// refused deployment); otherwise the fault was masked.
+    pub fn resolve(&self, site: &str, detected: bool) {
+        let kinds = lock_unpoisoned(&self.sites).get(site).cloned();
+        let Some(kinds) = kinds else { return };
+        let bucket = if detected { &self.detected } else { &self.masked };
+        for kind in kinds {
+            bucket[kind.index()].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether any fault was injected at `site`.
+    pub fn is_affected(&self, site: &str) -> bool {
+        lock_unpoisoned(&self.sites).contains_key(site)
+    }
+
+    /// Snapshot of the accounting.
+    pub fn report(&self) -> FaultReport {
+        let sites = lock_unpoisoned(&self.sites);
+        FaultReport {
+            per_kind: FaultKind::ALL
+                .iter()
+                .map(|&kind| {
+                    let i = kind.index();
+                    (
+                        kind,
+                        FaultCounts {
+                            injected: self.injected[i].load(Ordering::Relaxed),
+                            detected: self.detected[i].load(Ordering::Relaxed),
+                            masked: self.masked[i].load(Ordering::Relaxed),
+                        },
+                    )
+                })
+                .collect(),
+            retries_spent: self.retries.load(Ordering::Relaxed),
+            backoff_ms: self.backoff_ms.load(Ordering::Relaxed) as u64,
+            deadline_hits: self.deadline_hits.load(Ordering::Relaxed),
+            panics_isolated: self.panics_isolated.load(Ordering::Relaxed),
+            affected_sites: sites.keys().cloned().collect(),
+        }
+    }
+}
+
+/// Poison-tolerant lock: a panicking worker must not cascade into a
+/// poisoned-lock abort of the whole campaign.
+pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Per-kind injection accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Faults the plan injected.
+    pub injected: usize,
+    /// Injected faults that surfaced as a Warning/Error classification
+    /// or a refused deployment.
+    pub detected: usize,
+    /// Injected faults absorbed without a classification change
+    /// (retry-recovered refusals, benign corruption, slow steps within
+    /// budget).
+    pub masked: usize,
+}
+
+/// The chaos campaign's accounting, rendered alongside Fig. 4 and
+/// Table III.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Per-kind counts, in [`FaultKind::ALL`] order.
+    pub per_kind: Vec<(FaultKind, FaultCounts)>,
+    /// Retries spent on transient faults.
+    pub retries_spent: usize,
+    /// Total virtual backoff charged for those retries.
+    pub backoff_ms: u64,
+    /// Steps whose virtual duration exceeded the deadline budget.
+    pub deadline_hits: usize,
+    /// Worker panics converted into Error-classified records.
+    pub panics_isolated: usize,
+    /// Every site at which a fault was injected.
+    pub affected_sites: BTreeSet<String>,
+}
+
+impl FaultReport {
+    /// Total injected faults.
+    pub fn injected_total(&self) -> usize {
+        self.per_kind.iter().map(|(_, c)| c.injected).sum()
+    }
+
+    /// Total detected faults.
+    pub fn detected_total(&self) -> usize {
+        self.per_kind.iter().map(|(_, c)| c.detected).sum()
+    }
+
+    /// Total masked faults.
+    pub fn masked_total(&self) -> usize {
+        self.per_kind.iter().map(|(_, c)| c.masked).sum()
+    }
+
+    /// Counts for one kind.
+    pub fn counts(&self, kind: FaultKind) -> FaultCounts {
+        self.per_kind
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, c)| *c)
+            .unwrap_or_default()
+    }
+
+    /// Number of distinct kinds actually injected.
+    pub fn kinds_injected(&self) -> usize {
+        self.per_kind.iter().filter(|(_, c)| c.injected > 0).count()
+    }
+
+    /// Whether a fault was injected at `site`.
+    pub fn affects(&self, site: &str) -> bool {
+        self.affected_sites.contains(site)
+    }
+}
+
+impl fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fault report (injected / detected / masked)")?;
+        writeln!(f, "  {:<26} {:>8} {:>8} {:>8}", "kind", "inj", "det", "mask")?;
+        for (kind, counts) in &self.per_kind {
+            if counts.injected == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "  {:<26} {:>8} {:>8} {:>8}",
+                kind.to_string(),
+                counts.injected,
+                counts.detected,
+                counts.masked
+            )?;
+        }
+        writeln!(
+            f,
+            "  {:<26} {:>8} {:>8} {:>8}",
+            "total",
+            self.injected_total(),
+            self.detected_total(),
+            self.masked_total()
+        )?;
+        writeln!(
+            f,
+            "  retries spent: {} (virtual backoff {} ms); deadline hits: {}; panics isolated: {}",
+            self.retries_spent, self.backoff_ms, self.deadline_hits, self.panics_isolated
+        )?;
+        writeln!(f, "  affected sites: {}", self.affected_sites.len())
+    }
+}
+
+/// Plan-driven deploy hook: transient refusals first, then real
+/// deployment, then WSDL damage on the published bytes.
+pub struct PlanServerHook<'a> {
+    plan: &'a FaultPlan,
+    log: &'a FaultLog,
+    resilience: &'a ResilienceConfig,
+    server: ServerId,
+    attempts: Mutex<BTreeMap<String, u32>>,
+}
+
+impl<'a> PlanServerHook<'a> {
+    /// A hook injecting `plan`'s deploy-step faults for `server`.
+    pub fn new(
+        plan: &'a FaultPlan,
+        log: &'a FaultLog,
+        resilience: &'a ResilienceConfig,
+        server: ServerId,
+    ) -> PlanServerHook<'a> {
+        PlanServerHook {
+            plan,
+            log,
+            resilience,
+            server,
+            attempts: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
+impl ServerFaultHook for PlanServerHook<'_> {
+    fn deploy(&self, inner: &dyn ServerSubsystem, entry: &TypeEntry) -> DeployOutcome {
+        let site = deploy_site(self.server, &entry.fqcn);
+
+        if self.plan.decide(FaultKind::TransientDeployRefusal, &site) {
+            let failures = self
+                .plan
+                .transient_failures(&site)
+                .min(self.resilience.max_retries + 1);
+            let attempt = {
+                let mut attempts = lock_unpoisoned(&self.attempts);
+                let n = attempts.entry(site.clone()).or_insert(0);
+                *n += 1;
+                *n
+            };
+            self.log.injected(FaultKind::TransientDeployRefusal, &site);
+            if attempt <= failures {
+                return DeployOutcome::Refused {
+                    reason: format!(
+                        "{TRANSIENT_REFUSAL_PREFIX} connection reset during deployment \
+                         (attempt {attempt})"
+                    ),
+                };
+            }
+        }
+
+        let outcome = inner.deploy(entry);
+        match outcome {
+            DeployOutcome::Deployed { wsdl_xml } => {
+                match self.plan.damage_wsdl(&site, &wsdl_xml) {
+                    Some((damaged, kind)) => {
+                        self.log.injected(kind, &site);
+                        DeployOutcome::Deployed { wsdl_xml: damaged }
+                    }
+                    None => DeployOutcome::Deployed { wsdl_xml },
+                }
+            }
+            refused => refused,
+        }
+    }
+}
+
+/// Plan-driven generation hook: panics inside the tool when the plan
+/// says so; transparent otherwise.
+pub struct PlanClientHook<'a> {
+    plan: &'a FaultPlan,
+    log: &'a FaultLog,
+}
+
+impl<'a> PlanClientHook<'a> {
+    /// A hook injecting `plan`'s generation-step faults.
+    pub fn new(plan: &'a FaultPlan, log: &'a FaultLog) -> PlanClientHook<'a> {
+        PlanClientHook { plan, log }
+    }
+}
+
+impl ClientFaultHook for PlanClientHook<'_> {
+    fn generate(&self, inner: &dyn ClientSubsystem, site: &str, wsdl_xml: &str) -> GenOutcome {
+        if self.plan.decide(FaultKind::ClientGenPanic, site) {
+            self.log.injected(FaultKind::ClientGenPanic, site);
+            panic!("injected fault: artifact generator crashed at {site}");
+        }
+        inner.generate(wsdl_xml)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::seeded(42);
+        let b = FaultPlan::seeded(42);
+        let c = FaultPlan::seeded(43);
+        let sites: Vec<String> = (0..2000).map(|i| format!("deploy/Metro/c{i}")).collect();
+        let pick = |p: &FaultPlan| -> Vec<bool> {
+            sites
+                .iter()
+                .map(|s| p.decide(FaultKind::WsdlCorruption, s))
+                .collect()
+        };
+        assert_eq!(pick(&a), pick(&b));
+        assert_ne!(pick(&a), pick(&c));
+        let hits = pick(&a).iter().filter(|&&x| x).count();
+        // 15‰ of 2000 ≈ 30; allow generous slack.
+        assert!((5..120).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn forced_sites_always_inject() {
+        let plan = FaultPlan::silent(7).force_at(FaultKind::ClientGenPanic, "gen/x/y/z");
+        assert!(plan.decide(FaultKind::ClientGenPanic, "gen/x/y/z"));
+        assert!(!plan.decide(FaultKind::ClientGenPanic, "gen/x/y/other"));
+        assert!(!plan.decide(FaultKind::WsdlTruncation, "gen/x/y/z"));
+        assert_eq!(plan.active_kinds(), 1);
+    }
+
+    #[test]
+    fn damage_is_deterministic_and_char_safe() {
+        let plan = FaultPlan::silent(1).with_rate(FaultKind::WsdlTruncation, 1000);
+        let doc = "<?xml version=\"1.0\"?><a>héllo wörld…</a>".repeat(4);
+        let (once, kind) = plan.damage_wsdl("deploy/Metro/x", &doc).unwrap();
+        let (twice, _) = plan.damage_wsdl("deploy/Metro/x", &doc).unwrap();
+        assert_eq!(kind, FaultKind::WsdlTruncation);
+        assert_eq!(once, twice);
+        assert!(once.len() < doc.len());
+    }
+
+    #[test]
+    fn benign_and_malforming_corruption_both_occur() {
+        let plan = FaultPlan::silent(3).with_rate(FaultKind::WsdlCorruption, 1000);
+        let doc = "<?xml version=\"1.0\"?><a><b/></a>";
+        let mut malformed = 0;
+        let mut benign = 0;
+        for i in 0..64 {
+            let (damaged, _) = plan.damage_wsdl(&format!("deploy/Metro/c{i}"), doc).unwrap();
+            if damaged.contains("<injected-fault>") {
+                malformed += 1;
+            } else {
+                assert!(damaged.contains(">\n<"));
+                benign += 1;
+            }
+        }
+        assert!(malformed > 0 && benign > 0, "{malformed}/{benign}");
+    }
+
+    #[test]
+    fn log_resolves_into_detected_and_masked() {
+        let log = FaultLog::new();
+        log.injected(FaultKind::WsdlCorruption, "deploy/Metro/a");
+        log.injected(FaultKind::WsdlCorruption, "deploy/Metro/a"); // idempotent
+        log.injected(FaultKind::SlowStep, "gen/Metro/Axis1/a");
+        log.resolve("deploy/Metro/a", true);
+        log.resolve("gen/Metro/Axis1/a", false);
+        log.retried(4);
+        log.deadline_hit();
+        let report = log.report();
+        assert_eq!(report.counts(FaultKind::WsdlCorruption).injected, 1);
+        assert_eq!(report.counts(FaultKind::WsdlCorruption).detected, 1);
+        assert_eq!(report.counts(FaultKind::SlowStep).masked, 1);
+        assert_eq!(report.retries_spent, 1);
+        assert_eq!(report.backoff_ms, 4);
+        assert_eq!(report.deadline_hits, 1);
+        assert_eq!(report.injected_total(), 2);
+        assert!(report.affects("deploy/Metro/a"));
+        assert!(!report.affects("deploy/Metro/b"));
+        assert!(report.to_string().contains("wsdl-corruption"));
+    }
+
+    #[test]
+    fn backoff_schedule_repeats_its_tail() {
+        let resilience = ResilienceConfig::default();
+        assert_eq!(resilience.backoff_for(0), 1);
+        assert_eq!(resilience.backoff_for(1), 2);
+        assert_eq!(resilience.backoff_for(2), 4);
+        assert_eq!(resilience.backoff_for(9), 4);
+    }
+
+    #[test]
+    fn wire_fault_choice_is_deterministic() {
+        let plan = FaultPlan::seeded(11);
+        for i in 0..50 {
+            let site = wire_site(ServerId::Metro, &format!("c{i}"));
+            assert_eq!(plan.wire_fault(&site), plan.wire_fault(&site));
+        }
+        let forced = FaultPlan::silent(0).with_rate(FaultKind::WireDropResponse, 1000);
+        assert_eq!(
+            forced.wire_fault("wire/Metro/x"),
+            Some(WireFault::DropResponse)
+        );
+    }
+}

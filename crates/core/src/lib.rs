@@ -14,7 +14,9 @@
 //! [`expected`] module freezes the published numbers the full run must
 //! reproduce. The [`exchange`] module implements the paper's declared
 //! future work — the Communication and Execution steps — as an
-//! extension.
+//! extension. The [`faults`] module layers a deterministic, seeded
+//! fault-injection plan over the campaign (the chaos campaign, E12)
+//! and accounts for injected vs detected vs masked faults.
 //!
 //! ## Example
 //!
@@ -34,9 +36,11 @@ pub mod complexity;
 pub mod exchange;
 pub mod expected;
 pub mod export;
+pub mod faults;
 pub mod registry;
 pub mod report;
 pub mod results;
 
 pub use campaign::Campaign;
+pub use faults::{FaultKind, FaultPlan, FaultReport, ResilienceConfig};
 pub use results::{CampaignResults, InstantiationKind, ServiceRecord, TestRecord};

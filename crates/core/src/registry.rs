@@ -83,7 +83,12 @@ impl ServiceHost {
         match server.deploy(entry) {
             DeployOutcome::Refused { reason } => Err(reason),
             DeployOutcome::Deployed { wsdl_xml } => {
-                let defs = from_xml_str(&wsdl_xml).expect("published WSDL is well-formed");
+                // A description the host cannot parse is a deployment
+                // failure surfaced to the caller, never a panic — the
+                // chaos campaign deliberately produces such documents.
+                let defs = from_xml_str(&wsdl_xml).map_err(|e| {
+                    format!("published description is unparseable: {e}")
+                })?;
                 let url = defs
                     .services
                     .first()
@@ -114,8 +119,13 @@ impl ServiceHost {
             match server.deploy(entry) {
                 DeployOutcome::Refused { .. } => summary.refused += 1,
                 DeployOutcome::Deployed { wsdl_xml } => {
-                    let defs =
-                        from_xml_str(&wsdl_xml).expect("published WSDL is well-formed");
+                    // Unparseable description: the endpoint cannot be
+                    // bound, so the host counts it as refused rather
+                    // than aborting the bulk deployment.
+                    let Ok(defs) = from_xml_str(&wsdl_xml) else {
+                        summary.refused += 1;
+                        continue;
+                    };
                     let url = defs
                         .services
                         .first()

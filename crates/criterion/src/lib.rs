@@ -1,0 +1,204 @@
+//! A minimal, dependency-free stand-in for the [`criterion`] bench
+//! harness, implementing the API subset this workspace's benches use.
+//!
+//! The build environment has no access to crates.io, so the real
+//! criterion cannot be vendored. This shim keeps `cargo bench`
+//! working: each benchmark runs a fixed warm-up plus a measured batch
+//! and prints the median per-iteration time. No statistical analysis,
+//! plotting, or baseline comparison is performed.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized (accepted, ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives the measured closure.
+pub struct Bencher {
+    iters: u64,
+    median_ns: Option<u128>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording the median over the sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        let mut samples = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            samples.push(start.elapsed().as_nanos());
+        }
+        samples.sort_unstable();
+        self.median_ns = Some(samples[samples.len() / 2]);
+    }
+
+    /// Times `routine` over inputs produced by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut samples = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed().as_nanos());
+        }
+        samples.sort_unstable();
+        self.median_ns = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn run_one(name: &str, sample_size: u64, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        iters: sample_size.max(3),
+        median_ns: None,
+    };
+    f(&mut bencher);
+    match bencher.median_ns {
+        Some(ns) => println!("{name:<50} median {}", format_ns(ns)),
+        None => println!("{name:<50} (no measurement)"),
+    }
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Measurement-time hint (accepted, ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks one closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks one closure with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks one stand-alone closure.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&id.to_string(), 10, f);
+        self
+    }
+}
+
+/// Declares a bench group function compatible with `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,184 @@
+//! Fault-wrapping decorators for server and client subsystems.
+//!
+//! A chaos campaign (see `wsinterop-core`'s `faults` module) does not
+//! modify the framework simulations themselves — it wraps them. The
+//! decorators here intercept the subsystem boundary and delegate the
+//! *decision* of what to break to a hook, so the same subsystems serve
+//! both the faithful paper campaign and the fault-injected one:
+//!
+//! * [`FaultyServer`] intercepts the deploy step (transient refusals,
+//!   published-WSDL byte corruption/truncation);
+//! * [`FaultyClient`] intercepts the artifact-generation step (panics,
+//!   mangled tool output).
+//!
+//! Hooks receive the *inner* subsystem and run it themselves, which
+//! lets them fail before the step, corrupt its output after, or skip
+//! it entirely. Hooks may panic to model tool crashes — the campaign
+//! runner isolates each test with `catch_unwind`.
+
+use wsinterop_typecat::TypeEntry;
+
+use crate::client::{ClientInfo, ClientSubsystem, GenOutcome};
+use crate::server::{DeployOutcome, ServerInfo, ServerSubsystem};
+
+/// Reason prefix marking a deployment refusal as *transient* — the
+/// resilient runner may retry these within its budget, unlike the
+/// platform's own (deterministic, permanent) binding refusals.
+pub const TRANSIENT_REFUSAL_PREFIX: &str = "transient fault:";
+
+/// `true` when a refusal reason is retryable.
+pub fn is_transient_refusal(reason: &str) -> bool {
+    reason.starts_with(TRANSIENT_REFUSAL_PREFIX)
+}
+
+/// Decides what (if anything) to break around one deploy call.
+pub trait ServerFaultHook: Send + Sync {
+    /// Runs the deploy step for `entry` on `inner`, injecting whatever
+    /// faults the hook's plan prescribes for this site.
+    fn deploy(&self, inner: &dyn ServerSubsystem, entry: &TypeEntry) -> DeployOutcome;
+}
+
+/// Decides what (if anything) to break around one generation call.
+/// `site` is an opaque key naming the (server, client, service) cell,
+/// chosen by the campaign, so decisions stay deterministic and
+/// reportable.
+pub trait ClientFaultHook: Send + Sync {
+    /// Runs the artifact-generation step at `site` on `inner`,
+    /// injecting whatever faults the hook's plan prescribes. May panic
+    /// to model a tool crash.
+    fn generate(&self, inner: &dyn ClientSubsystem, site: &str, wsdl_xml: &str) -> GenOutcome;
+}
+
+/// A server subsystem with a fault hook spliced into its deploy step.
+pub struct FaultyServer<'a> {
+    inner: &'a dyn ServerSubsystem,
+    hook: &'a dyn ServerFaultHook,
+}
+
+impl<'a> FaultyServer<'a> {
+    /// Wraps `inner` so every deploy goes through `hook`.
+    pub fn new(inner: &'a dyn ServerSubsystem, hook: &'a dyn ServerFaultHook) -> FaultyServer<'a> {
+        FaultyServer { inner, hook }
+    }
+}
+
+impl ServerSubsystem for FaultyServer<'_> {
+    fn info(&self) -> ServerInfo {
+        self.inner.info()
+    }
+
+    fn catalog(&self) -> &'static wsinterop_typecat::Catalog {
+        self.inner.catalog()
+    }
+
+    fn deploy(&self, entry: &TypeEntry) -> DeployOutcome {
+        self.hook.deploy(self.inner, entry)
+    }
+}
+
+/// A client subsystem with a fault hook spliced into its generation
+/// step, pinned to one campaign site.
+pub struct FaultyClient<'a> {
+    inner: &'a dyn ClientSubsystem,
+    hook: &'a dyn ClientFaultHook,
+    site: String,
+}
+
+impl<'a> FaultyClient<'a> {
+    /// Wraps `inner` for the campaign cell named by `site`.
+    pub fn new(
+        inner: &'a dyn ClientSubsystem,
+        hook: &'a dyn ClientFaultHook,
+        site: impl Into<String>,
+    ) -> FaultyClient<'a> {
+        FaultyClient {
+            inner,
+            hook,
+            site: site.into(),
+        }
+    }
+}
+
+impl ClientSubsystem for FaultyClient<'_> {
+    fn info(&self) -> ClientInfo {
+        self.inner.info()
+    }
+
+    fn generate(&self, wsdl_xml: &str) -> GenOutcome {
+        self.hook.generate(self.inner, &self.site, wsdl_xml)
+    }
+
+    fn generate_from(
+        &self,
+        defs: &wsinterop_wsdl::Definitions,
+        facts: &crate::client::facts::DocFacts,
+    ) -> GenOutcome {
+        self.inner.generate_from(defs, facts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::MetroClient;
+    use crate::server::Metro;
+
+    struct PassThroughServer;
+    impl ServerFaultHook for PassThroughServer {
+        fn deploy(&self, inner: &dyn ServerSubsystem, entry: &TypeEntry) -> DeployOutcome {
+            inner.deploy(entry)
+        }
+    }
+
+    struct RefuseOnce;
+    impl ServerFaultHook for RefuseOnce {
+        fn deploy(&self, _inner: &dyn ServerSubsystem, _entry: &TypeEntry) -> DeployOutcome {
+            DeployOutcome::Refused {
+                reason: format!("{TRANSIENT_REFUSAL_PREFIX} connection reset"),
+            }
+        }
+    }
+
+    struct PanicHook;
+    impl ClientFaultHook for PanicHook {
+        fn generate(
+            &self,
+            _inner: &dyn ClientSubsystem,
+            site: &str,
+            _wsdl_xml: &str,
+        ) -> GenOutcome {
+            panic!("injected tool crash at {site}");
+        }
+    }
+
+    #[test]
+    fn pass_through_hook_is_invisible() {
+        let hook = PassThroughServer;
+        let faulty = FaultyServer::new(&Metro, &hook);
+        assert_eq!(faulty.info(), Metro.info());
+        let entry = Metro.catalog().get("java.lang.String").unwrap();
+        assert_eq!(faulty.deploy(entry), Metro.deploy(entry));
+    }
+
+    #[test]
+    fn transient_refusals_are_recognizable() {
+        let hook = RefuseOnce;
+        let faulty = FaultyServer::new(&Metro, &hook);
+        let entry = Metro.catalog().get("java.lang.String").unwrap();
+        match faulty.deploy(entry) {
+            DeployOutcome::Refused { reason } => assert!(is_transient_refusal(&reason)),
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(!is_transient_refusal("cannot bind class to any XSD type"));
+    }
+
+    #[test]
+    fn client_hook_panics_are_catchable() {
+        let hook = PanicHook;
+        let faulty = FaultyClient::new(&MetroClient, &hook, "gen/test/site");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            faulty.generate("<irrelevant/>")
+        }));
+        assert!(result.is_err());
+    }
+}

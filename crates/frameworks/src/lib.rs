@@ -17,6 +17,11 @@
 //! The defects the generators plant are genuine flaws in the artifact
 //! model that the `wsinterop-compilers` toolchains then discover.
 //!
+//! The [`fault`] module adds decorators ([`fault::FaultyServer`],
+//! [`fault::FaultyClient`]) that splice externally-planned *injected*
+//! faults into the subsystem boundary — the substrate of the chaos
+//! campaign in `wsinterop-core`.
+//!
 //! ## Example
 //!
 //! ```
@@ -34,4 +39,5 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod fault;
 pub mod server;

@@ -107,6 +107,20 @@ fn export_writes_tsv_files() {
 }
 
 #[test]
+fn chaos_prints_a_fault_report_and_succeeds() {
+    let out = wsitool(&["chaos", "--stride", "200", "--seed", "42"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Fault report"), "{stdout}");
+    assert!(
+        stdout.contains("campaign completed without aborting"),
+        "{stdout}"
+    );
+    // The chaos run still renders the paper reports.
+    assert!(stdout.contains("Campaign totals"), "{stdout}");
+}
+
+#[test]
 fn complexity_prints_the_matrix() {
     let out = wsitool(&["complexity"]);
     assert!(out.status.success());

@@ -1,4 +1,4 @@
-//! E12: the paper's third future-work item — "widen our setup by
+//! E13: the paper's third future-work item — "widen our setup by
 //! increasing the number of server side frameworks" — implemented as an
 //! extension platform (the Axis2 server) and a widened campaign.
 

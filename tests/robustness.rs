@@ -7,7 +7,10 @@
 //! the compilers.
 
 use wsinterop::compilers::compiler_for;
-use wsinterop::frameworks::client::all_clients;
+use wsinterop::core::faults::{deploy_site, gen_site, FaultKind, FaultPlan};
+use wsinterop::core::Campaign;
+use wsinterop::frameworks::client::{all_clients, ClientId};
+use wsinterop::frameworks::server::ServerId;
 use wsinterop::wsdl::de::from_xml_str;
 use wsinterop::wsi::Analyzer;
 
@@ -126,4 +129,128 @@ fn dropping_the_soap_binding_is_always_detected() {
         let report = Analyzer::basic_profile_1_1().analyze(&defs);
         assert!(report.failures().any(|f| f.assertion == "R2701"));
     }
+}
+
+// --- E12: the chaos campaign ---------------------------------------
+//
+// A seeded fault plan layered over a strided campaign. The invariants:
+// the run never aborts, every test is classified, the report is a pure
+// function of the seed, and cells the plan left untouched are
+// bit-identical to the fault-free baseline.
+
+/// The E12 reference configuration from the experiment index.
+fn chaos_campaign(seed: u64) -> Campaign {
+    Campaign::sampled(50).with_faults(FaultPlan::seeded(seed))
+}
+
+#[test]
+fn e12_chaos_campaign_classifies_every_test_without_aborting() {
+    let (results, report) = chaos_campaign(42).run_with_report();
+    // ≥ 5 distinct fault kinds actually landed at this stride/seed.
+    assert!(
+        report.kinds_injected() >= 5,
+        "only {} kinds injected:\n{report}",
+        report.kinds_injected()
+    );
+    assert!(report.injected_total() > 0);
+    // 100 % of tests classified: the deployed × clients shape holds
+    // even under injection (a corrupted description still reaches all
+    // eleven clients; a refused deployment produces none).
+    let deployed: usize = ServerId::ALL.iter().map(|&s| results.deployed(s)).sum();
+    assert_eq!(results.tests.len(), deployed * 11);
+    // Accounting closes: every injection resolved one way or the other.
+    assert_eq!(
+        report.injected_total(),
+        report.detected_total() + report.masked_total()
+    );
+}
+
+#[test]
+fn e12_same_seed_same_report_different_seed_different_faults() {
+    let (results_a, report_a) = chaos_campaign(42).with_threads(3).run_with_report();
+    let (results_b, report_b) = chaos_campaign(42).with_threads(7).run_with_report();
+    // The plan is a pure function of the seed: identical faults,
+    // identical records, regardless of worker scheduling.
+    assert_eq!(report_a, report_b);
+    assert_eq!(results_a.services, results_b.services);
+    assert_eq!(results_a.tests, results_b.tests);
+    let (_, report_c) = chaos_campaign(43).run_with_report();
+    assert_ne!(report_a.affected_sites, report_c.affected_sites);
+}
+
+#[test]
+fn e12_fault_free_cells_match_the_baseline_bit_for_bit() {
+    let baseline = Campaign::sampled(50).run();
+    let (chaos, report) = chaos_campaign(42).run_with_report();
+    assert_eq!(baseline.services.len(), chaos.services.len());
+    assert_eq!(baseline.tests.len() % 11, 0);
+
+    let mut compared = 0;
+    for (base, faulted) in baseline.services.iter().zip(&chaos.services) {
+        if report.affects(&deploy_site(base.server, &base.fqcn)) {
+            continue;
+        }
+        assert_eq!(base, faulted, "untouched service record diverged");
+        compared += 1;
+    }
+    assert!(compared > 0, "no fault-free services to compare");
+
+    // Tests are keyed (not zipped): a permanently refused deployment
+    // removes that service's 11 cells from the chaos run.
+    let chaos_tests: std::collections::BTreeMap<_, _> = chaos
+        .tests
+        .iter()
+        .map(|t| ((t.server, t.client, t.fqcn.clone()), t))
+        .collect();
+    let mut compared = 0;
+    for base in &baseline.tests {
+        let deploy_affected = report.affects(&deploy_site(base.server, &base.fqcn));
+        let gen_affected = report.affects(&gen_site(base.server, base.client, &base.fqcn));
+        if deploy_affected || gen_affected {
+            continue;
+        }
+        let faulted = chaos_tests
+            .get(&(base.server, base.client, base.fqcn.clone()))
+            .expect("fault-free cell must exist in the chaos run");
+        assert_eq!(&base, faulted, "untouched test cell diverged");
+        compared += 1;
+    }
+    assert!(compared > 0, "no fault-free cells to compare");
+}
+
+#[test]
+fn e12_injected_client_panic_yields_exactly_one_error_record() {
+    let server = ServerId::Metro;
+    let client = ClientId::Cxf;
+    let fqcn = "java.lang.String";
+    let plan = FaultPlan::silent(7).force_at(
+        FaultKind::ClientGenPanic,
+        gen_site(server, client, fqcn),
+    );
+    let baseline = Campaign::sampled(1).with_servers(&[server]).run();
+    let (results, report) = Campaign::sampled(1)
+        .with_servers(&[server])
+        .with_faults(plan)
+        .run_with_report();
+
+    assert_eq!(report.panics_isolated, 1);
+    assert_eq!(report.counts(FaultKind::ClientGenPanic).injected, 1);
+    assert_eq!(report.counts(FaultKind::ClientGenPanic).detected, 1);
+
+    // Exactly one record differs from the baseline: the poisoned cell,
+    // classified as a generation Error.
+    assert_eq!(baseline.tests.len(), results.tests.len());
+    let mut diffs = Vec::new();
+    for (base, faulted) in baseline.tests.iter().zip(&results.tests) {
+        if base != faulted {
+            diffs.push(faulted);
+        }
+    }
+    assert_eq!(diffs.len(), 1, "expected exactly one poisoned record");
+    let poisoned = diffs[0];
+    assert_eq!(poisoned.server, server);
+    assert_eq!(poisoned.client, client);
+    assert_eq!(poisoned.fqcn, fqcn);
+    assert!(poisoned.gen_error);
+    assert!(!poisoned.compile_ran, "the crashed step produced no artifacts");
 }
