@@ -31,6 +31,19 @@ fn campaign_scaling(c: &mut Criterion) {
         });
     }
     threads.finish();
+
+    // Shared parsed-description cache vs the historical per-cell parse
+    // (the parse-once pipeline's headline comparison; `wsitool
+    // bench-campaign` snapshots the same pair into BENCH_campaign.json).
+    let mut cache = c.benchmark_group("campaign_cache");
+    cache.sample_size(10);
+    cache.bench_function("stride200_shared_parse", |b| {
+        b.iter(|| black_box(Campaign::sampled(200).run()))
+    });
+    cache.bench_function("stride200_per_cell_parse", |b| {
+        b.iter(|| black_box(Campaign::sampled(200).with_doc_cache(false).run()))
+    });
+    cache.finish();
 }
 
 criterion_group!(benches, campaign_scaling);

@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use wsinterop_compilers::{compiler_for, Compiler, Javac};
+use wsinterop_core::doccache::DocCache;
 use wsinterop_frameworks::client::{Axis1, ClientSubsystem, DotnetJs, MetroClient};
 use wsinterop_frameworks::server::{Metro, ServerSubsystem, WcfDotNet};
 use wsinterop_wsdl::de::from_xml_str;
@@ -104,6 +105,29 @@ fn soap_messages(c: &mut Criterion) {
     group.finish();
 }
 
+fn parse_once(c: &mut Criterion) {
+    // The parse-once pipeline's unit economics: one Artifact Generation
+    // step paying the full text parse per cell, versus the shared
+    // pre-parsed document, versus a content-addressed memo replay.
+    let entry = Metro.catalog().get("javax.swing.JTable").unwrap();
+    let wsdl = Metro.deploy(entry).wsdl().unwrap().to_string();
+    let cache = DocCache::new();
+    let svc = cache.parse(wsdl.clone());
+    let (defs, facts) = (svc.defs().unwrap(), svc.facts().unwrap());
+
+    let mut group = c.benchmark_group("parse_once");
+    group.bench_function("per_cell_text_generate", |b| {
+        b.iter(|| black_box(MetroClient.generate(&wsdl)))
+    });
+    group.bench_function("shared_generate_from", |b| {
+        b.iter(|| black_box(MetroClient.generate_from(defs, facts)))
+    });
+    group.bench_function("memoized_generate", |b| {
+        b.iter(|| black_box(cache.generate(&MetroClient, &svc)))
+    });
+    group.finish();
+}
+
 fn full_test_cell(c: &mut Criterion) {
     // One complete (generate + compile) test, the campaign's unit of work.
     let entry = Metro.catalog().get("java.io.IOException").unwrap();
@@ -125,6 +149,7 @@ criterion_group!(
     artifact_generation,
     compilation,
     soap_messages,
+    parse_once,
     full_test_cell
 );
 criterion_main!(benches);

@@ -29,9 +29,22 @@
 //! E12) and [`Campaign::run_with_report`] additionally returns the
 //! [`FaultReport`] accounting of injected vs detected vs masked
 //! faults.
+//!
+//! ## Parse-once pipeline
+//!
+//! The deploy phase parses and analyzes each published description
+//! exactly once into an [`Arc<ParsedService>`] work item, shared by the
+//! WS-I check, all eleven client `generate_from` calls and the chaos
+//! wire probe, behind a campaign-wide content-addressed [`DocCache`]
+//! memo (see [`crate::doccache`]). Fault-damaged sites bypass the memo
+//! and chaos-campaign generation cells keep the tool-fidelity text
+//! path, so cached and uncached runs produce bit-identical
+//! [`CampaignResults`]. [`Campaign::run_with_stats`] surfaces the
+//! parse/memo accounting; [`Campaign::with_doc_cache`] disables the
+//! sharing for equivalence tests and benchmarks.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use wsinterop_compilers::{compiler_for, instantiate};
 use wsinterop_frameworks::client::{all_clients, ClientSubsystem, CompilationMode};
@@ -39,12 +52,18 @@ use wsinterop_frameworks::fault::{is_transient_refusal, FaultyClient, FaultyServ
 use wsinterop_frameworks::server::{all_servers, DeployOutcome, ServerId, ServerSubsystem};
 use wsinterop_wsi::Analyzer;
 
+use crate::doccache::{DocCache, ParsedService, PipelineStats};
 use crate::exchange::exchange_with_faults;
 use crate::faults::{
     deploy_site, gen_site, lock_unpoisoned, wire_site, FaultKind, FaultLog, FaultPlan,
     FaultReport, PlanClientHook, PlanServerHook, ResilienceConfig,
 };
 use crate::results::{CampaignResults, InstantiationKind, ServiceRecord, TestRecord};
+
+/// Work-queue claim granularity: one `fetch_add` claims a run of this
+/// many items, cutting shared-counter contention at high thread counts
+/// while the deterministic post-sort keeps results order-independent.
+const CLAIM_CHUNK: usize = 16;
 
 /// A configured interoperability campaign.
 pub struct Campaign {
@@ -58,6 +77,9 @@ pub struct Campaign {
     faults: Option<FaultPlan>,
     /// The runner's coping budget for disruptions.
     resilience: ResilienceConfig,
+    /// Share parsed descriptions through the content-addressed memo
+    /// (`false` reproduces the historical parse-per-consumer pipeline).
+    doc_cache: bool,
 }
 
 impl std::fmt::Debug for Campaign {
@@ -69,6 +91,7 @@ impl std::fmt::Debug for Campaign {
             .field("threads", &self.threads)
             .field("faults", &self.faults.as_ref().map(|p| p.seed()))
             .field("resilience", &self.resilience)
+            .field("doc_cache", &self.doc_cache)
             .finish()
     }
 }
@@ -84,6 +107,7 @@ impl Campaign {
             threads: default_threads(),
             faults: None,
             resilience: ResilienceConfig::default(),
+            doc_cache: true,
         }
     }
 
@@ -168,17 +192,35 @@ impl Campaign {
         self
     }
 
+    /// Enables or disables the shared parsed-description cache
+    /// (enabled by default). Disabling reproduces the historical
+    /// parse-per-consumer pipeline — results are bit-identical either
+    /// way, only the work count changes.
+    #[must_use]
+    pub fn with_doc_cache(mut self, enabled: bool) -> Campaign {
+        self.doc_cache = enabled;
+        self
+    }
+
     /// Runs the campaign.
     pub fn run(&self) -> CampaignResults {
-        self.run_with_report().0
+        self.run_with_stats().0
     }
 
     /// Runs the campaign and returns the fault-injection accounting
     /// alongside the results. Without [`Campaign::with_faults`] the
     /// report is empty.
     pub fn run_with_report(&self) -> (CampaignResults, FaultReport) {
+        let (results, report, _) = self.run_with_stats();
+        (results, report)
+    }
+
+    /// Runs the campaign and additionally returns the parse-once
+    /// pipeline's parse/memo accounting.
+    pub fn run_with_stats(&self) -> (CampaignResults, FaultReport, PipelineStats) {
         let analyzer = Analyzer::basic_profile_1_1();
         let log = FaultLog::new();
+        let cache = DocCache::new();
         let mut results = CampaignResults::default();
 
         for server in &self.servers {
@@ -190,38 +232,48 @@ impl Campaign {
                 .step_by(self.stride)
                 .collect();
 
-            // Service Description Generation (parallel over entries).
+            // Service Description Generation (parallel over entries,
+            // claimed in chunks to keep the shared counter cool).
             let records = Mutex::new(Vec::with_capacity(entries.len()));
             let next = std::sync::atomic::AtomicUsize::new(0);
             std::thread::scope(|scope| {
                 for _ in 0..self.threads {
                     scope.spawn(|| {
-                        let mut local: Vec<(ServiceRecord, Option<String>)> = Vec::new();
+                        let mut local: Vec<(ServiceRecord, Option<Arc<ParsedService>>)> =
+                            Vec::new();
                         loop {
-                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            let Some(entry) = entries.get(i) else { break };
-                            local.push(self.deploy_entry(
-                                server.as_ref(),
-                                server_id,
-                                entry,
-                                &analyzer,
-                                &log,
-                            ));
+                            let start = next
+                                .fetch_add(CLAIM_CHUNK, std::sync::atomic::Ordering::Relaxed);
+                            if start >= entries.len() {
+                                break;
+                            }
+                            let end = entries.len().min(start + CLAIM_CHUNK);
+                            for entry in &entries[start..end] {
+                                local.push(self.deploy_entry(
+                                    server.as_ref(),
+                                    server_id,
+                                    entry,
+                                    &analyzer,
+                                    &log,
+                                    &cache,
+                                ));
+                            }
                         }
                         lock_unpoisoned(&records).append(&mut local);
                     });
                 }
             });
-            let mut deployed: Vec<(ServiceRecord, Option<String>)> = records
+            let mut deployed: Vec<(ServiceRecord, Option<Arc<ParsedService>>)> = records
                 .into_inner()
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
             deployed.sort_by(|a, b| a.0.fqcn.cmp(&b.0.fqcn));
 
-            // Testing phase: all clients × all published WSDLs.
+            // Testing phase: all clients × all published descriptions,
+            // each description parsed once and shared by reference.
             let tests = Mutex::new(Vec::new());
-            let work: Vec<(&ServiceRecord, &String)> = deployed
+            let work: Vec<(&ServiceRecord, &Arc<ParsedService>)> = deployed
                 .iter()
-                .filter_map(|(record, wsdl)| wsdl.as_ref().map(|w| (record, w)))
+                .filter_map(|(record, svc)| svc.as_ref().map(|s| (record, s)))
                 .collect();
             let next_test = std::sync::atomic::AtomicUsize::new(0);
             std::thread::scope(|scope| {
@@ -229,17 +281,23 @@ impl Campaign {
                     scope.spawn(|| {
                         let mut local = Vec::new();
                         loop {
-                            let i =
-                                next_test.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            let Some((record, wsdl)) = work.get(i) else { break };
-                            for client in &self.clients {
-                                local.push(self.run_cell(
-                                    server_id,
-                                    record,
-                                    wsdl,
-                                    client.as_ref(),
-                                    &log,
-                                ));
+                            let start = next_test
+                                .fetch_add(CLAIM_CHUNK, std::sync::atomic::Ordering::Relaxed);
+                            if start >= work.len() {
+                                break;
+                            }
+                            let end = work.len().min(start + CLAIM_CHUNK);
+                            for (record, svc) in &work[start..end] {
+                                for client in &self.clients {
+                                    local.push(self.run_cell(
+                                        server_id,
+                                        record,
+                                        svc,
+                                        client.as_ref(),
+                                        &log,
+                                        &cache,
+                                    ));
+                                }
                             }
                         }
                         lock_unpoisoned(&tests).append(&mut local);
@@ -252,8 +310,8 @@ impl Campaign {
             // This pass feeds the fault report; it never alters the
             // campaign records.
             if let Some(plan) = &self.faults {
-                for (record, wsdl) in &work {
-                    wire_probe(plan, &log, server_id, record, wsdl);
+                for (record, svc) in &work {
+                    wire_probe(plan, &log, server_id, record, svc);
                 }
             }
 
@@ -268,7 +326,37 @@ impl Campaign {
             });
             results.tests.append(&mut server_tests);
         }
-        (results, log.report())
+        let stats = cache.stats();
+        (results, log.report(), stats)
+    }
+
+    /// Parses a just-published description into the shared-by-`Arc`
+    /// work item for the test phase.
+    ///
+    /// Sites where the fault plan may have damaged the published bytes
+    /// bypass the content-addressed memo: damaged text must hit the
+    /// real parser, and its parse must never be shared with (or served
+    /// to) pristine sites. Cache-disabled runs parse unshared, which
+    /// reproduces the historical parse-per-consumer pipeline.
+    fn parse_published(
+        &self,
+        cache: &DocCache,
+        server_id: ServerId,
+        fqcn: &str,
+        wsdl_xml: String,
+    ) -> Arc<ParsedService> {
+        let damage_possible = self.faults.as_ref().is_some_and(|plan| {
+            let site = deploy_site(server_id, fqcn);
+            plan.decide(FaultKind::WsdlTruncation, &site)
+                || plan.decide(FaultKind::WsdlCorruption, &site)
+        });
+        if damage_possible {
+            cache.parse_bypassing_memo(wsdl_xml)
+        } else if self.doc_cache {
+            cache.parse(wsdl_xml)
+        } else {
+            cache.parse_unshared(wsdl_xml)
+        }
     }
 
     /// One Service Description Generation step, with fault injection,
@@ -281,7 +369,8 @@ impl Campaign {
         entry: &wsinterop_typecat::TypeEntry,
         analyzer: &Analyzer,
         log: &FaultLog,
-    ) -> (ServiceRecord, Option<String>) {
+        cache: &DocCache,
+    ) -> (ServiceRecord, Option<Arc<ParsedService>>) {
         let outcome = match &self.faults {
             None => server.deploy(entry),
             Some(plan) => {
@@ -315,9 +404,10 @@ impl Campaign {
                 None,
             ),
             DeployOutcome::Deployed { wsdl_xml } => {
-                match wsinterop_wsdl::de::from_xml_str(&wsdl_xml) {
-                    Ok(defs) => {
-                        let report = analyzer.analyze(&defs);
+                let svc = self.parse_published(cache, server_id, &entry.fqcn, wsdl_xml);
+                match svc.defs() {
+                    Some(defs) => {
+                        let report = analyzer.analyze(defs);
                         let conformant = report.conformant();
                         let advisory = report
                             .warnings()
@@ -330,7 +420,7 @@ impl Campaign {
                                 wsi_conformant: Some(conformant),
                                 description_warning: !conformant || advisory,
                             },
-                            Some(wsdl_xml),
+                            Some(svc),
                         )
                     }
                     // Graceful degradation: an unparseable published
@@ -338,7 +428,7 @@ impl Campaign {
                     // not a reason to abort the campaign. Record it as
                     // deployed-but-non-conformant and keep the text —
                     // all eleven clients still get to classify it.
-                    Err(_) => (
+                    None => (
                         ServiceRecord {
                             server: server_id,
                             fqcn: entry.fqcn.clone(),
@@ -346,7 +436,7 @@ impl Campaign {
                             wsi_conformant: Some(false),
                             description_warning: true,
                         },
-                        Some(wsdl_xml),
+                        Some(svc),
                     ),
                 }
             }
@@ -367,24 +457,37 @@ impl Campaign {
 
     /// One (server, client, service) test cell, with fault injection,
     /// panic isolation and the virtual step deadline.
+    ///
+    /// Fault-free cells drive the shared parse straight into
+    /// `generate_from` (memoized when the cache is on) and never touch
+    /// the description text. Chaos cells keep the tool-fidelity text
+    /// path: injected corruption must reach the real parser, so the
+    /// fault hook wraps [`ClientSubsystem::generate`].
     fn run_cell(
         &self,
         server_id: ServerId,
         record: &ServiceRecord,
-        wsdl: &str,
+        svc: &ParsedService,
         client: &dyn ClientSubsystem,
         log: &FaultLog,
+        cache: &DocCache,
     ) -> TestRecord {
         let Some(plan) = &self.faults else {
-            return run_test(server_id, record, wsdl, client);
+            if self.doc_cache {
+                return run_test(server_id, record, svc, client, cache);
+            }
+            cache.note_text_generate();
+            return run_test_text(server_id, record, svc.wsdl_xml(), client);
         };
 
+        cache.note_text_generate();
+        let wsdl = svc.wsdl_xml();
         let site = gen_site(server_id, client.info().id, &record.fqcn);
         let hook = PlanClientHook::new(plan, log);
         let faulty = FaultyClient::new(client, &hook, site.clone());
         let mut test = if self.resilience.isolate_panics {
             match catch_unwind(AssertUnwindSafe(|| {
-                run_test(server_id, record, wsdl, &faulty)
+                run_test_text(server_id, record, wsdl, &faulty)
             })) {
                 Ok(test) => test,
                 Err(_) => {
@@ -406,7 +509,7 @@ impl Campaign {
                 }
             }
         } else {
-            run_test(server_id, record, wsdl, &faulty)
+            run_test_text(server_id, record, wsdl, &faulty)
         };
 
         if let Some(virtual_ms) = plan.slow_virtual_ms(&site) {
@@ -427,44 +530,65 @@ impl Campaign {
 
 /// Runs one wire-fault probe for the chaos campaign's Communication
 /// step, resolving the injection as detected unless the exchange still
-/// completed.
+/// completed. The invocation target comes from the shared
+/// [`ParsedService`] — no re-parse.
 fn wire_probe(
     plan: &FaultPlan,
     log: &FaultLog,
     server_id: ServerId,
     record: &ServiceRecord,
-    wsdl: &str,
+    svc: &ParsedService,
 ) {
     let site = wire_site(server_id, &record.fqcn);
     let Some(wire) = plan.wire_fault(&site) else {
         return;
     };
     log.injected(wire.kind(), &site);
-    let operation = wsinterop_wsdl::de::from_xml_str(wsdl).ok().and_then(|defs| {
-        defs.port_types
-            .iter()
-            .flat_map(|pt| pt.operations.iter())
-            .next()
-            .map(|op| op.name.clone())
-    });
-    let detected = match operation {
+    let detected = match svc.first_operation() {
         // No invocable operation (or unparseable description): the
         // wire fault never gets a chance to bite — masked.
         None => false,
-        Some(op) => !exchange_with_faults(wsdl, &op, "chaos-probe", Some(wire)).completed(),
+        Some(op) => {
+            !exchange_with_faults(svc.wsdl_xml(), op, "chaos-probe", Some(wire)).completed()
+        }
     };
     log.resolve(&site, detected);
 }
 
+/// One fault-free test over the shared parse (the parse-once path).
 fn run_test(
-    server_id: wsinterop_frameworks::server::ServerId,
+    server_id: ServerId,
+    record: &ServiceRecord,
+    svc: &ParsedService,
+    client: &dyn ClientSubsystem,
+    cache: &DocCache,
+) -> TestRecord {
+    let info = client.info();
+    let outcome = cache.generate(client, svc);
+    classify_outcome(server_id, record, info, outcome)
+}
+
+/// One test over description *text* — the tool-fidelity path, kept for
+/// cache-disabled runs and chaos cells whose faults must reach the
+/// real parser.
+fn run_test_text(
+    server_id: ServerId,
     record: &ServiceRecord,
     wsdl: &str,
     client: &dyn ClientSubsystem,
 ) -> TestRecord {
     let info = client.info();
     let outcome = client.generate(wsdl);
+    classify_outcome(server_id, record, info, outcome)
+}
 
+/// The classification steps shared by both generation paths.
+fn classify_outcome(
+    server_id: ServerId,
+    record: &ServiceRecord,
+    info: wsinterop_frameworks::client::ClientInfo,
+    outcome: wsinterop_frameworks::client::GenOutcome,
+) -> TestRecord {
     let mut test = TestRecord {
         server: server_id,
         client: info.id,
@@ -578,6 +702,67 @@ mod tests {
     #[should_panic(expected = "stride must be positive")]
     fn zero_stride_rejected() {
         let _ = Campaign::sampled(0);
+    }
+
+    #[test]
+    fn cached_and_uncached_campaigns_are_bit_identical() {
+        let cached = Campaign::sampled(149).with_threads(4).run();
+        let uncached = Campaign::sampled(149)
+            .with_threads(3)
+            .with_doc_cache(false)
+            .run();
+        assert_eq!(cached.services, uncached.services);
+        assert_eq!(cached.tests, uncached.tests);
+    }
+
+    #[test]
+    fn cached_and_uncached_chaos_campaigns_are_bit_identical() {
+        // Under a fault plan, corrupted-WSDL sites bypass the memo and
+        // generation cells keep the text path — so the cache must be
+        // invisible to both the records and the fault accounting.
+        let (cached, cached_report, stats) = Campaign::sampled(97)
+            .with_faults(FaultPlan::seeded(42))
+            .run_with_stats();
+        let (uncached, uncached_report) = Campaign::sampled(97)
+            .with_faults(FaultPlan::seeded(42))
+            .with_doc_cache(false)
+            .run_with_report();
+        assert_eq!(cached.services, uncached.services);
+        assert_eq!(cached.tests, uncached.tests);
+        assert_eq!(cached_report, uncached_report);
+        // The seeded plan actually damaged some descriptions, and those
+        // parses stayed out of the memo.
+        assert!(stats.fault_bypasses > 0, "{stats:?}");
+        assert!(stats.text_generates > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn cache_accounting_bounds_hold() {
+        let (results, _, stats) = Campaign::sampled(97).run_with_stats();
+        let deployed = results.services.iter().filter(|s| s.deployed).count();
+        assert!(deployed > 0);
+        // Parse-once: one parse per distinct description and no more,
+        // never more than one per deployed service; everything else is
+        // a memo hit.
+        assert_eq!(stats.fault_bypasses, 0);
+        assert_eq!(stats.text_generates, 0);
+        assert_eq!(stats.parses, stats.distinct_docs);
+        assert!(stats.parses <= deployed);
+        assert_eq!(stats.parses + stats.doc_memo_hits, deployed);
+        // Every test cell either executed `generate_from` once per
+        // (client, document) or replayed the memoized outcome.
+        assert_eq!(stats.gen_runs + stats.gen_memo_hits, results.tests.len());
+        assert!(stats.gen_runs <= 11 * stats.distinct_docs);
+
+        // The historical pipeline parses per consumer: one WS-I parse
+        // plus eleven client parses per deployed service.
+        let (_, _, uncached) = Campaign::sampled(97)
+            .with_doc_cache(false)
+            .run_with_stats();
+        assert_eq!(uncached.parses, 12 * deployed);
+        assert_eq!(uncached.doc_memo_hits, 0);
+        assert_eq!(uncached.gen_memo_hits, 0);
+        assert_eq!(uncached.text_generates, 11 * deployed);
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //! future work — the Communication and Execution steps — as an
 //! extension. The [`faults`] module layers a deterministic, seeded
 //! fault-injection plan over the campaign (the chaos campaign, E12)
-//! and accounts for injected vs detected vs masked faults.
+//! and accounts for injected vs detected vs masked faults. The
+//! [`doccache`] module is the parse-once pipeline: each published
+//! description is parsed and analyzed exactly once, shared by `Arc`
+//! across all consumers behind a content-addressed memo — with cached
+//! and uncached runs provably bit-identical.
 //!
 //! ## Example
 //!
@@ -33,6 +37,7 @@
 
 pub mod campaign;
 pub mod complexity;
+pub mod doccache;
 pub mod exchange;
 pub mod expected;
 pub mod export;
@@ -42,5 +47,6 @@ pub mod report;
 pub mod results;
 
 pub use campaign::Campaign;
+pub use doccache::{DocCache, ParsedService, PipelineStats};
 pub use faults::{FaultKind, FaultPlan, FaultReport, ResilienceConfig};
 pub use results::{CampaignResults, InstantiationKind, ServiceRecord, TestRecord};

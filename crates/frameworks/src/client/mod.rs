@@ -176,7 +176,37 @@ impl GenOutcome {
     }
 }
 
+/// Parses WSDL text exactly as the text-input tools do and precomputes
+/// the document facts, or returns the generation-error message every
+/// tool reports for unreadable input.
+///
+/// This is the single parse step behind [`ClientSubsystem::generate`];
+/// callers that parse once and fan the document out to many clients
+/// (the campaign's parse-once pipeline) go through the same function so
+/// their error text and facts are byte-identical to the per-tool path.
+pub fn parse_for_generation(wsdl_xml: &str) -> Result<(Definitions, DocFacts), String> {
+    match from_xml_str(wsdl_xml) {
+        Ok(defs) => {
+            let facts = DocFacts::analyze(&defs);
+            Ok((defs, facts))
+        }
+        Err(e) => Err(format!("cannot read WSDL: {e}")),
+    }
+}
+
 /// A client-side framework subsystem.
+///
+/// The campaign may drive either entry point: [`generate`] is the
+/// tool-fidelity path (WSDL *text* in, exactly what the real tools
+/// consume — and the only path fault injection may corrupt), while
+/// [`generate_from`] lets a parse-once pipeline share one parsed
+/// document across all eleven clients. The two are equivalent by
+/// construction: `generate` is `parse_for_generation` + `generate_from`
+/// and implementations must keep `generate_from` a pure function of the
+/// document.
+///
+/// [`generate`]: ClientSubsystem::generate
+/// [`generate_from`]: ClientSubsystem::generate_from
 pub trait ClientSubsystem: Send + Sync {
     /// Static subsystem description.
     fn info(&self) -> ClientInfo;
@@ -184,12 +214,9 @@ pub trait ClientSubsystem: Send + Sync {
     /// Generates client artifacts from WSDL *text* (the tool's actual
     /// input). Parse failures are generation errors.
     fn generate(&self, wsdl_xml: &str) -> GenOutcome {
-        match from_xml_str(wsdl_xml) {
-            Ok(defs) => {
-                let facts = DocFacts::analyze(&defs);
-                self.generate_from(&defs, &facts)
-            }
-            Err(e) => GenOutcome::fail(format!("cannot read WSDL: {e}")),
+        match parse_for_generation(wsdl_xml) {
+            Ok((defs, facts)) => self.generate_from(&defs, &facts),
+            Err(message) => GenOutcome::fail(message),
         }
     }
 
@@ -238,6 +265,32 @@ mod tests {
             ClientId::Axis2.framework_of(),
             Some(crate::server::ServerId::Axis2Java)
         );
+    }
+
+    #[test]
+    fn parse_for_generation_matches_the_text_path_for_every_client() {
+        // The parse-once pipeline leans on this equivalence: text-path
+        // generation is exactly one shared parse plus `generate_from`.
+        let server = crate::server::Metro;
+        let entry = crate::server::ServerSubsystem::catalog(&server)
+            .get("java.lang.String")
+            .unwrap();
+        let wsdl = match crate::server::ServerSubsystem::deploy(&server, entry) {
+            crate::server::DeployOutcome::Deployed { wsdl_xml } => wsdl_xml,
+            other => panic!("unexpected: {other:?}"),
+        };
+        let (defs, facts) = parse_for_generation(&wsdl).unwrap();
+        for client in all_clients() {
+            assert_eq!(
+                client.generate(&wsdl),
+                client.generate_from(&defs, &facts),
+                "{}",
+                client.info().id
+            );
+        }
+        assert!(parse_for_generation("<not-wsdl/>")
+            .unwrap_err()
+            .starts_with("cannot read WSDL:"));
     }
 
     #[test]

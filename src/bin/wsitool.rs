@@ -12,6 +12,8 @@
 //! wsitool invoke <fqcn> [value]         # deploy + typed echo roundtrip
 //! wsitool export [stride] [dir]         # run + write services.tsv / tests.tsv
 //! wsitool complexity                    # run the complexity-extension matrix
+//! wsitool bench-campaign [--stride N] [--iters N] [--out FILE]
+//!                                       # time shared vs per-cell parse, write JSON
 //! ```
 
 use std::process::ExitCode;
@@ -53,8 +55,23 @@ fn main() -> ExitCode {
         Some("campaign") => {
             let rest: Vec<&str> = argv.collect();
             let extended = rest.contains(&"--extended");
+            let no_cache = rest.contains(&"--no-cache");
             let stride = rest.iter().find_map(|a| a.parse().ok());
-            campaign(stride, extended)
+            campaign(stride, extended, no_cache)
+        }
+        Some("bench-campaign") => {
+            let rest: Vec<&str> = argv.collect();
+            let flag = |name: &str| {
+                rest.iter()
+                    .position(|a| *a == name)
+                    .and_then(|i| rest.get(i + 1))
+                    .copied()
+            };
+            bench_campaign(
+                flag("--stride").and_then(|v| v.parse().ok()),
+                flag("--iters").and_then(|v| v.parse().ok()),
+                flag("--out"),
+            )
         }
         Some("chaos") => {
             let rest: Vec<&str> = argv.collect();
@@ -88,10 +105,12 @@ fn usage() -> ExitCode {
          \x20 audit   <fqcn|file> [--xml]  WS-I Basic Profile 1.1 audit\n\
          \x20 matrix  <fqcn>         one service against all 11 clients\n\
          \x20 invoke  <fqcn> [val]   deploy + typed echo roundtrip\n\
-         \x20 campaign [stride] [--extended]  run the campaign (default stride 50)\n\
+         \x20 campaign [stride] [--extended] [--no-cache]  run the campaign (default stride 50)\n\
          \x20 chaos [--stride N] [--seed N]   fault-injected campaign + fault report\n\
          \x20 export  [stride] [dir] run + write services.tsv / tests.tsv\n\
-         \x20 complexity             run the complexity-extension matrix"
+         \x20 complexity             run the complexity-extension matrix\n\
+         \x20 bench-campaign [--stride N] [--iters N] [--out FILE]\n\
+         \x20                        time shared vs per-cell parse, write JSON"
     );
     ExitCode::from(2)
 }
@@ -343,19 +362,91 @@ fn chaos(stride: Option<usize>, seed: Option<u64>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn campaign(stride: Option<usize>, extended: bool) -> ExitCode {
+fn campaign(stride: Option<usize>, extended: bool, no_cache: bool) -> ExitCode {
     let stride = stride.unwrap_or(50).max(1);
     println!(
-        "running {} campaign with stride {stride}…",
-        if extended { "extended (4-server)" } else { "paper (3-server)" }
+        "running {} campaign with stride {stride}{}…",
+        if extended { "extended (4-server)" } else { "paper (3-server)" },
+        if no_cache { ", parse cache disabled" } else { "" }
     );
-    let results = if extended {
-        Campaign::extended_sampled(stride).run()
+    let base = if extended {
+        Campaign::extended_sampled(stride)
     } else {
-        Campaign::sampled(stride).run()
+        Campaign::sampled(stride)
     };
+    let (results, _, stats) = base.with_doc_cache(!no_cache).run_with_stats();
     println!("{}", Fig4::from_results(&results));
     println!("{}", TableIII::from_results(&results));
     println!("{}", Totals::from_results(&results));
+    println!("{stats}");
+    ExitCode::SUCCESS
+}
+
+/// Times the stride-`N` campaign with the shared parsed-description
+/// cache on and off and writes the comparison (wall times + parse/memo
+/// counters) as a machine-readable JSON snapshot, so CI can track the
+/// perf trajectory run over run.
+fn bench_campaign(stride: Option<usize>, iters: Option<usize>, out: Option<&str>) -> ExitCode {
+    let stride = stride.unwrap_or(200).max(1);
+    let iters = iters.unwrap_or(3).max(1);
+    let out = out.unwrap_or("BENCH_campaign.json");
+    println!("benchmarking stride-{stride} campaign, {iters} iteration(s) per mode…");
+
+    let time_ms = |cached: bool| -> f64 {
+        let mut samples: Vec<f64> = (0..iters)
+            .map(|_| {
+                let start = std::time::Instant::now();
+                let _ = std::hint::black_box(
+                    Campaign::sampled(stride).with_doc_cache(cached).run(),
+                );
+                start.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        samples[samples.len() / 2]
+    };
+
+    // Warm-up (page cache, allocator), then measure both modes.
+    let _ = Campaign::sampled(stride).run();
+    let shared_ms = time_ms(true);
+    let per_cell_ms = time_ms(false);
+
+    let (results, _, shared_stats) = Campaign::sampled(stride).run_with_stats();
+    let (_, _, per_cell_stats) = Campaign::sampled(stride)
+        .with_doc_cache(false)
+        .run_with_stats();
+    let deployed = results.services.iter().filter(|s| s.deployed).count();
+    let speedup = per_cell_ms / shared_ms.max(f64::EPSILON);
+
+    let json = format!(
+        "{{\n  \"bench\": \"campaign_scaling/stride-{stride}\",\n  \
+         \"stride\": {stride},\n  \
+         \"iterations\": {iters},\n  \
+         \"services_deployed\": {deployed},\n  \
+         \"tests_classified\": {tests},\n  \
+         \"shared_parse_ms\": {shared_ms:.3},\n  \
+         \"per_cell_parse_ms\": {per_cell_ms:.3},\n  \
+         \"speedup\": {speedup:.2},\n  \
+         \"shared\": {{ \"parses\": {sp}, \"distinct_docs\": {sd}, \"doc_memo_hits\": {sh}, \
+         \"gen_runs\": {sg}, \"gen_memo_hits\": {sgh}, \"fault_bypasses\": {sf} }},\n  \
+         \"per_cell\": {{ \"parses\": {pp}, \"text_generates\": {pt} }}\n}}\n",
+        tests = results.tests.len(),
+        sp = shared_stats.parses,
+        sd = shared_stats.distinct_docs,
+        sh = shared_stats.doc_memo_hits,
+        sg = shared_stats.gen_runs,
+        sgh = shared_stats.gen_memo_hits,
+        sf = shared_stats.fault_bypasses,
+        pp = per_cell_stats.parses,
+        pt = per_cell_stats.text_generates,
+    );
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    print!("{json}");
+    println!(
+        "shared {shared_ms:.1} ms vs per-cell {per_cell_ms:.1} ms ({speedup:.2}x); wrote {out}"
+    );
     ExitCode::SUCCESS
 }

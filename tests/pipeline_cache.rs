@@ -1,0 +1,40 @@
+//! End-to-end contract of the parse-once campaign pipeline: the shared
+//! parsed-description cache must be invisible in the results (cached
+//! and uncached runs bit-identical, with and without fault injection)
+//! and visible only in the accounting.
+
+use wsinterop::core::{Campaign, FaultPlan};
+
+#[test]
+fn cache_is_invisible_in_campaign_results() {
+    let cached = Campaign::sampled(199).run();
+    let uncached = Campaign::sampled(199).with_doc_cache(false).run();
+    assert_eq!(cached.services, uncached.services);
+    assert_eq!(cached.tests, uncached.tests);
+}
+
+#[test]
+fn cache_is_invisible_under_fault_injection() {
+    let (cached, cached_report) = Campaign::sampled(131)
+        .with_faults(FaultPlan::seeded(7))
+        .run_with_report();
+    let (uncached, uncached_report) = Campaign::sampled(131)
+        .with_faults(FaultPlan::seeded(7))
+        .with_doc_cache(false)
+        .run_with_report();
+    assert_eq!(cached.services, uncached.services);
+    assert_eq!(cached.tests, uncached.tests);
+    assert_eq!(cached_report, uncached_report);
+}
+
+#[test]
+fn stats_surface_the_sharing() {
+    let (results, _, stats) = Campaign::sampled(199).run_with_stats();
+    let deployed = results.services.iter().filter(|s| s.deployed).count();
+    // One parse per deployed service at most; eleven clients share it.
+    assert!(stats.parses <= deployed);
+    assert_eq!(stats.parses + stats.doc_memo_hits, deployed);
+    assert_eq!(stats.gen_runs + stats.gen_memo_hits, results.tests.len());
+    let rendered = stats.to_string();
+    assert!(rendered.contains("Parse-once pipeline"), "{rendered}");
+}
