@@ -42,22 +42,42 @@
 //! [`CampaignResults`]. [`Campaign::run_with_stats`] surfaces the
 //! parse/memo accounting; [`Campaign::with_doc_cache`] disables the
 //! sharing for equivalence tests and benchmarks.
+//!
+//! ## Crash safety and supervision
+//!
+//! With [`Campaign::with_journal`] every completed test cell is
+//! appended to a write-ahead [`crate::journal`]; adding
+//! [`Campaign::with_resume`] replays already-journaled cells instead
+//! of executing them, re-deriving their fault accounting from the pure
+//! plan decisions — an interrupted-then-resumed run is bit-identical
+//! to an uninterrupted one. Execution is additionally supervised by a
+//! virtual-clock per-cell watchdog ([`ResilienceConfig::cell_budget_ms`])
+//! and, with [`Campaign::with_breaker`], a deterministic per-client
+//! circuit breaker: each client subsystem's cells form one sequential
+//! stream in campaign order (workers claim whole client streams, not
+//! cell chunks), so breaker decisions are identical at any thread
+//! count.
 
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 use wsinterop_compilers::{compiler_for, instantiate};
-use wsinterop_frameworks::client::{all_clients, ClientSubsystem, CompilationMode};
+use wsinterop_frameworks::client::{
+    all_clients, classify_error, ClientId, ClientSubsystem, CompilationMode, ErrorClass,
+};
 use wsinterop_frameworks::fault::{is_transient_refusal, FaultyClient, FaultyServer};
 use wsinterop_frameworks::server::{all_servers, DeployOutcome, ServerId, ServerSubsystem};
 use wsinterop_wsi::Analyzer;
 
-use crate::doccache::{DocCache, ParsedService, PipelineStats};
+use crate::doccache::{content_hash, DocCache, ParsedService, PipelineStats};
 use crate::exchange::exchange_with_faults;
 use crate::faults::{
-    deploy_site, gen_site, lock_unpoisoned, wire_site, FaultKind, FaultLog, FaultPlan,
-    FaultReport, PlanClientHook, PlanServerHook, ResilienceConfig,
+    deploy_site, gen_site, lock_unpoisoned, wire_site, BreakerConfig, BreakerState, FaultKind,
+    FaultLog, FaultPlan, FaultReport, PlanClientHook, PlanServerHook, ResilienceConfig,
 };
+use crate::journal::{JournalCell, JournalError, JournalWriter};
 use crate::results::{CampaignResults, InstantiationKind, ServiceRecord, TestRecord};
 
 /// Work-queue claim granularity: one `fetch_add` claims a run of this
@@ -80,6 +100,29 @@ pub struct Campaign {
     /// Share parsed descriptions through the content-addressed memo
     /// (`false` reproduces the historical parse-per-consumer pipeline).
     doc_cache: bool,
+    /// Write-ahead journal path (`None` disables journaling).
+    journal: Option<PathBuf>,
+    /// Replay already-journaled cells instead of executing them.
+    resume: bool,
+    /// Per-client circuit breaker (`None` disables it).
+    breaker: Option<BreakerConfig>,
+    /// Deterministic kill switch: exit the process after this many
+    /// journal appends (the resume smoke test's SIGKILL stand-in).
+    halt_after_cells: Option<usize>,
+}
+
+/// Replayable cells recovered from a resume journal, keyed by campaign
+/// cell identity.
+type PriorCells = BTreeMap<(ServerId, ClientId, String), JournalCell>;
+
+/// Per-server-phase cell-execution environment, shared by every
+/// worker.
+struct CellEnv<'a> {
+    server_id: ServerId,
+    log: &'a FaultLog,
+    cache: &'a DocCache,
+    writer: Option<&'a JournalWriter>,
+    prior: &'a PriorCells,
 }
 
 impl std::fmt::Debug for Campaign {
@@ -92,7 +135,10 @@ impl std::fmt::Debug for Campaign {
             .field("faults", &self.faults.as_ref().map(|p| p.seed()))
             .field("resilience", &self.resilience)
             .field("doc_cache", &self.doc_cache)
-            .finish()
+            .field("journal", &self.journal)
+            .field("resume", &self.resume)
+            .field("breaker", &self.breaker)
+            .finish_non_exhaustive()
     }
 }
 
@@ -108,6 +154,10 @@ impl Campaign {
             faults: None,
             resilience: ResilienceConfig::default(),
             doc_cache: true,
+            journal: None,
+            resume: false,
+            breaker: None,
+            halt_after_cells: None,
         }
     }
 
@@ -202,6 +252,87 @@ impl Campaign {
         self
     }
 
+    /// Journals every completed test cell to a write-ahead log at
+    /// `path` (see [`crate::journal`]).
+    #[must_use]
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Campaign {
+        self.journal = Some(path.into());
+        self
+    }
+
+    /// With a journal configured, replays already-journaled cells
+    /// instead of executing them. Resuming a journal written under a
+    /// different campaign configuration is a
+    /// [`JournalError::ConfigMismatch`]; a missing journal file simply
+    /// starts fresh.
+    #[must_use]
+    pub fn with_resume(mut self, resume: bool) -> Campaign {
+        self.resume = resume;
+        self
+    }
+
+    /// Enables the deterministic per-client circuit breaker.
+    #[must_use]
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Campaign {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    /// Kills the process (exit code [`crate::journal::HALT_EXIT_CODE`])
+    /// after `cells` journal appends — the deterministic SIGKILL
+    /// stand-in driving the kill/resume smoke test. Only meaningful
+    /// with [`Campaign::with_journal`].
+    #[must_use]
+    pub fn with_halt_after_cells(mut self, cells: usize) -> Campaign {
+        self.halt_after_cells = Some(cells.max(1));
+        self
+    }
+
+    /// The campaign configuration hash pinned into journal headers and
+    /// echoed in `wsitool` output: FNV-1a over a canonical rendering
+    /// of everything that shapes the *results* — servers, clients,
+    /// stride, cache mode, fault plan, resilience budget, breaker.
+    /// Thread count, journal path, resume flag and the halt switch are
+    /// deliberately excluded: they change how a run executes, never
+    /// what it produces.
+    pub fn config_hash(&self) -> u64 {
+        let servers: Vec<String> = self
+            .servers
+            .iter()
+            .map(|s| format!("{:?}", s.info().id))
+            .collect();
+        let clients: Vec<String> = self
+            .clients
+            .iter()
+            .map(|c| format!("{:?}", c.info().id))
+            .collect();
+        let faults = match &self.faults {
+            None => "none".to_string(),
+            Some(plan) => plan.fingerprint(),
+        };
+        let breaker = match self.breaker {
+            None => "off".to_string(),
+            Some(b) => format!("{}:{}", b.threshold, b.cooldown_cells),
+        };
+        let r = &self.resilience;
+        let canonical = format!(
+            "wsitool-campaign-config-v1;servers={};clients={};stride={};doc_cache={};\
+             faults={};resilience=retries:{},backoff:{:?},step:{},cell:{},panics:{};breaker={}",
+            servers.join(","),
+            clients.join(","),
+            self.stride,
+            self.doc_cache,
+            faults,
+            r.max_retries,
+            r.backoff_ms,
+            r.step_deadline_ms,
+            r.cell_budget_ms,
+            r.isolate_panics,
+            breaker
+        );
+        content_hash(canonical.as_bytes())
+    }
+
     /// Runs the campaign.
     pub fn run(&self) -> CampaignResults {
         self.run_with_stats().0
@@ -217,11 +348,55 @@ impl Campaign {
 
     /// Runs the campaign and additionally returns the parse-once
     /// pipeline's parse/memo accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a journal error (unreadable/mismatched journal, I/O
+    /// failure); use [`Campaign::try_run_with_stats`] to handle those
+    /// gracefully. Journal-free campaigns never hit that path.
     pub fn run_with_stats(&self) -> (CampaignResults, FaultReport, PipelineStats) {
+        self.try_run_with_stats()
+            .unwrap_or_else(|e| panic!("campaign journal error: {e}"))
+    }
+
+    /// [`Campaign::run_with_stats`], surfacing journal failures as
+    /// errors instead of panics.
+    pub fn try_run_with_stats(
+        &self,
+    ) -> Result<(CampaignResults, FaultReport, PipelineStats), JournalError> {
         let analyzer = Analyzer::basic_profile_1_1();
         let log = FaultLog::new();
         let cache = DocCache::new();
         let mut results = CampaignResults::default();
+
+        // Open (or resume) the write-ahead journal before any work: a
+        // mismatched or unreadable journal must fail the run up front,
+        // not after an hour of cells.
+        let (writer, prior): (Option<JournalWriter>, PriorCells) = match &self.journal {
+            None => (None, PriorCells::new()),
+            Some(path) => {
+                let config_hash = self.config_hash();
+                if self.resume && path.exists() {
+                    let (writer, read) =
+                        JournalWriter::resume(path, config_hash, self.halt_after_cells)?;
+                    let mut prior = PriorCells::new();
+                    for cell in read.cells {
+                        let key =
+                            (cell.record.server, cell.record.client, cell.record.fqcn.clone());
+                        prior.insert(key, cell);
+                    }
+                    (Some(writer), prior)
+                } else {
+                    let writer = JournalWriter::create(path, config_hash, self.halt_after_cells)?;
+                    (Some(writer), PriorCells::new())
+                }
+            }
+        };
+
+        // One breaker per client subsystem, carried across servers in
+        // campaign order.
+        let breaker_states: Mutex<BTreeMap<ClientId, BreakerState>> =
+            Mutex::new(BTreeMap::new());
 
         for server in &self.servers {
             let server_id = server.info().id;
@@ -270,35 +445,49 @@ impl Campaign {
 
             // Testing phase: all clients × all published descriptions,
             // each description parsed once and shared by reference.
+            // Workers claim whole *client streams* (not cell chunks):
+            // each client's cells run sequentially in campaign (fqcn)
+            // order, which is what makes circuit-breaker decisions —
+            // functions of the preceding stream — identical at any
+            // thread count.
             let tests = Mutex::new(Vec::new());
             let work: Vec<(&ServiceRecord, &Arc<ParsedService>)> = deployed
                 .iter()
                 .filter_map(|(record, svc)| svc.as_ref().map(|s| (record, s)))
                 .collect();
-            let next_test = std::sync::atomic::AtomicUsize::new(0);
+            let env = CellEnv {
+                server_id,
+                log: &log,
+                cache: &cache,
+                writer: writer.as_ref(),
+                prior: &prior,
+            };
+            let next_client = std::sync::atomic::AtomicUsize::new(0);
+            let workers = self.threads.min(self.clients.len()).max(1);
             std::thread::scope(|scope| {
-                for _ in 0..self.threads {
+                for _ in 0..workers {
                     scope.spawn(|| {
                         let mut local = Vec::new();
                         loop {
-                            let start = next_test
-                                .fetch_add(CLAIM_CHUNK, std::sync::atomic::Ordering::Relaxed);
-                            if start >= work.len() {
+                            let at = next_client
+                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(client) = self.clients.get(at) else {
                                 break;
+                            };
+                            let client_id = client.info().id;
+                            let mut state = lock_unpoisoned(&breaker_states)
+                                .remove(&client_id)
+                                .unwrap_or_default();
+                            for (record, svc) in &work {
+                                local.push(self.run_supervised_cell(
+                                    &env,
+                                    record,
+                                    svc,
+                                    client.as_ref(),
+                                    &mut state,
+                                ));
                             }
-                            let end = work.len().min(start + CLAIM_CHUNK);
-                            for (record, svc) in &work[start..end] {
-                                for client in &self.clients {
-                                    local.push(self.run_cell(
-                                        server_id,
-                                        record,
-                                        svc,
-                                        client.as_ref(),
-                                        &log,
-                                        &cache,
-                                    ));
-                                }
-                            }
+                            lock_unpoisoned(&breaker_states).insert(client_id, state);
                         }
                         lock_unpoisoned(&tests).append(&mut local);
                     });
@@ -326,8 +515,13 @@ impl Campaign {
             });
             results.tests.append(&mut server_tests);
         }
+        if let Some(writer) = &writer {
+            if let Some(e) = writer.take_error() {
+                return Err(JournalError::Io(e));
+            }
+        }
         let stats = cache.stats();
-        (results, log.report(), stats)
+        Ok((results, log.report(), stats))
     }
 
     /// Parses a just-published description into the shared-by-`Arc`
@@ -455,8 +649,76 @@ impl Campaign {
         (record, wsdl)
     }
 
+    /// One supervised (server, client, service) cell: breaker gate →
+    /// journal replay → live execution, then breaker bookkeeping and
+    /// the journal append.
+    ///
+    /// Replayed cells never re-append (a journal converges to one
+    /// record per cell) but do feed the breaker and re-derive their
+    /// fault accounting, so a resumed run's [`FaultReport`] is
+    /// bit-identical to an uninterrupted one.
+    fn run_supervised_cell(
+        &self,
+        env: &CellEnv<'_>,
+        record: &ServiceRecord,
+        svc: &ParsedService,
+        client: &dyn ClientSubsystem,
+        state: &mut BreakerState,
+    ) -> TestRecord {
+        let client_id = client.info().id;
+        let key = (env.server_id, client_id, record.fqcn.clone());
+        let site = gen_site(env.server_id, client_id, &record.fqcn);
+
+        let (cell, replayed) = if self.breaker.is_some() && state.should_skip() {
+            // Open breaker: the cell is never executed; it is recorded
+            // as a skipped Error outcome. The decision replays
+            // identically on resume (it depends only on the preceding
+            // stream), so a journaled skip is simply not re-appended.
+            env.log.breaker_skip(&site);
+            let cell = JournalCell {
+                record: TestRecord {
+                    server: env.server_id,
+                    client: client_id,
+                    fqcn: record.fqcn.clone(),
+                    gen_warning: false,
+                    gen_error: true,
+                    compile_ran: false,
+                    compile_warning: false,
+                    compile_error: false,
+                    compiler_crashed: false,
+                    instantiation: None,
+                },
+                breaker_skipped: true,
+                disruptive: false,
+            };
+            let replayed = env.prior.contains_key(&key);
+            (cell, replayed)
+        } else if let Some(prior) = env.prior.get(&key) {
+            env.cache.note_journal_replay();
+            if let Some(plan) = &self.faults {
+                replay_accounting(plan, &self.resilience, &site, prior, env.log);
+            }
+            (prior.clone(), true)
+        } else {
+            (self.run_cell(env, record, svc, client), false)
+        };
+
+        if let Some(cfg) = self.breaker {
+            if !cell.breaker_skipped && state.observe(cfg, cell.disruptive) {
+                env.log.breaker_tripped();
+            }
+        }
+        if let Some(writer) = env.writer {
+            if !replayed {
+                writer.append(&cell);
+            }
+        }
+        cell.record
+    }
+
     /// One (server, client, service) test cell, with fault injection,
-    /// panic isolation and the virtual step deadline.
+    /// panic isolation, the virtual step deadline and the per-cell
+    /// watchdog.
     ///
     /// Fault-free cells drive the shared parse straight into
     /// `generate_from` (memoized when the cache is on) and never touch
@@ -465,13 +727,13 @@ impl Campaign {
     /// fault hook wraps [`ClientSubsystem::generate`].
     fn run_cell(
         &self,
-        server_id: ServerId,
+        env: &CellEnv<'_>,
         record: &ServiceRecord,
         svc: &ParsedService,
         client: &dyn ClientSubsystem,
-        log: &FaultLog,
-        cache: &DocCache,
-    ) -> TestRecord {
+    ) -> JournalCell {
+        let server_id = env.server_id;
+        let (log, cache) = (env.log, env.cache);
         let Some(plan) = &self.faults else {
             if self.doc_cache {
                 return run_test(server_id, record, svc, client, cache);
@@ -480,31 +742,42 @@ impl Campaign {
             return run_test_text(server_id, record, svc.wsdl_xml(), client);
         };
 
-        cache.note_text_generate();
+        // Chaos cells over a fault-damaged description are accounted
+        // apart from pristine text-path cells: an injected-and-parsed
+        // site must never be double-counted as both.
+        if svc.fault_damaged() {
+            cache.note_fault_generate();
+        } else {
+            cache.note_text_generate();
+        }
         let wsdl = svc.wsdl_xml();
         let site = gen_site(server_id, client.info().id, &record.fqcn);
         let hook = PlanClientHook::new(plan, log);
         let faulty = FaultyClient::new(client, &hook, site.clone());
-        let mut test = if self.resilience.isolate_panics {
+        let mut cell = if self.resilience.isolate_panics {
             match catch_unwind(AssertUnwindSafe(|| {
                 run_test_text(server_id, record, wsdl, &faulty)
             })) {
-                Ok(test) => test,
+                Ok(cell) => cell,
                 Err(_) => {
                     // The worker died mid-step; the test still gets a
-                    // verdict: generation failed.
+                    // verdict: generation failed, disruptively.
                     log.panic_isolated();
-                    TestRecord {
-                        server: server_id,
-                        client: client.info().id,
-                        fqcn: record.fqcn.clone(),
-                        gen_warning: false,
-                        gen_error: true,
-                        compile_ran: false,
-                        compile_warning: false,
-                        compile_error: false,
-                        compiler_crashed: false,
-                        instantiation: None,
+                    JournalCell {
+                        record: TestRecord {
+                            server: server_id,
+                            client: client.info().id,
+                            fqcn: record.fqcn.clone(),
+                            gen_warning: false,
+                            gen_error: true,
+                            compile_ran: false,
+                            compile_warning: false,
+                            compile_error: false,
+                            compiler_crashed: false,
+                            instantiation: None,
+                        },
+                        breaker_skipped: false,
+                        disruptive: true,
                     }
                 }
             }
@@ -518,13 +791,53 @@ impl Campaign {
                 // The step blew its deadline budget: classified as an
                 // Error, exactly like a hung tool killed by a watchdog.
                 log.deadline_hit();
-                test.gen_error = true;
+                cell.record.gen_error = true;
+            }
+            if virtual_ms > self.resilience.cell_budget_ms {
+                // The whole cell blew the watchdog budget: a
+                // disruptive Error — the kind that trips breakers.
+                log.watchdog_cell();
+                cell.record.gen_error = true;
+                cell.disruptive = true;
             }
         }
         if log.is_affected(&site) {
-            log.resolve(&site, test.any_error() || test.any_warning());
+            log.resolve(&site, cell.record.any_error() || cell.record.any_warning());
         }
-        test
+        cell
+    }
+}
+
+/// Re-derives a replayed cell's contributions to the fault log from
+/// the pure plan decisions — injection, panic isolation, deadline and
+/// watchdog hits, detected-vs-masked resolution — exactly as live
+/// execution would have recorded them. This is what makes a resumed
+/// chaos campaign's [`FaultReport`] bit-identical to an uninterrupted
+/// one.
+fn replay_accounting(
+    plan: &FaultPlan,
+    resilience: &ResilienceConfig,
+    site: &str,
+    cell: &JournalCell,
+    log: &FaultLog,
+) {
+    if plan.decide(FaultKind::ClientGenPanic, site) {
+        log.injected(FaultKind::ClientGenPanic, site);
+        if resilience.isolate_panics {
+            log.panic_isolated();
+        }
+    }
+    if let Some(virtual_ms) = plan.slow_virtual_ms(site) {
+        log.injected(FaultKind::SlowStep, site);
+        if virtual_ms > resilience.step_deadline_ms {
+            log.deadline_hit();
+        }
+        if virtual_ms > resilience.cell_budget_ms {
+            log.watchdog_cell();
+        }
+    }
+    if log.is_affected(site) {
+        log.resolve(site, cell.record.any_error() || cell.record.any_warning());
     }
 }
 
@@ -562,7 +875,7 @@ fn run_test(
     svc: &ParsedService,
     client: &dyn ClientSubsystem,
     cache: &DocCache,
-) -> TestRecord {
+) -> JournalCell {
     let info = client.info();
     let outcome = cache.generate(client, svc);
     classify_outcome(server_id, record, info, outcome)
@@ -576,19 +889,22 @@ fn run_test_text(
     record: &ServiceRecord,
     wsdl: &str,
     client: &dyn ClientSubsystem,
-) -> TestRecord {
+) -> JournalCell {
     let info = client.info();
     let outcome = client.generate(wsdl);
     classify_outcome(server_id, record, info, outcome)
 }
 
-/// The classification steps shared by both generation paths.
+/// The classification steps shared by both generation paths, plus the
+/// supervision verdict: a cell is *disruptive* (a breaker trigger)
+/// when its compiler crashed or its error message classifies as a
+/// process-health failure rather than an ordinary diagnostic.
 fn classify_outcome(
     server_id: ServerId,
     record: &ServiceRecord,
     info: wsinterop_frameworks::client::ClientInfo,
     outcome: wsinterop_frameworks::client::GenOutcome,
-) -> TestRecord {
+) -> JournalCell {
     let mut test = TestRecord {
         server: server_id,
         client: info.id,
@@ -602,42 +918,50 @@ fn classify_outcome(
         instantiation: None,
     };
 
-    let Some(bundle) = &outcome.artifacts else {
-        return test;
-    };
-
-    match info.compilation {
-        CompilationMode::Dynamic => {
-            // Classification step for dynamic clients: instantiate the
-            // client object and check it is actually usable.
-            if outcome.error.is_none() {
-                let check = instantiate(bundle);
-                let kind = if !check.constructed {
-                    InstantiationKind::Failed
-                } else if check.empty_client() {
-                    InstantiationKind::Empty
-                } else {
-                    InstantiationKind::Usable
-                };
-                test.instantiation = Some(kind);
-                match kind {
-                    InstantiationKind::Empty => test.gen_warning = true,
-                    InstantiationKind::Failed => test.gen_error = true,
-                    InstantiationKind::Usable => {}
+    if let Some(bundle) = &outcome.artifacts {
+        match info.compilation {
+            CompilationMode::Dynamic => {
+                // Classification step for dynamic clients: instantiate
+                // the client object and check it is actually usable.
+                if outcome.error.is_none() {
+                    let check = instantiate(bundle);
+                    let kind = if !check.constructed {
+                        InstantiationKind::Failed
+                    } else if check.empty_client() {
+                        InstantiationKind::Empty
+                    } else {
+                        InstantiationKind::Usable
+                    };
+                    test.instantiation = Some(kind);
+                    match kind {
+                        InstantiationKind::Empty => test.gen_warning = true,
+                        InstantiationKind::Failed => test.gen_error = true,
+                        InstantiationKind::Usable => {}
+                    }
+                }
+            }
+            _ => {
+                if let Some(compiler) = compiler_for(bundle.language) {
+                    let compiled = compiler.compile(bundle);
+                    test.compile_ran = true;
+                    test.compile_warning = compiled.warning_count() > 0;
+                    test.compile_error = !compiled.success();
+                    test.compiler_crashed = compiled.crashed;
                 }
             }
         }
-        _ => {
-            if let Some(compiler) = compiler_for(bundle.language) {
-                let compiled = compiler.compile(bundle);
-                test.compile_ran = true;
-                test.compile_warning = compiled.warning_count() > 0;
-                test.compile_error = !compiled.success();
-                test.compiler_crashed = compiled.crashed;
-            }
-        }
     }
-    test
+
+    let disruptive = test.compiler_crashed
+        || outcome
+            .error
+            .as_deref()
+            .is_some_and(|m| classify_error(m) == ErrorClass::Disruptive);
+    JournalCell {
+        record: test,
+        breaker_skipped: false,
+        disruptive,
+    }
 }
 
 fn default_threads() -> usize {

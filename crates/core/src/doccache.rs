@@ -54,6 +54,11 @@ pub struct ParsedService {
     /// `false` for fault-damaged or hash-colliding documents, which
     /// must never serve from (or populate) the generation memo.
     memoizable: bool,
+    /// `true` when this parse came through the fault-site bypass — the
+    /// published bytes were (or may have been) damaged by injection.
+    /// Lets the pipeline stats count injected-and-parsed sites exactly
+    /// once, never both as a bypass and a plain text generate.
+    fault_damaged: bool,
 }
 
 impl ParsedService {
@@ -67,7 +72,13 @@ impl ParsedService {
             content_hash,
             doc,
             memoizable: false,
+            fault_damaged: false,
         }
+    }
+
+    /// Whether this parse came through the fault-site bypass.
+    pub fn fault_damaged(&self) -> bool {
+        self.fault_damaged
     }
 
     /// The published description text.
@@ -132,6 +143,8 @@ pub struct DocCache {
     gen_hits: AtomicUsize,
     fault_bypasses: AtomicUsize,
     text_generates: AtomicUsize,
+    fault_text_generates: AtomicUsize,
+    journal_replays: AtomicUsize,
 }
 
 impl DocCache {
@@ -173,7 +186,9 @@ impl DocCache {
     pub fn parse_bypassing_memo(&self, wsdl_xml: String) -> Arc<ParsedService> {
         self.parses.fetch_add(1, Ordering::Relaxed);
         self.fault_bypasses.fetch_add(1, Ordering::Relaxed);
-        Arc::new(ParsedService::parse_uncached(wsdl_xml))
+        let mut svc = ParsedService::parse_uncached(wsdl_xml);
+        svc.fault_damaged = true;
+        Arc::new(svc)
     }
 
     /// Parses outside the memo for a cache-disabled run (counted as a
@@ -218,6 +233,22 @@ impl DocCache {
         self.text_generates.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one text-path generation over a **fault-damaged**
+    /// description. Counted separately from plain text generates so a
+    /// site that is both injected and parsed is never double-counted:
+    /// its bypass parse lands in `fault_bypasses` and its generations
+    /// here, never in `text_generates` too.
+    pub fn note_fault_generate(&self) {
+        self.parses.fetch_add(1, Ordering::Relaxed);
+        self.fault_text_generates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one cell replayed from a resume journal (no parse, no
+    /// generation — the outcome came off disk).
+    pub fn note_journal_replay(&self) {
+        self.journal_replays.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot of the parse/memo accounting.
     pub fn stats(&self) -> PipelineStats {
         PipelineStats {
@@ -228,6 +259,8 @@ impl DocCache {
             gen_memo_hits: self.gen_hits.load(Ordering::Relaxed),
             fault_bypasses: self.fault_bypasses.load(Ordering::Relaxed),
             text_generates: self.text_generates.load(Ordering::Relaxed),
+            fault_text_generates: self.fault_text_generates.load(Ordering::Relaxed),
+            journal_replays: self.journal_replays.load(Ordering::Relaxed),
         }
     }
 }
@@ -250,8 +283,15 @@ pub struct PipelineStats {
     /// may have damaged) the published bytes.
     pub fault_bypasses: usize,
     /// Generation steps that went down the text path (cache disabled
-    /// or chaos cells), each re-parsing the text inside the tool.
+    /// or chaos cells), each re-parsing the text inside the tool —
+    /// over **pristine** descriptions only.
     pub text_generates: usize,
+    /// Text-path generation steps over fault-damaged descriptions.
+    /// Disjoint from `text_generates` by construction, so an injected
+    /// site's parses are never counted under both.
+    pub fault_text_generates: usize,
+    /// Cells replayed from a resume journal instead of executed.
+    pub journal_replays: usize,
 }
 
 impl std::fmt::Display for PipelineStats {
@@ -264,8 +304,13 @@ impl std::fmt::Display for PipelineStats {
         )?;
         writeln!(
             f,
-            "  generation: {} executed, {} replayed from memo, {} via text path",
-            self.gen_runs, self.gen_memo_hits, self.text_generates
+            "  generation: {} executed, {} replayed from memo, {} via text path \
+             ({} over fault-damaged docs), {} replayed from journal",
+            self.gen_runs,
+            self.gen_memo_hits,
+            self.text_generates,
+            self.fault_text_generates,
+            self.journal_replays
         )
     }
 }
@@ -343,11 +388,30 @@ mod tests {
     }
 
     #[test]
+    fn fault_and_plain_text_generates_are_counted_disjointly() {
+        let cache = DocCache::new();
+        cache.note_text_generate();
+        cache.note_text_generate();
+        cache.note_fault_generate();
+        cache.note_journal_replay();
+        let stats = cache.stats();
+        assert_eq!(stats.text_generates, 2);
+        assert_eq!(stats.fault_text_generates, 1);
+        assert_eq!(stats.journal_replays, 1);
+        // Each text-path generate is one parse; journal replays parse
+        // nothing.
+        assert_eq!(stats.parses, 3);
+        assert!(stats.to_string().contains("(1 over fault-damaged docs)"));
+    }
+
+    #[test]
     fn fault_bypass_parses_stay_out_of_both_memos() {
         let cache = DocCache::new();
         let doc = sample_wsdl();
         let damaged = cache.parse_bypassing_memo(doc.clone());
         assert!(!damaged.memoizable);
+        assert!(damaged.fault_damaged());
+        assert!(!ParsedService::parse_uncached(doc.clone()).fault_damaged());
         let _ = cache.generate(&MetroClient, &damaged);
         let _ = cache.generate(&MetroClient, &damaged);
         let stats = cache.stats();

@@ -186,6 +186,16 @@ impl FaultPlan {
         self.seed
     }
 
+    /// A canonical fingerprint of the whole plan (seed, rates, forced
+    /// sites) — folded into the campaign config hash so a journal can
+    /// never be resumed under a different fault plan.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "seed:{};rates:{:?};forced:{:?}",
+            self.seed, self.rates, self.forced
+        )
+    }
+
     /// Overrides the injection rate (permille of sites) for one kind.
     #[must_use]
     pub fn with_rate(mut self, kind: FaultKind, per_mille: u32) -> FaultPlan {
@@ -316,6 +326,11 @@ pub struct ResilienceConfig {
     /// Isolate each test with `catch_unwind` so a panicking worker
     /// becomes one Error-classified record instead of a dead campaign.
     pub isolate_panics: bool,
+    /// Per-cell watchdog budget in virtual milliseconds. A whole test
+    /// cell whose virtual duration exceeds this is killed by the
+    /// watchdog and classified as a disruptive Error — the cell-level
+    /// extension of `step_deadline_ms`.
+    pub cell_budget_ms: u64,
 }
 
 impl Default for ResilienceConfig {
@@ -325,6 +340,7 @@ impl Default for ResilienceConfig {
             backoff_ms: vec![1, 2, 4],
             step_deadline_ms: 50,
             isolate_panics: true,
+            cell_budget_ms: 150,
         }
     }
 }
@@ -340,6 +356,99 @@ impl ResilienceConfig {
     }
 }
 
+/// Per-client circuit breaker tuning.
+///
+/// The breaker watches each client subsystem's stream of cells: after
+/// `threshold` *consecutive disruptive* errors (isolated panics, blown
+/// cell budgets, compiler crashes — see
+/// [`wsinterop_frameworks::client::classify_error`]) it opens and
+/// skips that client's next `cooldown_cells` cells (each recorded as a
+/// breaker-skipped Error), then half-opens: one probe cell runs for
+/// real, and a single disruptive outcome re-trips the breaker while a
+/// clean one closes it.
+///
+/// Decisions depend only on each client's cell stream in campaign
+/// order, never on wall-clock time or worker interleaving, so the
+/// breaker-skipped cell set is identical at any thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive disruptive errors from one client that trip it.
+    pub threshold: u32,
+    /// Cells skipped while open, before half-opening.
+    pub cooldown_cells: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            threshold: 5,
+            cooldown_cells: 25,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// A breaker with both knobs clamped to at least 1 (a zero
+    /// threshold would trip on nothing; a zero cooldown would never
+    /// actually skip).
+    pub fn new(threshold: u32, cooldown_cells: u32) -> BreakerConfig {
+        BreakerConfig {
+            threshold: threshold.max(1),
+            cooldown_cells: cooldown_cells.max(1),
+        }
+    }
+}
+
+/// One client's breaker state, advanced cell by cell in campaign
+/// order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakerState {
+    consecutive: u32,
+    cooldown_left: u32,
+    half_open: bool,
+}
+
+impl BreakerState {
+    /// A fresh, closed breaker.
+    pub fn new() -> BreakerState {
+        BreakerState::default()
+    }
+
+    /// Whether the breaker is open for the next cell. Consumes one
+    /// cooldown cell when it is; the cell after the last cooldown cell
+    /// runs half-open.
+    pub fn should_skip(&mut self) -> bool {
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            if self.cooldown_left == 0 {
+                self.half_open = true;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Feeds one executed cell's verdict into the breaker. Returns
+    /// `true` when this observation trips it (including a half-open
+    /// probe failing).
+    pub fn observe(&mut self, cfg: BreakerConfig, disruptive: bool) -> bool {
+        if disruptive {
+            self.consecutive += 1;
+            if self.half_open || self.consecutive >= cfg.threshold {
+                self.consecutive = 0;
+                self.half_open = false;
+                self.cooldown_left = cfg.cooldown_cells;
+                return true;
+            }
+        } else {
+            self.consecutive = 0;
+            self.half_open = false;
+        }
+        false
+    }
+}
+
 /// Thread-safe fault accounting for one campaign run.
 #[derive(Debug, Default)]
 pub struct FaultLog {
@@ -350,9 +459,13 @@ pub struct FaultLog {
     backoff_ms: AtomicUsize,
     deadline_hits: AtomicUsize,
     panics_isolated: AtomicUsize,
+    watchdog_cells: AtomicUsize,
+    breaker_trips: AtomicUsize,
     /// Injected kinds per site, pending resolution into
     /// detected/masked.
     sites: Mutex<BTreeMap<String, Vec<FaultKind>>>,
+    /// Sites whose cell was skipped by an open circuit breaker.
+    breaker_skipped: Mutex<BTreeSet<String>>,
 }
 
 impl FaultLog {
@@ -387,6 +500,22 @@ impl FaultLog {
     /// Records one isolated panic.
     pub fn panic_isolated(&self) {
         self.panics_isolated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one cell killed by the per-cell watchdog.
+    pub fn watchdog_cell(&self) {
+        self.watchdog_cells.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one circuit-breaker trip.
+    pub fn breaker_tripped(&self) {
+        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one cell skipped by an open breaker (idempotent per
+    /// site, so journal replay cannot double-count).
+    pub fn breaker_skip(&self, site: &str) {
+        lock_unpoisoned(&self.breaker_skipped).insert(site.to_string());
     }
 
     /// Resolves every fault injected at `site`: `detected` means the
@@ -428,6 +557,9 @@ impl FaultLog {
             backoff_ms: self.backoff_ms.load(Ordering::Relaxed) as u64,
             deadline_hits: self.deadline_hits.load(Ordering::Relaxed),
             panics_isolated: self.panics_isolated.load(Ordering::Relaxed),
+            watchdog_cells: self.watchdog_cells.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            breaker_skipped_sites: lock_unpoisoned(&self.breaker_skipped).clone(),
             affected_sites: sites.keys().cloned().collect(),
         }
     }
@@ -467,6 +599,12 @@ pub struct FaultReport {
     pub deadline_hits: usize,
     /// Worker panics converted into Error-classified records.
     pub panics_isolated: usize,
+    /// Cells whose virtual duration blew the per-cell watchdog budget.
+    pub watchdog_cells: usize,
+    /// Times a per-client circuit breaker tripped open.
+    pub breaker_trips: usize,
+    /// Sites whose cell an open breaker skipped instead of executing.
+    pub breaker_skipped_sites: BTreeSet<String>,
     /// Every site at which a fault was injected.
     pub affected_sites: BTreeSet<String>,
 }
@@ -536,6 +674,13 @@ impl fmt::Display for FaultReport {
             f,
             "  retries spent: {} (virtual backoff {} ms); deadline hits: {}; panics isolated: {}",
             self.retries_spent, self.backoff_ms, self.deadline_hits, self.panics_isolated
+        )?;
+        writeln!(
+            f,
+            "  watchdog cell kills: {}; breaker trips: {} (skipped {} cells)",
+            self.watchdog_cells,
+            self.breaker_trips,
+            self.breaker_skipped_sites.len()
         )?;
         writeln!(f, "  affected sites: {}", self.affected_sites.len())
     }
@@ -726,6 +871,84 @@ mod tests {
         assert_eq!(resilience.backoff_for(1), 2);
         assert_eq!(resilience.backoff_for(2), 4);
         assert_eq!(resilience.backoff_for(9), 4);
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_cools_down_in_cells() {
+        let cfg = BreakerConfig::new(3, 2);
+        let mut state = BreakerState::new();
+        // Two disruptive cells: below threshold, still closed.
+        assert!(!state.observe(cfg, true));
+        assert!(!state.observe(cfg, true));
+        assert!(!state.should_skip());
+        // A clean cell resets the streak.
+        assert!(!state.observe(cfg, false));
+        assert!(!state.observe(cfg, true));
+        assert!(!state.observe(cfg, true));
+        // Third consecutive disruption trips it.
+        assert!(state.observe(cfg, true));
+        // Open: exactly `cooldown_cells` skips, then half-open.
+        assert!(state.should_skip());
+        assert!(state.should_skip());
+        assert!(!state.should_skip());
+    }
+
+    #[test]
+    fn half_open_probe_retrips_on_one_failure_or_closes_on_success() {
+        let cfg = BreakerConfig::new(3, 1);
+        let mut tripped = BreakerState::new();
+        for _ in 0..2 {
+            assert!(!tripped.observe(cfg, true));
+        }
+        assert!(tripped.observe(cfg, true));
+        assert!(tripped.should_skip());
+        // Half-open probe fails: re-trips on a single disruption.
+        let mut reopened = tripped;
+        assert!(reopened.observe(cfg, true));
+        assert!(reopened.should_skip());
+        // Half-open probe succeeds: breaker closes, threshold applies
+        // again in full.
+        let mut closed = tripped;
+        assert!(!closed.observe(cfg, false));
+        assert!(!closed.observe(cfg, true));
+        assert!(!closed.observe(cfg, true));
+        assert!(closed.observe(cfg, true));
+    }
+
+    #[test]
+    fn breaker_config_clamps_zeroes() {
+        let cfg = BreakerConfig::new(0, 0);
+        assert_eq!(cfg.threshold, 1);
+        assert_eq!(cfg.cooldown_cells, 1);
+    }
+
+    #[test]
+    fn log_counts_watchdog_and_breaker_events() {
+        let log = FaultLog::new();
+        log.watchdog_cell();
+        log.breaker_tripped();
+        log.breaker_skip("gen/Metro/Cxf/a");
+        log.breaker_skip("gen/Metro/Cxf/a"); // idempotent
+        log.breaker_skip("gen/Metro/Cxf/b");
+        let report = log.report();
+        assert_eq!(report.watchdog_cells, 1);
+        assert_eq!(report.breaker_trips, 1);
+        assert_eq!(report.breaker_skipped_sites.len(), 2);
+        assert!(report.to_string().contains("watchdog cell kills: 1"));
+        assert!(report.to_string().contains("breaker trips: 1 (skipped 2 cells)"));
+    }
+
+    #[test]
+    fn plan_fingerprint_is_seed_and_shape_sensitive() {
+        let a = FaultPlan::seeded(42);
+        assert_eq!(a.fingerprint(), FaultPlan::seeded(42).fingerprint());
+        assert_ne!(a.fingerprint(), FaultPlan::seeded(43).fingerprint());
+        assert_ne!(
+            a.fingerprint(),
+            FaultPlan::seeded(42)
+                .force_at(FaultKind::SlowStep, "gen/x/y/z")
+                .fingerprint()
+        );
     }
 
     #[test]

@@ -1,0 +1,674 @@
+//! The crash-safe campaign journal: a write-ahead log of completed
+//! campaign cells.
+//!
+//! The campaign's 79 629 cells are independent (service × client)
+//! outcomes, so losing a run to a crash, SIGINT or deadline blow-up is
+//! pure waste: every already-classified cell was a pure function of the
+//! campaign configuration and would be recomputed bit-identically. The
+//! journal makes that re-entrancy real:
+//!
+//! * every completed test cell is appended as one length-prefixed,
+//!   FNV-1a-checksummed record (the same hash family as
+//!   [`crate::doccache::content_hash`] and the fault plan's site hash);
+//! * the file header pins the **campaign config hash** — servers,
+//!   clients, stride, fault plan, resilience budget, breaker — so a
+//!   journal can never be replayed into a differently-configured run;
+//! * the reader is **corruption-tolerant**: a torn tail (the expected
+//!   state after a kill mid-write) or a flipped byte truncates the log
+//!   at the last fully-valid record instead of erroring, and decoding
+//!   never panics;
+//! * resuming truncates the torn tail and appends only newly-executed
+//!   cells, so a journal converges to exactly one record per cell.
+//!
+//! Replayed cells re-account their fault-plan contributions (injection
+//! decisions are pure functions of `(seed, kind, site)`), which is what
+//! makes an interrupted-then-resumed chaos campaign bit-identical to an
+//! uninterrupted one — records *and* [`crate::faults::FaultReport`].
+//!
+//! ## On-disk format (version 1)
+//!
+//! ```text
+//! header  := magic "WSIJRNL\x01" (8) | version u16 LE | config_hash u64 LE
+//!            | fnv1a(previous 18 bytes) u64 LE
+//! record  := payload_len u32 LE | payload | fnv1a(payload) u64 LE
+//! payload := server u8 | client u8 | flags u16 LE | instantiation u8
+//!            | fqcn_len u16 LE | fqcn utf-8 bytes
+//! ```
+//!
+//! All integers are little-endian; enum codes are frozen (append-only)
+//! so journals stay readable across releases.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use wsinterop_frameworks::client::ClientId;
+use wsinterop_frameworks::server::ServerId;
+
+use crate::doccache::content_hash;
+use crate::faults::lock_unpoisoned;
+use crate::results::{InstantiationKind, TestRecord};
+
+/// Journal format magic: `WSIJRNL` plus a format byte.
+pub const MAGIC: [u8; 8] = *b"WSIJRNL\x01";
+
+/// Current journal format version.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Byte length of the file header (magic + version + config hash +
+/// header checksum).
+pub const HEADER_LEN: usize = 8 + 2 + 8 + 8;
+
+/// Upper bound on one record payload; anything larger is corruption by
+/// definition (a fqcn is bounded far below this).
+const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// Process exit code used by the deterministic mid-run kill switch
+/// (`--halt-after-cells`), CI's stand-in for a SIGKILL.
+pub const HALT_EXIT_CODE: u8 = 9;
+
+// Payload flag bits.
+const F_GEN_WARNING: u16 = 1 << 0;
+const F_GEN_ERROR: u16 = 1 << 1;
+const F_COMPILE_RAN: u16 = 1 << 2;
+const F_COMPILE_WARNING: u16 = 1 << 3;
+const F_COMPILE_ERROR: u16 = 1 << 4;
+const F_COMPILER_CRASHED: u16 = 1 << 5;
+const F_BREAKER_SKIPPED: u16 = 1 << 6;
+const F_DISRUPTIVE: u16 = 1 << 7;
+
+/// Why a journal could not be opened or (for resume) trusted.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// The file is not a campaign journal (bad magic, short or damaged
+    /// header).
+    NotAJournal,
+    /// The journal was written by an unknown format version.
+    UnsupportedVersion(u16),
+    /// The journal belongs to a differently-configured campaign and
+    /// must not be replayed into this one.
+    ConfigMismatch {
+        /// The running campaign's config hash.
+        expected: u64,
+        /// The hash pinned in the journal header.
+        found: u64,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::NotAJournal => {
+                write!(f, "not a campaign journal (bad or truncated header)")
+            }
+            JournalError::UnsupportedVersion(v) => {
+                write!(f, "unsupported journal format version {v}")
+            }
+            JournalError::ConfigMismatch { expected, found } => write!(
+                f,
+                "journal config hash 0x{found:016x} does not match this campaign \
+                 (0x{expected:016x}); re-run without --resume to start a fresh journal"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> JournalError {
+        JournalError::Io(e)
+    }
+}
+
+/// One journaled campaign cell: the classified record plus the
+/// supervision verdicts the breaker needs on replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalCell {
+    /// The classified test record, exactly as the campaign emitted it.
+    pub record: TestRecord,
+    /// The cell was never executed: the per-client circuit breaker was
+    /// open and recorded it as a skipped Error outcome.
+    pub breaker_skipped: bool,
+    /// The cell ended disruptively (isolated panic, blown cell budget,
+    /// compiler crash or a crash-class generation error) — the breaker
+    /// trigger taxonomy.
+    pub disruptive: bool,
+}
+
+// --- enum codes (frozen; append-only) -------------------------------
+
+fn server_code(id: ServerId) -> u8 {
+    match id {
+        ServerId::Metro => 0,
+        ServerId::JBossWs => 1,
+        ServerId::WcfDotNet => 2,
+        ServerId::Axis2Java => 3,
+    }
+}
+
+fn server_from(code: u8) -> Option<ServerId> {
+    Some(match code {
+        0 => ServerId::Metro,
+        1 => ServerId::JBossWs,
+        2 => ServerId::WcfDotNet,
+        3 => ServerId::Axis2Java,
+        _ => return None,
+    })
+}
+
+fn client_code(id: ClientId) -> u8 {
+    match id {
+        ClientId::Metro => 0,
+        ClientId::Axis1 => 1,
+        ClientId::Axis2 => 2,
+        ClientId::Cxf => 3,
+        ClientId::JBossWs => 4,
+        ClientId::DotnetCs => 5,
+        ClientId::DotnetVb => 6,
+        ClientId::DotnetJs => 7,
+        ClientId::Gsoap => 8,
+        ClientId::Zend => 9,
+        ClientId::Suds => 10,
+    }
+}
+
+fn client_from(code: u8) -> Option<ClientId> {
+    Some(match code {
+        0 => ClientId::Metro,
+        1 => ClientId::Axis1,
+        2 => ClientId::Axis2,
+        3 => ClientId::Cxf,
+        4 => ClientId::JBossWs,
+        5 => ClientId::DotnetCs,
+        6 => ClientId::DotnetVb,
+        7 => ClientId::DotnetJs,
+        8 => ClientId::Gsoap,
+        9 => ClientId::Zend,
+        10 => ClientId::Suds,
+        _ => return None,
+    })
+}
+
+fn instantiation_code(kind: Option<InstantiationKind>) -> u8 {
+    match kind {
+        None => 0,
+        Some(InstantiationKind::Usable) => 1,
+        Some(InstantiationKind::Empty) => 2,
+        Some(InstantiationKind::Failed) => 3,
+    }
+}
+
+fn instantiation_from(code: u8) -> Option<Option<InstantiationKind>> {
+    Some(match code {
+        0 => None,
+        1 => Some(InstantiationKind::Usable),
+        2 => Some(InstantiationKind::Empty),
+        3 => Some(InstantiationKind::Failed),
+        _ => return None,
+    })
+}
+
+// --- encode / decode ------------------------------------------------
+
+/// Encodes one cell as a complete record frame (length prefix, payload,
+/// checksum), ready to append.
+pub fn encode_cell(cell: &JournalCell) -> Vec<u8> {
+    let r = &cell.record;
+    let mut flags = 0u16;
+    for (bit, on) in [
+        (F_GEN_WARNING, r.gen_warning),
+        (F_GEN_ERROR, r.gen_error),
+        (F_COMPILE_RAN, r.compile_ran),
+        (F_COMPILE_WARNING, r.compile_warning),
+        (F_COMPILE_ERROR, r.compile_error),
+        (F_COMPILER_CRASHED, r.compiler_crashed),
+        (F_BREAKER_SKIPPED, cell.breaker_skipped),
+        (F_DISRUPTIVE, cell.disruptive),
+    ] {
+        if on {
+            flags |= bit;
+        }
+    }
+    let fqcn = r.fqcn.as_bytes();
+    let mut payload = Vec::with_capacity(7 + fqcn.len());
+    payload.push(server_code(r.server));
+    payload.push(client_code(r.client));
+    payload.extend_from_slice(&flags.to_le_bytes());
+    payload.push(instantiation_code(r.instantiation));
+    payload.extend_from_slice(&(fqcn.len() as u16).to_le_bytes());
+    payload.extend_from_slice(fqcn);
+
+    let mut frame = Vec::with_capacity(4 + payload.len() + 8);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame.extend_from_slice(&content_hash(&payload).to_le_bytes());
+    frame
+}
+
+/// Decodes one record payload. `None` means corruption (unknown codes,
+/// length mismatch, invalid UTF-8) — the reader truncates there.
+pub fn decode_payload(payload: &[u8]) -> Option<JournalCell> {
+    if payload.len() < 7 {
+        return None;
+    }
+    let server = server_from(payload[0])?;
+    let client = client_from(payload[1])?;
+    let flags = u16::from_le_bytes([payload[2], payload[3]]);
+    if flags & !(F_GEN_WARNING
+        | F_GEN_ERROR
+        | F_COMPILE_RAN
+        | F_COMPILE_WARNING
+        | F_COMPILE_ERROR
+        | F_COMPILER_CRASHED
+        | F_BREAKER_SKIPPED
+        | F_DISRUPTIVE)
+        != 0
+    {
+        return None;
+    }
+    let instantiation = instantiation_from(payload[4])?;
+    let fqcn_len = u16::from_le_bytes([payload[5], payload[6]]) as usize;
+    if payload.len() != 7 + fqcn_len {
+        return None;
+    }
+    let fqcn = std::str::from_utf8(&payload[7..]).ok()?.to_string();
+    Some(JournalCell {
+        record: TestRecord {
+            server,
+            client,
+            fqcn,
+            gen_warning: flags & F_GEN_WARNING != 0,
+            gen_error: flags & F_GEN_ERROR != 0,
+            compile_ran: flags & F_COMPILE_RAN != 0,
+            compile_warning: flags & F_COMPILE_WARNING != 0,
+            compile_error: flags & F_COMPILE_ERROR != 0,
+            compiler_crashed: flags & F_COMPILER_CRASHED != 0,
+            instantiation,
+        },
+        breaker_skipped: flags & F_BREAKER_SKIPPED != 0,
+        disruptive: flags & F_DISRUPTIVE != 0,
+    })
+}
+
+fn encode_header(config_hash: u64) -> [u8; HEADER_LEN] {
+    let mut header = [0u8; HEADER_LEN];
+    header[..8].copy_from_slice(&MAGIC);
+    header[8..10].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    header[10..18].copy_from_slice(&config_hash.to_le_bytes());
+    let checksum = content_hash(&header[..18]);
+    header[18..26].copy_from_slice(&checksum.to_le_bytes());
+    header
+}
+
+// --- reading --------------------------------------------------------
+
+/// Everything a tolerant read recovered from a journal file.
+#[derive(Debug)]
+pub struct JournalReadOutcome {
+    /// The campaign config hash pinned in the header.
+    pub config_hash: u64,
+    /// Every fully-valid record, in file order.
+    pub cells: Vec<JournalCell>,
+    /// Byte offset of each record's frame start (parallel to `cells`).
+    pub offsets: Vec<u64>,
+    /// Length of the valid prefix — resume truncates the file here.
+    pub valid_len: u64,
+    /// Bytes past the valid prefix (a torn or corrupted tail).
+    pub torn_bytes: u64,
+}
+
+impl JournalReadOutcome {
+    /// `true` when the file carried damage past the valid prefix.
+    pub fn torn(&self) -> bool {
+        self.torn_bytes > 0
+    }
+}
+
+/// Reads a journal, tolerating a torn or corrupted tail: decoding stops
+/// at the first bad frame and never panics. Only a damaged *header*
+/// (or a non-journal file) is an error.
+pub fn read_journal(path: &Path) -> Result<JournalReadOutcome, JournalError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    read_journal_bytes(&bytes)
+}
+
+/// [`read_journal`] over an in-memory image (exposed for tests).
+pub fn read_journal_bytes(bytes: &[u8]) -> Result<JournalReadOutcome, JournalError> {
+    if bytes.len() < HEADER_LEN || bytes[..8] != MAGIC {
+        return Err(JournalError::NotAJournal);
+    }
+    let version = u16::from_le_bytes([bytes[8], bytes[9]]);
+    let stored = u64::from_le_bytes(bytes[18..26].try_into().expect("8 bytes"));
+    if content_hash(&bytes[..18]) != stored {
+        return Err(JournalError::NotAJournal);
+    }
+    if version != FORMAT_VERSION {
+        return Err(JournalError::UnsupportedVersion(version));
+    }
+    let config_hash = u64::from_le_bytes(bytes[10..18].try_into().expect("8 bytes"));
+
+    let mut cells = Vec::new();
+    let mut offsets = Vec::new();
+    let mut at = HEADER_LEN;
+    while let Some(len_bytes) = bytes.get(at..at + 4) {
+        let payload_len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes"));
+        if payload_len > MAX_PAYLOAD {
+            break;
+        }
+        let payload_len = payload_len as usize;
+        let Some(payload) = bytes.get(at + 4..at + 4 + payload_len) else {
+            break;
+        };
+        let Some(sum_bytes) = bytes.get(at + 4 + payload_len..at + 12 + payload_len) else {
+            break;
+        };
+        let sum = u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes"));
+        if content_hash(payload) != sum {
+            break;
+        }
+        let Some(cell) = decode_payload(payload) else {
+            break;
+        };
+        offsets.push(at as u64);
+        cells.push(cell);
+        at += 12 + payload_len;
+    }
+    Ok(JournalReadOutcome {
+        config_hash,
+        cells,
+        offsets,
+        valid_len: at as u64,
+        torn_bytes: (bytes.len() - at) as u64,
+    })
+}
+
+// --- writing --------------------------------------------------------
+
+/// Thread-safe appender for a campaign journal.
+///
+/// Each record is emitted as one `write_all` of a complete frame, so a
+/// kill can only ever tear the *tail* — exactly the damage the reader
+/// tolerates. I/O errors are latched (never panicked) and surfaced
+/// once, after the run.
+pub struct JournalWriter {
+    file: Mutex<File>,
+    appended: AtomicUsize,
+    /// Deterministic kill switch: exit the process (with
+    /// [`HALT_EXIT_CODE`]) after this many appends — CI's SIGKILL
+    /// stand-in for the resume smoke test.
+    halt_after: Option<usize>,
+    error: Mutex<Option<std::io::Error>>,
+}
+
+impl fmt::Debug for JournalWriter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JournalWriter")
+            .field("appended", &self.appended.load(Ordering::Relaxed))
+            .field("halt_after", &self.halt_after)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JournalWriter {
+    /// Starts a fresh journal at `path` (truncating any existing file)
+    /// pinned to `config_hash`.
+    pub fn create(
+        path: &Path,
+        config_hash: u64,
+        halt_after: Option<usize>,
+    ) -> Result<JournalWriter, JournalError> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(&encode_header(config_hash))?;
+        Ok(JournalWriter {
+            file: Mutex::new(file),
+            appended: AtomicUsize::new(0),
+            halt_after,
+            error: Mutex::new(None),
+        })
+    }
+
+    /// Resumes an existing journal: reads it tolerantly, verifies the
+    /// config hash, truncates the torn tail and reopens for append.
+    /// Returns the writer plus everything the read recovered.
+    pub fn resume(
+        path: &Path,
+        config_hash: u64,
+        halt_after: Option<usize>,
+    ) -> Result<(JournalWriter, JournalReadOutcome), JournalError> {
+        let read = read_journal(path)?;
+        if read.config_hash != config_hash {
+            return Err(JournalError::ConfigMismatch {
+                expected: config_hash,
+                found: read.config_hash,
+            });
+        }
+        let mut file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(read.valid_len)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok((
+            JournalWriter {
+                file: Mutex::new(file),
+                appended: AtomicUsize::new(0),
+                halt_after,
+                error: Mutex::new(None),
+            },
+            read,
+        ))
+    }
+
+    /// Appends one cell. Failures are latched for
+    /// [`JournalWriter::take_error`]; the campaign itself never aborts
+    /// on journal I/O.
+    pub fn append(&self, cell: &JournalCell) {
+        let frame = encode_cell(cell);
+        let mut file = lock_unpoisoned(&self.file);
+        if let Err(e) = file.write_all(&frame) {
+            let mut slot = lock_unpoisoned(&self.error);
+            slot.get_or_insert(e);
+            return;
+        }
+        let n = self.appended.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.halt_after.is_some_and(|halt| n >= halt) {
+            // The deterministic kill: drop dead mid-campaign, exactly
+            // like a SIGKILL, leaving the journal behind. The file
+            // lock is held, so no frame is ever half-written by a
+            // *racing* append (a torn tail can still come from the OS,
+            // which the reader tolerates).
+            let _ = file.sync_all();
+            std::process::exit(i32::from(HALT_EXIT_CODE));
+        }
+    }
+
+    /// Number of records appended by this writer.
+    pub fn appended(&self) -> usize {
+        self.appended.load(Ordering::Relaxed)
+    }
+
+    /// The first latched I/O error, if any.
+    pub fn take_error(&self) -> Option<std::io::Error> {
+        lock_unpoisoned(&self.error).take()
+    }
+}
+
+/// Per-client record counts for `wsitool journal inspect`.
+pub fn per_client_counts(cells: &[JournalCell]) -> BTreeMap<ClientId, usize> {
+    let mut counts = BTreeMap::new();
+    for cell in cells {
+        *counts.entry(cell.record.client).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(fqcn: &str, gen_error: bool) -> JournalCell {
+        JournalCell {
+            record: TestRecord {
+                server: ServerId::Metro,
+                client: ClientId::Cxf,
+                fqcn: fqcn.to_string(),
+                gen_warning: false,
+                gen_error,
+                compile_ran: !gen_error,
+                compile_warning: false,
+                compile_error: false,
+                compiler_crashed: false,
+                instantiation: None,
+            },
+            breaker_skipped: false,
+            disruptive: gen_error,
+        }
+    }
+
+    fn journal_bytes(cells: &[JournalCell], config_hash: u64) -> Vec<u8> {
+        let mut bytes = encode_header(config_hash).to_vec();
+        for c in cells {
+            bytes.extend_from_slice(&encode_cell(c));
+        }
+        bytes
+    }
+
+    #[test]
+    fn frame_roundtrip_preserves_every_field() {
+        let mut all = Vec::new();
+        for (i, server) in [ServerId::Metro, ServerId::WcfDotNet, ServerId::Axis2Java]
+            .into_iter()
+            .enumerate()
+        {
+            let mut c = cell(&format!("com.example.Bean{i}"), i % 2 == 0);
+            c.record.server = server;
+            c.record.instantiation = instantiation_from((i % 4) as u8).unwrap();
+            c.breaker_skipped = i == 1;
+            all.push(c);
+        }
+        let bytes = journal_bytes(&all, 0xfeed_beef);
+        let read = read_journal_bytes(&bytes).unwrap();
+        assert_eq!(read.config_hash, 0xfeed_beef);
+        assert_eq!(read.cells, all);
+        assert_eq!(read.torn_bytes, 0);
+        assert_eq!(read.valid_len, bytes.len() as u64);
+        assert_eq!(read.offsets[0], HEADER_LEN as u64);
+    }
+
+    #[test]
+    fn torn_tail_truncates_at_last_valid_record() {
+        let all = vec![cell("a.A", false), cell("b.B", true), cell("c.C", false)];
+        let mut bytes = journal_bytes(&all, 7);
+        // Tear the last frame in half and add garbage, as a kill
+        // mid-write would.
+        let keep = bytes.len() - 9;
+        bytes.truncate(keep);
+        bytes.extend_from_slice(&[0xff; 3]);
+        let read = read_journal_bytes(&bytes).unwrap();
+        assert_eq!(read.cells, all[..2]);
+        assert!(read.torn());
+    }
+
+    #[test]
+    fn flipped_byte_mid_file_truncates_without_panicking() {
+        let all = vec![cell("a.A", false), cell("b.B", true), cell("c.C", false)];
+        let clean = journal_bytes(&all, 7);
+        let read = read_journal_bytes(&clean).unwrap();
+        let second_frame = read.offsets[1] as usize;
+        for at in second_frame..clean.len() {
+            let mut damaged = clean.clone();
+            damaged[at] ^= 0x5a;
+            let out = read_journal_bytes(&damaged).unwrap();
+            // Records before the damaged frame always survive; nothing
+            // recovered is ever wrong.
+            assert!(out.cells.len() >= 1, "flip at {at}");
+            for (i, c) in out.cells.iter().enumerate() {
+                assert_eq!(c, &all[i], "flip at {at}");
+            }
+        }
+    }
+
+    #[test]
+    fn damaged_header_is_an_error_not_a_panic() {
+        let bytes = journal_bytes(&[cell("a.A", false)], 7);
+        for at in 0..HEADER_LEN {
+            let mut damaged = bytes.clone();
+            damaged[at] ^= 0x5a;
+            assert!(
+                matches!(
+                    read_journal_bytes(&damaged),
+                    Err(JournalError::NotAJournal) | Err(JournalError::UnsupportedVersion(_))
+                ),
+                "flip at {at}"
+            );
+        }
+        assert!(matches!(
+            read_journal_bytes(&bytes[..10]),
+            Err(JournalError::NotAJournal)
+        ));
+        assert!(matches!(
+            read_journal_bytes(b"not a journal at all, sorry"),
+            Err(JournalError::NotAJournal)
+        ));
+    }
+
+    #[test]
+    fn writer_roundtrips_and_resume_rejects_config_mismatch() {
+        let path = std::env::temp_dir().join(format!(
+            "wsinterop-journal-unit-{}.bin",
+            std::process::id()
+        ));
+        let all = vec![cell("a.A", false), cell("b.B", true)];
+        {
+            let writer = JournalWriter::create(&path, 99, None).unwrap();
+            for c in &all {
+                writer.append(c);
+            }
+            assert_eq!(writer.appended(), 2);
+            assert!(writer.take_error().is_none());
+        }
+        let read = read_journal(&path).unwrap();
+        assert_eq!(read.cells, all);
+
+        assert!(matches!(
+            JournalWriter::resume(&path, 100, None),
+            Err(JournalError::ConfigMismatch {
+                expected: 100,
+                found: 99
+            })
+        ));
+
+        // Tear the tail, resume, append: the file converges to a clean
+        // journal again.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let (writer, recovered) = JournalWriter::resume(&path, 99, None).unwrap();
+        assert_eq!(recovered.cells, all[..1]);
+        assert!(recovered.torn());
+        writer.append(&all[1]);
+        drop(writer);
+        let healed = read_journal(&path).unwrap();
+        assert_eq!(healed.cells, all);
+        assert!(!healed.torn());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn per_client_counts_group_records() {
+        let mut b = cell("b.B", false);
+        b.record.client = ClientId::Suds;
+        let counts = per_client_counts(&[cell("a.A", false), cell("c.C", true), b]);
+        assert_eq!(counts[&ClientId::Cxf], 2);
+        assert_eq!(counts[&ClientId::Suds], 1);
+    }
+}

@@ -20,7 +20,12 @@
 //! [`doccache`] module is the parse-once pipeline: each published
 //! description is parsed and analyzed exactly once, shared by `Arc`
 //! across all consumers behind a content-addressed memo — with cached
-//! and uncached runs provably bit-identical.
+//! and uncached runs provably bit-identical. The [`journal`] module is
+//! the crash-safety layer: a write-ahead log of completed cells with a
+//! corruption-tolerant reader, so an interrupted campaign resumes
+//! bit-identically; the campaign supervises execution with a per-cell
+//! watchdog and deterministic per-client circuit breakers
+//! ([`faults::BreakerConfig`]).
 //!
 //! ## Example
 //!
@@ -42,11 +47,13 @@ pub mod exchange;
 pub mod expected;
 pub mod export;
 pub mod faults;
+pub mod journal;
 pub mod registry;
 pub mod report;
 pub mod results;
 
 pub use campaign::Campaign;
 pub use doccache::{DocCache, ParsedService, PipelineStats};
-pub use faults::{FaultKind, FaultPlan, FaultReport, ResilienceConfig};
+pub use faults::{BreakerConfig, FaultKind, FaultPlan, FaultReport, ResilienceConfig};
+pub use journal::{JournalCell, JournalError, JournalWriter};
 pub use results::{CampaignResults, InstantiationKind, ServiceRecord, TestRecord};

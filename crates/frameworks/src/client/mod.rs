@@ -176,6 +176,41 @@ impl GenOutcome {
     }
 }
 
+/// Severity class of a client-side error message, for supervision.
+///
+/// The paper's classification (Success/Warning/Error) is about
+/// *interoperability verdicts*; this taxonomy is orthogonal and about
+/// *process health*: whether the error indicates a misbehaving client
+/// subsystem (the kind a circuit breaker should react to) or an
+/// ordinary diagnostic about the input document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// An ordinary diagnostic: the tool examined the document and
+    /// rejected it (unreadable WSDL, unsupported construct). The tool
+    /// itself is healthy.
+    Diagnostic,
+    /// The tool itself misbehaved — crashed, panicked, hung, or lost
+    /// its connection. Consecutive disruptive errors from one client
+    /// trip its circuit breaker.
+    Disruptive,
+}
+
+/// Classifies a generation/compilation error message by process
+/// health. Purely textual and deterministic, so breaker decisions
+/// replay identically from a journal.
+pub fn classify_error(message: &str) -> ErrorClass {
+    let m = message.to_ascii_lowercase();
+    let disruptive = m.starts_with("injected fault")
+        || ["crash", "panic", "timeout", "timed out", "hang", "connection reset"]
+            .iter()
+            .any(|needle| m.contains(needle));
+    if disruptive {
+        ErrorClass::Disruptive
+    } else {
+        ErrorClass::Diagnostic
+    }
+}
+
 /// Parses WSDL text exactly as the text-input tools do and precomputes
 /// the document facts, or returns the generation-error message every
 /// tool reports for unreadable input.
@@ -298,6 +333,25 @@ mod tests {
         for client in all_clients() {
             let outcome = client.generate("<not-wsdl/>");
             assert!(!outcome.succeeded(), "{}", client.info().id);
+        }
+    }
+
+    #[test]
+    fn error_classification_separates_diagnostics_from_disruptions() {
+        for disruptive in [
+            "injected fault: artifact generator crashed at gen/x",
+            "wsdl2java: compiler CRASHED with exit 139",
+            "generation timed out after 50 virtual ms",
+            "Connection reset by peer",
+        ] {
+            assert_eq!(classify_error(disruptive), ErrorClass::Disruptive, "{disruptive}");
+        }
+        for diagnostic in [
+            "cannot read WSDL: unexpected end of document",
+            "rpc/encoded binding is not supported",
+            "no port type found",
+        ] {
+            assert_eq!(classify_error(diagnostic), ErrorClass::Diagnostic, "{diagnostic}");
         }
     }
 

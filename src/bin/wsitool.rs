@@ -8,16 +8,24 @@
 //! wsitool audit <fqcn|file.wsdl>        # WS-I BP 1.1 audit
 //! wsitool matrix <fqcn>                 # one service × all 11 clients
 //! wsitool campaign [stride]             # run the (sub-)campaign, print reports
+//!   [--journal FILE] [--resume]         #   …crash-safe: journal cells, resume
+//!   [--breaker N[,C]]                   #   …per-client circuit breaker
 //! wsitool chaos [--stride N] [--seed N] # fault-injected campaign + fault report
+//! wsitool journal inspect <file>        # decode a campaign journal
 //! wsitool invoke <fqcn> [value]         # deploy + typed echo roundtrip
 //! wsitool export [stride] [dir]         # run + write services.tsv / tests.tsv
 //! wsitool complexity                    # run the complexity-extension matrix
 //! wsitool bench-campaign [--stride N] [--iters N] [--out FILE]
 //!                                       # time shared vs per-cell parse, write JSON
 //! ```
+//!
+//! Every campaign-family command echoes a `run config:` line with the
+//! stride, seed and campaign config hash, so any run can be reproduced
+//! from its logs alone (journal headers pin the same hash).
 
 use std::process::ExitCode;
 
+use wsinterop::core::faults::BreakerConfig;
 use wsinterop::core::registry::ServiceHost;
 use wsinterop::core::report::{Fig4, TableIII, Totals};
 use wsinterop::core::Campaign;
@@ -54,11 +62,18 @@ fn main() -> ExitCode {
         }
         Some("campaign") => {
             let rest: Vec<&str> = argv.collect();
-            let extended = rest.contains(&"--extended");
-            let no_cache = rest.contains(&"--no-cache");
-            let stride = rest.iter().find_map(|a| a.parse().ok());
-            campaign(stride, extended, no_cache)
+            match parse_run_opts(&rest) {
+                Ok(opts) => campaign(&opts),
+                Err(e) => {
+                    eprintln!("{e}");
+                    usage()
+                }
+            }
         }
+        Some("journal") => match (argv.next(), argv.next()) {
+            (Some("inspect"), Some(path)) => journal_inspect(path),
+            _ => usage(),
+        },
         Some("bench-campaign") => {
             let rest: Vec<&str> = argv.collect();
             let flag = |name: &str| {
@@ -75,16 +90,13 @@ fn main() -> ExitCode {
         }
         Some("chaos") => {
             let rest: Vec<&str> = argv.collect();
-            let flag = |name: &str| {
-                rest.iter()
-                    .position(|a| *a == name)
-                    .and_then(|i| rest.get(i + 1))
-                    .copied()
-            };
-            chaos(
-                flag("--stride").and_then(|v| v.parse().ok()),
-                flag("--seed").and_then(|v| v.parse().ok()),
-            )
+            match parse_run_opts(&rest) {
+                Ok(opts) => chaos(&opts),
+                Err(e) => {
+                    eprintln!("{e}");
+                    usage()
+                }
+            }
         }
         Some("export") => export(
             argv.next().and_then(|s| s.parse().ok()),
@@ -106,7 +118,10 @@ fn usage() -> ExitCode {
          \x20 matrix  <fqcn>         one service against all 11 clients\n\
          \x20 invoke  <fqcn> [val]   deploy + typed echo roundtrip\n\
          \x20 campaign [stride] [--extended] [--no-cache]  run the campaign (default stride 50)\n\
+         \x20          [--journal FILE] [--resume] [--breaker N[,C]] [--halt-after-cells N]\n\
          \x20 chaos [--stride N] [--seed N]   fault-injected campaign + fault report\n\
+         \x20       (accepts the same --journal/--resume/--breaker flags as campaign)\n\
+         \x20 journal inspect <file>  decode a campaign journal (cells, config hash, torn tail)\n\
          \x20 export  [stride] [dir] run + write services.tsv / tests.tsv\n\
          \x20 complexity             run the complexity-extension matrix\n\
          \x20 bench-campaign [--stride N] [--iters N] [--out FILE]\n\
@@ -341,44 +356,263 @@ fn complexity() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn chaos(stride: Option<usize>, seed: Option<u64>) -> ExitCode {
+/// Options shared by the campaign-family commands (`campaign`,
+/// `chaos`), parsed index-based so flag *values* are never mistaken
+/// for a positional stride.
+struct RunOpts {
+    stride: usize,
+    seed: u64,
+    extended: bool,
+    no_cache: bool,
+    journal: Option<String>,
+    resume: bool,
+    breaker: Option<BreakerConfig>,
+    halt_after: Option<usize>,
+}
+
+fn parse_run_opts(rest: &[&str]) -> Result<RunOpts, String> {
+    let mut opts = RunOpts {
+        stride: 50,
+        seed: 42,
+        extended: false,
+        no_cache: false,
+        journal: None,
+        resume: false,
+        breaker: None,
+        halt_after: None,
+    };
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i] {
+            "--extended" => opts.extended = true,
+            "--no-cache" => opts.no_cache = true,
+            "--resume" => opts.resume = true,
+            "--stride" => {
+                i += 1;
+                opts.stride = parse_flag_value(rest, i, "--stride")?;
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = parse_flag_value(rest, i, "--seed")?;
+            }
+            "--halt-after-cells" => {
+                i += 1;
+                opts.halt_after = Some(parse_flag_value(rest, i, "--halt-after-cells")?);
+            }
+            "--journal" => {
+                i += 1;
+                let Some(path) = rest.get(i) else {
+                    return Err("--journal needs a file path".to_string());
+                };
+                opts.journal = Some(path.to_string());
+            }
+            "--breaker" => {
+                i += 1;
+                let Some(spec) = rest.get(i) else {
+                    return Err("--breaker needs N or N,C (threshold[,cooldown])".to_string());
+                };
+                opts.breaker = Some(parse_breaker(spec)?);
+            }
+            bare => match bare.parse::<usize>() {
+                Ok(stride) => opts.stride = stride,
+                Err(_) => return Err(format!("unrecognized argument `{bare}`")),
+            },
+        }
+        i += 1;
+    }
+    opts.stride = opts.stride.max(1);
+    Ok(opts)
+}
+
+fn parse_flag_value<T: std::str::FromStr>(
+    rest: &[&str],
+    i: usize,
+    flag: &str,
+) -> Result<T, String> {
+    let Some(raw) = rest.get(i) else {
+        return Err(format!("{flag} needs a value"));
+    };
+    raw.parse()
+        .map_err(|_| format!("{flag}: cannot parse `{raw}`"))
+}
+
+fn parse_breaker(spec: &str) -> Result<BreakerConfig, String> {
+    let (threshold, cooldown) = match spec.split_once(',') {
+        Some((t, c)) => (t, Some(c)),
+        None => (spec, None),
+    };
+    let threshold: u32 = threshold
+        .parse()
+        .map_err(|_| format!("--breaker: cannot parse `{spec}` (want N or N,C)"))?;
+    let cooldown: u32 = match cooldown {
+        Some(c) => c
+            .parse()
+            .map_err(|_| format!("--breaker: cannot parse `{spec}` (want N or N,C)"))?,
+        None => BreakerConfig::default().cooldown_cells,
+    };
+    Ok(BreakerConfig::new(threshold, cooldown))
+}
+
+/// Applies the journal/supervision options to a configured campaign.
+fn apply_run_opts(mut campaign: Campaign, opts: &RunOpts) -> Campaign {
+    if let Some(path) = &opts.journal {
+        campaign = campaign.with_journal(path.as_str()).with_resume(opts.resume);
+        if let Some(halt) = opts.halt_after {
+            campaign = campaign.with_halt_after_cells(halt);
+        }
+    }
+    if let Some(breaker) = opts.breaker {
+        campaign = campaign.with_breaker(breaker);
+    }
+    campaign
+}
+
+/// The reproducibility echo: stride, seed (`-` when the run is
+/// fault-free) and the campaign config hash that journal headers pin.
+fn echo_run_config(stride: usize, seed: Option<u64>, campaign: &Campaign) {
+    let seed = seed.map_or_else(|| "-".to_string(), |s| s.to_string());
+    println!(
+        "run config: stride={stride} seed={seed} config-hash=0x{:016x}",
+        campaign.config_hash()
+    );
+}
+
+/// Pre-run journal status (prefixed `journal:` so diffs between clean
+/// and resumed runs can filter bookkeeping lines).
+fn announce_journal(opts: &RunOpts) {
+    let Some(path) = &opts.journal else { return };
+    if !opts.resume {
+        println!("journal: writing to {path}");
+        return;
+    }
+    match wsinterop::core::journal::read_journal(std::path::Path::new(path)) {
+        Ok(read) => {
+            let torn = if read.torn() {
+                format!(", truncating {} torn tail byte(s)", read.torn_bytes)
+            } else {
+                String::new()
+            };
+            println!(
+                "journal: resuming from {path}: {} replayable cell(s){torn}",
+                read.cells.len()
+            );
+        }
+        Err(_) => println!("journal: {path} missing or unreadable; starting fresh"),
+    }
+}
+
+/// Post-run journal status.
+fn journal_summary(opts: &RunOpts) {
+    let Some(path) = &opts.journal else { return };
+    if let Ok(read) = wsinterop::core::journal::read_journal(std::path::Path::new(path)) {
+        println!("journal: {path} holds {} cell(s)", read.cells.len());
+    }
+}
+
+fn journal_inspect(path: &str) -> ExitCode {
+    use wsinterop::core::journal::{per_client_counts, read_journal};
+    let read = match read_journal(std::path::Path::new(path)) {
+        Ok(read) => read,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("journal: {path}");
+    println!("config-hash=0x{:016x}", read.config_hash);
+    let skipped = read.cells.iter().filter(|c| c.breaker_skipped).count();
+    let disruptive = read.cells.iter().filter(|c| c.disruptive).count();
+    println!(
+        "cells: {} (breaker-skipped {skipped}, disruptive {disruptive})",
+        read.cells.len()
+    );
+    println!("torn tail: {} byte(s)", read.torn_bytes);
+    println!("per-client cells:");
+    for (client, count) in per_client_counts(&read.cells) {
+        println!("  {:<26} {count}", client.to_string());
+    }
+    ExitCode::SUCCESS
+}
+
+fn chaos(opts: &RunOpts) -> ExitCode {
     use wsinterop::core::faults::FaultPlan;
-    let stride = stride.unwrap_or(50).max(1);
-    let seed = seed.unwrap_or(42);
-    println!("running chaos campaign with stride {stride}, seed {seed}…");
+    println!(
+        "running chaos campaign with stride {}, seed {}…",
+        opts.stride, opts.seed
+    );
+    let base = if opts.extended {
+        Campaign::extended_sampled(opts.stride)
+    } else {
+        Campaign::sampled(opts.stride)
+    };
+    let run = apply_run_opts(
+        base.with_doc_cache(!opts.no_cache)
+            .with_faults(FaultPlan::seeded(opts.seed)),
+        opts,
+    );
+    echo_run_config(opts.stride, Some(opts.seed), &run);
+    announce_journal(opts);
     // Injected panics are part of the experiment; keep the default
     // hook's backtraces out of the report.
     std::panic::set_hook(Box::new(|_| {}));
-    let (results, report) = Campaign::sampled(stride)
-        .with_faults(FaultPlan::seeded(seed))
-        .run_with_report();
+    let outcome = run.try_run_with_stats();
     let _ = std::panic::take_hook();
+    let (results, report, stats) = match outcome {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!("{}", Fig4::from_results(&results));
     println!("{}", TableIII::from_results(&results));
     println!("{}", Totals::from_results(&results));
     println!("{report}");
+    println!("{stats}");
     let classified = results.tests.len();
     println!("classified {classified} tests under fault injection; campaign completed without aborting");
+    journal_summary(opts);
     ExitCode::SUCCESS
 }
 
-fn campaign(stride: Option<usize>, extended: bool, no_cache: bool) -> ExitCode {
-    let stride = stride.unwrap_or(50).max(1);
+fn campaign(opts: &RunOpts) -> ExitCode {
     println!(
-        "running {} campaign with stride {stride}{}…",
-        if extended { "extended (4-server)" } else { "paper (3-server)" },
-        if no_cache { ", parse cache disabled" } else { "" }
+        "running {} campaign with stride {}{}…",
+        if opts.extended {
+            "extended (4-server)"
+        } else {
+            "paper (3-server)"
+        },
+        opts.stride,
+        if opts.no_cache {
+            ", parse cache disabled"
+        } else {
+            ""
+        }
     );
-    let base = if extended {
-        Campaign::extended_sampled(stride)
+    let base = if opts.extended {
+        Campaign::extended_sampled(opts.stride)
     } else {
-        Campaign::sampled(stride)
+        Campaign::sampled(opts.stride)
     };
-    let (results, _, stats) = base.with_doc_cache(!no_cache).run_with_stats();
+    let run = apply_run_opts(base.with_doc_cache(!opts.no_cache), opts);
+    echo_run_config(opts.stride, None, &run);
+    announce_journal(opts);
+    let (results, report, stats) = match run.try_run_with_stats() {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!("{}", Fig4::from_results(&results));
     println!("{}", TableIII::from_results(&results));
     println!("{}", Totals::from_results(&results));
+    if opts.breaker.is_some() {
+        println!("{report}");
+    }
     println!("{stats}");
+    journal_summary(opts);
     ExitCode::SUCCESS
 }
 
@@ -391,14 +625,17 @@ fn bench_campaign(stride: Option<usize>, iters: Option<usize>, out: Option<&str>
     let iters = iters.unwrap_or(3).max(1);
     let out = out.unwrap_or("BENCH_campaign.json");
     println!("benchmarking stride-{stride} campaign, {iters} iteration(s) per mode…");
+    echo_run_config(stride, None, &Campaign::sampled(stride));
 
-    let time_ms = |cached: bool| -> f64 {
+    let journal_path = std::env::temp_dir().join(format!(
+        "wsitool-bench-{}-{stride}.journal",
+        std::process::id()
+    ));
+    let time_ms = |make: &dyn Fn() -> Campaign| -> f64 {
         let mut samples: Vec<f64> = (0..iters)
             .map(|_| {
                 let start = std::time::Instant::now();
-                let _ = std::hint::black_box(
-                    Campaign::sampled(stride).with_doc_cache(cached).run(),
-                );
+                let _ = std::hint::black_box(make().run());
                 start.elapsed().as_secs_f64() * 1e3
             })
             .collect();
@@ -406,10 +643,14 @@ fn bench_campaign(stride: Option<usize>, iters: Option<usize>, out: Option<&str>
         samples[samples.len() / 2]
     };
 
-    // Warm-up (page cache, allocator), then measure both modes.
+    // Warm-up (page cache, allocator), then measure the three modes:
+    // shared parse, per-cell parse, and shared parse + write-ahead
+    // journal (the robustness layer's cost in the perf trajectory).
     let _ = Campaign::sampled(stride).run();
-    let shared_ms = time_ms(true);
-    let per_cell_ms = time_ms(false);
+    let shared_ms = time_ms(&|| Campaign::sampled(stride));
+    let per_cell_ms = time_ms(&|| Campaign::sampled(stride).with_doc_cache(false));
+    let journal_ms = time_ms(&|| Campaign::sampled(stride).with_journal(journal_path.as_path()));
+    std::fs::remove_file(&journal_path).ok();
 
     let (results, _, shared_stats) = Campaign::sampled(stride).run_with_stats();
     let (_, _, per_cell_stats) = Campaign::sampled(stride)
@@ -417,16 +658,21 @@ fn bench_campaign(stride: Option<usize>, iters: Option<usize>, out: Option<&str>
         .run_with_stats();
     let deployed = results.services.iter().filter(|s| s.deployed).count();
     let speedup = per_cell_ms / shared_ms.max(f64::EPSILON);
+    let journal_overhead_pct = (journal_ms / shared_ms.max(f64::EPSILON) - 1.0) * 100.0;
+    let config_hash = Campaign::sampled(stride).config_hash();
 
     let json = format!(
         "{{\n  \"bench\": \"campaign_scaling/stride-{stride}\",\n  \
          \"stride\": {stride},\n  \
          \"iterations\": {iters},\n  \
+         \"config_hash\": \"0x{config_hash:016x}\",\n  \
          \"services_deployed\": {deployed},\n  \
          \"tests_classified\": {tests},\n  \
          \"shared_parse_ms\": {shared_ms:.3},\n  \
          \"per_cell_parse_ms\": {per_cell_ms:.3},\n  \
          \"speedup\": {speedup:.2},\n  \
+         \"journal_ms\": {journal_ms:.3},\n  \
+         \"journal_overhead_pct\": {journal_overhead_pct:.1},\n  \
          \"shared\": {{ \"parses\": {sp}, \"distinct_docs\": {sd}, \"doc_memo_hits\": {sh}, \
          \"gen_runs\": {sg}, \"gen_memo_hits\": {sgh}, \"fault_bypasses\": {sf} }},\n  \
          \"per_cell\": {{ \"parses\": {pp}, \"text_generates\": {pt} }}\n}}\n",
@@ -446,7 +692,8 @@ fn bench_campaign(stride: Option<usize>, iters: Option<usize>, out: Option<&str>
     }
     print!("{json}");
     println!(
-        "shared {shared_ms:.1} ms vs per-cell {per_cell_ms:.1} ms ({speedup:.2}x); wrote {out}"
+        "shared {shared_ms:.1} ms vs per-cell {per_cell_ms:.1} ms ({speedup:.2}x); \
+         journal overhead {journal_overhead_pct:+.1}%; wrote {out}"
     );
     ExitCode::SUCCESS
 }

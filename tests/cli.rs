@@ -111,6 +111,11 @@ fn chaos_prints_a_fault_report_and_succeeds() {
     let out = wsitool(&["chaos", "--stride", "200", "--seed", "42"]);
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
+    // The run config echo pins seed and config hash for reproduction.
+    assert!(
+        stdout.contains("run config: stride=200 seed=42 config-hash=0x"),
+        "{stdout}"
+    );
     assert!(stdout.contains("Fault report"), "{stdout}");
     assert!(
         stdout.contains("campaign completed without aborting"),
@@ -127,4 +132,39 @@ fn complexity_prints_the_matrix() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("success rate"), "{stdout}");
     assert!(stdout.contains("style=rpc"), "{stdout}");
+}
+
+#[test]
+fn campaign_echoes_its_run_config() {
+    let out = wsitool(&["campaign", "400"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Fault-free runs echo `seed=-`: the hash alone pins the config.
+    assert!(
+        stdout.contains("run config: stride=400 seed=- config-hash=0x"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn journal_inspect_agrees_with_the_campaign_config_hash() {
+    let path = std::env::temp_dir().join(format!("wsitool-cli-inspect-{}.journal", std::process::id()));
+    let path_str = path.to_str().unwrap();
+    let run = wsitool(&["campaign", "400", "--journal", path_str]);
+    assert!(run.status.success());
+    let run_out = String::from_utf8_lossy(&run.stdout);
+    let hash = run_out
+        .lines()
+        .find_map(|l| l.split_whitespace().find(|w| w.starts_with("config-hash=0x")))
+        .expect("campaign echoes its config hash")
+        .to_string();
+
+    let inspect = wsitool(&["journal", "inspect", path_str]);
+    assert!(inspect.status.success());
+    let stdout = String::from_utf8_lossy(&inspect.stdout);
+    assert!(stdout.contains(&hash), "hash mismatch ({hash}):\n{stdout}");
+    assert!(stdout.contains("cells: 220"), "{stdout}");
+    assert!(stdout.contains("torn tail: 0 byte(s)"), "{stdout}");
+    assert!(stdout.contains("per-client cells:"), "{stdout}");
+    std::fs::remove_file(&path).ok();
 }

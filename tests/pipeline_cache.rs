@@ -38,3 +38,22 @@ fn stats_surface_the_sharing() {
     let rendered = stats.to_string();
     assert!(rendered.contains("Parse-once pipeline"), "{rendered}");
 }
+
+#[test]
+fn fault_bypasses_are_counted_apart_from_plain_text_generates() {
+    let (results, report, stats) = Campaign::sampled(131)
+        .with_faults(FaultPlan::seeded(7))
+        .run_with_stats();
+    assert!(report.injected_total() > 0, "seed must land faults");
+    assert!(stats.fault_bypasses > 0, "no cache-bypassed parses at this seed");
+    // Chaos cells all take the text path; the fault-damaged ones are
+    // counted apart, never under both text buckets.
+    assert_eq!(
+        stats.text_generates + stats.fault_text_generates,
+        results.tests.len()
+    );
+    // Each bypassed document serves its server's eleven clients.
+    assert_eq!(stats.fault_text_generates, 11 * stats.fault_bypasses);
+    let rendered = stats.to_string();
+    assert!(rendered.contains("over fault-damaged docs"), "{rendered}");
+}

@@ -8,7 +8,7 @@
 
 use wsinterop::compilers::compiler_for;
 use wsinterop::core::faults::{deploy_site, gen_site, FaultKind, FaultPlan};
-use wsinterop::core::Campaign;
+use wsinterop::core::{BreakerConfig, Campaign, ResilienceConfig};
 use wsinterop::frameworks::client::{all_clients, ClientId};
 use wsinterop::frameworks::server::ServerId;
 use wsinterop::wsdl::de::from_xml_str;
@@ -253,4 +253,63 @@ fn e12_injected_client_panic_yields_exactly_one_error_record() {
     assert_eq!(poisoned.fqcn, fqcn);
     assert!(poisoned.gen_error);
     assert!(!poisoned.compile_ran, "the crashed step produced no artifacts");
+}
+
+// --- E14: supervision — watchdog and circuit breakers ---------------
+//
+// The supervision layer must be deterministic: breaker trips and
+// watchdog kills are pure functions of the configuration and seed,
+// never of worker scheduling.
+
+#[test]
+fn e14_breaker_decisions_are_deterministic_across_thread_counts() {
+    // Threshold 1 guarantees the seeded disruptions trip it.
+    let campaign = || {
+        Campaign::sampled(50)
+            .with_faults(FaultPlan::seeded(42))
+            .with_breaker(BreakerConfig::new(1, 5))
+    };
+    let (results_1, report_1) = campaign().with_threads(1).run_with_report();
+    let (results_8, report_8) = campaign().with_threads(8).run_with_report();
+    assert_eq!(report_1, report_8);
+    assert_eq!(results_1.services, results_8.services);
+    assert_eq!(results_1.tests, results_8.tests);
+    assert!(report_1.breaker_trips > 0, "breaker never tripped:\n{report_1}");
+    assert!(!report_1.breaker_skipped_sites.is_empty());
+    // Skipped cells are classified, not dropped: the shape still holds.
+    let deployed: usize = ServerId::ALL.iter().map(|&s| results_1.deployed(s)).sum();
+    assert_eq!(results_1.tests.len(), deployed * 11);
+    // Every breaker-skipped cell surfaces as a generation Error.
+    for test in &results_1.tests {
+        let site = gen_site(test.server, test.client, &test.fqcn);
+        if report_1.breaker_skipped_sites.contains(&site) {
+            assert!(test.gen_error, "skipped cell not classified as error: {site}");
+        }
+    }
+}
+
+#[test]
+fn e14_blown_cell_budget_is_killed_by_the_watchdog() {
+    let server = ServerId::Metro;
+    let client = ClientId::Cxf;
+    let fqcn = "java.lang.String";
+    let plan =
+        FaultPlan::silent(7).force_at(FaultKind::SlowStep, gen_site(server, client, fqcn));
+    // Any injected slow step (≥ 10 virtual ms) blows a 5 ms cell budget.
+    let resilience = ResilienceConfig {
+        cell_budget_ms: 5,
+        ..ResilienceConfig::default()
+    };
+    let (results, report) = Campaign::sampled(1)
+        .with_servers(&[server])
+        .with_faults(plan)
+        .with_resilience(resilience)
+        .run_with_report();
+    assert_eq!(report.watchdog_cells, 1, "{report}");
+    let cell = results
+        .tests
+        .iter()
+        .find(|t| t.client == client && t.fqcn == fqcn)
+        .expect("the watched cell exists");
+    assert!(cell.gen_error, "watchdog kill must classify as an Error");
 }
