@@ -74,8 +74,8 @@ use wsinterop_wsi::Analyzer;
 use crate::doccache::{content_hash, DocCache, ParsedService, PipelineStats};
 use crate::exchange::exchange_with_faults;
 use crate::faults::{
-    deploy_site, gen_site, lock_unpoisoned, wire_site, BreakerConfig, BreakerState, FaultKind,
-    FaultLog, FaultPlan, FaultReport, PlanClientHook, PlanServerHook, ResilienceConfig,
+    deploy_site, gen_site, lock_unpoisoned, sock_site, wire_site, BreakerConfig, BreakerState,
+    FaultKind, FaultLog, FaultPlan, FaultReport, PlanClientHook, PlanServerHook, ResilienceConfig,
 };
 use crate::journal::{JournalCell, JournalError, JournalWriter};
 use crate::results::{CampaignResults, InstantiationKind, ServiceRecord, TestRecord};
@@ -109,6 +109,30 @@ pub struct Campaign {
     /// Deterministic kill switch: exit the process after this many
     /// journal appends (the resume smoke test's SIGKILL stand-in).
     halt_after_cells: Option<usize>,
+    /// How the chaos campaign's Communication-step probes travel.
+    transport: ExchangeTransport,
+}
+
+/// How the Communication-step probes of a chaos campaign travel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ExchangeTransport {
+    /// Both endpoints short-circuited through in-process calls (the
+    /// historical path).
+    #[default]
+    InProcess,
+    /// Over a real loopback TCP socket, through the hardened
+    /// [`crate::wire`] endpoint and its fault proxy — wire and socket
+    /// faults damage real bytes.
+    TcpLoopback,
+}
+
+impl std::fmt::Display for ExchangeTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ExchangeTransport::InProcess => "in-process",
+            ExchangeTransport::TcpLoopback => "tcp",
+        })
+    }
 }
 
 /// Replayable cells recovered from a resume journal, keyed by campaign
@@ -158,6 +182,7 @@ impl Campaign {
             resume: false,
             breaker: None,
             halt_after_cells: None,
+            transport: ExchangeTransport::InProcess,
         }
     }
 
@@ -288,6 +313,16 @@ impl Campaign {
         self
     }
 
+    /// Selects the transport for the chaos campaign's
+    /// Communication-step probes. [`ExchangeTransport::TcpLoopback`]
+    /// hosts every fault-planned site on a [`crate::wire::WireServer`]
+    /// behind a [`crate::wire::FaultProxy`] and exchanges real bytes.
+    #[must_use]
+    pub fn with_transport(mut self, transport: ExchangeTransport) -> Campaign {
+        self.transport = transport;
+        self
+    }
+
     /// The campaign configuration hash pinned into journal headers and
     /// echoed in `wsitool` output: FNV-1a over a canonical rendering
     /// of everything that shapes the *results* — servers, clients,
@@ -317,7 +352,8 @@ impl Campaign {
         let r = &self.resilience;
         let canonical = format!(
             "wsitool-campaign-config-v1;servers={};clients={};stride={};doc_cache={};\
-             faults={};resilience=retries:{},backoff:{:?},step:{},cell:{},panics:{};breaker={}",
+             faults={};resilience=retries:{},backoff:{:?},step:{},cell:{},panics:{};breaker={};\
+             transport={}",
             servers.join(","),
             clients.join(","),
             self.stride,
@@ -328,7 +364,8 @@ impl Campaign {
             r.step_deadline_ms,
             r.cell_budget_ms,
             r.isolate_panics,
-            breaker
+            breaker,
+            self.transport
         );
         content_hash(canonical.as_bytes())
     }
@@ -497,10 +534,19 @@ impl Campaign {
             // Communication-step wire faults (chaos campaigns only):
             // probe each planned site through the faulted exchange.
             // This pass feeds the fault report; it never alters the
-            // campaign records.
+            // campaign records. It is sequential by design, so its
+            // fault decisions and classifications are identical at any
+            // `-j` level.
             if let Some(plan) = &self.faults {
-                for (record, svc) in &work {
-                    wire_probe(plan, &log, server_id, record, svc);
+                match self.transport {
+                    ExchangeTransport::InProcess => {
+                        for (record, svc) in &work {
+                            wire_probe(plan, &log, server_id, record, svc);
+                        }
+                    }
+                    ExchangeTransport::TcpLoopback => {
+                        self.socket_probe_pass(plan, &log, server_id, &work)?;
+                    }
                 }
             }
 
@@ -522,6 +568,95 @@ impl Campaign {
         }
         let stats = cache.stats();
         Ok((results, log.report(), stats))
+    }
+
+    /// The socket-level twin of the [`wire_probe`] pass: hosts every
+    /// fault-planned site of this server phase on a real loopback
+    /// endpoint behind the fault proxy, runs each probe over the
+    /// socket, and resolves the injections against the classified
+    /// outcome. Endpoint start-up failures surface as
+    /// [`JournalError::Io`] — the campaign's existing I/O error path.
+    fn socket_probe_pass(
+        &self,
+        plan: &FaultPlan,
+        log: &FaultLog,
+        server_id: ServerId,
+        work: &[(&ServiceRecord, &Arc<ParsedService>)],
+    ) -> Result<(), JournalError> {
+        use crate::wire::{
+            exchange_over_http, FaultProxy, HostedService, WireClient, WireClientConfig,
+            WireServer, WireServerConfig,
+        };
+
+        /// The probe client's read deadline; injected delays overshoot
+        /// it, so a delayed response is always a classified timeout.
+        const PROBE_DEADLINE_MS: u64 = 200;
+
+        // Decide everything up front: no planned fault ⇒ no endpoint.
+        let mut planned = Vec::new();
+        let mut services = BTreeMap::new();
+        for (record, svc) in work {
+            let wire_key = wire_site(server_id, &record.fqcn);
+            let sock_key = sock_site(server_id, &record.fqcn);
+            let wire = plan.wire_fault(&wire_key);
+            let sock = plan.socket_fault(&sock_key, PROBE_DEADLINE_MS);
+            if wire.is_none() && sock.is_none() {
+                continue;
+            }
+            services.insert(
+                format!("/{server_id:?}/{}", record.fqcn),
+                HostedService::new(svc.wsdl_xml().to_string()),
+            );
+            planned.push((*record, *svc, wire, sock, wire_key, sock_key));
+        }
+        if planned.is_empty() {
+            return Ok(());
+        }
+
+        let server = WireServer::start(0, services, WireServerConfig::default())
+            .map_err(JournalError::Io)?;
+        let proxy = FaultProxy::start(server.addr(), plan.clone(), PROBE_DEADLINE_MS)
+            .map_err(JournalError::Io)?;
+        let config = WireClientConfig {
+            read_timeout: std::time::Duration::from_millis(PROBE_DEADLINE_MS),
+            ..WireClientConfig::from_resilience(&self.resilience)
+        };
+        let client = WireClient::new(config).with_plan(plan.clone());
+
+        for (record, svc, wire, sock, wire_key, sock_key) in planned {
+            if let Some(w) = wire {
+                log.injected(w.kind(), &wire_key);
+            }
+            if let Some(s) = sock {
+                log.injected(s.kind(), &sock_key);
+            }
+            let detected = match svc.first_operation() {
+                // No invocable operation: the probe never leaves the
+                // client, the fault never bites — masked.
+                None => false,
+                Some(op) => {
+                    let path = format!("/{server_id:?}/{}", record.fqcn);
+                    !exchange_over_http(
+                        &client,
+                        proxy.addr(),
+                        &path,
+                        svc.wsdl_xml(),
+                        op,
+                        "chaos-probe",
+                    )
+                    .completed()
+                }
+            };
+            if wire.is_some() {
+                log.resolve(&wire_key, detected);
+            }
+            if sock.is_some() {
+                log.resolve(&sock_key, detected);
+            }
+        }
+        proxy.shutdown();
+        server.shutdown();
+        Ok(())
     }
 
     /// Parses a just-published description into the shared-by-`Arc`

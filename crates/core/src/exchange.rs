@@ -121,7 +121,7 @@ pub fn serve_echo(defs: &Definitions, request_xml: &str) -> String {
 }
 
 /// First message-profile failure in a serialized envelope, if any.
-fn first_message_violation(xml: &str) -> Option<String> {
+pub(crate) fn first_message_violation(xml: &str) -> Option<String> {
     let report = wsinterop_wsi::message::check_message(xml);
     let first = report.failures().next();
     first.map(|f| format!("[{}] {}", f.assertion, f.detail))
@@ -262,14 +262,23 @@ pub fn exchange_with_faults(
             reason: "response dropped in transit".to_string(),
         };
     }
-    if let Some(violation) = first_message_violation(&response) {
+    classify_response(&request, &response, value)
+}
+
+/// Client-side classification of a received response envelope — shared
+/// verbatim between the in-process exchange and the loopback TCP
+/// transport ([`crate::wire`]), which is what makes the two surveys
+/// bit-identical (E15): both paths run exactly this code over exactly
+/// the same envelope bytes.
+pub fn classify_response(request: &str, response: &str, value: &str) -> ExchangeOutcome {
+    if let Some(violation) = first_message_violation(response) {
         return ExchangeOutcome::NonConformantMessage {
             side: "response",
             detail: violation,
         };
     }
-    if soap::is_fault(&response) {
-        let reason = soap::payload(&response)
+    if soap::is_fault(response) {
+        let reason = soap::payload(response)
             .ok()
             .map(|f| f.text_content())
             .unwrap_or_default();
@@ -277,7 +286,7 @@ pub fn exchange_with_faults(
     }
 
     // Client side: unwrap the echoed value.
-    match soap::unwrap_single_value(&response) {
+    match soap::unwrap_single_value(response) {
         Ok(received) if received == value => ExchangeOutcome::Completed {
             bytes_on_wire: request.len() + response.len(),
         },
@@ -308,43 +317,85 @@ impl ExchangeSurvey {
     pub fn total(&self) -> usize {
         self.completed + self.not_invocable + self.faulted
     }
+
+    /// Tallies per-site outcomes into the aggregate counts.
+    pub fn tally<'a, I: IntoIterator<Item = &'a SurveySite>>(sites: I) -> ExchangeSurvey {
+        let mut out = ExchangeSurvey::default();
+        for site in sites {
+            match site.outcome {
+                ExchangeOutcome::Completed { .. } => out.completed += 1,
+                ExchangeOutcome::ClientCannotInvoke { .. } => out.not_invocable += 1,
+                _ => out.faulted += 1,
+            }
+        }
+        out
+    }
+}
+
+/// One surveyed deployment site and what its exchange produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SurveySite {
+    /// Owning server (Debug form of its [`ServerId`], e.g. `Metro`).
+    ///
+    /// [`ServerId`]: wsinterop_frameworks::server::ServerId
+    pub server: String,
+    /// Fully-qualified class name the echo service was generated from.
+    pub fqcn: String,
+    /// What the Communication + Execution cycle produced there.
+    pub outcome: ExchangeOutcome,
+}
+
+/// The probe value every survey exchange echoes.
+pub const SURVEY_PROBE: &str = "survey-probe";
+
+/// Extracts the first port-type operation of a description, mirroring
+/// what a generated stub would bind to. `None` means the client has
+/// nothing to invoke.
+pub fn first_survey_operation(wsdl_xml: &str) -> Option<String> {
+    from_xml_str(wsdl_xml).ok().and_then(|defs| {
+        defs.port_types
+            .iter()
+            .flat_map(|pt| pt.operations.iter())
+            .next()
+            .map(|op| op.name.clone())
+    })
+}
+
+/// Runs the Communication + Execution cycle once against every
+/// `stride`-th deployed service of every server, reporting the outcome
+/// at each site. [`crate::wire::survey_tcp`] is the loopback-TCP
+/// counterpart; E15 asserts the two are bit-identical.
+pub fn survey_sites(stride: usize) -> Vec<SurveySite> {
+    use wsinterop_frameworks::server::{all_servers, DeployOutcome};
+
+    let mut out = Vec::new();
+    for server in all_servers() {
+        let server_name = format!("{:?}", server.info().id);
+        for entry in server.catalog().entries().iter().step_by(stride.max(1)) {
+            let DeployOutcome::Deployed { wsdl_xml } = server.deploy(entry) else {
+                continue;
+            };
+            let outcome = match first_survey_operation(&wsdl_xml) {
+                None => ExchangeOutcome::ClientCannotInvoke {
+                    reason: "no operations in the description".to_string(),
+                },
+                Some(op) => exchange(&wsdl_xml, &op, SURVEY_PROBE),
+            };
+            out.push(SurveySite {
+                server: server_name.clone(),
+                fqcn: entry.fqcn.clone(),
+                outcome,
+            });
+        }
+    }
+    out
 }
 
 /// Runs the Communication + Execution cycle once against every
 /// `stride`-th deployed service of every server — the quantified form
 /// of the paper's future-work step 4/5.
 pub fn survey(stride: usize) -> ExchangeSurvey {
-    use wsinterop_frameworks::server::{all_servers, DeployOutcome};
-
-    let mut out = ExchangeSurvey::default();
-    for server in all_servers() {
-        for entry in server.catalog().entries().iter().step_by(stride.max(1)) {
-            let DeployOutcome::Deployed { wsdl_xml } = server.deploy(entry) else {
-                continue;
-            };
-            let operation = from_xml_str(&wsdl_xml)
-                .ok()
-                .and_then(|defs| {
-                    defs.port_types
-                        .iter()
-                        .flat_map(|pt| pt.operations.iter())
-                        .next()
-                        .map(|op| op.name.clone())
-                });
-            let outcome = match operation {
-                None => ExchangeOutcome::ClientCannotInvoke {
-                    reason: "no operations in the description".to_string(),
-                },
-                Some(op) => exchange(&wsdl_xml, &op, "survey-probe"),
-            };
-            match outcome {
-                ExchangeOutcome::Completed { .. } => out.completed += 1,
-                ExchangeOutcome::ClientCannotInvoke { .. } => out.not_invocable += 1,
-                _ => out.faulted += 1,
-            }
-        }
-    }
-    out
+    ExchangeSurvey::tally(&survey_sites(stride))
 }
 
 #[cfg(test)]

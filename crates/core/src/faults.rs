@@ -68,11 +68,20 @@ pub enum FaultKind {
     WireWrongNamespace,
     /// Wire fault: drop the response on the floor.
     WireDropResponse,
+    /// Socket fault: hold the response past the client's read deadline
+    /// (applied by the loopback fault proxy, [`crate::wire`]).
+    SockDelay,
+    /// Socket fault: truncate the response body at byte N and close.
+    SockTruncateBody,
+    /// Socket fault: reset (RST) the connection mid-body.
+    SockReset,
+    /// Socket fault: replace the status line with garbage framing.
+    SockGarbageStatus,
 }
 
 impl FaultKind {
     /// Every kind, in report order.
-    pub const ALL: [FaultKind; 8] = [
+    pub const ALL: [FaultKind; 12] = [
         FaultKind::WsdlTruncation,
         FaultKind::WsdlCorruption,
         FaultKind::TransientDeployRefusal,
@@ -81,10 +90,30 @@ impl FaultKind {
         FaultKind::WireTruncateEnvelope,
         FaultKind::WireWrongNamespace,
         FaultKind::WireDropResponse,
+        FaultKind::SockDelay,
+        FaultKind::SockTruncateBody,
+        FaultKind::SockReset,
+        FaultKind::SockGarbageStatus,
     ];
 
     fn index(self) -> usize {
-        FaultKind::ALL.iter().position(|&k| k == self).unwrap()
+        // Exhaustive match instead of a positional lookup: adding a
+        // kind without slotting it here (and in `ALL`) fails to
+        // compile, and no `.unwrap()` can ever fire.
+        match self {
+            FaultKind::WsdlTruncation => 0,
+            FaultKind::WsdlCorruption => 1,
+            FaultKind::TransientDeployRefusal => 2,
+            FaultKind::ClientGenPanic => 3,
+            FaultKind::SlowStep => 4,
+            FaultKind::WireTruncateEnvelope => 5,
+            FaultKind::WireWrongNamespace => 6,
+            FaultKind::WireDropResponse => 7,
+            FaultKind::SockDelay => 8,
+            FaultKind::SockTruncateBody => 9,
+            FaultKind::SockReset => 10,
+            FaultKind::SockGarbageStatus => 11,
+        }
     }
 }
 
@@ -99,6 +128,10 @@ impl fmt::Display for FaultKind {
             FaultKind::WireTruncateEnvelope => "wire-truncate-envelope",
             FaultKind::WireWrongNamespace => "wire-wrong-namespace",
             FaultKind::WireDropResponse => "wire-drop-response",
+            FaultKind::SockDelay => "sock-delay",
+            FaultKind::SockTruncateBody => "sock-truncate-body",
+            FaultKind::SockReset => "sock-reset",
+            FaultKind::SockGarbageStatus => "sock-garbage-status",
         })
     }
 }
@@ -125,6 +158,43 @@ impl WireFault {
     }
 }
 
+/// A socket-level fault for the loopback TCP transport, applied to the
+/// real wire bytes by the interposed fault proxy
+/// ([`crate::wire::FaultProxy`]) — damage the string-level
+/// [`WireFault`]s cannot express.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocketFault {
+    /// Hold the response for `ms` real milliseconds — past the probe
+    /// client's read deadline, so the client observes a timeout.
+    DelayPastDeadline {
+        /// Real delay in milliseconds (sized above the client's
+        /// deadline by the plan).
+        ms: u64,
+    },
+    /// Forward only the first `at` bytes of the response, then close
+    /// the connection cleanly (a short read).
+    TruncateBody {
+        /// Byte offset to cut at (clamped to the response length).
+        at: usize,
+    },
+    /// Abort the connection mid-body so the peer sees a TCP RST.
+    ResetMidBody,
+    /// Replace the HTTP status line with garbage framing.
+    GarbageStatus,
+}
+
+impl SocketFault {
+    /// The [`FaultKind`] this socket fault is accounted under.
+    pub fn kind(self) -> FaultKind {
+        match self {
+            SocketFault::DelayPastDeadline { .. } => FaultKind::SockDelay,
+            SocketFault::TruncateBody { .. } => FaultKind::SockTruncateBody,
+            SocketFault::ResetMidBody => FaultKind::SockReset,
+            SocketFault::GarbageStatus => FaultKind::SockGarbageStatus,
+        }
+    }
+}
+
 /// Site key for a Service Description Generation step.
 pub fn deploy_site(server: ServerId, fqcn: &str) -> String {
     format!("deploy/{server:?}/{fqcn}")
@@ -138,6 +208,16 @@ pub fn gen_site(server: ServerId, client: ClientId, fqcn: &str) -> String {
 /// Site key for one wire exchange.
 pub fn wire_site(server: ServerId, fqcn: &str) -> String {
     format!("wire/{server:?}/{fqcn}")
+}
+
+/// Site key for the socket-level faults of one loopback exchange.
+///
+/// The grammar deliberately matches the loopback URL space: the fault
+/// proxy rebuilds this key as `"sock" + path` from the request path
+/// `/{server:?}/{fqcn}`, so proxy and campaign accounting agree
+/// without sharing state.
+pub fn sock_site(server: ServerId, fqcn: &str) -> String {
+    format!("sock/{server:?}/{fqcn}")
 }
 
 /// A seeded, deterministic fault plan.
@@ -167,6 +247,13 @@ impl FaultPlan {
         plan.rates[FaultKind::WireTruncateEnvelope.index()] = 25;
         plan.rates[FaultKind::WireWrongNamespace.index()] = 25;
         plan.rates[FaultKind::WireDropResponse.index()] = 25;
+        // Socket faults only fire over the TCP transport; the delay
+        // fault costs real wall-clock time per hit, so its rate is the
+        // lowest of the family.
+        plan.rates[FaultKind::SockDelay.index()] = 8;
+        plan.rates[FaultKind::SockTruncateBody.index()] = 15;
+        plan.rates[FaultKind::SockReset.index()] = 15;
+        plan.rates[FaultKind::SockGarbageStatus.index()] = 15;
         plan
     }
 
@@ -270,6 +357,48 @@ impl FaultPlan {
         } else {
             None
         }
+    }
+
+    /// The socket fault (if any) injected at `site` by the loopback
+    /// fault proxy, first match in delay → truncate → reset → garbage
+    /// order. `deadline_ms` is the probe client's read deadline; the
+    /// planned delay always overshoots it so an injected delay is
+    /// always observable.
+    pub fn socket_fault(&self, site: &str, deadline_ms: u64) -> Option<SocketFault> {
+        if self.decide(FaultKind::SockDelay, site) {
+            let extra = (self.hash(FaultKind::SockDelay, site) >> 16) % 100;
+            return Some(SocketFault::DelayPastDeadline {
+                ms: deadline_ms + 50 + extra,
+            });
+        }
+        if self.decide(FaultKind::SockTruncateBody, site) {
+            // Cut inside the headers or early body; the exact offset is
+            // clamped to the message by the proxy.
+            let at = 20 + (self.hash(FaultKind::SockTruncateBody, site) >> 16) as usize % 180;
+            return Some(SocketFault::TruncateBody { at });
+        }
+        if self.decide(FaultKind::SockReset, site) {
+            return Some(SocketFault::ResetMidBody);
+        }
+        if self.decide(FaultKind::SockGarbageStatus, site) {
+            return Some(SocketFault::GarbageStatus);
+        }
+        None
+    }
+
+    /// Deterministic retry jitter in milliseconds for `attempt` at
+    /// `site` — the seeded RNG the resilient HTTP client mixes into its
+    /// exponential backoff, so `-j1` and `-j8` runs retry (and
+    /// therefore classify) identically.
+    pub fn retry_jitter_ms(&self, site: &str, attempt: u32, cap_ms: u64) -> u64 {
+        if cap_ms == 0 {
+            return 0;
+        }
+        let h = self
+            .hash(FaultKind::SockDelay, site)
+            .rotate_left(attempt % 64)
+            .wrapping_mul(0x2545_f491_4f6c_dd1d);
+        h % cap_ms
     }
 
     /// Applies the WSDL damage planned for `site` (if any), returning

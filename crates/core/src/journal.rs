@@ -341,26 +341,43 @@ pub fn read_journal(path: &Path) -> Result<JournalReadOutcome, JournalError> {
     read_journal_bytes(&bytes)
 }
 
+/// Decodes a little-endian `u64` at `at`, or `None` when fewer than
+/// 8 bytes remain — the panic-free form of the slice-then-`try_into`
+/// idiom (part of the no-`unwrap`-in-core sweep).
+fn read_u64_le(bytes: &[u8], at: usize) -> Option<u64> {
+    let slice = bytes.get(at..at.checked_add(8)?)?;
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(slice);
+    Some(u64::from_le_bytes(buf))
+}
+
+/// Little-endian `u32` counterpart of [`read_u64_le`].
+fn read_u32_le(bytes: &[u8], at: usize) -> Option<u32> {
+    let slice = bytes.get(at..at.checked_add(4)?)?;
+    let mut buf = [0u8; 4];
+    buf.copy_from_slice(slice);
+    Some(u32::from_le_bytes(buf))
+}
+
 /// [`read_journal`] over an in-memory image (exposed for tests).
 pub fn read_journal_bytes(bytes: &[u8]) -> Result<JournalReadOutcome, JournalError> {
     if bytes.len() < HEADER_LEN || bytes[..8] != MAGIC {
         return Err(JournalError::NotAJournal);
     }
     let version = u16::from_le_bytes([bytes[8], bytes[9]]);
-    let stored = u64::from_le_bytes(bytes[18..26].try_into().expect("8 bytes"));
+    let stored = read_u64_le(bytes, 18).ok_or(JournalError::NotAJournal)?;
     if content_hash(&bytes[..18]) != stored {
         return Err(JournalError::NotAJournal);
     }
     if version != FORMAT_VERSION {
         return Err(JournalError::UnsupportedVersion(version));
     }
-    let config_hash = u64::from_le_bytes(bytes[10..18].try_into().expect("8 bytes"));
+    let config_hash = read_u64_le(bytes, 10).ok_or(JournalError::NotAJournal)?;
 
     let mut cells = Vec::new();
     let mut offsets = Vec::new();
     let mut at = HEADER_LEN;
-    while let Some(len_bytes) = bytes.get(at..at + 4) {
-        let payload_len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes"));
+    while let Some(payload_len) = read_u32_le(bytes, at) {
         if payload_len > MAX_PAYLOAD {
             break;
         }
@@ -368,10 +385,9 @@ pub fn read_journal_bytes(bytes: &[u8]) -> Result<JournalReadOutcome, JournalErr
         let Some(payload) = bytes.get(at + 4..at + 4 + payload_len) else {
             break;
         };
-        let Some(sum_bytes) = bytes.get(at + 4 + payload_len..at + 12 + payload_len) else {
+        let Some(sum) = read_u64_le(bytes, at + 4 + payload_len) else {
             break;
         };
-        let sum = u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes"));
         if content_hash(payload) != sum {
             break;
         }
@@ -591,7 +607,7 @@ mod tests {
             let out = read_journal_bytes(&damaged).unwrap();
             // Records before the damaged frame always survive; nothing
             // recovered is ever wrong.
-            assert!(out.cells.len() >= 1, "flip at {at}");
+            assert!(!out.cells.is_empty(), "flip at {at}");
             for (i, c) in out.cells.iter().enumerate() {
                 assert_eq!(c, &all[i], "flip at {at}");
             }

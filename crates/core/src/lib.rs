@@ -25,7 +25,11 @@
 //! corruption-tolerant reader, so an interrupted campaign resumes
 //! bit-identically; the campaign supervises execution with a per-cell
 //! watchdog and deterministic per-client circuit breakers
-//! ([`faults::BreakerConfig`]).
+//! ([`faults::BreakerConfig`]). The [`wire`] module is the real-socket
+//! transport: a hardened loopback HTTP/1.1 SOAP endpoint, a resilient
+//! client, and a fault proxy that lets the chaos campaign damage real
+//! wire bytes — with the loopback exchange survey provably
+//! bit-identical to the in-process one (E15).
 //!
 //! ## Example
 //!
@@ -51,6 +55,7 @@ pub mod journal;
 pub mod registry;
 pub mod report;
 pub mod results;
+pub mod wire;
 
 pub use campaign::Campaign;
 pub use doccache::{DocCache, ParsedService, PipelineStats};

@@ -1,0 +1,261 @@
+//! The resilient loopback HTTP client.
+//!
+//! Every socket-level failure is collapsed into a small closed set of
+//! stable reasons ([`WireError::reason`]) so that campaign
+//! classification never depends on OS error text, and retries are
+//! driven by the *seeded* fault-plan RNG
+//! ([`crate::faults::FaultPlan::retry_jitter_ms`]) — `-j1` and `-j8`
+//! runs retry, back off, and therefore classify identically.
+
+use std::fmt;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::faults::{FaultPlan, ResilienceConfig};
+
+use super::http::{self, HttpError, HttpLimits, Response};
+
+/// Socket-level failure, already normalized to a stable taxonomy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Nobody listening (or the listener's backlog rejected us).
+    Refused,
+    /// The connect attempt timed out.
+    ConnectTimeout,
+    /// A read or write deadline expired mid-exchange.
+    Timeout,
+    /// The peer reset the connection.
+    Reset,
+    /// The peer closed the connection before a complete response.
+    Closed,
+    /// The response body ended short of its declared length.
+    Truncated,
+    /// The response could not be framed (garbage status line, bad
+    /// headers, over-limit message).
+    BadFraming(String),
+    /// A well-framed response with an HTTP status the exchange cannot
+    /// use (anything but 200/500).
+    Status(u16),
+    /// Any other socket error (stable `ErrorKind` text, not OS text).
+    Io(String),
+}
+
+impl WireError {
+    /// The stable reason string recorded in
+    /// [`crate::exchange::ExchangeOutcome::TransportError`]. These
+    /// strings are part of the classification contract
+    /// (`frameworks::client::classify_error` keys off them), so they
+    /// must never carry OS-specific text.
+    pub fn reason(&self) -> String {
+        match self {
+            WireError::Refused => "connection refused".to_string(),
+            WireError::ConnectTimeout => "connect timeout".to_string(),
+            WireError::Timeout => "read timeout".to_string(),
+            WireError::Reset => "connection reset".to_string(),
+            WireError::Closed => "connection closed before a full response".to_string(),
+            WireError::Truncated => "truncated response".to_string(),
+            WireError::BadFraming(detail) => format!("malformed response framing: {detail}"),
+            WireError::Status(code) => format!("http status {code}"),
+            WireError::Io(kind) => format!("socket error: {kind}"),
+        }
+    }
+
+    /// Whether a retry can plausibly help (transient transport
+    /// conditions and `503` shedding — not framing or logic errors).
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            WireError::Refused
+                | WireError::ConnectTimeout
+                | WireError::Timeout
+                | WireError::Reset
+                | WireError::Closed
+                | WireError::Truncated
+                | WireError::Status(503)
+        )
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.reason())
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn from_http(e: HttpError) -> WireError {
+    match e {
+        HttpError::Timeout => WireError::Timeout,
+        HttpError::Reset => WireError::Reset,
+        HttpError::ConnectionClosed => WireError::Closed,
+        HttpError::TruncatedBody { .. } => WireError::Truncated,
+        HttpError::Io(kind) => WireError::Io(kind),
+        other => WireError::BadFraming(other.to_string()),
+    }
+}
+
+fn from_connect(e: &std::io::Error) -> WireError {
+    use std::io::ErrorKind;
+    match e.kind() {
+        ErrorKind::ConnectionRefused => WireError::Refused,
+        ErrorKind::TimedOut | ErrorKind::WouldBlock => WireError::ConnectTimeout,
+        ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted => WireError::Reset,
+        kind => WireError::Io(format!("{kind:?}")),
+    }
+}
+
+/// Client tuning.
+#[derive(Debug, Clone)]
+pub struct WireClientConfig {
+    /// Connect deadline.
+    pub connect_timeout: Duration,
+    /// Read deadline (also the bound a proxy-injected delay must beat).
+    pub read_timeout: Duration,
+    /// Write deadline.
+    pub write_timeout: Duration,
+    /// Response framing limits.
+    pub limits: HttpLimits,
+    /// Retry budget for [`WireError::retryable`] failures.
+    pub max_retries: u32,
+    /// Exponential backoff schedule, real milliseconds (last entry
+    /// repeats) — deliberately tiny: determinism comes from the
+    /// schedule, liveness from the deadlines.
+    pub backoff_ms: Vec<u64>,
+    /// Cap on the seeded jitter added to each backoff.
+    pub jitter_cap_ms: u64,
+}
+
+impl Default for WireClientConfig {
+    fn default() -> WireClientConfig {
+        WireClientConfig {
+            connect_timeout: Duration::from_millis(1000),
+            read_timeout: Duration::from_millis(2000),
+            write_timeout: Duration::from_millis(2000),
+            limits: HttpLimits::default(),
+            max_retries: 2,
+            backoff_ms: vec![1, 2, 4],
+            jitter_cap_ms: 3,
+        }
+    }
+}
+
+impl WireClientConfig {
+    /// Derives the retry budget and backoff schedule from the
+    /// campaign's [`ResilienceConfig`], so the socket client and the
+    /// static pipeline cope with transients under one policy.
+    pub fn from_resilience(resilience: &ResilienceConfig) -> WireClientConfig {
+        WireClientConfig {
+            max_retries: resilience.max_retries,
+            backoff_ms: resilience.backoff_ms.clone(),
+            ..WireClientConfig::default()
+        }
+    }
+}
+
+/// The resilient HTTP client. One connection per request (the server's
+/// keep-alive is exercised by peers that want it; probes prefer the
+/// isolation of a fresh connection per attempt).
+pub struct WireClient {
+    config: WireClientConfig,
+    /// Seeded jitter source; `None` means zero jitter.
+    plan: Option<FaultPlan>,
+}
+
+impl WireClient {
+    /// A client with the given tuning and no seeded jitter.
+    pub fn new(config: WireClientConfig) -> WireClient {
+        WireClient { config, plan: None }
+    }
+
+    /// Adds the seeded jitter source (the campaign's fault plan).
+    #[must_use]
+    pub fn with_plan(mut self, plan: FaultPlan) -> WireClient {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// The client's tuning.
+    pub fn config(&self) -> &WireClientConfig {
+        &self.config
+    }
+
+    /// `GET target` with retries; `site` keys the deterministic jitter.
+    pub fn get(&self, addr: SocketAddr, target: &str, site: &str) -> Result<Response, WireError> {
+        self.request(addr, "GET", target, None, b"", site)
+    }
+
+    /// `POST target` with a SOAP body and retries.
+    pub fn post(
+        &self,
+        addr: SocketAddr,
+        target: &str,
+        soap_action: &str,
+        body: &[u8],
+        site: &str,
+    ) -> Result<Response, WireError> {
+        self.request(addr, "POST", target, Some(soap_action), body, site)
+    }
+
+    fn request(
+        &self,
+        addr: SocketAddr,
+        method: &str,
+        target: &str,
+        soap_action: Option<&str>,
+        body: &[u8],
+        site: &str,
+    ) -> Result<Response, WireError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.request_once(addr, method, target, soap_action, body) {
+                Ok(response) => return Ok(response),
+                Err(e) if e.retryable() && attempt < self.config.max_retries => {
+                    let backoff = self.backoff_for(attempt);
+                    let jitter = self
+                        .plan
+                        .as_ref()
+                        .map(|p| p.retry_jitter_ms(site, attempt, self.config.jitter_cap_ms))
+                        .unwrap_or(0);
+                    std::thread::sleep(Duration::from_millis(backoff + jitter));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn backoff_for(&self, attempt: u32) -> u64 {
+        let schedule = &self.config.backoff_ms;
+        if schedule.is_empty() {
+            return 0;
+        }
+        schedule[(attempt as usize).min(schedule.len() - 1)]
+    }
+
+    fn request_once(
+        &self,
+        addr: SocketAddr,
+        method: &str,
+        target: &str,
+        soap_action: Option<&str>,
+        body: &[u8],
+    ) -> Result<Response, WireError> {
+        let stream = TcpStream::connect_timeout(&addr, self.config.connect_timeout)
+            .map_err(|e| from_connect(&e))?;
+        stream
+            .set_read_timeout(Some(self.config.read_timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.config.write_timeout)))
+            .map_err(|e| WireError::Io(format!("{:?}", e.kind())))?;
+        let mut stream = stream;
+        http::write_request(&mut stream, method, target, "127.0.0.1", soap_action, body, true)
+            .map_err(from_http)?;
+        let response = http::read_response(&stream, &self.config.limits).map_err(from_http)?;
+        match response.status {
+            // 200 carries the echo, 500 the fault envelope (WS-I BP
+            // R1126); both are meaningful SOAP answers for the caller.
+            200 | 500 => Ok(response),
+            other => Err(WireError::Status(other)),
+        }
+    }
+}

@@ -1,0 +1,460 @@
+//! The hardened loopback SOAP endpoint: a threaded HTTP/1.1 server
+//! hosting every deployed echo service.
+//!
+//! Hardening contract (DESIGN.md §10):
+//!
+//! * **Bounded concurrency** — a fixed worker pool drains a bounded
+//!   accept queue; when pool *and* queue are saturated, new
+//!   connections are shed immediately with `503` by the accept thread.
+//!   Nothing ever queues unboundedly.
+//! * **Deadlines** — every connection carries read/write timeouts; a
+//!   peer that stalls mid-request (slow loris) gets `408` and the
+//!   socket back.
+//! * **Size limits** — request-line, header, and body caps are
+//!   enforced *before* buffering; an oversized message is refused with
+//!   `413` without allocating for it.
+//! * **Keep-alive** — up to a bounded number of requests per
+//!   connection.
+//! * **Graceful shutdown** — the accept loop stops, queued and
+//!   in-flight requests drain to completion, then workers exit.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use wsinterop_wsdl::de::from_xml_str;
+use wsinterop_wsdl::{soap, Definitions};
+use wsinterop_xml::writer::{write_document, WriteOptions};
+
+use crate::exchange::serve_echo;
+use crate::faults::lock_unpoisoned;
+
+use super::http::{self, HttpError, HttpLimits, Request};
+
+/// The admin path that triggers a remote graceful shutdown.
+pub const SHUTDOWN_PATH: &str = "/__admin/shutdown";
+
+/// One hosted echo service.
+pub struct HostedService {
+    /// The published description, byte-for-byte what `GET ?wsdl`
+    /// returns.
+    pub wsdl_xml: String,
+    /// The server's own parse of that description (kept pre-parsed so
+    /// the hot path never re-parses), or the parse error.
+    pub defs: Result<Definitions, String>,
+}
+
+impl HostedService {
+    /// Hosts one description, pre-parsing it server-side.
+    pub fn new(wsdl_xml: String) -> HostedService {
+        let defs = from_xml_str(&wsdl_xml).map_err(|e| e.to_string());
+        HostedService { wsdl_xml, defs }
+    }
+}
+
+/// Deploys every `stride`-th catalog entry of every paper server and
+/// returns the path → service map the loopback endpoint serves,
+/// mirroring exactly the site enumeration of
+/// [`crate::exchange::survey_sites`]. Paths are
+/// `/{ServerId:?}/{fqcn}`.
+pub fn host_survey_services(stride: usize) -> BTreeMap<String, HostedService> {
+    use wsinterop_frameworks::server::{all_servers, DeployOutcome};
+
+    let mut services = BTreeMap::new();
+    for server in all_servers() {
+        let id = format!("{:?}", server.info().id);
+        for entry in server.catalog().entries().iter().step_by(stride.max(1)) {
+            let DeployOutcome::Deployed { wsdl_xml } = server.deploy(entry) else {
+                continue;
+            };
+            services.insert(
+                format!("/{id}/{}", entry.fqcn),
+                HostedService::new(wsdl_xml),
+            );
+        }
+    }
+    services
+}
+
+/// Tuning for the hardened endpoint.
+#[derive(Debug, Clone)]
+pub struct WireServerConfig {
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Accept-queue depth; connections beyond `workers + queue_depth`
+    /// are shed with `503`.
+    pub queue_depth: usize,
+    /// Per-connection read deadline.
+    pub read_timeout: Duration,
+    /// Per-connection write deadline.
+    pub write_timeout: Duration,
+    /// Framing limits (start line, headers, body).
+    pub limits: HttpLimits,
+    /// Maximum requests served per keep-alive connection.
+    pub keep_alive_requests: usize,
+}
+
+impl Default for WireServerConfig {
+    fn default() -> WireServerConfig {
+        WireServerConfig {
+            workers: 4,
+            queue_depth: 8,
+            read_timeout: Duration::from_millis(2000),
+            write_timeout: Duration::from_millis(2000),
+            limits: HttpLimits::default(),
+            keep_alive_requests: 64,
+        }
+    }
+}
+
+/// Live counters exposed for tests and the overload experiment (E15).
+/// All monotonic except the two gauges.
+#[derive(Debug, Default)]
+pub struct WireStats {
+    /// Connections accepted (including ones later shed).
+    pub accepted: AtomicUsize,
+    /// Connections shed with `503` at the accept gate.
+    pub shed: AtomicUsize,
+    /// Requests answered with a 2xx/5xx SOAP response.
+    pub served: AtomicUsize,
+    /// Requests refused with `413` (size caps).
+    pub oversized: AtomicUsize,
+    /// Connections timed out with `408` (slow loris).
+    pub timeouts: AtomicUsize,
+    /// Requests refused with `400` (framing).
+    pub malformed: AtomicUsize,
+    /// Requests answered `404`/`405`.
+    pub not_found: AtomicUsize,
+    /// Gauge: connections currently inside a worker.
+    pub in_flight: AtomicUsize,
+    /// Gauge: connections accepted but not yet claimed by a worker.
+    pub queued: AtomicUsize,
+}
+
+struct Shared {
+    services: BTreeMap<String, HostedService>,
+    config: WireServerConfig,
+    stats: WireStats,
+    stop: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// The running loopback endpoint. Dropping it without calling
+/// [`WireServer::shutdown`] detaches the threads (they exit once asked
+/// to stop); tests and `wsitool serve` always shut down explicitly.
+pub struct WireServer {
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WireServer {
+    /// Binds `127.0.0.1:port` (0 ⇒ ephemeral) and starts the accept
+    /// thread and worker pool.
+    pub fn start(
+        port: u16,
+        services: BTreeMap<String, HostedService>,
+        config: WireServerConfig,
+    ) -> io::Result<WireServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            services,
+            config,
+            stats: WireStats::default(),
+            stop: AtomicBool::new(false),
+            addr,
+        });
+
+        let (tx, rx) = sync_channel::<TcpStream>(shared.config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(shared.config.workers.max(1));
+        for _ in 0..shared.config.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            workers.push(std::thread::spawn(move || worker_loop(&shared, &rx)));
+        }
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::spawn(move || {
+            accept_loop(&accept_shared, &listener, tx);
+            // `tx` dropped here: workers drain the queue, then exit.
+        });
+
+        Ok(WireServer {
+            shared,
+            accept_handle: Some(accept_handle),
+            workers,
+        })
+    }
+
+    /// The bound loopback address.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The live counters.
+    pub fn stats(&self) -> &WireStats {
+        &self.shared.stats
+    }
+
+    /// Asks the accept loop to stop without waiting for the drain —
+    /// the non-blocking half of [`WireServer::shutdown`].
+    pub fn request_stop(&self) {
+        request_stop(&self.shared);
+    }
+
+    /// Whether a stop has been requested (locally or via the admin
+    /// endpoint).
+    pub fn stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued and in-flight
+    /// requests, join every thread.
+    pub fn shutdown(mut self) {
+        self.request_stop();
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until someone requests a stop — normally a `POST` to
+    /// [`SHUTDOWN_PATH`] (used by `wsitool serve`) — then drains and
+    /// joins like [`WireServer::shutdown`].
+    pub fn wait(self) {
+        while !self.stopping() {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        self.shutdown();
+    }
+}
+
+fn request_stop(shared: &Shared) {
+    if shared.stop.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    // Unblock the accept loop with a throwaway connection; if the
+    // connect fails the listener is already gone, which is fine.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+fn accept_loop(
+    shared: &Shared,
+    listener: &TcpListener,
+    tx: std::sync::mpsc::SyncSender<TcpStream>,
+) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            // Accept errors are transient (EMFILE, aborted handshake);
+            // only a requested stop ends the loop below.
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            // The wake-up connection (or a late client) during
+            // shutdown: refuse politely and stop accepting.
+            shed(shared, stream, "server is shutting down");
+            return;
+        }
+        shared.stats.accepted.fetch_add(1, Ordering::SeqCst);
+        shared.stats.queued.fetch_add(1, Ordering::SeqCst);
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(stream)) => {
+                // Admission control: pool and queue are saturated —
+                // shed *now* rather than queue unboundedly.
+                shared.stats.queued.fetch_sub(1, Ordering::SeqCst);
+                shared.stats.shed.fetch_add(1, Ordering::SeqCst);
+                shed(shared, stream, "worker pool saturated");
+            }
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+    }
+}
+
+/// Refuses one connection with `503` on the accept thread. The write
+/// is bounded by the write deadline so a non-reading peer cannot stall
+/// admission control.
+fn shed(shared: &Shared, mut stream: TcpStream, reason: &str) {
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let _ = http::write_response(
+        &mut stream,
+        503,
+        "Service Unavailable",
+        "text/plain",
+        reason.as_bytes(),
+        true,
+    );
+}
+
+fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
+    loop {
+        // Hold the receiver lock only for the claim, never while
+        // serving.
+        let stream = lock_unpoisoned(rx).recv();
+        let Ok(stream) = stream else {
+            return; // Sender dropped: accept loop is gone, queue drained.
+        };
+        shared.stats.queued.fetch_sub(1, Ordering::SeqCst);
+        shared.stats.in_flight.fetch_add(1, Ordering::SeqCst);
+        serve_connection(shared, stream);
+        shared.stats.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    let config = &shared.config;
+    if stream.set_read_timeout(Some(config.read_timeout)).is_err()
+        || stream.set_write_timeout(Some(config.write_timeout)).is_err()
+    {
+        return;
+    }
+    let mut stream = stream;
+    for served_before in 0..config.keep_alive_requests {
+        let request = match http::read_request(&stream, &config.limits) {
+            Ok(Some(request)) => request,
+            Ok(None) => return, // clean keep-alive close
+            Err(HttpError::Timeout) => {
+                // Slow loris on the first request gets a 408; an idle
+                // keep-alive connection just gets closed.
+                if served_before == 0 {
+                    shared.stats.timeouts.fetch_add(1, Ordering::SeqCst);
+                    let _ = http::write_response(
+                        &mut stream,
+                        408,
+                        "Request Timeout",
+                        "text/plain",
+                        b"read deadline exceeded",
+                        true,
+                    );
+                }
+                return;
+            }
+            Err(
+                HttpError::BodyTooLarge { .. }
+                | HttpError::StartLineTooLong
+                | HttpError::HeadersTooLarge,
+            ) => {
+                shared.stats.oversized.fetch_add(1, Ordering::SeqCst);
+                let _ = http::write_response(
+                    &mut stream,
+                    413,
+                    "Payload Too Large",
+                    "text/plain",
+                    b"request exceeds the configured limits",
+                    true,
+                );
+                return;
+            }
+            Err(
+                HttpError::BadStartLine(_)
+                | HttpError::BadHeader(_)
+                | HttpError::BadContentLength,
+            ) => {
+                shared.stats.malformed.fetch_add(1, Ordering::SeqCst);
+                let _ = http::write_response(
+                    &mut stream,
+                    400,
+                    "Bad Request",
+                    "text/plain",
+                    b"malformed request",
+                    true,
+                );
+                return;
+            }
+            Err(_) => return, // reset / closed mid-message: nothing to say
+        };
+        // Close after this response when the peer asked for it, the
+        // budget is exhausted, or a shutdown is in progress (in-flight
+        // requests drain; idle keep-alive must not pin workers).
+        let close = !request.keep_alive
+            || served_before + 1 == config.keep_alive_requests
+            || shared.stop.load(Ordering::SeqCst);
+        if !respond(shared, &mut stream, &request, close) || close {
+            return;
+        }
+    }
+}
+
+/// Handles one parsed request; returns `false` when the connection
+/// must close.
+fn respond(shared: &Shared, stream: &mut TcpStream, request: &Request, close: bool) -> bool {
+    let path = request.path();
+    let (status, reason, content_type, body): (u16, &str, &str, Vec<u8>) =
+        match (request.method.as_str(), path) {
+            ("POST", p) if p == SHUTDOWN_PATH => {
+                request_stop(shared);
+                (200, "OK", "text/plain", b"shutting down".to_vec())
+            }
+            ("GET", p) => match shared.services.get(p) {
+                Some(service) if request.query() == Some("wsdl") => {
+                    shared.stats.served.fetch_add(1, Ordering::SeqCst);
+                    (200, "OK", "text/xml", service.wsdl_xml.clone().into_bytes())
+                }
+                Some(_) => {
+                    shared.stats.malformed.fetch_add(1, Ordering::SeqCst);
+                    (400, "Bad Request", "text/plain", b"expected ?wsdl".to_vec())
+                }
+                None => {
+                    shared.stats.not_found.fetch_add(1, Ordering::SeqCst);
+                    (404, "Not Found", "text/plain", b"no such service".to_vec())
+                }
+            },
+            ("POST", p) => match shared.services.get(p) {
+                Some(service) => match soap_response(service, &request.body) {
+                    Ok((status, xml)) => {
+                        shared.stats.served.fetch_add(1, Ordering::SeqCst);
+                        let reason = if status == 200 { "OK" } else { "Internal Server Error" };
+                        (status, reason, "text/xml", xml.into_bytes())
+                    }
+                    Err(detail) => {
+                        shared.stats.malformed.fetch_add(1, Ordering::SeqCst);
+                        (400, "Bad Request", "text/plain", detail.into_bytes())
+                    }
+                },
+                None => {
+                    shared.stats.not_found.fetch_add(1, Ordering::SeqCst);
+                    (404, "Not Found", "text/plain", b"no such service".to_vec())
+                }
+            },
+            _ => {
+                shared.stats.not_found.fetch_add(1, Ordering::SeqCst);
+                (405, "Method Not Allowed", "text/plain", b"GET or POST only".to_vec())
+            }
+        };
+    http::write_response(stream, status, reason, content_type, &body, close).is_ok()
+}
+
+/// Produces the SOAP response envelope and its HTTP status for one
+/// request body. Per WS-I BP 1.1 R1126/R1111, a fault envelope rides
+/// on `500`, a normal response on `200`.
+fn soap_response(service: &HostedService, body: &[u8]) -> Result<(u16, String), String> {
+    let Ok(request_xml) = std::str::from_utf8(body) else {
+        return Err("request body is not UTF-8".to_string());
+    };
+    let response = match &service.defs {
+        Ok(defs) => serve_echo(defs, request_xml),
+        // Mirrors the in-process exchange's wording exactly — E15
+        // equivalence depends on it.
+        Err(e) => write_document(
+            &soap::fault(
+                "Server",
+                &format!("server cannot re-parse its own description: {e}"),
+            ),
+            &WriteOptions::compact(),
+        ),
+    };
+    let status = if soap::is_fault(&response) { 500 } else { 200 };
+    Ok((status, response))
+}

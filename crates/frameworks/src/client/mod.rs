@@ -198,12 +198,29 @@ pub enum ErrorClass {
 /// Classifies a generation/compilation error message by process
 /// health. Purely textual and deterministic, so breaker decisions
 /// replay identically from a journal.
+///
+/// The disruptive needles cover both the tools' own failure wording
+/// (crash/panic/hang) and the wire client's stable socket-failure
+/// reasons (`connection reset`, `connection refused`, `read timeout`,
+/// `truncated response`, …) — the real-socket transport maps every
+/// OS error into that closed set precisely so this classifier never
+/// has to match OS-specific text.
 pub fn classify_error(message: &str) -> ErrorClass {
     let m = message.to_ascii_lowercase();
     let disruptive = m.starts_with("injected fault")
-        || ["crash", "panic", "timeout", "timed out", "hang", "connection reset"]
-            .iter()
-            .any(|needle| m.contains(needle));
+        || [
+            "crash",
+            "panic",
+            "timeout",
+            "timed out",
+            "hang",
+            "connection reset",
+            "connection refused",
+            "connection closed",
+            "truncated response",
+        ]
+        .iter()
+        .any(|needle| m.contains(needle));
     if disruptive {
         ErrorClass::Disruptive
     } else {

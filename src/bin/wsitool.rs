@@ -15,6 +15,9 @@
 //! wsitool invoke <fqcn> [value]         # deploy + typed echo roundtrip
 //! wsitool export [stride] [dir]         # run + write services.tsv / tests.tsv
 //! wsitool complexity                    # run the complexity-extension matrix
+//! wsitool serve [--port N] [--stride N] # hardened loopback SOAP endpoint
+//! wsitool exchange-survey [--stride N] [--transport tcp|in-process]
+//!                                       # Communication/Execution survey (E15)
 //! wsitool bench-campaign [--stride N] [--iters N] [--out FILE]
 //!                                       # time shared vs per-cell parse, write JSON
 //! ```
@@ -22,20 +25,35 @@
 //! Every campaign-family command echoes a `run config:` line with the
 //! stride, seed and campaign config hash, so any run can be reproduced
 //! from its logs alone (journal headers pin the same hash).
+//!
+//! ## Exit codes
+//!
+//! The contract is documented in README.md and stable:
+//! `0` success, `1` runtime failure (including non-conformant audits),
+//! `2` usage errors, `9` deterministic journal halt
+//! (`--halt-after-cells`).
 
 use std::process::ExitCode;
 
+use wsinterop::core::campaign::ExchangeTransport;
+use wsinterop::core::exchange::{survey_sites, ExchangeSurvey};
 use wsinterop::core::faults::BreakerConfig;
 use wsinterop::core::registry::ServiceHost;
 use wsinterop::core::report::{Fig4, TableIII, Totals};
+use wsinterop::core::wire;
 use wsinterop::core::Campaign;
 use wsinterop::compilers::{compiler_for, instantiate};
 use wsinterop::frameworks::client::{all_clients, CompilationMode};
 use wsinterop::frameworks::server::{all_servers, DeployOutcome, ServerSubsystem};
+use wsinterop::typecat::TypeEntry;
 use wsinterop::wsdl::de::from_xml_str;
 use wsinterop::wsdl::values;
 use wsinterop::wsi::Analyzer;
 use wsinterop::xml::writer::{write_document, WriteOptions};
+
+/// Exit code for runtime failures (I/O, refused deployments,
+/// non-conformant audits).
+const EXIT_RUNTIME: u8 = 1;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -103,6 +121,26 @@ fn main() -> ExitCode {
             argv.next().unwrap_or("."),
         ),
         Some("complexity") => complexity(),
+        Some("serve") => {
+            let rest: Vec<&str> = argv.collect();
+            match parse_serve_opts(&rest) {
+                Ok(opts) => serve(&opts),
+                Err(e) => {
+                    eprintln!("{e}");
+                    usage()
+                }
+            }
+        }
+        Some("exchange-survey") => {
+            let rest: Vec<&str> = argv.collect();
+            match parse_survey_opts(&rest) {
+                Ok(opts) => exchange_survey(&opts),
+                Err(e) => {
+                    eprintln!("{e}");
+                    usage()
+                }
+            }
+        }
         _ => usage(),
     }
 }
@@ -119,15 +157,28 @@ fn usage() -> ExitCode {
          \x20 invoke  <fqcn> [val]   deploy + typed echo roundtrip\n\
          \x20 campaign [stride] [--extended] [--no-cache]  run the campaign (default stride 50)\n\
          \x20          [--journal FILE] [--resume] [--breaker N[,C]] [--halt-after-cells N]\n\
-         \x20 chaos [--stride N] [--seed N]   fault-injected campaign + fault report\n\
+         \x20 chaos [--stride N] [--seed N] [--transport tcp|in-process]\n\
+         \x20       fault-injected campaign + fault report; `tcp` probes real sockets\n\
          \x20       (accepts the same --journal/--resume/--breaker flags as campaign)\n\
          \x20 journal inspect <file>  decode a campaign journal (cells, config hash, torn tail)\n\
          \x20 export  [stride] [dir] run + write services.tsv / tests.tsv\n\
          \x20 complexity             run the complexity-extension matrix\n\
+         \x20 serve [--port N] [--stride N] [--workers N] [--queue N]\n\
+         \x20                        hardened loopback SOAP endpoint (POST /__admin/shutdown stops it)\n\
+         \x20 exchange-survey [--stride N] [--transport tcp|in-process] [--addr HOST:PORT]\n\
+         \x20                 [--shutdown-server]  Communication/Execution survey (E15)\n\
          \x20 bench-campaign [--stride N] [--iters N] [--out FILE]\n\
-         \x20                        time shared vs per-cell parse, write JSON"
+         \x20                        time shared vs per-cell parse, write JSON\n\
+         \n\
+         exit codes: 0 success, 1 runtime failure, 2 usage error, 9 journal halt"
     );
     ExitCode::from(2)
+}
+
+/// Prints a runtime error and returns the stable runtime exit code.
+fn fail(message: impl std::fmt::Display) -> ExitCode {
+    eprintln!("{message}");
+    ExitCode::from(EXIT_RUNTIME)
 }
 
 fn with_fqcn(arg: Option<&str>, run: fn(&str) -> ExitCode) -> ExitCode {
@@ -137,10 +188,13 @@ fn with_fqcn(arg: Option<&str>, run: fn(&str) -> ExitCode) -> ExitCode {
     }
 }
 
-fn find_server(fqcn: &str) -> Option<Box<dyn ServerSubsystem>> {
+/// Finds the platform owning `fqcn` together with its catalog entry —
+/// returning the entry up front removes the historical re-lookup
+/// `.unwrap()`s in `deploy`/`audit`/`matrix`.
+fn find_service(fqcn: &str) -> Option<(Box<dyn ServerSubsystem>, &'static TypeEntry)> {
     all_servers()
         .into_iter()
-        .find(|s| s.catalog().get(fqcn).is_some())
+        .find_map(|s| s.catalog().get(fqcn).map(|entry| (s, entry)))
 }
 
 fn catalogs() -> ExitCode {
@@ -160,14 +214,12 @@ fn catalogs() -> ExitCode {
 }
 
 fn deploy(fqcn: &str) -> ExitCode {
-    let Some(server) = find_server(fqcn) else {
-        eprintln!("`{fqcn}` is in neither catalog");
-        return ExitCode::FAILURE;
+    let Some((server, entry)) = find_service(fqcn) else {
+        return fail(format!("`{fqcn}` is in neither catalog"));
     };
-    match server.deploy(server.catalog().get(fqcn).unwrap()) {
+    match server.deploy(entry) {
         DeployOutcome::Refused { reason } => {
-            eprintln!("{}: deployment refused: {reason}", server.info().id);
-            ExitCode::FAILURE
+            fail(format!("{}: deployment refused: {reason}", server.info().id))
         }
         DeployOutcome::Deployed { wsdl_xml } => {
             println!("{wsdl_xml}");
@@ -186,14 +238,12 @@ fn audit(target: &str, as_xml: bool) -> ExitCode {
             }
         }
     } else {
-        let Some(server) = find_server(target) else {
-            eprintln!("`{target}` is neither a file nor a catalog class");
-            return ExitCode::FAILURE;
+        let Some((server, entry)) = find_service(target) else {
+            return fail(format!("`{target}` is neither a file nor a catalog class"));
         };
-        match server.deploy(server.catalog().get(target).unwrap()) {
+        match server.deploy(entry) {
             DeployOutcome::Refused { reason } => {
-                eprintln!("deployment refused: {reason}");
-                return ExitCode::FAILURE;
+                return fail(format!("deployment refused: {reason}"));
             }
             DeployOutcome::Deployed { wsdl_xml } => wsdl_xml,
         }
@@ -220,11 +270,10 @@ fn audit(target: &str, as_xml: bool) -> ExitCode {
 }
 
 fn matrix(fqcn: &str) -> ExitCode {
-    let Some(server) = find_server(fqcn) else {
-        eprintln!("`{fqcn}` is in neither catalog");
-        return ExitCode::FAILURE;
+    let Some((server, entry)) = find_service(fqcn) else {
+        return fail(format!("`{fqcn}` is in neither catalog"));
     };
-    let wsdl = match server.deploy(server.catalog().get(fqcn).unwrap()) {
+    let wsdl = match server.deploy(entry) {
         DeployOutcome::Refused { reason } => {
             println!("deployment refused: {reason}");
             return ExitCode::SUCCESS;
@@ -242,16 +291,19 @@ fn matrix(fqcn: &str) -> ExitCode {
                 None => "no artifacts".to_string(),
                 Some(bundle) => match info.compilation {
                     CompilationMode::Dynamic => instantiate(bundle).to_string(),
-                    _ => {
-                        let compiled = compiler_for(bundle.language).unwrap().compile(bundle);
-                        if compiled.crashed {
-                            "COMPILER CRASH".to_string()
-                        } else if compiled.success() {
-                            format!("compiled, {} warning(s)", compiled.warning_count())
-                        } else {
-                            format!("{} compile error(s)", compiled.error_count())
+                    _ => match compiler_for(bundle.language) {
+                        None => format!("no toolchain for {:?} artifacts", bundle.language),
+                        Some(compiler) => {
+                            let compiled = compiler.compile(bundle);
+                            if compiled.crashed {
+                                "COMPILER CRASH".to_string()
+                            } else if compiled.success() {
+                                format!("compiled, {} warning(s)", compiled.warning_count())
+                            } else {
+                                format!("{} compile error(s)", compiled.error_count())
+                            }
                         }
-                    }
+                    },
                 },
             };
             match outcome.warnings.len() {
@@ -265,25 +317,32 @@ fn matrix(fqcn: &str) -> ExitCode {
 }
 
 fn invoke(fqcn: &str, value: Option<&str>) -> ExitCode {
-    let Some(server) = find_server(fqcn) else {
-        eprintln!("`{fqcn}` is in neither catalog");
-        return ExitCode::FAILURE;
+    let Some((server, _)) = find_service(fqcn) else {
+        return fail(format!("`{fqcn}` is in neither catalog"));
     };
     let mut host = ServiceHost::new();
     let url = match host.deploy_one(server.as_ref(), fqcn) {
         Ok(url) => url,
         Err(reason) => {
-            eprintln!("deployment refused: {reason}");
-            return ExitCode::FAILURE;
+            return fail(format!("deployment refused: {reason}"));
         }
     };
     println!("deployed at {url}");
-    let defs = from_xml_str(host.wsdl(&url).unwrap()).unwrap();
-    let Some(param_type) = values::echo_parameter_type(&defs) else {
-        eprintln!("service declares no invocable echo operation");
-        return ExitCode::FAILURE;
+    let wsdl_xml = match host.wsdl(&url) {
+        Ok(xml) => xml,
+        Err(e) => return fail(format!("published description unavailable: {e}")),
     };
-    let mut payload = values::sample_value(&defs, &param_type).unwrap();
+    let defs = match from_xml_str(wsdl_xml) {
+        Ok(defs) => defs,
+        Err(e) => return fail(format!("published description is unreadable: {e}")),
+    };
+    let Some(param_type) = values::echo_parameter_type(&defs) else {
+        return fail("service declares no invocable echo operation");
+    };
+    let mut payload = match values::sample_value(&defs, &param_type) {
+        Ok(payload) => payload,
+        Err(e) => return fail(format!("cannot build a sample value: {e}")),
+    };
     if let Some(text) = value {
         // Thread the user's value into the payload: directly for simple
         // parameters, into the first string-typed field of a bean.
@@ -306,23 +365,22 @@ fn invoke(fqcn: &str, value: Option<&str>) -> ExitCode {
     let request = match values::typed_request(&defs, "echo", &payload) {
         Ok(doc) => doc,
         Err(e) => {
-            eprintln!("cannot build request: {e}");
-            return ExitCode::FAILURE;
+            return fail(format!("cannot build request: {e}"));
         }
     };
     let request_xml = write_document(&request, &WriteOptions::compact());
     println!("request:  {request_xml}");
-    let response = host.dispatch(&url, &request_xml).unwrap();
+    let response = match host.dispatch(&url, &request_xml) {
+        Ok(response) => response,
+        Err(e) => return fail(format!("dispatch failed: {e}")),
+    };
     println!("response: {response}");
     match values::typed_payload_value(&defs, &response) {
         Ok(echoed) => {
             println!("echoed value: {echoed}");
             ExitCode::SUCCESS
         }
-        Err(e) => {
-            eprintln!("bad response: {e}");
-            ExitCode::FAILURE
-        }
+        Err(e) => fail(format!("bad response: {e}")),
     }
 }
 
@@ -368,6 +426,7 @@ struct RunOpts {
     resume: bool,
     breaker: Option<BreakerConfig>,
     halt_after: Option<usize>,
+    transport: ExchangeTransport,
 }
 
 fn parse_run_opts(rest: &[&str]) -> Result<RunOpts, String> {
@@ -380,6 +439,7 @@ fn parse_run_opts(rest: &[&str]) -> Result<RunOpts, String> {
         resume: false,
         breaker: None,
         halt_after: None,
+        transport: ExchangeTransport::default(),
     };
     let mut i = 0;
     while i < rest.len() {
@@ -413,6 +473,13 @@ fn parse_run_opts(rest: &[&str]) -> Result<RunOpts, String> {
                 };
                 opts.breaker = Some(parse_breaker(spec)?);
             }
+            "--transport" => {
+                i += 1;
+                let Some(raw) = rest.get(i) else {
+                    return Err("--transport needs `tcp` or `in-process`".to_string());
+                };
+                opts.transport = parse_transport(raw)?;
+            }
             bare => match bare.parse::<usize>() {
                 Ok(stride) => opts.stride = stride,
                 Err(_) => return Err(format!("unrecognized argument `{bare}`")),
@@ -434,6 +501,16 @@ fn parse_flag_value<T: std::str::FromStr>(
     };
     raw.parse()
         .map_err(|_| format!("{flag}: cannot parse `{raw}`"))
+}
+
+fn parse_transport(raw: &str) -> Result<ExchangeTransport, String> {
+    match raw {
+        "tcp" => Ok(ExchangeTransport::TcpLoopback),
+        "in-process" => Ok(ExchangeTransport::InProcess),
+        other => Err(format!(
+            "--transport: `{other}` is not `tcp` or `in-process`"
+        )),
+    }
 }
 
 fn parse_breaker(spec: &str) -> Result<BreakerConfig, String> {
@@ -537,8 +614,8 @@ fn journal_inspect(path: &str) -> ExitCode {
 fn chaos(opts: &RunOpts) -> ExitCode {
     use wsinterop::core::faults::FaultPlan;
     println!(
-        "running chaos campaign with stride {}, seed {}…",
-        opts.stride, opts.seed
+        "running chaos campaign with stride {}, seed {}, {} transport…",
+        opts.stride, opts.seed, opts.transport
     );
     let base = if opts.extended {
         Campaign::extended_sampled(opts.stride)
@@ -547,7 +624,8 @@ fn chaos(opts: &RunOpts) -> ExitCode {
     };
     let run = apply_run_opts(
         base.with_doc_cache(!opts.no_cache)
-            .with_faults(FaultPlan::seeded(opts.seed)),
+            .with_faults(FaultPlan::seeded(opts.seed))
+            .with_transport(opts.transport),
         opts,
     );
     echo_run_config(opts.stride, Some(opts.seed), &run);
@@ -613,6 +691,193 @@ fn campaign(opts: &RunOpts) -> ExitCode {
     }
     println!("{stats}");
     journal_summary(opts);
+    ExitCode::SUCCESS
+}
+
+/// Options for `wsitool serve`.
+struct ServeOpts {
+    port: u16,
+    stride: usize,
+    workers: usize,
+    queue: usize,
+}
+
+fn parse_serve_opts(rest: &[&str]) -> Result<ServeOpts, String> {
+    let defaults = wire::WireServerConfig::default();
+    let mut opts = ServeOpts {
+        port: 0,
+        stride: 200,
+        workers: defaults.workers,
+        queue: defaults.queue_depth,
+    };
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i] {
+            "--port" => {
+                i += 1;
+                opts.port = parse_flag_value(rest, i, "--port")?;
+            }
+            "--stride" => {
+                i += 1;
+                opts.stride = parse_flag_value(rest, i, "--stride")?;
+            }
+            "--workers" => {
+                i += 1;
+                opts.workers = parse_flag_value(rest, i, "--workers")?;
+            }
+            "--queue" => {
+                i += 1;
+                opts.queue = parse_flag_value(rest, i, "--queue")?;
+            }
+            bare => return Err(format!("unrecognized argument `{bare}`")),
+        }
+        i += 1;
+    }
+    opts.stride = opts.stride.max(1);
+    opts.workers = opts.workers.max(1);
+    Ok(opts)
+}
+
+/// Hosts the stride-`N` survey services on a real loopback socket and
+/// blocks until something POSTs the admin shutdown path. The `ready:`
+/// line is the machine-readable contract CI greps for the bound
+/// address (the port is ephemeral by default).
+fn serve(opts: &ServeOpts) -> ExitCode {
+    let services = wire::host_survey_services(opts.stride);
+    let deployed = services.len();
+    let config = wire::WireServerConfig {
+        workers: opts.workers,
+        queue_depth: opts.queue,
+        ..wire::WireServerConfig::default()
+    };
+    let server = match wire::WireServer::start(opts.port, services, config) {
+        Ok(server) => server,
+        Err(e) => return fail(format!("cannot bind loopback endpoint: {e}")),
+    };
+    let addr = server.addr();
+    println!(
+        "serving {deployed} service(s) at http://{addr} (stride {}, {} worker(s), queue {}); \
+         POST {} stops the server",
+        opts.stride,
+        opts.workers,
+        opts.queue,
+        wire::SHUTDOWN_PATH
+    );
+    println!("ready: {addr}");
+    server.wait();
+    println!("server stopped");
+    ExitCode::SUCCESS
+}
+
+/// Options for `wsitool exchange-survey`.
+struct SurveyOpts {
+    stride: usize,
+    transport: ExchangeTransport,
+    addr: Option<std::net::SocketAddr>,
+    shutdown_server: bool,
+}
+
+fn parse_survey_opts(rest: &[&str]) -> Result<SurveyOpts, String> {
+    let mut opts = SurveyOpts {
+        stride: 200,
+        transport: ExchangeTransport::default(),
+        addr: None,
+        shutdown_server: false,
+    };
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i] {
+            "--stride" => {
+                i += 1;
+                opts.stride = parse_flag_value(rest, i, "--stride")?;
+            }
+            "--transport" => {
+                i += 1;
+                let Some(raw) = rest.get(i) else {
+                    return Err("--transport needs `tcp` or `in-process`".to_string());
+                };
+                opts.transport = parse_transport(raw)?;
+            }
+            "--addr" => {
+                i += 1;
+                opts.addr = Some(parse_flag_value(rest, i, "--addr")?);
+            }
+            "--shutdown-server" => opts.shutdown_server = true,
+            bare => return Err(format!("unrecognized argument `{bare}`")),
+        }
+        i += 1;
+    }
+    opts.stride = opts.stride.max(1);
+    if opts.addr.is_some() && opts.transport != ExchangeTransport::TcpLoopback {
+        return Err("--addr only makes sense with --transport tcp".to_string());
+    }
+    Ok(opts)
+}
+
+/// Runs the Communication/Execution survey over either transport.
+///
+/// Everything on stdout except the leading `transport:` line is
+/// byte-identical between `in-process` and `tcp` (experiment E15) —
+/// CI diffs the two outputs with that one line filtered out.
+/// Operational notes go to stderr so they never perturb the diff.
+fn exchange_survey(opts: &SurveyOpts) -> ExitCode {
+    println!("transport: {}", opts.transport);
+    let sites = match opts.transport {
+        ExchangeTransport::InProcess => survey_sites(opts.stride),
+        ExchangeTransport::TcpLoopback => {
+            let client = wire::WireClient::new(wire::WireClientConfig::default());
+            match opts.addr {
+                Some(addr) => {
+                    let sites = wire::survey_tcp(opts.stride, addr, &client);
+                    if opts.shutdown_server {
+                        match client.post(
+                            addr,
+                            wire::SHUTDOWN_PATH,
+                            "",
+                            b"",
+                            wire::SHUTDOWN_PATH,
+                        ) {
+                            Ok(_) => eprintln!("note: asked {addr} to shut down"),
+                            Err(e) => {
+                                return fail(format!(
+                                    "shutdown request to {addr} failed: {}",
+                                    e.reason()
+                                ))
+                            }
+                        }
+                    }
+                    sites
+                }
+                None => {
+                    // Self-host on an ephemeral port: the loopback twin
+                    // of the in-process survey, torn down on the way out.
+                    let server = match wire::WireServer::start(
+                        0,
+                        wire::host_survey_services(opts.stride),
+                        wire::WireServerConfig::default(),
+                    ) {
+                        Ok(server) => server,
+                        Err(e) => return fail(format!("cannot bind loopback endpoint: {e}")),
+                    };
+                    eprintln!("note: self-hosting at {}", server.addr());
+                    let sites = wire::survey_tcp(opts.stride, server.addr(), &client);
+                    server.shutdown();
+                    sites
+                }
+            }
+        }
+    };
+    for site in &sites {
+        println!("  {}/{}: {}", site.server, site.fqcn, site.outcome);
+    }
+    let survey = ExchangeSurvey::tally(&sites);
+    println!(
+        "exchange survey: {} surveyed, {} completed, {} not invocable, {} faulted",
+        survey.total(),
+        survey.completed,
+        survey.not_invocable,
+        survey.faulted
+    );
     ExitCode::SUCCESS
 }
 

@@ -1,0 +1,228 @@
+//! Exhaustive table test for `frameworks::client::classify_error`:
+//! every error-message family each of the eleven clients can emit —
+//! harvested from the generators' own literals — plus the injected
+//! chaos wording and the wire client's stable socket-failure reasons,
+//! each pinned to its expected [`ErrorClass`].
+//!
+//! The table is the contract: a new error family added to a client
+//! without a row here is a test failure waiting to happen in review,
+//! and a classification flip (a diagnostic suddenly tripping circuit
+//! breakers, or a disruption silently ignored) fails loudly.
+
+use wsinterop::core::wire::WireError;
+use wsinterop::frameworks::client::{all_clients, classify_error, ClientId, ErrorClass};
+
+use ErrorClass::{Diagnostic, Disruptive};
+
+/// One row: the emitting client (`None` = shared infrastructure), a
+/// representative message of the family, and the expected class.
+struct Row {
+    client: Option<ClientId>,
+    message: &'static str,
+    expected: ErrorClass,
+}
+
+const fn row(client: ClientId, message: &'static str, expected: ErrorClass) -> Row {
+    Row {
+        client: Some(client),
+        message,
+        expected,
+    }
+}
+
+const fn shared(message: &'static str, expected: ErrorClass) -> Row {
+    Row {
+        client: None,
+        message,
+        expected,
+    }
+}
+
+/// The full table. Message texts mirror the literal `format!` families
+/// in `java_tools.rs`, `dotnet_tools.rs` and `native_tools.rs`; the
+/// shared rows mirror `parse_for_generation`, the chaos layer, and
+/// `wire::WireError::reason`.
+fn table() -> Vec<Row> {
+    vec![
+        // ── Metro wsimport ───────────────────────────────────────────
+        row(ClientId::Metro, "undefined type referenced: `tns:Missing`", Diagnostic),
+        row(
+            ClientId::Metro,
+            "undefined element declaration `{urn:x}payload`",
+            Diagnostic,
+        ),
+        row(
+            ClientId::Metro,
+            "s:schema element reference is not recognized (schema-in-schema)",
+            Diagnostic,
+        ),
+        row(
+            ClientId::Metro,
+            "s:any is not supported in a wrapper content model",
+            Diagnostic,
+        ),
+        row(ClientId::Metro, "the WSDL defines no operations to import", Diagnostic),
+        // ── Axis1 wsdl2java ──────────────────────────────────────────
+        row(ClientId::Axis1, "cannot resolve type `tns:Missing`", Diagnostic),
+        row(ClientId::Axis1, "cannot resolve element `{urn:x}payload`", Diagnostic),
+        row(ClientId::Axis1, "ambiguous repeated s:schema references", Diagnostic),
+        // ── Axis2 wsdl2java ──────────────────────────────────────────
+        row(ClientId::Axis2, "databinding cannot resolve type `tns:Missing`", Diagnostic),
+        row(ClientId::Axis2, "no operations found in the WSDL", Diagnostic),
+        // ── CXF wsdl2java ────────────────────────────────────────────
+        row(ClientId::Cxf, "undefined type referenced: `tns:Missing`", Diagnostic),
+        row(
+            ClientId::Cxf,
+            "undefined element declaration `{urn:x}payload`",
+            Diagnostic,
+        ),
+        row(ClientId::Cxf, "unable to resolve s:schema reference", Diagnostic),
+        row(ClientId::Cxf, "cannot map s:any wrapper content", Diagnostic),
+        // ── JBossWS wsconsume (CXF front-end, same families) ─────────
+        row(ClientId::JBossWs, "undefined type referenced: `tns:Missing`", Diagnostic),
+        row(
+            ClientId::JBossWs,
+            "undefined element declaration `{urn:x}payload`",
+            Diagnostic,
+        ),
+        row(ClientId::JBossWs, "unable to resolve s:schema reference", Diagnostic),
+        row(ClientId::JBossWs, "cannot map s:any wrapper content", Diagnostic),
+        // ── wsdl.exe (C#, VB and JScript share one front-end) ────────
+        row(
+            ClientId::DotnetCs,
+            "unable to import binding: undefined type `tns:Missing`",
+            Diagnostic,
+        ),
+        row(
+            ClientId::DotnetCs,
+            "schema validation: element `{urn:x}payload` is not declared",
+            Diagnostic,
+        ),
+        row(
+            ClientId::DotnetVb,
+            "document-style binding with type= parts is not supported",
+            Diagnostic,
+        ),
+        row(
+            ClientId::DotnetVb,
+            "binding operation is missing its soap:operation extension",
+            Diagnostic,
+        ),
+        row(
+            ClientId::DotnetJs,
+            "no classes were generated: the WSDL defines no operations",
+            Diagnostic,
+        ),
+        // ── gSOAP wsdl2h + soapcpp2 ──────────────────────────────────
+        row(
+            ClientId::Gsoap,
+            "soapcpp2 rejects the wsdl2h header: doc-literal type= parts are inconsistent",
+            Diagnostic,
+        ),
+        row(
+            ClientId::Gsoap,
+            "soapcpp2 rejects the wsdl2h header: choice content model mapped inconsistently",
+            Diagnostic,
+        ),
+        row(ClientId::Gsoap, "wsdl2h: no operations found in the WSDL", Diagnostic),
+        // ── Zend_Soap_Client (dynamic; only the shared parse error) ──
+        row(ClientId::Zend, "cannot read WSDL: unexpected end of document", Diagnostic),
+        // ── suds ─────────────────────────────────────────────────────
+        row(ClientId::Suds, "suds TypeNotFound: `tns:Missing`", Diagnostic),
+        row(ClientId::Suds, "suds TypeNotFound: `{urn:x}payload`", Diagnostic),
+        row(
+            ClientId::Suds,
+            "suds schema cache cannot digest repeated s:schema refs inside a choice",
+            Diagnostic,
+        ),
+        // ── Shared: the one parse front door every tool reports ──────
+        shared("cannot read WSDL: unexpected end of document", Diagnostic),
+        // ── Shared: chaos-layer wording ──────────────────────────────
+        shared("injected fault: artifact generator crashed at gen/x", Disruptive),
+        shared("injected fault: malformed description served", Disruptive),
+        shared("generation timed out after 50 virtual ms", Disruptive),
+        shared("wsdl2java: compiler CRASHED with exit 139", Disruptive),
+        shared("tool panicked: index out of bounds", Disruptive),
+        shared("watchdog: cell hang detected", Disruptive),
+        // ── Shared: the wire client's stable socket reasons ──────────
+        shared("connection refused", Disruptive),
+        shared("connect timeout", Disruptive),
+        shared("read timeout", Disruptive),
+        shared("connection reset", Disruptive),
+        shared("connection closed before a full response", Disruptive),
+        shared("truncated response", Disruptive),
+        // Framing and status errors are diagnostics about the peer's
+        // output, not evidence the client process is unhealthy.
+        shared("malformed response framing: bad start line: `ZZTP/0.9`", Diagnostic),
+        shared("http status 404", Diagnostic),
+    ]
+}
+
+#[test]
+fn every_error_family_classifies_as_pinned() {
+    for r in table() {
+        let who = r
+            .client
+            .map_or("shared".to_string(), |c| c.to_string());
+        assert_eq!(
+            classify_error(r.message),
+            r.expected,
+            "[{who}] {:?}",
+            r.message
+        );
+    }
+}
+
+/// Every one of the eleven clients has at least one row, so a new
+/// client (or a renamed ID) cannot silently fall out of the table.
+#[test]
+fn table_covers_all_eleven_clients() {
+    for id in ClientId::ALL {
+        assert!(
+            table().iter().any(|r| r.client == Some(id)),
+            "no classify_error row covers {id:?}"
+        );
+    }
+    assert_eq!(all_clients().len(), ClientId::ALL.len());
+}
+
+/// The wire client's `reason()` strings are part of the classification
+/// contract: every *transport-level* failure (refused, timeouts,
+/// reset, closed, truncated) must read as Disruptive, while framing
+/// and status reasons stay Diagnostic. Built from the real error
+/// values, not copies of the strings, so a reworded reason cannot
+/// drift away from the table unnoticed.
+#[test]
+fn wire_error_reasons_classify_by_transport_health() {
+    let disruptive = [
+        WireError::Refused,
+        WireError::ConnectTimeout,
+        WireError::Timeout,
+        WireError::Reset,
+        WireError::Closed,
+        WireError::Truncated,
+    ];
+    for e in disruptive {
+        assert_eq!(
+            classify_error(&e.reason()),
+            Disruptive,
+            "{:?} → {}",
+            e,
+            e.reason()
+        );
+    }
+    let diagnostic = [
+        WireError::BadFraming("bad start line".to_string()),
+        WireError::Status(503),
+        WireError::Io("AddrInUse".to_string()),
+    ];
+    for e in diagnostic {
+        assert_eq!(
+            classify_error(&e.reason()),
+            Diagnostic,
+            "{:?} → {}",
+            e,
+            e.reason()
+        );
+    }
+}

@@ -147,6 +147,67 @@ fn campaign_echoes_its_run_config() {
 }
 
 #[test]
+fn usage_errors_exit_2_and_runtime_errors_exit_1() {
+    // Usage: unknown command, unknown flag, unparsable flag value.
+    for args in [
+        &["no-such-command"][..],
+        &["chaos", "--transport", "carrier-pigeon"][..],
+        &["serve", "--port", "not-a-port"][..],
+        &["exchange-survey", "--addr", "127.0.0.1:1"][..], // --addr without tcp
+    ] {
+        let out = wsitool(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+    }
+    // Runtime: well-formed request that fails while executing.
+    for args in [
+        &["deploy", "no.such.Class"][..],
+        &["invoke", "no.such.Class"][..],
+    ] {
+        let out = wsitool(args);
+        assert_eq!(out.status.code(), Some(1), "{args:?}");
+    }
+}
+
+#[test]
+fn exchange_survey_is_transport_invariant() {
+    let in_process = wsitool(&["exchange-survey", "--stride", "200"]);
+    assert!(in_process.status.success());
+    let tcp = wsitool(&["exchange-survey", "--stride", "200", "--transport", "tcp"]);
+    assert!(tcp.status.success());
+
+    let strip = |out: &std::process::Output| {
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| !l.starts_with("transport:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    // E15 at the CLI layer: everything but the transport banner is
+    // byte-identical (this is exactly what the CI smoke step diffs).
+    assert_eq!(strip(&in_process), strip(&tcp));
+    assert!(String::from_utf8_lossy(&in_process.stdout).contains("transport: in-process"));
+    assert!(String::from_utf8_lossy(&tcp.stdout).contains("transport: tcp"));
+    assert!(
+        String::from_utf8_lossy(&tcp.stdout).contains("exchange survey: 38 surveyed"),
+        "{}",
+        String::from_utf8_lossy(&tcp.stdout)
+    );
+}
+
+#[test]
+fn chaos_over_tcp_still_completes_and_reports() {
+    let out = wsitool(&["chaos", "--stride", "400", "--seed", "42", "--transport", "tcp"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("tcp transport"), "{stdout}");
+    assert!(stdout.contains("Fault report"), "{stdout}");
+    assert!(
+        stdout.contains("campaign completed without aborting"),
+        "{stdout}"
+    );
+}
+
+#[test]
 fn journal_inspect_agrees_with_the_campaign_config_hash() {
     let path = std::env::temp_dir().join(format!("wsitool-cli-inspect-{}.journal", std::process::id()));
     let path_str = path.to_str().unwrap();
