@@ -78,6 +78,7 @@ use crate::faults::{
     FaultKind, FaultLog, FaultPlan, FaultReport, PlanClientHook, PlanServerHook, ResilienceConfig,
 };
 use crate::journal::{JournalCell, JournalError, JournalWriter};
+use crate::obs::{Obs, TracePhase};
 use crate::results::{CampaignResults, InstantiationKind, ServiceRecord, TestRecord};
 
 /// Work-queue claim granularity: one `fetch_add` claims a run of this
@@ -111,6 +112,10 @@ pub struct Campaign {
     halt_after_cells: Option<usize>,
     /// How the chaos campaign's Communication-step probes travel.
     transport: ExchangeTransport,
+    /// Observe-only telemetry (`None` for unobserved runs). Excluded
+    /// from [`Campaign::config_hash`]: attaching an observer never
+    /// changes what a campaign produces.
+    obs: Option<Arc<Obs>>,
 }
 
 /// How the Communication-step probes of a chaos campaign travel.
@@ -183,6 +188,7 @@ impl Campaign {
             breaker: None,
             halt_after_cells: None,
             transport: ExchangeTransport::InProcess,
+            obs: None,
         }
     }
 
@@ -323,12 +329,26 @@ impl Campaign {
         self
     }
 
+    /// Attaches an observer: structured phase tracing, the metrics
+    /// registry and the progress meter (see [`crate::obs`]).
+    ///
+    /// Strictly observe-only: the observer is excluded from
+    /// [`Campaign::config_hash`], no pipeline decision reads it, and
+    /// an instrumented run's results, fault report and journal are
+    /// bit-identical to an unobserved run's.
+    #[must_use]
+    pub fn with_observer(mut self, obs: Arc<Obs>) -> Campaign {
+        self.obs = Some(obs);
+        self
+    }
+
     /// The campaign configuration hash pinned into journal headers and
     /// echoed in `wsitool` output: FNV-1a over a canonical rendering
     /// of everything that shapes the *results* — servers, clients,
     /// stride, cache mode, fault plan, resilience budget, breaker.
-    /// Thread count, journal path, resume flag and the halt switch are
-    /// deliberately excluded: they change how a run executes, never
+    /// Thread count, journal path, resume flag, the halt switch and
+    /// the telemetry observer are deliberately excluded: they change
+    /// how a run executes (or what it reports about itself), never
     /// what it produces.
     pub fn config_hash(&self) -> u64 {
         let servers: Vec<String> = self
@@ -402,8 +422,17 @@ impl Campaign {
         &self,
     ) -> Result<(CampaignResults, FaultReport, PipelineStats), JournalError> {
         let analyzer = Analyzer::basic_profile_1_1();
-        let log = FaultLog::new();
-        let cache = DocCache::new();
+        // With an observer attached, the fault log and doc cache
+        // publish their accounting through the shared registry — same
+        // numbers, one instrument namespace. The public report shapes
+        // (`FaultReport`, `PipelineStats`) are unchanged either way.
+        let (log, cache) = match &self.obs {
+            Some(obs) => (
+                FaultLog::with_registry(obs.metrics_arc()),
+                DocCache::with_registry(obs.metrics_arc()),
+            ),
+            None => (FaultLog::new(), DocCache::new()),
+        };
         let mut results = CampaignResults::default();
 
         // Open (or resume) the write-ahead journal before any work: a
@@ -429,6 +458,12 @@ impl Campaign {
                 }
             }
         };
+        // Journal frame accounting flows into the shared registry when
+        // an observer is attached; the journal format is untouched.
+        let writer = match (&self.obs, writer) {
+            (Some(obs), Some(w)) => Some(w.with_metrics(obs.metrics_arc())),
+            (_, w) => w,
+        };
 
         // One breaker per client subsystem, carried across servers in
         // campaign order.
@@ -443,6 +478,10 @@ impl Campaign {
                 .iter()
                 .step_by(self.stride)
                 .collect();
+            if let Some(obs) = &self.obs {
+                obs.metrics()
+                    .add("campaign_deploys_total", entries.len() as u64);
+            }
 
             // Service Description Generation (parallel over entries,
             // claimed in chunks to keep the shared counter cool).
@@ -499,6 +538,10 @@ impl Campaign {
                 writer: writer.as_ref(),
                 prior: &prior,
             };
+            if let Some(obs) = &self.obs {
+                obs.progress()
+                    .add_expected((work.len() * self.clients.len()) as u64);
+            }
             let next_client = std::sync::atomic::AtomicUsize::new(0);
             let workers = self.threads.min(self.clients.len()).max(1);
             std::thread::scope(|scope| {
@@ -541,7 +584,7 @@ impl Campaign {
                 match self.transport {
                     ExchangeTransport::InProcess => {
                         for (record, svc) in &work {
-                            wire_probe(plan, &log, server_id, record, svc);
+                            wire_probe(plan, &log, server_id, record, svc, self.obs.as_deref());
                         }
                     }
                     ExchangeTransport::TcpLoopback => {
@@ -567,6 +610,9 @@ impl Campaign {
             }
         }
         let stats = cache.stats();
+        if let Some(obs) = &self.obs {
+            obs.sync_sink_counters();
+        }
         Ok((results, log.report(), stats))
     }
 
@@ -613,17 +659,31 @@ impl Campaign {
             return Ok(());
         }
 
-        let server = WireServer::start(0, services, WireServerConfig::default())
-            .map_err(JournalError::Io)?;
-        let proxy = FaultProxy::start(server.addr(), plan.clone(), PROBE_DEADLINE_MS)
-            .map_err(JournalError::Io)?;
+        let registry = self.obs.as_ref().map(|o| o.metrics_arc());
+        let server_config = WireServerConfig {
+            metrics: registry.clone(),
+            ..WireServerConfig::default()
+        };
+        let server = WireServer::start(0, services, server_config).map_err(JournalError::Io)?;
+        let proxy = FaultProxy::start_with_metrics(
+            server.addr(),
+            plan.clone(),
+            PROBE_DEADLINE_MS,
+            registry.clone(),
+        )
+        .map_err(JournalError::Io)?;
         let config = WireClientConfig {
             read_timeout: std::time::Duration::from_millis(PROBE_DEADLINE_MS),
+            metrics: registry,
             ..WireClientConfig::from_resilience(&self.resilience)
         };
         let client = WireClient::new(config).with_plan(plan.clone());
 
         for (record, svc, wire, sock, wire_key, sock_key) in planned {
+            let obs = self.obs.as_deref();
+            let span = obs.map(|o| {
+                o.begin_phase(TracePhase::Wire, server_id.name(), None, &record.fqcn)
+            });
             if let Some(w) = wire {
                 log.injected(w.kind(), &wire_key);
             }
@@ -652,6 +712,20 @@ impl Campaign {
             }
             if sock.is_some() {
                 log.resolve(&sock_key, detected);
+            }
+            if let (Some(o), Some(span)) = (obs, span) {
+                let site = if wire.is_some() { &wire_key } else { &sock_key };
+                o.end_phase(
+                    TracePhase::Wire,
+                    server_id.name(),
+                    None,
+                    &record.fqcn,
+                    if detected { "detected" } else { "masked" },
+                    Some(site),
+                    0,
+                    false,
+                    span,
+                );
             }
         }
         proxy.shutdown();
@@ -700,20 +774,29 @@ impl Campaign {
         log: &FaultLog,
         cache: &DocCache,
     ) -> (ServiceRecord, Option<Arc<ParsedService>>) {
+        let obs = self.obs.as_deref();
+        let span = obs.map(|o| {
+            o.begin_phase(
+                TracePhase::Describe,
+                server_id.name(),
+                None,
+                &entry.fqcn,
+            )
+        });
+        let mut retries = 0u32;
         let outcome = match &self.faults {
             None => server.deploy(entry),
             Some(plan) => {
                 let hook = PlanServerHook::new(plan, log, &self.resilience, server_id);
                 let faulty = FaultyServer::new(server, &hook);
-                let mut retry = 0u32;
                 loop {
                     match faulty.deploy(entry) {
                         DeployOutcome::Refused { reason }
                             if is_transient_refusal(&reason)
-                                && retry < self.resilience.max_retries =>
+                                && retries < self.resilience.max_retries =>
                         {
-                            log.retried(self.resilience.backoff_for(retry));
-                            retry += 1;
+                            log.retried(self.resilience.backoff_for(retries));
+                            retries += 1;
                         }
                         other => break other,
                     }
@@ -781,6 +864,30 @@ impl Campaign {
                 log.resolve(&site, !record.deployed || record.description_warning);
             }
         }
+        if let (Some(o), Some(span)) = (obs, span) {
+            let outcome_label = if !record.deployed {
+                "refused"
+            } else if record.description_warning {
+                "warning"
+            } else {
+                "deployed"
+            };
+            let site = self
+                .faults
+                .is_some()
+                .then(|| deploy_site(server_id, &entry.fqcn));
+            o.end_phase(
+                TracePhase::Describe,
+                server_id.name(),
+                None,
+                &entry.fqcn,
+                outcome_label,
+                site.as_deref(),
+                u64::from(retries),
+                false,
+                span,
+            );
+        }
         (record, wsdl)
     }
 
@@ -803,6 +910,15 @@ impl Campaign {
         let client_id = client.info().id;
         let key = (env.server_id, client_id, record.fqcn.clone());
         let site = gen_site(env.server_id, client_id, &record.fqcn);
+        let obs = self.obs.as_deref();
+        let span = obs.map(|o| {
+            o.begin_phase(
+                TracePhase::Generate,
+                env.server_id.name(),
+                Some(client_id.name()),
+                &record.fqcn,
+            )
+        });
 
         let (cell, replayed) = if self.breaker.is_some() && state.should_skip() {
             // Open breaker: the cell is never executed; it is recorded
@@ -848,6 +964,32 @@ impl Campaign {
                 writer.append(&cell);
             }
         }
+        if let (Some(o), Some(span)) = (obs, span) {
+            let outcome_label = if cell.breaker_skipped {
+                "breaker-skipped"
+            } else if replayed {
+                "replayed"
+            } else if cell.record.gen_error {
+                "error"
+            } else if cell.record.gen_warning {
+                "warning"
+            } else {
+                "success"
+            };
+            o.end_phase(
+                TracePhase::Generate,
+                env.server_id.name(),
+                Some(client_id.name()),
+                &record.fqcn,
+                outcome_label,
+                self.faults.is_some().then_some(site.as_str()),
+                0,
+                cell.breaker_skipped,
+                span,
+            );
+            o.metrics().inc("campaign_cells_total");
+            o.progress().cell_done(o.clock());
+        }
         cell.record
     }
 
@@ -869,12 +1011,13 @@ impl Campaign {
     ) -> JournalCell {
         let server_id = env.server_id;
         let (log, cache) = (env.log, env.cache);
+        let obs = self.obs.as_deref();
         let Some(plan) = &self.faults else {
             if self.doc_cache {
-                return run_test(server_id, record, svc, client, cache);
+                return run_test(server_id, record, svc, client, cache, obs);
             }
             cache.note_text_generate();
-            return run_test_text(server_id, record, svc.wsdl_xml(), client);
+            return run_test_text(server_id, record, svc.wsdl_xml(), client, obs);
         };
 
         // Chaos cells over a fault-damaged description are accounted
@@ -891,7 +1034,7 @@ impl Campaign {
         let faulty = FaultyClient::new(client, &hook, site.clone());
         let mut cell = if self.resilience.isolate_panics {
             match catch_unwind(AssertUnwindSafe(|| {
-                run_test_text(server_id, record, wsdl, &faulty)
+                run_test_text(server_id, record, wsdl, &faulty, obs)
             })) {
                 Ok(cell) => cell,
                 Err(_) => {
@@ -917,7 +1060,7 @@ impl Campaign {
                 }
             }
         } else {
-            run_test_text(server_id, record, wsdl, &faulty)
+            run_test_text(server_id, record, wsdl, &faulty, obs)
         };
 
         if let Some(virtual_ms) = plan.slow_virtual_ms(&site) {
@@ -986,11 +1129,20 @@ fn wire_probe(
     server_id: ServerId,
     record: &ServiceRecord,
     svc: &ParsedService,
+    obs: Option<&Obs>,
 ) {
     let site = wire_site(server_id, &record.fqcn);
     let Some(wire) = plan.wire_fault(&site) else {
         return;
     };
+    let span = obs.map(|o| {
+        o.begin_phase(
+            TracePhase::Exchange,
+            server_id.name(),
+            None,
+            &record.fqcn,
+        )
+    });
     log.injected(wire.kind(), &site);
     let detected = match svc.first_operation() {
         // No invocable operation (or unparseable description): the
@@ -1001,6 +1153,19 @@ fn wire_probe(
         }
     };
     log.resolve(&site, detected);
+    if let (Some(o), Some(span)) = (obs, span) {
+        o.end_phase(
+            TracePhase::Exchange,
+            server_id.name(),
+            None,
+            &record.fqcn,
+            if detected { "detected" } else { "masked" },
+            Some(&site),
+            0,
+            false,
+            span,
+        );
+    }
 }
 
 /// One fault-free test over the shared parse (the parse-once path).
@@ -1010,10 +1175,11 @@ fn run_test(
     svc: &ParsedService,
     client: &dyn ClientSubsystem,
     cache: &DocCache,
+    obs: Option<&Obs>,
 ) -> JournalCell {
     let info = client.info();
     let outcome = cache.generate(client, svc);
-    classify_outcome(server_id, record, info, outcome)
+    classify_outcome(server_id, record, info, outcome, obs)
 }
 
 /// One test over description *text* — the tool-fidelity path, kept for
@@ -1024,10 +1190,11 @@ fn run_test_text(
     record: &ServiceRecord,
     wsdl: &str,
     client: &dyn ClientSubsystem,
+    obs: Option<&Obs>,
 ) -> JournalCell {
     let info = client.info();
     let outcome = client.generate(wsdl);
-    classify_outcome(server_id, record, info, outcome)
+    classify_outcome(server_id, record, info, outcome, obs)
 }
 
 /// The classification steps shared by both generation paths, plus the
@@ -1039,6 +1206,7 @@ fn classify_outcome(
     record: &ServiceRecord,
     info: wsinterop_frameworks::client::ClientInfo,
     outcome: wsinterop_frameworks::client::GenOutcome,
+    obs: Option<&Obs>,
 ) -> JournalCell {
     let mut test = TestRecord {
         server: server_id,
@@ -1054,6 +1222,18 @@ fn classify_outcome(
     };
 
     if let Some(bundle) = &outcome.artifacts {
+        // The compile span covers artifact classification only —
+        // compilation for static clients, instantiation for dynamic
+        // ones. Cells that never produced artifacts have no compile
+        // phase to time.
+        let span = obs.map(|o| {
+            o.begin_phase(
+                TracePhase::Compile,
+                server_id.name(),
+                Some(info.id.name()),
+                &record.fqcn,
+            )
+        });
         match info.compilation {
             CompilationMode::Dynamic => {
                 // Classification step for dynamic clients: instantiate
@@ -1084,6 +1264,32 @@ fn classify_outcome(
                     test.compiler_crashed = compiled.crashed;
                 }
             }
+        }
+        if let (Some(o), Some(span)) = (obs, span) {
+            let outcome_label = if test.compiler_crashed {
+                "crashed"
+            } else if test.compile_error
+                || test.instantiation == Some(InstantiationKind::Failed)
+            {
+                "error"
+            } else if test.compile_warning
+                || test.instantiation == Some(InstantiationKind::Empty)
+            {
+                "warning"
+            } else {
+                "success"
+            };
+            o.end_phase(
+                TracePhase::Compile,
+                server_id.name(),
+                Some(info.id.name()),
+                &record.fqcn,
+                outcome_label,
+                None,
+                0,
+                false,
+                span,
+            );
         }
     }
 

@@ -31,7 +31,6 @@
 //! of) the memo shared by pristine sites.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use wsinterop_frameworks::client::facts::DocFacts;
@@ -39,6 +38,19 @@ use wsinterop_frameworks::client::{parse_for_generation, ClientId, ClientSubsyst
 use wsinterop_wsdl::Definitions;
 
 use crate::faults::lock_unpoisoned;
+use crate::obs::MetricsRegistry;
+
+/// Registry names for the cache's instruments. Private: the public
+/// surface is [`PipelineStats`]; the names are documented in
+/// DESIGN.md §11 and visible through `wsitool metrics`.
+const M_PARSES: &str = "doccache_parses_total";
+const M_DOC_HITS: &str = "doccache_doc_memo_hits_total";
+const M_GEN_RUNS: &str = "doccache_gen_runs_total";
+const M_GEN_HITS: &str = "doccache_gen_memo_hits_total";
+const M_FAULT_BYPASSES: &str = "doccache_fault_bypasses_total";
+const M_TEXT_GENERATES: &str = "doccache_text_generates_total";
+const M_FAULT_TEXT_GENERATES: &str = "doccache_fault_text_generates_total";
+const M_JOURNAL_REPLAYS: &str = "journal_cells_replayed_total";
 
 /// One service description, parsed exactly once.
 #[derive(Debug)]
@@ -133,24 +145,31 @@ pub fn content_hash(bytes: &[u8]) -> u64 {
 
 /// Campaign-wide content-addressed memo over parsed descriptions and
 /// per-client generation outcomes, with hit/miss accounting.
+///
+/// The hit/miss counters are registry-backed instruments
+/// (`doccache_*` / `journal_cells_replayed_total`): an uninstrumented
+/// cache owns a private [`MetricsRegistry`]; an instrumented campaign
+/// shares its observer's, so `wsitool metrics` sees the same numbers
+/// [`DocCache::stats`] reports.
 #[derive(Debug, Default)]
 pub struct DocCache {
     docs: Mutex<HashMap<u64, Arc<ParsedService>>>,
     gen: Mutex<HashMap<(ClientId, u64), GenOutcome>>,
-    parses: AtomicUsize,
-    doc_hits: AtomicUsize,
-    gen_runs: AtomicUsize,
-    gen_hits: AtomicUsize,
-    fault_bypasses: AtomicUsize,
-    text_generates: AtomicUsize,
-    fault_text_generates: AtomicUsize,
-    journal_replays: AtomicUsize,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl DocCache {
-    /// A fresh, empty cache.
+    /// A fresh, empty cache with a private metrics registry.
     pub fn new() -> DocCache {
         DocCache::default()
+    }
+
+    /// A fresh cache publishing its accounting into `metrics`.
+    pub fn with_registry(metrics: Arc<MetricsRegistry>) -> DocCache {
+        DocCache {
+            metrics,
+            ..DocCache::default()
+        }
     }
 
     /// Parses `wsdl_xml` through the content-addressed memo: the first
@@ -160,16 +179,16 @@ impl DocCache {
         let hash = content_hash(wsdl_xml.as_bytes());
         if let Some(hit) = lock_unpoisoned(&self.docs).get(&hash) {
             if hit.wsdl_xml == wsdl_xml {
-                self.doc_hits.fetch_add(1, Ordering::Relaxed);
+                self.metrics.inc(M_DOC_HITS);
                 return Arc::clone(hit);
             }
             // A 64-bit collision between distinct documents: parse
             // fresh and keep it out of both memos. Correctness never
             // depends on the hash being collision-free.
-            self.parses.fetch_add(1, Ordering::Relaxed);
+            self.metrics.inc(M_PARSES);
             return Arc::new(ParsedService::parse_uncached(wsdl_xml));
         }
-        self.parses.fetch_add(1, Ordering::Relaxed);
+        self.metrics.inc(M_PARSES);
         let mut svc = ParsedService::parse_uncached(wsdl_xml);
         svc.memoizable = true;
         let svc = Arc::new(svc);
@@ -184,8 +203,8 @@ impl DocCache {
     /// bytes must hit the real parser and must never be shared with
     /// (or served to) pristine sites.
     pub fn parse_bypassing_memo(&self, wsdl_xml: String) -> Arc<ParsedService> {
-        self.parses.fetch_add(1, Ordering::Relaxed);
-        self.fault_bypasses.fetch_add(1, Ordering::Relaxed);
+        self.metrics.inc(M_PARSES);
+        self.metrics.inc(M_FAULT_BYPASSES);
         let mut svc = ParsedService::parse_uncached(wsdl_xml);
         svc.fault_damaged = true;
         Arc::new(svc)
@@ -194,7 +213,7 @@ impl DocCache {
     /// Parses outside the memo for a cache-disabled run (counted as a
     /// plain parse, not a fault bypass).
     pub fn parse_unshared(&self, wsdl_xml: String) -> Arc<ParsedService> {
-        self.parses.fetch_add(1, Ordering::Relaxed);
+        self.metrics.inc(M_PARSES);
         Arc::new(ParsedService::parse_uncached(wsdl_xml))
     }
 
@@ -212,11 +231,11 @@ impl DocCache {
         let key = (client.info().id, svc.content_hash);
         if svc.memoizable {
             if let Some(hit) = lock_unpoisoned(&self.gen).get(&key) {
-                self.gen_hits.fetch_add(1, Ordering::Relaxed);
+                self.metrics.inc(M_GEN_HITS);
                 return hit.clone();
             }
         }
-        self.gen_runs.fetch_add(1, Ordering::Relaxed);
+        self.metrics.inc(M_GEN_RUNS);
         let outcome = client.generate_from(defs, facts);
         if svc.memoizable {
             lock_unpoisoned(&self.gen)
@@ -229,8 +248,8 @@ impl DocCache {
     /// Records one text-path generation (cache-disabled or chaos cells,
     /// where the tool re-parses the text itself).
     pub fn note_text_generate(&self) {
-        self.parses.fetch_add(1, Ordering::Relaxed);
-        self.text_generates.fetch_add(1, Ordering::Relaxed);
+        self.metrics.inc(M_PARSES);
+        self.metrics.inc(M_TEXT_GENERATES);
     }
 
     /// Records one text-path generation over a **fault-damaged**
@@ -239,28 +258,30 @@ impl DocCache {
     /// its bypass parse lands in `fault_bypasses` and its generations
     /// here, never in `text_generates` too.
     pub fn note_fault_generate(&self) {
-        self.parses.fetch_add(1, Ordering::Relaxed);
-        self.fault_text_generates.fetch_add(1, Ordering::Relaxed);
+        self.metrics.inc(M_PARSES);
+        self.metrics.inc(M_FAULT_TEXT_GENERATES);
     }
 
     /// Records one cell replayed from a resume journal (no parse, no
     /// generation — the outcome came off disk).
     pub fn note_journal_replay(&self) {
-        self.journal_replays.fetch_add(1, Ordering::Relaxed);
+        self.metrics.inc(M_JOURNAL_REPLAYS);
     }
 
-    /// Snapshot of the parse/memo accounting.
+    /// Snapshot of the parse/memo accounting, read back from the
+    /// registry (same instruments `wsitool metrics` exports).
     pub fn stats(&self) -> PipelineStats {
+        let counter = |name| self.metrics.counter(name) as usize;
         PipelineStats {
-            parses: self.parses.load(Ordering::Relaxed),
-            doc_memo_hits: self.doc_hits.load(Ordering::Relaxed),
+            parses: counter(M_PARSES),
+            doc_memo_hits: counter(M_DOC_HITS),
             distinct_docs: lock_unpoisoned(&self.docs).len(),
-            gen_runs: self.gen_runs.load(Ordering::Relaxed),
-            gen_memo_hits: self.gen_hits.load(Ordering::Relaxed),
-            fault_bypasses: self.fault_bypasses.load(Ordering::Relaxed),
-            text_generates: self.text_generates.load(Ordering::Relaxed),
-            fault_text_generates: self.fault_text_generates.load(Ordering::Relaxed),
-            journal_replays: self.journal_replays.load(Ordering::Relaxed),
+            gen_runs: counter(M_GEN_RUNS),
+            gen_memo_hits: counter(M_GEN_HITS),
+            fault_bypasses: counter(M_FAULT_BYPASSES),
+            text_generates: counter(M_TEXT_GENERATES),
+            fault_text_generates: counter(M_FAULT_TEXT_GENERATES),
+            journal_replays: counter(M_JOURNAL_REPLAYS),
         }
     }
 }

@@ -366,6 +366,15 @@ pub fn first_survey_operation(wsdl_xml: &str) -> Option<String> {
 /// at each site. [`crate::wire::survey_tcp`] is the loopback-TCP
 /// counterpart; E15 asserts the two are bit-identical.
 pub fn survey_sites(stride: usize) -> Vec<SurveySite> {
+    survey_sites_observed(stride, None)
+}
+
+/// [`survey_sites`] with an optional telemetry observer: each surveyed
+/// site becomes one `exchange` phase span (outcome `completed`,
+/// `fault`, or `cannot-invoke`). Observation never changes the survey —
+/// the sites come out identical with or without an observer.
+pub fn survey_sites_observed(stride: usize, obs: Option<&crate::obs::Obs>) -> Vec<SurveySite> {
+    use crate::obs::TracePhase;
     use wsinterop_frameworks::server::{all_servers, DeployOutcome};
 
     let mut out = Vec::new();
@@ -375,12 +384,32 @@ pub fn survey_sites(stride: usize) -> Vec<SurveySite> {
             let DeployOutcome::Deployed { wsdl_xml } = server.deploy(entry) else {
                 continue;
             };
+            let span = obs
+                .map(|o| o.begin_phase(TracePhase::Exchange, server.info().id.name(), None, &entry.fqcn));
             let outcome = match first_survey_operation(&wsdl_xml) {
                 None => ExchangeOutcome::ClientCannotInvoke {
                     reason: "no operations in the description".to_string(),
                 },
                 Some(op) => exchange(&wsdl_xml, &op, SURVEY_PROBE),
             };
+            if let (Some(o), Some(span)) = (obs, span) {
+                let label = match &outcome {
+                    ExchangeOutcome::Completed { .. } => "completed",
+                    ExchangeOutcome::ClientCannotInvoke { .. } => "cannot-invoke",
+                    _ => "fault",
+                };
+                o.end_phase(
+                    TracePhase::Exchange,
+                    server.info().id.name(),
+                    None,
+                    &entry.fqcn,
+                    label,
+                    None,
+                    0,
+                    false,
+                    span,
+                );
+            }
             out.push(SurveySite {
                 server: server_name.clone(),
                 fqcn: entry.fqcn.clone(),

@@ -35,8 +35,7 @@
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use wsinterop_frameworks::client::{ClientId, ClientSubsystem, GenOutcome};
 use wsinterop_frameworks::fault::{
@@ -578,18 +577,33 @@ impl BreakerState {
     }
 }
 
+/// Registry instrument names for the fault accounting. The labeled
+/// per-kind counters append `{kind="<display name>"}`.
+const M_INJECTED: &str = "faults_injected_total";
+const M_DETECTED: &str = "faults_detected_total";
+const M_MASKED: &str = "faults_masked_total";
+const M_RETRIES: &str = "faults_retries_total";
+const M_BACKOFF_MS: &str = "faults_backoff_virtual_ms_total";
+const M_DEADLINE_HITS: &str = "faults_deadline_hits_total";
+const M_PANICS: &str = "faults_panics_isolated_total";
+const M_WATCHDOG: &str = "faults_watchdog_cells_total";
+const M_BREAKER_TRIPS: &str = "faults_breaker_trips_total";
+
+fn kind_counter(base: &str, kind: FaultKind) -> String {
+    format!("{base}{{kind=\"{kind}\"}}")
+}
+
 /// Thread-safe fault accounting for one campaign run.
+///
+/// The counts live in a [`MetricsRegistry`] (`faults_*` instruments):
+/// an uninstrumented log owns a private registry, an instrumented
+/// campaign shares its observer's — so [`FaultLog::report`] and
+/// `wsitool metrics` read the same numbers. The registry is
+/// observe-only; the resolution state (which kinds hit which sites)
+/// stays in the site maps below.
 #[derive(Debug, Default)]
 pub struct FaultLog {
-    injected: [AtomicUsize; FaultKind::ALL.len()],
-    detected: [AtomicUsize; FaultKind::ALL.len()],
-    masked: [AtomicUsize; FaultKind::ALL.len()],
-    retries: AtomicUsize,
-    backoff_ms: AtomicUsize,
-    deadline_hits: AtomicUsize,
-    panics_isolated: AtomicUsize,
-    watchdog_cells: AtomicUsize,
-    breaker_trips: AtomicUsize,
+    metrics: Arc<crate::obs::MetricsRegistry>,
     /// Injected kinds per site, pending resolution into
     /// detected/masked.
     sites: Mutex<BTreeMap<String, Vec<FaultKind>>>,
@@ -598,9 +612,17 @@ pub struct FaultLog {
 }
 
 impl FaultLog {
-    /// A fresh, empty log.
+    /// A fresh, empty log with a private metrics registry.
     pub fn new() -> FaultLog {
         FaultLog::default()
+    }
+
+    /// A fresh log publishing its accounting into `metrics`.
+    pub fn with_registry(metrics: Arc<crate::obs::MetricsRegistry>) -> FaultLog {
+        FaultLog {
+            metrics,
+            ..FaultLog::default()
+        }
     }
 
     /// Records an injection of `kind` at `site` (idempotent per
@@ -610,35 +632,34 @@ impl FaultLog {
         let kinds = sites.entry(site.to_string()).or_default();
         if !kinds.contains(&kind) {
             kinds.push(kind);
-            self.injected[kind.index()].fetch_add(1, Ordering::Relaxed);
+            self.metrics.inc(&kind_counter(M_INJECTED, kind));
         }
     }
 
     /// Records one retry and its virtual backoff.
     pub fn retried(&self, backoff_ms: u64) {
-        self.retries.fetch_add(1, Ordering::Relaxed);
-        self.backoff_ms
-            .fetch_add(backoff_ms as usize, Ordering::Relaxed);
+        self.metrics.inc(M_RETRIES);
+        self.metrics.add(M_BACKOFF_MS, backoff_ms);
     }
 
     /// Records a step exceeding its deadline budget.
     pub fn deadline_hit(&self) {
-        self.deadline_hits.fetch_add(1, Ordering::Relaxed);
+        self.metrics.inc(M_DEADLINE_HITS);
     }
 
     /// Records one isolated panic.
     pub fn panic_isolated(&self) {
-        self.panics_isolated.fetch_add(1, Ordering::Relaxed);
+        self.metrics.inc(M_PANICS);
     }
 
     /// Records one cell killed by the per-cell watchdog.
     pub fn watchdog_cell(&self) {
-        self.watchdog_cells.fetch_add(1, Ordering::Relaxed);
+        self.metrics.inc(M_WATCHDOG);
     }
 
     /// Records one circuit-breaker trip.
     pub fn breaker_tripped(&self) {
-        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+        self.metrics.inc(M_BREAKER_TRIPS);
     }
 
     /// Records one cell skipped by an open breaker (idempotent per
@@ -653,9 +674,9 @@ impl FaultLog {
     pub fn resolve(&self, site: &str, detected: bool) {
         let kinds = lock_unpoisoned(&self.sites).get(site).cloned();
         let Some(kinds) = kinds else { return };
-        let bucket = if detected { &self.detected } else { &self.masked };
+        let base = if detected { M_DETECTED } else { M_MASKED };
         for kind in kinds {
-            bucket[kind.index()].fetch_add(1, Ordering::Relaxed);
+            self.metrics.inc(&kind_counter(base, kind));
         }
     }
 
@@ -664,30 +685,31 @@ impl FaultLog {
         lock_unpoisoned(&self.sites).contains_key(site)
     }
 
-    /// Snapshot of the accounting.
+    /// Snapshot of the accounting, read back from the registry (the
+    /// same instruments `wsitool metrics` exports).
     pub fn report(&self) -> FaultReport {
         let sites = lock_unpoisoned(&self.sites);
+        let counter = |name: &str| self.metrics.counter(name) as usize;
         FaultReport {
             per_kind: FaultKind::ALL
                 .iter()
                 .map(|&kind| {
-                    let i = kind.index();
                     (
                         kind,
                         FaultCounts {
-                            injected: self.injected[i].load(Ordering::Relaxed),
-                            detected: self.detected[i].load(Ordering::Relaxed),
-                            masked: self.masked[i].load(Ordering::Relaxed),
+                            injected: counter(&kind_counter(M_INJECTED, kind)),
+                            detected: counter(&kind_counter(M_DETECTED, kind)),
+                            masked: counter(&kind_counter(M_MASKED, kind)),
                         },
                     )
                 })
                 .collect(),
-            retries_spent: self.retries.load(Ordering::Relaxed),
-            backoff_ms: self.backoff_ms.load(Ordering::Relaxed) as u64,
-            deadline_hits: self.deadline_hits.load(Ordering::Relaxed),
-            panics_isolated: self.panics_isolated.load(Ordering::Relaxed),
-            watchdog_cells: self.watchdog_cells.load(Ordering::Relaxed),
-            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            retries_spent: counter(M_RETRIES),
+            backoff_ms: self.metrics.counter(M_BACKOFF_MS),
+            deadline_hits: counter(M_DEADLINE_HITS),
+            panics_isolated: counter(M_PANICS),
+            watchdog_cells: counter(M_WATCHDOG),
+            breaker_trips: counter(M_BREAKER_TRIPS),
             breaker_skipped_sites: lock_unpoisoned(&self.breaker_skipped).clone(),
             affected_sites: sites.keys().cloned().collect(),
         }

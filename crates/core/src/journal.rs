@@ -423,6 +423,9 @@ pub struct JournalWriter {
     /// stand-in for the resume smoke test.
     halt_after: Option<usize>,
     error: Mutex<Option<std::io::Error>>,
+    /// Observe-only mirror: when an observer is attached, each append
+    /// also bumps `journal_frames_written_total`.
+    metrics: Option<std::sync::Arc<crate::obs::MetricsRegistry>>,
 }
 
 impl fmt::Debug for JournalWriter {
@@ -453,6 +456,7 @@ impl JournalWriter {
             appended: AtomicUsize::new(0),
             halt_after,
             error: Mutex::new(None),
+            metrics: None,
         })
     }
 
@@ -480,6 +484,7 @@ impl JournalWriter {
                 appended: AtomicUsize::new(0),
                 halt_after,
                 error: Mutex::new(None),
+                metrics: None,
             },
             read,
         ))
@@ -497,6 +502,9 @@ impl JournalWriter {
             return;
         }
         let n = self.appended.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(metrics) = &self.metrics {
+            metrics.inc("journal_frames_written_total");
+        }
         if self.halt_after.is_some_and(|halt| n >= halt) {
             // The deterministic kill: drop dead mid-campaign, exactly
             // like a SIGKILL, leaving the journal behind. The file
@@ -506,6 +514,18 @@ impl JournalWriter {
             let _ = file.sync_all();
             std::process::exit(i32::from(HALT_EXIT_CODE));
         }
+    }
+
+    /// Attaches a metrics registry: every subsequent append also
+    /// increments `journal_frames_written_total` (observe-only — the
+    /// on-disk format and halt semantics are untouched).
+    #[must_use]
+    pub fn with_metrics(
+        mut self,
+        metrics: std::sync::Arc<crate::obs::MetricsRegistry>,
+    ) -> JournalWriter {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Number of records appended by this writer.

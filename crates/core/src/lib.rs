@@ -52,6 +52,7 @@ pub mod expected;
 pub mod export;
 pub mod faults;
 pub mod journal;
+pub mod obs;
 pub mod registry;
 pub mod report;
 pub mod results;
@@ -61,4 +62,5 @@ pub use campaign::Campaign;
 pub use doccache::{DocCache, ParsedService, PipelineStats};
 pub use faults::{BreakerConfig, FaultKind, FaultPlan, FaultReport, ResilienceConfig};
 pub use journal::{JournalCell, JournalError, JournalWriter};
+pub use obs::{Clock, MetricsRegistry, Obs, TraceEvent, TracePhase, TraceSink};
 pub use results::{CampaignResults, InstantiationKind, ServiceRecord, TestRecord};

@@ -1,0 +1,574 @@
+//! Structured trace events and the bounded in-memory sink.
+//!
+//! Every campaign cell emits enter/exit events for the pipeline phases
+//! it runs (describe → generate → compile, plus exchange/wire probes).
+//! Events carry the full cell identity — server, client, type id —
+//! and on exit the outcome, fault site, retry count, breaker state and
+//! duration, so a single JSON line is enough to place a failure inside
+//! the pipeline without consulting aggregate tables.
+//!
+//! The sink is a mutex + ring buffer bounded at a fixed capacity.
+//! Overflow is **never silent**: evicting an old event (or refusing an
+//! oversized serialized line) increments a dropped counter that the
+//! exporter reports as `obs_events_dropped`.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::faults::lock_unpoisoned;
+use crate::obs::metrics::json_string;
+
+/// Default ring-buffer capacity: enough for a stride-200 campaign's
+/// full event stream (~2 events × ~1.5k spans) with headroom.
+pub const DEFAULT_SINK_CAPACITY: usize = 16_384;
+
+/// Serialized trace lines longer than this are counted as dropped
+/// rather than truncated mid-JSON (a truncated line would be worse
+/// than a missing one: it poisons every downstream line parser).
+pub const MAX_EVENT_LINE_BYTES: usize = 64 * 1024;
+
+/// Pipeline phase a trace event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// Service Description Generation (deploy + WS-I check).
+    Describe,
+    /// Client Artifact Generation.
+    Generate,
+    /// Client Artifact Compilation / instantiation.
+    Compile,
+    /// In-process SOAP message exchange (E13/E14).
+    Exchange,
+    /// Real-socket exchange over the loopback transport (E15).
+    Wire,
+}
+
+impl TracePhase {
+    /// Stable lowercase name used in JSON lines and metric names.
+    pub fn name(self) -> &'static str {
+        match self {
+            TracePhase::Describe => "describe",
+            TracePhase::Generate => "generate",
+            TracePhase::Compile => "compile",
+            TracePhase::Exchange => "exchange",
+            TracePhase::Wire => "wire",
+        }
+    }
+
+    /// The phase's aggregate latency-histogram name
+    /// (`phase_<name>_ns`), precomposed so the per-span hot path never
+    /// formats it.
+    pub fn metric_ns(self) -> &'static str {
+        match self {
+            TracePhase::Describe => "phase_describe_ns",
+            TracePhase::Generate => "phase_generate_ns",
+            TracePhase::Compile => "phase_compile_ns",
+            TracePhase::Exchange => "phase_exchange_ns",
+            TracePhase::Wire => "phase_wire_ns",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<TracePhase> {
+        Some(match name {
+            "describe" => TracePhase::Describe,
+            "generate" => TracePhase::Generate,
+            "compile" => TracePhase::Compile,
+            "exchange" => TracePhase::Exchange,
+            "wire" => TracePhase::Wire,
+            _ => return None,
+        })
+    }
+}
+
+/// Span boundary: `enter` opens a phase, `exit` closes it with the
+/// outcome and duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Phase started.
+    Enter,
+    /// Phase finished.
+    Exit,
+}
+
+impl TraceKind {
+    fn name(self) -> &'static str {
+        match self {
+            TraceKind::Enter => "enter",
+            TraceKind::Exit => "exit",
+        }
+    }
+}
+
+/// One structured trace event (one JSON line in `--trace-out`).
+///
+/// Identity fields are zero-copy where the producers allow it: the
+/// campaign's server/client/outcome labels are `&'static str`
+/// (`ServerId::name` etc.), so they ride as borrowed [`Cow`]s, and the
+/// type id is a shared [`std::sync::Arc`] — the hot path allocates for
+/// the cell identity once, not once per field per event. The JSON
+/// reader half necessarily produces the owned variants; equality
+/// compares contents either way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global sequence number assigned by the sink at record time.
+    pub seq: u64,
+    /// Pipeline phase.
+    pub phase: TracePhase,
+    /// Enter or exit.
+    pub kind: TraceKind,
+    /// Server framework name (`"Metro"`, `"JBossWS CXF"`, ...).
+    pub server: std::borrow::Cow<'static, str>,
+    /// Client subsystem name, when the phase involves one.
+    pub client: Option<std::borrow::Cow<'static, str>>,
+    /// Fully-qualified platform type under test.
+    pub type_id: std::sync::Arc<str>,
+    /// Exit-side outcome (`"success"`, `"warning"`, `"error"`,
+    /// `"refused"`, `"replayed"`, ...).
+    pub outcome: Option<std::borrow::Cow<'static, str>>,
+    /// Fault-plan site key, when a fault plan governs this span.
+    pub fault_site: Option<String>,
+    /// Retries consumed by the resilient executor for this span.
+    pub retries: u64,
+    /// True when the per-client circuit breaker was open for the cell.
+    pub breaker_open: bool,
+    /// Exit-side duration in nanoseconds.
+    pub dur_ns: Option<u64>,
+}
+
+impl TraceEvent {
+    /// A minimal enter event for `phase`; callers fill in identity.
+    pub fn enter(
+        phase: TracePhase,
+        server: impl Into<std::borrow::Cow<'static, str>>,
+        type_id: impl Into<std::sync::Arc<str>>,
+    ) -> TraceEvent {
+        TraceEvent {
+            seq: 0,
+            phase,
+            kind: TraceKind::Enter,
+            server: server.into(),
+            client: None,
+            type_id: type_id.into(),
+            outcome: None,
+            fault_site: None,
+            retries: 0,
+            breaker_open: false,
+            dur_ns: None,
+        }
+    }
+
+    /// The matching exit event with an outcome and duration.
+    pub fn exit(
+        mut self,
+        outcome: impl Into<std::borrow::Cow<'static, str>>,
+        dur_ns: u64,
+    ) -> TraceEvent {
+        self.kind = TraceKind::Exit;
+        self.outcome = Some(outcome.into());
+        self.dur_ns = Some(dur_ns);
+        self
+    }
+
+    /// Attach a client name.
+    pub fn with_client(mut self, client: impl Into<std::borrow::Cow<'static, str>>) -> TraceEvent {
+        self.client = Some(client.into());
+        self
+    }
+
+    /// Attach the fault-plan site key.
+    pub fn with_fault_site(mut self, site: &str) -> TraceEvent {
+        self.fault_site = Some(site.to_string());
+        self
+    }
+
+    /// Attach retry count and breaker state.
+    pub fn with_resilience(mut self, retries: u64, breaker_open: bool) -> TraceEvent {
+        self.retries = retries;
+        self.breaker_open = breaker_open;
+        self
+    }
+
+    /// Serialize as one JSON object on one line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(160);
+        out.push('{');
+        push_field(&mut out, "seq", &self.seq.to_string(), false);
+        push_field(&mut out, "phase", &json_string(self.phase.name()), true);
+        push_field(&mut out, "kind", &json_string(self.kind.name()), true);
+        push_field(&mut out, "server", &json_string(&self.server), true);
+        match &self.client {
+            Some(c) => push_field(&mut out, "client", &json_string(c), true),
+            None => push_field(&mut out, "client", "null", true),
+        }
+        push_field(&mut out, "type", &json_string(&self.type_id), true);
+        match &self.outcome {
+            Some(o) => push_field(&mut out, "outcome", &json_string(o), true),
+            None => push_field(&mut out, "outcome", "null", true),
+        }
+        match &self.fault_site {
+            Some(s) => push_field(&mut out, "fault_site", &json_string(s), true),
+            None => push_field(&mut out, "fault_site", "null", true),
+        }
+        push_field(&mut out, "retries", &self.retries.to_string(), true);
+        push_field(
+            &mut out,
+            "breaker_open",
+            if self.breaker_open { "true" } else { "false" },
+            true,
+        );
+        match self.dur_ns {
+            Some(d) => push_field(&mut out, "dur_ns", &d.to_string(), true),
+            None => push_field(&mut out, "dur_ns", "null", true),
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parse one JSON line produced by [`TraceEvent::to_json_line`].
+    ///
+    /// This is the reader half of the round-trip contract: it accepts
+    /// exactly the flat shape the writer emits (string / integer /
+    /// bool / null values, no nesting) and returns `None` on anything
+    /// else rather than guessing.
+    pub fn from_json_line(line: &str) -> Option<TraceEvent> {
+        let fields = parse_flat_object(line.trim())?;
+        let get = |k: &str| fields.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+        let str_of = |v: &JsonValue| match v {
+            JsonValue::Str(s) => Some(s.clone()),
+            _ => None,
+        };
+        let opt_str = |v: &JsonValue| match v {
+            JsonValue::Str(s) => Some(Some(s.clone())),
+            JsonValue::Null => Some(None),
+            _ => None,
+        };
+        let num = |v: &JsonValue| match v {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        };
+        Some(TraceEvent {
+            seq: num(get("seq")?)?,
+            phase: TracePhase::from_name(&str_of(get("phase")?)?)?,
+            kind: match str_of(get("kind")?)?.as_str() {
+                "enter" => TraceKind::Enter,
+                "exit" => TraceKind::Exit,
+                _ => return None,
+            },
+            server: str_of(get("server")?)?.into(),
+            client: opt_str(get("client")?)?.map(Into::into),
+            type_id: str_of(get("type")?)?.into(),
+            outcome: opt_str(get("outcome")?)?.map(Into::into),
+            fault_site: opt_str(get("fault_site")?)?,
+            retries: num(get("retries")?)?,
+            breaker_open: match get("breaker_open")? {
+                JsonValue::Bool(b) => *b,
+                _ => return None,
+            },
+            dur_ns: match get("dur_ns")? {
+                JsonValue::Num(n) => Some(*n),
+                JsonValue::Null => None,
+                _ => return None,
+            },
+        })
+    }
+}
+
+fn push_field(out: &mut String, key: &str, rendered: &str, comma: bool) {
+    if comma {
+        out.push(',');
+    }
+    out.push_str(&json_string(key));
+    out.push(':');
+    out.push_str(rendered);
+}
+
+/// Values the flat trace-line parser understands.
+enum JsonValue {
+    Str(String),
+    Num(u64),
+    Bool(bool),
+    Null,
+}
+
+/// Parse `{"k":v,...}` with string/integer/bool/null values only.
+fn parse_flat_object(line: &str) -> Option<Vec<(String, JsonValue)>> {
+    let inner = line.strip_prefix('{')?.strip_suffix('}')?;
+    let bytes = inner.as_bytes();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let (key, next) = parse_json_string(inner, i)?;
+        i = skip_ws(bytes, next);
+        if bytes.get(i) != Some(&b':') {
+            return None;
+        }
+        i = skip_ws(bytes, i + 1);
+        let (value, next) = parse_json_value(inner, i)?;
+        fields.push((key, value));
+        i = skip_ws(bytes, next);
+        match bytes.get(i) {
+            Some(b',') => i = skip_ws(bytes, i + 1),
+            None => break,
+            _ => return None,
+        }
+    }
+    Some(fields)
+}
+
+fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+    while bytes.get(i).is_some_and(|b| b.is_ascii_whitespace()) {
+        i += 1;
+    }
+    i
+}
+
+fn parse_json_value(src: &str, i: usize) -> Option<(JsonValue, usize)> {
+    let bytes = src.as_bytes();
+    match bytes.get(i)? {
+        b'"' => parse_json_string(src, i).map(|(s, n)| (JsonValue::Str(s), n)),
+        b't' => src[i..]
+            .starts_with("true")
+            .then_some((JsonValue::Bool(true), i + 4)),
+        b'f' => src[i..]
+            .starts_with("false")
+            .then_some((JsonValue::Bool(false), i + 5)),
+        b'n' => src[i..].starts_with("null").then_some((JsonValue::Null, i + 4)),
+        b'0'..=b'9' => {
+            let mut end = i;
+            while bytes.get(end).is_some_and(u8::is_ascii_digit) {
+                end += 1;
+            }
+            src[i..end].parse().ok().map(|n| (JsonValue::Num(n), end))
+        }
+        _ => None,
+    }
+}
+
+fn parse_json_string(src: &str, i: usize) -> Option<(String, usize)> {
+    let bytes = src.as_bytes();
+    if bytes.get(i) != Some(&b'"') {
+        return None;
+    }
+    let mut out = String::new();
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'"' => return Some((out, j + 1)),
+            b'\\' => {
+                j += 1;
+                match bytes.get(j)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = src.get(j + 1..j + 5)?;
+                        let code = u32::from_str_radix(hex, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        j += 4;
+                    }
+                    _ => return None,
+                }
+                j += 1;
+            }
+            _ => {
+                // Multi-byte chars: copy the whole char, advance by its len.
+                let c = src[j..].chars().next()?;
+                out.push(c);
+                j += c.len_utf8();
+            }
+        }
+    }
+    None
+}
+
+/// The bounded in-memory trace sink, optionally teeing every event to
+/// a JSON-lines file (`--trace-out`).
+#[derive(Debug)]
+pub struct TraceSink {
+    buf: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+    /// Next sequence number == total events ever offered, so this one
+    /// atomic serves both [`TraceSink::record`]'s numbering and
+    /// [`TraceSink::recorded`].
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    /// Mirrors `out.is_some()` so the hot record path can skip the
+    /// file mutex (and the serialization) when nothing streams.
+    has_out: std::sync::atomic::AtomicBool,
+    out: Mutex<Option<File>>,
+    write_error: Mutex<Option<String>>,
+}
+
+impl TraceSink {
+    /// A sink holding at most `capacity` events in memory.
+    pub fn with_capacity(capacity: usize) -> TraceSink {
+        TraceSink {
+            // Reserve the whole ring up front (bounded at 64Ki events)
+            // so no grow-realloc ever happens inside the record lock.
+            buf: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 65_536))),
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            has_out: std::sync::atomic::AtomicBool::new(false),
+            out: Mutex::new(None),
+            write_error: Mutex::new(None),
+        }
+    }
+
+    /// Stream every subsequent event to `path` as JSON lines.
+    pub fn set_output(&self, path: &Path) -> std::io::Result<()> {
+        let file = File::create(path)?;
+        *lock_unpoisoned(&self.out) = Some(file);
+        self.has_out.store(true, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Record one event: assigns its sequence number, appends it to
+    /// the ring (evicting — and counting — the oldest on overflow) and
+    /// streams it to the output file when one is set. Oversized
+    /// serialized lines are counted as dropped instead of written.
+    pub fn record(&self, mut event: TraceEvent) {
+        event.seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if self.has_out.load(Ordering::Relaxed) {
+            let mut out = lock_unpoisoned(&self.out);
+            if let Some(file) = out.as_mut() {
+                let line = event.to_json_line();
+                if line.len() > MAX_EVENT_LINE_BYTES {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                } else if let Err(e) = writeln!(file, "{line}") {
+                    let mut err = lock_unpoisoned(&self.write_error);
+                    if err.is_none() {
+                        *err = Some(e.to_string());
+                    }
+                }
+            }
+        }
+        let mut buf = lock_unpoisoned(&self.buf);
+        if buf.len() >= self.capacity {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(event);
+    }
+
+    /// Total events offered to the sink.
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Events evicted on overflow or refused as oversized — the value
+    /// the exporter publishes as `obs_events_dropped`.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// First trace-file write error, if any (latched, like the journal
+    /// writer's).
+    pub fn write_error(&self) -> Option<String> {
+        lock_unpoisoned(&self.write_error).clone()
+    }
+
+    /// Drain and return the buffered events in arrival order.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        lock_unpoisoned(&self.buf).drain(..).collect()
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.buf).len()
+    }
+
+    /// True when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for TraceSink {
+    fn default() -> TraceSink {
+        TraceSink::with_capacity(DEFAULT_SINK_CAPACITY)
+    }
+}
+
+/// Read a JSON-lines trace file back into events, skipping blank
+/// lines; returns `None` if any non-blank line fails to parse.
+pub fn read_trace_lines(text: &str) -> Option<Vec<TraceEvent>> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(TraceEvent::from_json_line)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceEvent {
+        TraceEvent::enter(TracePhase::Generate, "Metro", "java.util.Date")
+            .with_client("Axis1 wsdl2java")
+            .with_fault_site("gen/Metro/Axis1/java.util.Date")
+            .with_resilience(2, false)
+            .exit("warning", 123_456)
+    }
+
+    #[test]
+    fn json_line_round_trips() {
+        let mut event = sample();
+        event.seq = 7;
+        let line = event.to_json_line();
+        let parsed = TraceEvent::from_json_line(&line).expect("parses");
+        assert_eq!(parsed, event);
+    }
+
+    #[test]
+    fn enter_events_round_trip_nulls() {
+        let event = TraceEvent::enter(TracePhase::Describe, "WCF .NET", "System.Data.DataSet");
+        let parsed = TraceEvent::from_json_line(&event.to_json_line()).expect("parses");
+        assert_eq!(parsed, event);
+        assert_eq!(parsed.client, None);
+        assert_eq!(parsed.dur_ns, None);
+    }
+
+    #[test]
+    fn escaped_strings_survive() {
+        let mut event = sample();
+        event.type_id = "weird\"quote\\back\nnew".to_string();
+        let parsed = TraceEvent::from_json_line(&event.to_json_line()).expect("parses");
+        assert_eq!(parsed.type_id, event.type_id);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in ["", "{", "{\"seq\":}", "[1,2]", "{\"seq\":1}", "not json"] {
+            assert!(TraceEvent::from_json_line(bad).is_none(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn overflow_counts_drops_never_silently() {
+        let sink = TraceSink::with_capacity(2);
+        for _ in 0..5 {
+            sink.record(sample());
+        }
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.recorded(), 5);
+        assert_eq!(sink.dropped(), 3);
+        let drained = sink.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].seq, 3, "oldest evicted first");
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn read_trace_lines_skips_blanks_and_rejects_garbage() {
+        let a = sample().to_json_line();
+        let text = format!("{a}\n\n{a}\n");
+        assert_eq!(read_trace_lines(&text).expect("parses").len(), 2);
+        assert!(read_trace_lines("garbage\n").is_none());
+    }
+}

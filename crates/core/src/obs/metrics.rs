@@ -1,0 +1,378 @@
+//! A deterministic metrics registry: named counters and fixed-bucket
+//! latency histograms.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Observe-only.** Nothing in the campaign reads a metric back to
+//!    make a decision; the registry only accumulates.
+//! 2. **Stable output.** Rendering is keyed by `BTreeMap`, so the
+//!    Prometheus text and JSON forms are byte-stable for a given set
+//!    of values — tests diff them directly.
+//! 3. **Zero dependencies.** `std` only; the histogram buckets are a
+//!    fixed power-of-two ladder so two registries filled with the same
+//!    observations render identically with no float formatting drift.
+//!
+//! Metric names follow Prometheus conventions (`snake_case`, unit
+//! suffix); labels are baked into the name string by the caller (e.g.
+//! `phase_generate_ns{client="Axis1",server="Metro"}`) which keeps the
+//! registry itself label-agnostic.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Upper bounds (inclusive, in nanoseconds) of the fixed histogram
+/// buckets: a power-of-two ladder from 1µs to ~8.6s, plus an implicit
+/// overflow bucket. 24 buckets cover every latency this pipeline can
+/// produce without per-registry configuration.
+pub const BUCKET_BOUNDS_NS: [u64; 24] = {
+    let mut bounds = [0u64; 24];
+    let mut i = 0;
+    while i < 24 {
+        bounds[i] = 1_000u64 << i; // 1µs, 2µs, 4µs, ... ~8.59s
+        i += 1;
+    }
+    bounds
+};
+
+/// One fixed-bucket latency histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-bucket observation counts; index i counts values
+    /// `<= BUCKET_BOUNDS_NS[i]` (cumulative-free, i.e. disjoint bins).
+    pub buckets: [u64; BUCKET_BOUNDS_NS.len() + 1],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values (saturating).
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+/// Disjoint-bin index for one observation.
+fn bucket_index(value_ns: u64) -> usize {
+    BUCKET_BOUNDS_NS
+        .iter()
+        .position(|&bound| value_ns <= bound)
+        .unwrap_or(BUCKET_BOUNDS_NS.len())
+}
+
+impl Histogram {
+    /// Accumulate one observation into this snapshot (offline
+    /// aggregation and tests; the live path goes through
+    /// [`MetricsRegistry::observe_ns`]).
+    pub fn observe(&mut self, value_ns: u64) {
+        self.buckets[bucket_index(value_ns)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value_ns);
+        self.max = self.max.max(value_ns);
+    }
+
+    /// The bucket upper bound at or above quantile `q` (0.0..=1.0).
+    ///
+    /// Quantiles are reported as bucket bounds, not interpolated
+    /// values: that makes them deterministic (two identical bucket
+    /// vectors always report identical quantiles) at the cost of
+    /// granularity no finer than the bucket ladder.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return BUCKET_BOUNDS_NS.get(i).copied().unwrap_or(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// The live, lock-free-on-the-hot-path histogram cell. Per-field
+/// relaxed atomics: accumulation commutes, so the totals are exact
+/// regardless of interleaving; a snapshot taken *while* observers are
+/// still running may be momentarily torn across fields, which is fine
+/// for an observe-only layer that exports after the run quiesces.
+#[derive(Debug)]
+struct AtomicHistogram {
+    buckets: [AtomicU64; BUCKET_BOUNDS_NS.len() + 1],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl AtomicHistogram {
+    fn new() -> AtomicHistogram {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, value_ns: u64) {
+        self.buckets[bucket_index(value_ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(value_ns))
+            });
+        self.max.fetch_max(value_ns, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Poison-tolerant read lock (same policy as
+/// [`crate::faults::lock_unpoisoned`]: instruments hold no invariants
+/// a panicked observer could have broken mid-update).
+fn read_unpoisoned<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn write_unpoisoned<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The registry. The steady-state increment path is a shared read
+/// lock plus a relaxed atomic add — worker threads never serialize on
+/// each other once an instrument exists; the write lock is taken only
+/// the first time a name appears.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, AtomicU64>>,
+    histograms: RwLock<BTreeMap<String, AtomicHistogram>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add 1 to counter `name`, creating it at zero first if needed.
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Add `delta` to counter `name`.
+    pub fn add(&self, name: &str, delta: u64) {
+        {
+            let counters = read_unpoisoned(&self.counters);
+            if let Some(c) = counters.get(name) {
+                c.fetch_add(delta, Ordering::Relaxed);
+                return;
+            }
+        }
+        write_unpoisoned(&self.counters)
+            .entry(name.to_string())
+            .or_insert_with(|| AtomicU64::new(0))
+            .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value of counter `name` (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        read_unpoisoned(&self.counters)
+            .get(name)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Record one latency observation into histogram `name`.
+    pub fn observe_ns(&self, name: &str, value_ns: u64) {
+        {
+            let histograms = read_unpoisoned(&self.histograms);
+            if let Some(h) = histograms.get(name) {
+                h.observe(value_ns);
+                return;
+            }
+        }
+        write_unpoisoned(&self.histograms)
+            .entry(name.to_string())
+            .or_insert_with(AtomicHistogram::new)
+            .observe(value_ns);
+    }
+
+    /// Snapshot of histogram `name`, if it has ever been observed.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        read_unpoisoned(&self.histograms)
+            .get(name)
+            .map(AtomicHistogram::snapshot)
+    }
+
+    /// All counter (name, value) pairs in name order.
+    pub fn counters_snapshot(&self) -> Vec<(String, u64)> {
+        read_unpoisoned(&self.counters)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// All histogram (name, snapshot) pairs in name order.
+    pub fn histograms_snapshot(&self) -> Vec<(String, Histogram)> {
+        read_unpoisoned(&self.histograms)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+
+    /// Render every instrument as Prometheus-style text: counters as
+    /// `name value` lines, histograms as `_count`/`_sum`/`_max` plus
+    /// the deterministic quantile gauges. Output is sorted by name and
+    /// stable for a given set of values.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.counters_snapshot() {
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, h) in self.histograms_snapshot() {
+            let (base, labels) = split_labels(&name);
+            let _ = writeln!(out, "{base}_count{labels} {}", h.count);
+            let _ = writeln!(out, "{base}_sum{labels} {}", h.sum);
+            let _ = writeln!(out, "{base}_max{labels} {}", h.max);
+            let _ = writeln!(out, "{base}_p50{labels} {}", h.quantile_ns(0.50));
+            let _ = writeln!(out, "{base}_p95{labels} {}", h.quantile_ns(0.95));
+            let _ = writeln!(out, "{base}_p99{labels} {}", h.quantile_ns(0.99));
+        }
+        out
+    }
+
+    /// Render every instrument as a single JSON object:
+    /// `{"counters": {...}, "histograms": {name: {count, sum, max,
+    /// p50, p95, p99, buckets: [...]}}}`. Key order is sorted, so the
+    /// output is stable.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, value)) in self.counters_snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{value}", json_string(name));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms_snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+                json_string(name),
+                h.count,
+                h.sum,
+                h.max,
+                h.quantile_ns(0.50),
+                h.quantile_ns(0.95),
+                h.quantile_ns(0.99),
+            );
+            for (j, n) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{n}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Split `phase_generate_ns{server="Metro"}` into
+/// (`phase_generate_ns`, `{server="Metro"}`) so histogram suffixes
+/// (`_count`, `_p95`, ...) attach to the base name, not after the
+/// label set.
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(i) => (&name[..i], &name[i..]),
+        None => (name, ""),
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_render_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.inc("zeta_total");
+        reg.add("alpha_total", 5);
+        reg.inc("alpha_total");
+        assert_eq!(reg.counter("alpha_total"), 6);
+        assert_eq!(reg.counter("missing"), 0);
+        let text = reg.render_prometheus();
+        let alpha = text.find("alpha_total 6").expect("alpha rendered");
+        let zeta = text.find("zeta_total 1").expect("zeta rendered");
+        assert!(alpha < zeta, "sorted order:\n{text}");
+    }
+
+    #[test]
+    fn histogram_buckets_quantiles_and_overflow() {
+        let mut h = Histogram::default();
+        for v in [500, 1_000, 3_000, 1_000_000, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.max, u64::MAX);
+        assert_eq!(h.buckets[0], 2); // 500 and 1_000 both <= 1µs bound
+        assert_eq!(*h.buckets.last().unwrap(), 1); // overflow bucket
+        assert_eq!(h.quantile_ns(0.5), BUCKET_BOUNDS_NS[2]); // 3_000 <= 4µs
+        assert_eq!(h.quantile_ns(1.0), h.max);
+        assert_eq!(Histogram::default().quantile_ns(0.99), 0);
+    }
+
+    #[test]
+    fn renders_are_stable_and_labels_split() {
+        let reg = MetricsRegistry::new();
+        reg.observe_ns("phase_generate_ns{server=\"Metro\"}", 2_000);
+        reg.inc("cells_total");
+        assert_eq!(reg.render_prometheus(), reg.render_prometheus());
+        assert_eq!(reg.render_json(), reg.render_json());
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("phase_generate_ns_count{server=\"Metro\"} 1"),
+            "{text}"
+        );
+        let json = reg.render_json();
+        assert!(json.contains("\"counters\":{\"cells_total\":1}"), "{json}");
+    }
+
+    #[test]
+    fn json_escaping_covers_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -12,6 +12,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 use crate::faults::{FaultPlan, ResilienceConfig};
+use crate::obs::{MetricsRegistry, Stopwatch};
 
 use super::http::{self, HttpError, HttpLimits, Response};
 
@@ -84,6 +85,22 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// A stable low-cardinality label for the error-counter family — the
+/// taxonomy variant name, never free-form detail text.
+fn error_label(e: &WireError) -> &'static str {
+    match e {
+        WireError::Refused => "refused",
+        WireError::ConnectTimeout => "connect-timeout",
+        WireError::Timeout => "timeout",
+        WireError::Reset => "reset",
+        WireError::Closed => "closed",
+        WireError::Truncated => "truncated",
+        WireError::BadFraming(_) => "bad-framing",
+        WireError::Status(_) => "status",
+        WireError::Io(_) => "io",
+    }
+}
+
 fn from_http(e: HttpError) -> WireError {
     match e {
         HttpError::Timeout => WireError::Timeout,
@@ -124,6 +141,12 @@ pub struct WireClientConfig {
     pub backoff_ms: Vec<u64>,
     /// Cap on the seeded jitter added to each backoff.
     pub jitter_cap_ms: u64,
+    /// Optional shared telemetry registry. When set, the client counts
+    /// requests, retries, and terminal errors by stable reason
+    /// (`wire_client_*_total`), tallies usable responses by status
+    /// code, and feeds the whole-request latency histogram
+    /// (`wire_client_request_ns`, retries included). Observe-only.
+    pub metrics: Option<std::sync::Arc<MetricsRegistry>>,
 }
 
 impl Default for WireClientConfig {
@@ -136,6 +159,7 @@ impl Default for WireClientConfig {
             max_retries: 2,
             backoff_ms: vec![1, 2, 4],
             jitter_cap_ms: 3,
+            metrics: None,
         }
     }
 }
@@ -206,11 +230,19 @@ impl WireClient {
         body: &[u8],
         site: &str,
     ) -> Result<Response, WireError> {
+        let metrics = self.config.metrics.as_deref();
+        if let Some(m) = metrics {
+            m.inc("wire_client_requests_total");
+        }
+        let span = metrics.map(|_| Stopwatch::real());
         let mut attempt = 0u32;
-        loop {
+        let result = loop {
             match self.request_once(addr, method, target, soap_action, body) {
-                Ok(response) => return Ok(response),
+                Ok(response) => break Ok(response),
                 Err(e) if e.retryable() && attempt < self.config.max_retries => {
+                    if let Some(m) = metrics {
+                        m.inc("wire_client_retries_total");
+                    }
                     let backoff = self.backoff_for(attempt);
                     let jitter = self
                         .plan
@@ -220,9 +252,23 @@ impl WireClient {
                     std::thread::sleep(Duration::from_millis(backoff + jitter));
                     attempt += 1;
                 }
-                Err(e) => return Err(e),
+                Err(e) => break Err(e),
+            }
+        };
+        if let (Some(m), Some(span)) = (metrics, span) {
+            m.observe_ns("wire_client_request_ns", span.elapsed_ns());
+            match &result {
+                Ok(response) => m.inc(&format!(
+                    "wire_client_status_total{{code=\"{}\"}}",
+                    response.status
+                )),
+                Err(e) => m.inc(&format!(
+                    "wire_client_errors_total{{reason=\"{}\"}}",
+                    error_label(e)
+                )),
             }
         }
+        result
     }
 
     fn backoff_for(&self, attempt: u32) -> u64 {

@@ -27,6 +27,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::faults::{FaultPlan, SocketFault, WireFault};
+use crate::obs::MetricsRegistry;
 
 use super::http;
 
@@ -50,6 +51,9 @@ struct ProxyShared {
     stop: AtomicBool,
     /// Connections on which at least one fault was applied.
     faulted: AtomicUsize,
+    /// Optional telemetry registry: relayed-connection and
+    /// injected-fault counters (`wire_proxy_*_total`).
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl FaultProxy {
@@ -62,6 +66,19 @@ impl FaultProxy {
         plan: FaultPlan,
         client_deadline_ms: u64,
     ) -> io::Result<FaultProxy> {
+        FaultProxy::start_with_metrics(upstream, plan, client_deadline_ms, None)
+    }
+
+    /// [`FaultProxy::start`] with a telemetry registry attached:
+    /// `wire_proxy_connections_total` counts every relayed connection,
+    /// `wire_proxy_faults_injected_total` those carrying at least one
+    /// applied fault. Observe-only — relay behaviour is unchanged.
+    pub fn start_with_metrics(
+        upstream: SocketAddr,
+        plan: FaultPlan,
+        client_deadline_ms: u64,
+        metrics: Option<Arc<MetricsRegistry>>,
+    ) -> io::Result<FaultProxy> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(ProxyShared {
@@ -70,6 +87,7 @@ impl FaultProxy {
             client_deadline_ms,
             stop: AtomicBool::new(false),
             faulted: AtomicUsize::new(0),
+            metrics,
         });
         let loop_shared = Arc::clone(&shared);
         let handle = std::thread::spawn(move || {
@@ -208,8 +226,14 @@ fn relay_connection(shared: &ProxyShared, mut downstream: TcpStream) {
     let sock = shared
         .plan
         .socket_fault(&format!("sock{path}"), shared.client_deadline_ms);
+    if let Some(metrics) = &shared.metrics {
+        metrics.inc("wire_proxy_connections_total");
+    }
     if wire.is_some() || sock.is_some() {
         shared.faulted.fetch_add(1, Ordering::SeqCst);
+        if let Some(metrics) = &shared.metrics {
+            metrics.inc("wire_proxy_faults_injected_total");
+        }
     }
 
     // Faults that never touch the upstream.

@@ -33,6 +33,7 @@ use wsinterop_xml::writer::{write_document, WriteOptions};
 
 use crate::exchange::serve_echo;
 use crate::faults::lock_unpoisoned;
+use crate::obs::{MetricsRegistry, Stopwatch};
 
 use super::http::{self, HttpError, HttpLimits, Request};
 
@@ -97,6 +98,13 @@ pub struct WireServerConfig {
     pub limits: HttpLimits,
     /// Maximum requests served per keep-alive connection.
     pub keep_alive_requests: usize,
+    /// Optional shared telemetry registry. When set, the endpoint
+    /// mirrors every [`WireStats`] counter into it
+    /// (`wire_server_*_total`), tallies responses by status code
+    /// (`wire_server_responses_total{code="..."}`) and feeds the
+    /// per-request latency histogram (`wire_server_request_ns`).
+    /// Observe-only: responses are byte-identical with or without it.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for WireServerConfig {
@@ -108,6 +116,7 @@ impl Default for WireServerConfig {
             write_timeout: Duration::from_millis(2000),
             limits: HttpLimits::default(),
             keep_alive_requests: 64,
+            metrics: None,
         }
     }
 }
@@ -238,6 +247,14 @@ impl WireServer {
     }
 }
 
+/// Bumps a registry counter when the endpoint carries one — the
+/// telemetry mirror of the adjacent `WireStats` `fetch_add`.
+fn inc_metric(shared: &Shared, name: &str) {
+    if let Some(metrics) = &shared.config.metrics {
+        metrics.inc(name);
+    }
+}
+
 fn request_stop(shared: &Shared) {
     if shared.stop.swap(true, Ordering::SeqCst) {
         return;
@@ -268,6 +285,7 @@ fn accept_loop(
             return;
         }
         shared.stats.accepted.fetch_add(1, Ordering::SeqCst);
+        inc_metric(shared, "wire_server_accepted_total");
         shared.stats.queued.fetch_add(1, Ordering::SeqCst);
         match tx.try_send(stream) {
             Ok(()) => {}
@@ -276,6 +294,7 @@ fn accept_loop(
                 // shed *now* rather than queue unboundedly.
                 shared.stats.queued.fetch_sub(1, Ordering::SeqCst);
                 shared.stats.shed.fetch_add(1, Ordering::SeqCst);
+                inc_metric(shared, "wire_server_shed_total");
                 shed(shared, stream, "worker pool saturated");
             }
             Err(TrySendError::Disconnected(_)) => return,
@@ -330,6 +349,7 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
                 // keep-alive connection just gets closed.
                 if served_before == 0 {
                     shared.stats.timeouts.fetch_add(1, Ordering::SeqCst);
+                    inc_metric(shared, "wire_server_timeouts_total");
                     let _ = http::write_response(
                         &mut stream,
                         408,
@@ -347,6 +367,7 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
                 | HttpError::HeadersTooLarge,
             ) => {
                 shared.stats.oversized.fetch_add(1, Ordering::SeqCst);
+                inc_metric(shared, "wire_server_oversized_total");
                 let _ = http::write_response(
                     &mut stream,
                     413,
@@ -363,6 +384,7 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
                 | HttpError::BadContentLength,
             ) => {
                 shared.stats.malformed.fetch_add(1, Ordering::SeqCst);
+                inc_metric(shared, "wire_server_malformed_total");
                 let _ = http::write_response(
                     &mut stream,
                     400,
@@ -381,7 +403,12 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
         let close = !request.keep_alive
             || served_before + 1 == config.keep_alive_requests
             || shared.stop.load(Ordering::SeqCst);
-        if !respond(shared, &mut stream, &request, close) || close {
+        let span = shared.config.metrics.as_ref().map(|_| Stopwatch::real());
+        let ok = respond(shared, &mut stream, &request, close);
+        if let (Some(metrics), Some(span)) = (&shared.config.metrics, span) {
+            metrics.observe_ns("wire_server_request_ns", span.elapsed_ns());
+        }
+        if !ok || close {
             return;
         }
     }
@@ -400,14 +427,17 @@ fn respond(shared: &Shared, stream: &mut TcpStream, request: &Request, close: bo
             ("GET", p) => match shared.services.get(p) {
                 Some(service) if request.query() == Some("wsdl") => {
                     shared.stats.served.fetch_add(1, Ordering::SeqCst);
+                    inc_metric(shared, "wire_server_served_total");
                     (200, "OK", "text/xml", service.wsdl_xml.clone().into_bytes())
                 }
                 Some(_) => {
                     shared.stats.malformed.fetch_add(1, Ordering::SeqCst);
+                    inc_metric(shared, "wire_server_malformed_total");
                     (400, "Bad Request", "text/plain", b"expected ?wsdl".to_vec())
                 }
                 None => {
                     shared.stats.not_found.fetch_add(1, Ordering::SeqCst);
+                    inc_metric(shared, "wire_server_not_found_total");
                     (404, "Not Found", "text/plain", b"no such service".to_vec())
                 }
             },
@@ -415,24 +445,34 @@ fn respond(shared: &Shared, stream: &mut TcpStream, request: &Request, close: bo
                 Some(service) => match soap_response(service, &request.body) {
                     Ok((status, xml)) => {
                         shared.stats.served.fetch_add(1, Ordering::SeqCst);
+                        inc_metric(shared, "wire_server_served_total");
                         let reason = if status == 200 { "OK" } else { "Internal Server Error" };
                         (status, reason, "text/xml", xml.into_bytes())
                     }
                     Err(detail) => {
                         shared.stats.malformed.fetch_add(1, Ordering::SeqCst);
+                        inc_metric(shared, "wire_server_malformed_total");
                         (400, "Bad Request", "text/plain", detail.into_bytes())
                     }
                 },
                 None => {
                     shared.stats.not_found.fetch_add(1, Ordering::SeqCst);
+                    inc_metric(shared, "wire_server_not_found_total");
                     (404, "Not Found", "text/plain", b"no such service".to_vec())
                 }
             },
             _ => {
                 shared.stats.not_found.fetch_add(1, Ordering::SeqCst);
+                inc_metric(shared, "wire_server_not_found_total");
                 (405, "Method Not Allowed", "text/plain", b"GET or POST only".to_vec())
             }
         };
+    if shared.config.metrics.is_some() {
+        inc_metric(
+            shared,
+            &format!("wire_server_responses_total{{code=\"{status}\"}}"),
+        );
+    }
     http::write_response(stream, status, reason, content_type, &body, close).is_ok()
 }
 

@@ -81,9 +81,12 @@ impl ClientId {
     }
 }
 
-impl fmt::Display for ClientId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+impl ClientId {
+    /// The toolchain's display name as a static string (also what
+    /// [`fmt::Display`] prints) — allocation-free, so hot paths like
+    /// telemetry span labels can use it directly.
+    pub fn name(self) -> &'static str {
+        match self {
             ClientId::Metro => "Metro wsimport",
             ClientId::Axis1 => "Axis1 wsdl2java",
             ClientId::Axis2 => "Axis2 wsdl2java",
@@ -95,7 +98,13 @@ impl fmt::Display for ClientId {
             ClientId::Gsoap => "gSOAP wsdl2h+soapcpp2",
             ClientId::Zend => "Zend_Soap_Client",
             ClientId::Suds => "suds",
-        })
+        }
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 

@@ -34,16 +34,23 @@ pub enum ServerId {
 impl ServerId {
     /// All servers, in the paper's Table I order.
     pub const ALL: [ServerId; 3] = [ServerId::Metro, ServerId::JBossWs, ServerId::WcfDotNet];
-}
 
-impl fmt::Display for ServerId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+    /// The platform's display name as a static string (also what
+    /// [`fmt::Display`] prints) — allocation-free, so hot paths like
+    /// telemetry span labels can use it directly.
+    pub fn name(self) -> &'static str {
+        match self {
             ServerId::Metro => "Metro",
             ServerId::JBossWs => "JBossWS CXF",
             ServerId::WcfDotNet => "WCF .NET",
             ServerId::Axis2Java => "Axis2 (server)",
-        })
+        }
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 

@@ -10,7 +10,12 @@
 //! wsitool campaign [stride]             # run the (sub-)campaign, print reports
 //!   [--journal FILE] [--resume]         #   …crash-safe: journal cells, resume
 //!   [--breaker N[,C]]                   #   …per-client circuit breaker
+//!   [--trace-out FILE] [--metrics-out FILE] [--quiet]
+//!                                       #   …telemetry: JSON-lines trace, metrics
+//!                                       #   snapshot, suppress progress + report
 //! wsitool chaos [--stride N] [--seed N] # fault-injected campaign + fault report
+//! wsitool metrics [--stride N] [--seed N] [--json] [--out FILE]
+//!                                       # deterministic instrumented-campaign metrics
 //! wsitool journal inspect <file>        # decode a campaign journal
 //! wsitool invoke <fqcn> [value]         # deploy + typed echo roundtrip
 //! wsitool export [stride] [dir]         # run + write services.tsv / tests.tsv
@@ -36,8 +41,9 @@
 use std::process::ExitCode;
 
 use wsinterop::core::campaign::ExchangeTransport;
-use wsinterop::core::exchange::{survey_sites, ExchangeSurvey};
+use wsinterop::core::exchange::{survey_sites_observed, ExchangeSurvey};
 use wsinterop::core::faults::BreakerConfig;
+use wsinterop::core::obs::{Clock, Obs};
 use wsinterop::core::registry::ServiceHost;
 use wsinterop::core::report::{Fig4, TableIII, Totals};
 use wsinterop::core::wire;
@@ -92,6 +98,16 @@ fn main() -> ExitCode {
             (Some("inspect"), Some(path)) => journal_inspect(path),
             _ => usage(),
         },
+        Some("metrics") => {
+            let rest: Vec<&str> = argv.collect();
+            match parse_metrics_opts(&rest) {
+                Ok(opts) => metrics_cmd(&opts),
+                Err(e) => {
+                    eprintln!("{e}");
+                    usage()
+                }
+            }
+        }
         Some("bench-campaign") => {
             let rest: Vec<&str> = argv.collect();
             let flag = |name: &str| {
@@ -157,9 +173,12 @@ fn usage() -> ExitCode {
          \x20 invoke  <fqcn> [val]   deploy + typed echo roundtrip\n\
          \x20 campaign [stride] [--extended] [--no-cache]  run the campaign (default stride 50)\n\
          \x20          [--journal FILE] [--resume] [--breaker N[,C]] [--halt-after-cells N]\n\
+         \x20          [--trace-out FILE] [--metrics-out FILE] [--quiet]\n\
          \x20 chaos [--stride N] [--seed N] [--transport tcp|in-process]\n\
          \x20       fault-injected campaign + fault report; `tcp` probes real sockets\n\
-         \x20       (accepts the same --journal/--resume/--breaker flags as campaign)\n\
+         \x20       (accepts the same --journal/--resume/--breaker/--trace-out flags as campaign)\n\
+         \x20 metrics [--stride N] [--seed N] [--json] [--out FILE]\n\
+         \x20                        deterministic instrumented-campaign metrics snapshot\n\
          \x20 journal inspect <file>  decode a campaign journal (cells, config hash, torn tail)\n\
          \x20 export  [stride] [dir] run + write services.tsv / tests.tsv\n\
          \x20 complexity             run the complexity-extension matrix\n\
@@ -427,6 +446,9 @@ struct RunOpts {
     breaker: Option<BreakerConfig>,
     halt_after: Option<usize>,
     transport: ExchangeTransport,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    quiet: bool,
 }
 
 fn parse_run_opts(rest: &[&str]) -> Result<RunOpts, String> {
@@ -440,6 +462,9 @@ fn parse_run_opts(rest: &[&str]) -> Result<RunOpts, String> {
         breaker: None,
         halt_after: None,
         transport: ExchangeTransport::default(),
+        trace_out: None,
+        metrics_out: None,
+        quiet: false,
     };
     let mut i = 0;
     while i < rest.len() {
@@ -447,6 +472,21 @@ fn parse_run_opts(rest: &[&str]) -> Result<RunOpts, String> {
             "--extended" => opts.extended = true,
             "--no-cache" => opts.no_cache = true,
             "--resume" => opts.resume = true,
+            "--quiet" => opts.quiet = true,
+            "--trace-out" => {
+                i += 1;
+                let Some(path) = rest.get(i) else {
+                    return Err("--trace-out needs a file path".to_string());
+                };
+                opts.trace_out = Some(path.to_string());
+            }
+            "--metrics-out" => {
+                i += 1;
+                let Some(path) = rest.get(i) else {
+                    return Err("--metrics-out needs a file path".to_string());
+                };
+                opts.metrics_out = Some(path.to_string());
+            }
             "--stride" => {
                 i += 1;
                 opts.stride = parse_flag_value(rest, i, "--stride")?;
@@ -544,6 +584,42 @@ fn apply_run_opts(mut campaign: Campaign, opts: &RunOpts) -> Campaign {
     campaign
 }
 
+/// Builds the run's telemetry observer: real clock, optional JSON-lines
+/// trace stream, live progress meter unless `--quiet`. Every campaign
+/// run carries one — observation is proven not to perturb results, and
+/// the end-of-run report rides on it.
+fn build_observer(opts: &RunOpts) -> Result<std::sync::Arc<Obs>, String> {
+    let obs = Obs::new(Clock::monotonic());
+    if let Some(path) = &opts.trace_out {
+        obs.set_trace_out(std::path::Path::new(path))
+            .map_err(|e| format!("cannot open trace output {path}: {e}"))?;
+    }
+    if !opts.quiet {
+        obs.progress().enable();
+    }
+    Ok(std::sync::Arc::new(obs))
+}
+
+/// Post-run telemetry: close the progress meter, write the metrics
+/// snapshot when asked, and print the phase-latency report to stderr
+/// (stdout stays the byte-stable scientific record).
+fn finish_observability(obs: &Obs, opts: &RunOpts) -> Result<(), ExitCode> {
+    if !opts.quiet {
+        obs.progress().finish(obs.clock());
+    }
+    if let Some(path) = &opts.metrics_out {
+        if let Err(e) = std::fs::write(path, obs.metrics_text()) {
+            eprintln!("cannot write {path}: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+        eprintln!("metrics: wrote {path}");
+    }
+    if !opts.quiet {
+        eprint!("{}", obs.render_report());
+    }
+    Ok(())
+}
+
 /// The reproducibility echo: stride, seed (`-` when the run is
 /// fault-free) and the campaign config hash that journal headers pin.
 fn echo_run_config(stride: usize, seed: Option<u64>, campaign: &Campaign) {
@@ -622,12 +698,17 @@ fn chaos(opts: &RunOpts) -> ExitCode {
     } else {
         Campaign::sampled(opts.stride)
     };
+    let obs = match build_observer(opts) {
+        Ok(obs) => obs,
+        Err(e) => return fail(e),
+    };
     let run = apply_run_opts(
         base.with_doc_cache(!opts.no_cache)
             .with_faults(FaultPlan::seeded(opts.seed))
             .with_transport(opts.transport),
         opts,
-    );
+    )
+    .with_observer(std::sync::Arc::clone(&obs));
     echo_run_config(opts.stride, Some(opts.seed), &run);
     announce_journal(opts);
     // Injected panics are part of the experiment; keep the default
@@ -650,6 +731,9 @@ fn chaos(opts: &RunOpts) -> ExitCode {
     let classified = results.tests.len();
     println!("classified {classified} tests under fault injection; campaign completed without aborting");
     journal_summary(opts);
+    if let Err(code) = finish_observability(&obs, opts) {
+        return code;
+    }
     ExitCode::SUCCESS
 }
 
@@ -673,7 +757,12 @@ fn campaign(opts: &RunOpts) -> ExitCode {
     } else {
         Campaign::sampled(opts.stride)
     };
-    let run = apply_run_opts(base.with_doc_cache(!opts.no_cache), opts);
+    let obs = match build_observer(opts) {
+        Ok(obs) => obs,
+        Err(e) => return fail(e),
+    };
+    let run = apply_run_opts(base.with_doc_cache(!opts.no_cache), opts)
+        .with_observer(std::sync::Arc::clone(&obs));
     echo_run_config(opts.stride, None, &run);
     announce_journal(opts);
     let (results, report, stats) = match run.try_run_with_stats() {
@@ -691,6 +780,86 @@ fn campaign(opts: &RunOpts) -> ExitCode {
     }
     println!("{stats}");
     journal_summary(opts);
+    if let Err(code) = finish_observability(&obs, opts) {
+        return code;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Options for `wsitool metrics`.
+struct MetricsOpts {
+    stride: usize,
+    seed: u64,
+    json: bool,
+    out: Option<String>,
+}
+
+fn parse_metrics_opts(rest: &[&str]) -> Result<MetricsOpts, String> {
+    let mut opts = MetricsOpts {
+        stride: 200,
+        seed: 42,
+        json: false,
+        out: None,
+    };
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i] {
+            "--json" => opts.json = true,
+            "--stride" => {
+                i += 1;
+                opts.stride = parse_flag_value(rest, i, "--stride")?;
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = parse_flag_value(rest, i, "--seed")?;
+            }
+            "--out" => {
+                i += 1;
+                let Some(path) = rest.get(i) else {
+                    return Err("--out needs a file path".to_string());
+                };
+                opts.out = Some(path.to_string());
+            }
+            bare => return Err(format!("unrecognized argument `{bare}`")),
+        }
+        i += 1;
+    }
+    opts.stride = opts.stride.max(1);
+    Ok(opts)
+}
+
+/// Runs one instrumented stride-`N` campaign on the seeded *virtual*
+/// clock and renders every instrument — Prometheus text by default,
+/// JSON with `--json`. Virtual time plus a single worker make the
+/// whole snapshot a pure function of (stride, seed): two invocations
+/// print identical bytes, so the snapshot can be diffed and archived
+/// like any other scientific record.
+fn metrics_cmd(opts: &MetricsOpts) -> ExitCode {
+    let obs = std::sync::Arc::new(Obs::new(Clock::virtual_seeded(opts.seed)));
+    let campaign = Campaign::sampled(opts.stride)
+        .with_threads(1)
+        .with_observer(std::sync::Arc::clone(&obs));
+    eprintln!(
+        "metrics: instrumented stride-{} campaign (virtual clock, seed {}), config-hash=0x{:016x}",
+        opts.stride,
+        opts.seed,
+        campaign.config_hash()
+    );
+    let _ = campaign.run();
+    let rendered = if opts.json {
+        obs.metrics_json()
+    } else {
+        obs.metrics_text()
+    };
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                return fail(format!("cannot write {path}: {e}"));
+            }
+            println!("wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
     ExitCode::SUCCESS
 }
 
@@ -775,6 +944,8 @@ struct SurveyOpts {
     transport: ExchangeTransport,
     addr: Option<std::net::SocketAddr>,
     shutdown_server: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn parse_survey_opts(rest: &[&str]) -> Result<SurveyOpts, String> {
@@ -783,6 +954,8 @@ fn parse_survey_opts(rest: &[&str]) -> Result<SurveyOpts, String> {
         transport: ExchangeTransport::default(),
         addr: None,
         shutdown_server: false,
+        trace_out: None,
+        metrics_out: None,
     };
     let mut i = 0;
     while i < rest.len() {
@@ -803,6 +976,20 @@ fn parse_survey_opts(rest: &[&str]) -> Result<SurveyOpts, String> {
                 opts.addr = Some(parse_flag_value(rest, i, "--addr")?);
             }
             "--shutdown-server" => opts.shutdown_server = true,
+            "--trace-out" => {
+                i += 1;
+                let Some(path) = rest.get(i) else {
+                    return Err("--trace-out needs a file path".to_string());
+                };
+                opts.trace_out = Some(path.to_string());
+            }
+            "--metrics-out" => {
+                i += 1;
+                let Some(path) = rest.get(i) else {
+                    return Err("--metrics-out needs a file path".to_string());
+                };
+                opts.metrics_out = Some(path.to_string());
+            }
             bare => return Err(format!("unrecognized argument `{bare}`")),
         }
         i += 1;
@@ -822,10 +1009,26 @@ fn parse_survey_opts(rest: &[&str]) -> Result<SurveyOpts, String> {
 /// Operational notes go to stderr so they never perturb the diff.
 fn exchange_survey(opts: &SurveyOpts) -> ExitCode {
     println!("transport: {}", opts.transport);
+    // Telemetry is opt-in here and always observe-only: spans for the
+    // in-process exchange, wire counters + latency histograms for TCP.
+    // Every byte of it lands on stderr or in files, never in the
+    // E15-diffed stdout.
+    let obs = Obs::new(Clock::monotonic());
+    if let Some(path) = &opts.trace_out {
+        if let Err(e) = obs.set_trace_out(std::path::Path::new(path)) {
+            return fail(format!("cannot open trace output {path}: {e}"));
+        }
+    }
+    let observing = opts.trace_out.is_some() || opts.metrics_out.is_some();
     let sites = match opts.transport {
-        ExchangeTransport::InProcess => survey_sites(opts.stride),
+        ExchangeTransport::InProcess => {
+            survey_sites_observed(opts.stride, observing.then_some(&obs))
+        }
         ExchangeTransport::TcpLoopback => {
-            let client = wire::WireClient::new(wire::WireClientConfig::default());
+            let client = wire::WireClient::new(wire::WireClientConfig {
+                metrics: observing.then(|| obs.metrics_arc()),
+                ..wire::WireClientConfig::default()
+            });
             match opts.addr {
                 Some(addr) => {
                     let sites = wire::survey_tcp(opts.stride, addr, &client);
@@ -854,7 +1057,10 @@ fn exchange_survey(opts: &SurveyOpts) -> ExitCode {
                     let server = match wire::WireServer::start(
                         0,
                         wire::host_survey_services(opts.stride),
-                        wire::WireServerConfig::default(),
+                        wire::WireServerConfig {
+                            metrics: observing.then(|| obs.metrics_arc()),
+                            ..wire::WireServerConfig::default()
+                        },
                     ) {
                         Ok(server) => server,
                         Err(e) => return fail(format!("cannot bind loopback endpoint: {e}")),
@@ -878,6 +1084,12 @@ fn exchange_survey(opts: &SurveyOpts) -> ExitCode {
         survey.not_invocable,
         survey.faulted
     );
+    if let Some(path) = &opts.metrics_out {
+        if let Err(e) = std::fs::write(path, obs.metrics_text()) {
+            return fail(format!("cannot write {path}: {e}"));
+        }
+        eprintln!("metrics: wrote {path}");
+    }
     ExitCode::SUCCESS
 }
 
@@ -887,7 +1099,7 @@ fn exchange_survey(opts: &SurveyOpts) -> ExitCode {
 /// perf trajectory run over run.
 fn bench_campaign(stride: Option<usize>, iters: Option<usize>, out: Option<&str>) -> ExitCode {
     let stride = stride.unwrap_or(200).max(1);
-    let iters = iters.unwrap_or(3).max(1);
+    let iters = iters.unwrap_or(5).max(1);
     let out = out.unwrap_or("BENCH_campaign.json");
     println!("benchmarking stride-{stride} campaign, {iters} iteration(s) per mode…");
     echo_run_config(stride, None, &Campaign::sampled(stride));
@@ -896,26 +1108,44 @@ fn bench_campaign(stride: Option<usize>, iters: Option<usize>, out: Option<&str>
         "wsitool-bench-{}-{stride}.journal",
         std::process::id()
     ));
-    let time_ms = |make: &dyn Fn() -> Campaign| -> f64 {
-        let mut samples: Vec<f64> = (0..iters)
-            .map(|_| {
-                let start = std::time::Instant::now();
-                let _ = std::hint::black_box(make().run());
-                start.elapsed().as_secs_f64() * 1e3
-            })
-            .collect();
-        samples.sort_by(|a, b| a.total_cmp(b));
-        samples[samples.len() / 2]
+    // All bench timing flows through the telemetry clock — the same
+    // span source instrumented campaigns use — rather than ad-hoc
+    // `Instant::now()` stopwatches per subcommand.
+    let clock = Clock::monotonic();
+    let run_once = |make: &dyn Fn() -> Campaign| -> f64 {
+        let span = clock.start_span("bench-campaign/iteration");
+        let _ = std::hint::black_box(make().run());
+        span.elapsed_ns() as f64 / 1e6
     };
 
-    // Warm-up (page cache, allocator), then measure the three modes:
-    // shared parse, per-cell parse, and shared parse + write-ahead
-    // journal (the robustness layer's cost in the perf trajectory).
+    // Warm-up (page cache, allocator), then measure the four modes:
+    // shared parse, per-cell parse, shared parse + write-ahead journal
+    // (the robustness layer's cost), and shared parse + telemetry
+    // observer (the observability layer's cost).
+    //
+    // The modes are *interleaved* round-robin and each reports its
+    // minimum across rounds: on a shared container the noise is
+    // one-sided (scheduling only ever slows a run down) and
+    // non-stationary (ambient load drifts between rounds), so
+    // sequential medians of overlapping modes can even invert an
+    // overhead below zero. Interleaving exposes every mode to the
+    // same drift; the minimum picks each mode's quietest round.
     let _ = Campaign::sampled(stride).run();
-    let shared_ms = time_ms(&|| Campaign::sampled(stride));
-    let per_cell_ms = time_ms(&|| Campaign::sampled(stride).with_doc_cache(false));
-    let journal_ms = time_ms(&|| Campaign::sampled(stride).with_journal(journal_path.as_path()));
+    let mut mins = [f64::INFINITY; 4];
+    for _ in 0..iters {
+        mins[0] = mins[0].min(run_once(&|| Campaign::sampled(stride)));
+        mins[1] = mins[1].min(run_once(&|| Campaign::sampled(stride).with_doc_cache(false)));
+        mins[2] =
+            mins[2].min(run_once(&|| {
+                Campaign::sampled(stride).with_journal(journal_path.as_path())
+            }));
+        mins[3] = mins[3].min(run_once(&|| {
+            Campaign::sampled(stride)
+                .with_observer(std::sync::Arc::new(Obs::new(Clock::monotonic())))
+        }));
+    }
     std::fs::remove_file(&journal_path).ok();
+    let [shared_ms, per_cell_ms, journal_ms, instrumented_ms] = mins;
 
     let (results, _, shared_stats) = Campaign::sampled(stride).run_with_stats();
     let (_, _, per_cell_stats) = Campaign::sampled(stride)
@@ -924,6 +1154,8 @@ fn bench_campaign(stride: Option<usize>, iters: Option<usize>, out: Option<&str>
     let deployed = results.services.iter().filter(|s| s.deployed).count();
     let speedup = per_cell_ms / shared_ms.max(f64::EPSILON);
     let journal_overhead_pct = (journal_ms / shared_ms.max(f64::EPSILON) - 1.0) * 100.0;
+    let instrumentation_overhead_pct =
+        (instrumented_ms / shared_ms.max(f64::EPSILON) - 1.0) * 100.0;
     let config_hash = Campaign::sampled(stride).config_hash();
 
     let json = format!(
@@ -938,6 +1170,8 @@ fn bench_campaign(stride: Option<usize>, iters: Option<usize>, out: Option<&str>
          \"speedup\": {speedup:.2},\n  \
          \"journal_ms\": {journal_ms:.3},\n  \
          \"journal_overhead_pct\": {journal_overhead_pct:.1},\n  \
+         \"instrumented_ms\": {instrumented_ms:.3},\n  \
+         \"instrumentation_overhead_pct\": {instrumentation_overhead_pct:.1},\n  \
          \"shared\": {{ \"parses\": {sp}, \"distinct_docs\": {sd}, \"doc_memo_hits\": {sh}, \
          \"gen_runs\": {sg}, \"gen_memo_hits\": {sgh}, \"fault_bypasses\": {sf} }},\n  \
          \"per_cell\": {{ \"parses\": {pp}, \"text_generates\": {pt} }}\n}}\n",
@@ -958,7 +1192,8 @@ fn bench_campaign(stride: Option<usize>, iters: Option<usize>, out: Option<&str>
     print!("{json}");
     println!(
         "shared {shared_ms:.1} ms vs per-cell {per_cell_ms:.1} ms ({speedup:.2}x); \
-         journal overhead {journal_overhead_pct:+.1}%; wrote {out}"
+         journal overhead {journal_overhead_pct:+.1}%; \
+         instrumentation overhead {instrumentation_overhead_pct:+.1}%; wrote {out}"
     );
     ExitCode::SUCCESS
 }

@@ -229,3 +229,81 @@ fn journal_inspect_agrees_with_the_campaign_config_hash() {
     assert!(stdout.contains("per-client cells:"), "{stdout}");
     std::fs::remove_file(&path).ok();
 }
+
+#[test]
+fn metrics_subcommand_prints_deterministic_prometheus_text() {
+    let first = wsitool(&["metrics", "--stride", "400", "--seed", "42"]);
+    assert!(first.status.success());
+    let second = wsitool(&["metrics", "--stride", "400", "--seed", "42"]);
+    // The virtual clock makes two invocations byte-identical.
+    assert_eq!(first.stdout, second.stdout);
+    let stdout = String::from_utf8_lossy(&first.stdout);
+    for needle in [
+        "campaign_cells_total 220",
+        "obs_events_dropped 0",
+        "phase_generate_ns_count",
+        "doccache_parses_total",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle}:\n{stdout}");
+    }
+
+    let json = wsitool(&["metrics", "--stride", "400", "--seed", "42", "--json"]);
+    assert!(json.status.success());
+    let stdout = String::from_utf8_lossy(&json.stdout);
+    assert!(stdout.starts_with("{\"counters\":{"), "{stdout}");
+    assert!(stdout.contains("\"histograms\""), "{stdout}");
+}
+
+#[test]
+fn telemetry_flags_never_touch_campaign_stdout() {
+    let tmp = std::env::temp_dir();
+    let trace = tmp.join(format!("wsitool-cli-trace-{}.jsonl", std::process::id()));
+    let metrics = tmp.join(format!("wsitool-cli-metrics-{}.txt", std::process::id()));
+
+    let plain = wsitool(&["campaign", "400"]);
+    assert!(plain.status.success());
+    let instrumented = wsitool(&[
+        "campaign",
+        "400",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(instrumented.status.success());
+    // Observe-only at the CLI layer too: stdout is the scientific
+    // record and stays byte-identical; all telemetry goes to stderr
+    // and the requested files.
+    assert_eq!(plain.stdout, instrumented.stdout);
+
+    let stderr = String::from_utf8_lossy(&instrumented.stderr);
+    assert!(stderr.contains("Phase latency"), "{stderr}");
+    assert!(stderr.contains("Slowest cells"), "{stderr}");
+
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    assert!(trace_text.lines().count() > 100, "trace too short");
+    assert!(trace_text.lines().all(|l| l.starts_with("{\"seq\":")));
+    let metrics_text = std::fs::read_to_string(&metrics).unwrap();
+    assert!(metrics_text.contains("obs_events_dropped 0"), "{metrics_text}");
+
+    // --quiet suppresses the stderr report but not the files.
+    let quiet = wsitool(&["campaign", "400", "--quiet"]);
+    assert!(quiet.status.success());
+    assert_eq!(plain.stdout, quiet.stdout);
+    assert!(!String::from_utf8_lossy(&quiet.stderr).contains("Phase latency"));
+
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&metrics).ok();
+}
+
+#[test]
+fn telemetry_usage_errors_exit_2() {
+    for args in [
+        &["metrics", "--no-such-flag"][..],
+        &["metrics", "--stride", "many"][..],
+        &["campaign", "400", "--trace-out"][..], // missing value
+    ] {
+        let out = wsitool(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+    }
+}

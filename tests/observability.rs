@@ -1,0 +1,209 @@
+//! The observability determinism contract (DESIGN.md §11): attaching
+//! telemetry to a campaign is provably observe-only — classification
+//! matrices, config hashes, fault reports and journal resume are
+//! bit-identical with and without an observer — while the telemetry
+//! itself (virtual-clock histograms, trace streams, metrics text) is
+//! deterministic at any thread count.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use wsinterop::core::journal::read_journal;
+use wsinterop::core::obs::{read_trace_lines, Clock, Histogram, Obs, TraceKind};
+use wsinterop::core::{BreakerConfig, Campaign, FaultPlan};
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("wsitool-obs-test-{}-{name}", std::process::id()))
+}
+
+fn observer(seed: u64) -> Arc<Obs> {
+    Arc::new(Obs::new(Clock::virtual_seeded(seed)))
+}
+
+/// The chaos configuration the contract is hardest for: seeded faults
+/// plus a circuit breaker, where any telemetry-induced perturbation of
+/// retry or breaker state would change the report.
+fn chaos_campaign() -> Campaign {
+    Campaign::sampled(199)
+        .with_faults(FaultPlan::seeded(42))
+        .with_breaker(BreakerConfig::new(2, 6))
+}
+
+// --- observe-only: instrumentation never changes the science --------
+
+#[test]
+fn instrumented_and_uninstrumented_campaigns_are_identical() {
+    let plain = Campaign::sampled(400).run();
+    let instrumented = Campaign::sampled(400).with_observer(observer(42)).run();
+    assert_eq!(plain.services, instrumented.services);
+    assert_eq!(plain.tests, instrumented.tests);
+}
+
+#[test]
+fn the_observer_is_excluded_from_the_config_hash() {
+    let plain = Campaign::sampled(400);
+    let instrumented = Campaign::sampled(400).with_observer(observer(7));
+    assert_eq!(plain.config_hash(), instrumented.config_hash());
+}
+
+#[test]
+fn instrumented_chaos_run_keeps_matrix_and_fault_report() {
+    let (plain, plain_report) = chaos_campaign().run_with_report();
+    let obs = observer(42);
+    let (instrumented, report) = chaos_campaign()
+        .with_observer(Arc::clone(&obs))
+        .run_with_report();
+    assert_eq!(plain.services, instrumented.services);
+    assert_eq!(plain.tests, instrumented.tests);
+    assert_eq!(plain_report, report);
+    // …and the observer actually observed something.
+    assert!(obs.trace().recorded() > 0, "no trace events recorded");
+    assert!(obs.metrics().counter("campaign_cells_total") > 0);
+}
+
+#[test]
+fn journaled_instrumented_chaos_run_resumes_bit_identically() {
+    let (clean, clean_report) = chaos_campaign().run_with_report();
+
+    // Write the full journal under instrumentation…
+    let full = temp_path("full");
+    chaos_campaign()
+        .with_journal(&full)
+        .with_observer(observer(42))
+        .run();
+    let read = read_journal(&full).expect("full journal reads back");
+    let bytes = std::fs::read(&full).unwrap();
+    assert!(read.cells.len() > 10, "campaign too small to tear");
+
+    // …simulate a kill mid-campaign, then resume with tracing *and*
+    // metrics streaming attached. The replayed + re-run halves must
+    // reproduce the uninterrupted output exactly.
+    let cut = read.offsets[read.offsets.len() / 2] as usize;
+    let partial = temp_path("partial");
+    std::fs::write(&partial, &bytes[..cut]).unwrap();
+
+    let trace_file = temp_path("resume-trace.jsonl");
+    let obs = observer(42);
+    obs.set_trace_out(&trace_file).expect("trace file opens");
+    let (resumed, report) = chaos_campaign()
+        .with_journal(&partial)
+        .with_resume(true)
+        .with_observer(Arc::clone(&obs))
+        .run_with_report();
+    assert_eq!(clean.services, resumed.services);
+    assert_eq!(clean.tests, resumed.tests);
+    assert_eq!(clean_report, report);
+
+    // The resumed journal healed to the full cell count, the trace
+    // stream parses, and replayed cells were counted as such.
+    let healed = read_journal(&partial).expect("resumed journal reads back");
+    assert!(!healed.torn());
+    assert_eq!(healed.cells.len(), clean.tests.len());
+    let text = std::fs::read_to_string(&trace_file).unwrap();
+    assert!(read_trace_lines(&text).is_some(), "trace stream must parse");
+    assert!(obs.metrics().counter("journal_cells_replayed_total") > 0);
+
+    for path in [&full, &partial, &trace_file] {
+        std::fs::remove_file(path).ok();
+    }
+}
+
+// --- deterministic telemetry: virtual clock at any thread count -----
+
+/// Only the `phase_*` span histograms are part of the cross-thread
+/// determinism contract; cache-effectiveness counters legitimately
+/// differ when two workers race to parse the same document.
+fn phase_histograms(obs: &Obs) -> Vec<(String, Histogram)> {
+    obs.metrics()
+        .histograms_snapshot()
+        .into_iter()
+        .filter(|(name, _)| name.starts_with("phase_"))
+        .collect()
+}
+
+#[test]
+fn virtual_clock_histograms_are_identical_across_thread_counts() {
+    let single = observer(42);
+    Campaign::sampled(199)
+        .with_threads(1)
+        .with_observer(Arc::clone(&single))
+        .run();
+    let parallel = observer(42);
+    Campaign::sampled(199)
+        .with_threads(8)
+        .with_observer(Arc::clone(&parallel))
+        .run();
+
+    let a = phase_histograms(&single);
+    let b = phase_histograms(&parallel);
+    assert!(!a.is_empty(), "no phase histograms recorded");
+    assert_eq!(a, b, "-j1 and -j8 virtual-clock histograms must match");
+    assert_eq!(single.slowest_cells(), parallel.slowest_cells());
+}
+
+// --- trace stream: JSON lines round-trip ----------------------------
+
+#[test]
+fn trace_stream_round_trips_through_the_reader() {
+    let trace_file = temp_path("trace.jsonl");
+    let obs = observer(42);
+    obs.set_trace_out(&trace_file).expect("trace file opens");
+    Campaign::sampled(400).with_observer(Arc::clone(&obs)).run();
+
+    let text = std::fs::read_to_string(&trace_file).unwrap();
+    let events = read_trace_lines(&text).expect("every line parses");
+    assert_eq!(events.len() as u64, obs.trace().recorded());
+    assert_eq!(obs.trace().dropped(), 0);
+
+    // Writer → reader → writer is the identity on every line.
+    for (line, event) in text.lines().zip(&events) {
+        assert_eq!(line, event.to_json_line());
+    }
+    // Spans are balanced: every exit has an outcome and a duration.
+    let exits: Vec<_> = events.iter().filter(|e| e.kind == TraceKind::Exit).collect();
+    assert_eq!(exits.len() * 2, events.len(), "enter/exit must pair up");
+    assert!(exits.iter().all(|e| e.outcome.is_some() && e.dur_ns.is_some()));
+    std::fs::remove_file(&trace_file).ok();
+}
+
+// --- metrics text: parseable, stable, drops never silent ------------
+
+#[test]
+fn metrics_text_is_parseable_and_stable() {
+    let render = || {
+        let obs = observer(42);
+        Campaign::sampled(199)
+            .with_threads(1)
+            .with_observer(Arc::clone(&obs))
+            .run();
+        obs.metrics_text()
+    };
+    let first = render();
+    let second = render();
+    assert_eq!(first, second, "two identical runs must render identically");
+
+    // Every line is `name value` with an integer value, and the
+    // counter block and histogram block are each sorted by name.
+    let mut names = Vec::new();
+    for line in first.lines() {
+        let (name, value) = line.rsplit_once(' ').expect("name value");
+        assert!(value.parse::<u64>().is_ok(), "non-integer value: {line}");
+        names.push(name.to_string());
+    }
+    assert!(names.iter().any(|n| n == "campaign_cells_total"));
+    assert!(names.iter().any(|n| n.starts_with("phase_generate_ns")));
+    assert!(names.iter().any(|n| n == "obs_events_dropped"));
+}
+
+#[test]
+fn sink_overflow_is_reported_in_the_exported_metrics() {
+    let obs = Arc::new(Obs::with_sink_capacity(Clock::virtual_seeded(42), 8));
+    Campaign::sampled(400).with_observer(Arc::clone(&obs)).run();
+    let dropped = obs.trace().dropped();
+    assert!(dropped > 0, "tiny sink must overflow on a real campaign");
+    let text = obs.metrics_text();
+    assert!(
+        text.contains(&format!("obs_events_dropped {dropped}")),
+        "drops must surface in the exporter: {text}"
+    );
+}
