@@ -131,6 +131,12 @@ pub struct TraceEvent {
     /// Fault-plan site key, when a fault plan governs this span.
     pub fault_site: Option<String>,
     /// Retries consumed by the resilient executor for this span.
+    ///
+    /// Only `describe` spans can be non-zero: transient deploy
+    /// refusals are the one executor-level retry loop, so every other
+    /// phase reports 0 by construction. Wire-transport retries are
+    /// internal to the request and surface as the
+    /// `wire_client_retries_total` metric, not here.
     pub retries: u64,
     /// True when the per-client circuit breaker was open for the cell.
     pub breaker_open: bool,
@@ -430,17 +436,27 @@ impl TraceSink {
 
     /// Record one event: assigns its sequence number, appends it to
     /// the ring (evicting — and counting — the oldest on overflow) and
-    /// streams it to the output file when one is set. Oversized
-    /// serialized lines are counted as dropped instead of written.
+    /// streams it to the output file when one is set.
+    ///
+    /// The sequence number is assigned while the buffer lock is held
+    /// and the file write happens under that same lock, so both the
+    /// ring and the `--trace-out` stream are monotonic in `seq` even
+    /// with concurrent recorders. An oversized serialized line (only
+    /// detectable when streaming) drops the event from *both* the file
+    /// and the ring, so each missing event is counted exactly once and
+    /// `recorded() - len()` always equals `dropped()`.
     pub fn record(&self, mut event: TraceEvent) {
+        let mut buf = lock_unpoisoned(&self.buf);
         event.seq = self.seq.fetch_add(1, Ordering::Relaxed);
         if self.has_out.load(Ordering::Relaxed) {
+            let line = event.to_json_line();
+            if line.len() > MAX_EVENT_LINE_BYTES {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
             let mut out = lock_unpoisoned(&self.out);
             if let Some(file) = out.as_mut() {
-                let line = event.to_json_line();
-                if line.len() > MAX_EVENT_LINE_BYTES {
-                    self.dropped.fetch_add(1, Ordering::Relaxed);
-                } else if let Err(e) = writeln!(file, "{line}") {
+                if let Err(e) = writeln!(file, "{line}") {
                     let mut err = lock_unpoisoned(&self.write_error);
                     if err.is_none() {
                         *err = Some(e.to_string());
@@ -448,7 +464,6 @@ impl TraceSink {
                 }
             }
         }
-        let mut buf = lock_unpoisoned(&self.buf);
         if buf.len() >= self.capacity {
             buf.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -473,7 +488,9 @@ impl TraceSink {
         lock_unpoisoned(&self.write_error).clone()
     }
 
-    /// Drain and return the buffered events in arrival order.
+    /// Drain and return the buffered events in `seq` order (sequence
+    /// numbers are assigned under the buffer lock, so arrival order
+    /// and seq order coincide).
     pub fn drain(&self) -> Vec<TraceEvent> {
         lock_unpoisoned(&self.buf).drain(..).collect()
     }
@@ -537,7 +554,7 @@ mod tests {
     #[test]
     fn escaped_strings_survive() {
         let mut event = sample();
-        event.type_id = "weird\"quote\\back\nnew".to_string();
+        event.type_id = "weird\"quote\\back\nnew".into();
         let parsed = TraceEvent::from_json_line(&event.to_json_line()).expect("parses");
         assert_eq!(parsed.type_id, event.type_id);
     }
@@ -562,6 +579,28 @@ mod tests {
         assert_eq!(drained.len(), 2);
         assert_eq!(drained[0].seq, 3, "oldest evicted first");
         assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn oversized_lines_drop_once_from_file_and_ring() {
+        let path = std::env::temp_dir().join(format!(
+            "wsinterop-obs-oversized-{}.jsonl",
+            std::process::id()
+        ));
+        let sink = TraceSink::with_capacity(2);
+        sink.set_output(&path).expect("create trace file");
+        let mut huge = sample();
+        huge.type_id = "x".repeat(MAX_EVENT_LINE_BYTES).into();
+        sink.record(huge);
+        sink.record(sample());
+        // The oversized event is gone from both streams and counted
+        // exactly once: recorded - len == dropped, never double.
+        assert_eq!(sink.recorded(), 2);
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.dropped(), 1);
+        let text = std::fs::read_to_string(&path).expect("read trace file");
+        assert_eq!(read_trace_lines(&text).expect("parses").len(), 1);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
