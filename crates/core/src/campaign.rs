@@ -78,6 +78,7 @@ use crate::faults::{
     FaultKind, FaultLog, FaultPlan, FaultReport, PlanClientHook, PlanServerHook, ResilienceConfig,
 };
 use crate::journal::{JournalCell, JournalError, JournalWriter};
+use crate::shard::ShardSpec;
 use crate::obs::{Obs, TracePhase};
 use crate::results::{CampaignResults, InstantiationKind, ServiceRecord, TestRecord};
 
@@ -110,6 +111,14 @@ pub struct Campaign {
     /// Deterministic kill switch: exit the process after this many
     /// journal appends (the resume smoke test's SIGKILL stand-in).
     halt_after_cells: Option<usize>,
+    /// Deterministic hang switch: wedge the journal writer after this
+    /// many appends (the supervision tests' guaranteed-alive target).
+    stall_after_cells: Option<usize>,
+    /// Run only this worker's share of the partitioned campaign
+    /// (`None` = the whole campaign). Excluded from
+    /// [`Campaign::config_hash`]: a shard executes a subset of the
+    /// same cells, it never changes what any cell produces.
+    shard: Option<ShardSpec>,
     /// How the chaos campaign's Communication-step probes travel.
     transport: ExchangeTransport,
     /// Observe-only telemetry (`None` for unobserved runs). Excluded
@@ -167,6 +176,7 @@ impl std::fmt::Debug for Campaign {
             .field("journal", &self.journal)
             .field("resume", &self.resume)
             .field("breaker", &self.breaker)
+            .field("shard", &self.shard)
             .finish_non_exhaustive()
     }
 }
@@ -187,6 +197,8 @@ impl Campaign {
             resume: false,
             breaker: None,
             halt_after_cells: None,
+            stall_after_cells: None,
+            shard: None,
             transport: ExchangeTransport::InProcess,
             obs: None,
         }
@@ -319,6 +331,37 @@ impl Campaign {
         self
     }
 
+    /// Wedges the journal writer after `cells` appends: the writer
+    /// sleeps forever holding the journal file lock, so the process
+    /// stays alive but makes no further progress — the deterministic
+    /// hang the supervisor's heartbeat must detect, and a
+    /// guaranteed-alive SIGKILL target for kill/respawn tests. Only
+    /// meaningful with [`Campaign::with_journal`].
+    #[must_use]
+    pub fn with_stall_after_cells(mut self, cells: usize) -> Campaign {
+        self.stall_after_cells = Some(cells.max(1));
+        self
+    }
+
+    /// Restricts the run to one shard of the partitioned campaign:
+    /// per server, the strided catalog entries are grouped into
+    /// chunks of [`crate::shard::ENTRIES_PER_CHUNK`] and shard `k` of
+    /// `n` owns every chunk with `chunk_index % n == k` (see
+    /// [`ShardSpec::owns`]). Shards of the same campaign are disjoint
+    /// and jointly exhaustive, so merging their results reproduces
+    /// the unsharded run bit-identically
+    /// ([`crate::shard::merge_results`]).
+    ///
+    /// Incompatible with [`Campaign::with_breaker`]: breaker
+    /// decisions depend on the full preceding per-client cell stream,
+    /// which a shard by construction does not see — `run` panics on
+    /// the combination rather than produce merge-dependent results.
+    #[must_use]
+    pub fn with_shard(mut self, shard: ShardSpec) -> Campaign {
+        self.shard = Some(shard);
+        self
+    }
+
     /// Selects the transport for the chaos campaign's
     /// Communication-step probes. [`ExchangeTransport::TcpLoopback`]
     /// hosts every fault-planned site on a [`crate::wire::WireServer`]
@@ -346,10 +389,13 @@ impl Campaign {
     /// echoed in `wsitool` output: FNV-1a over a canonical rendering
     /// of everything that shapes the *results* — servers, clients,
     /// stride, cache mode, fault plan, resilience budget, breaker.
-    /// Thread count, journal path, resume flag, the halt switch and
-    /// the telemetry observer are deliberately excluded: they change
-    /// how a run executes (or what it reports about itself), never
-    /// what it produces.
+    /// Thread count, journal path, resume flag, the halt/stall
+    /// switches, the shard spec and the telemetry observer are
+    /// deliberately excluded: they change how a run executes (or what
+    /// it reports about itself), never what it produces. Excluding
+    /// the shard is what lets every per-shard journal carry the *same*
+    /// hash as the unsharded campaign — the merge step verifies all
+    /// shard journals agree on it.
     pub fn config_hash(&self) -> u64 {
         let servers: Vec<String> = self
             .servers
@@ -421,6 +467,12 @@ impl Campaign {
     pub fn try_run_with_stats(
         &self,
     ) -> Result<(CampaignResults, FaultReport, PipelineStats), JournalError> {
+        assert!(
+            self.shard.is_none() || self.breaker.is_none(),
+            "sharding is incompatible with the circuit breaker: breaker state \
+             depends on the full preceding per-client cell stream, which a \
+             shard does not see"
+        );
         let analyzer = Analyzer::basic_profile_1_1();
         // With an observer attached, the fault log and doc cache
         // publish their accounting through the shared registry — same
@@ -464,6 +516,7 @@ impl Campaign {
             (Some(obs), Some(w)) => Some(w.with_metrics(obs.metrics_arc())),
             (_, w) => w,
         };
+        let writer = writer.map(|w| w.with_stall_after(self.stall_after_cells));
 
         // One breaker per client subsystem, carried across servers in
         // campaign order.
@@ -473,10 +526,19 @@ impl Campaign {
         for server in &self.servers {
             let server_id = server.info().id;
             let catalog = server.catalog();
+            // Shard ownership is decided on the *strided* entry index:
+            // the chunk grid partitions exactly the entries this
+            // configuration would execute, so every shard sees the
+            // same grid regardless of which shard it is.
             let entries: Vec<_> = catalog
                 .entries()
                 .iter()
                 .step_by(self.stride)
+                .enumerate()
+                .filter(|(strided_index, _)| {
+                    self.shard.is_none_or(|s| s.owns(*strided_index))
+                })
+                .map(|(_, entry)| entry)
                 .collect();
             if let Some(obs) = &self.obs {
                 obs.metrics()

@@ -794,6 +794,39 @@ impl FaultReport {
     pub fn affects(&self, site: &str) -> bool {
         self.affected_sites.contains(site)
     }
+
+    /// Fold another shard's report into this one: numeric accounting
+    /// adds per kind, site sets union.
+    ///
+    /// Sound because a sharded campaign partitions the cells: each
+    /// fault site is executed — and therefore accounted — by exactly
+    /// one worker, so per-shard counts are disjoint contributions to
+    /// the single-process totals. (The circuit breaker is the one
+    /// instrument whose decisions span cells; campaigns reject
+    /// breaker + shard for exactly that reason, so `breaker_trips`
+    /// merges trivially as 0 + 0.)
+    pub fn merge(&mut self, other: &FaultReport) {
+        for (kind, counts) in &other.per_kind {
+            match self.per_kind.iter_mut().find(|(k, _)| k == kind) {
+                Some((_, mine)) => {
+                    mine.injected += counts.injected;
+                    mine.detected += counts.detected;
+                    mine.masked += counts.masked;
+                }
+                None => self.per_kind.push((*kind, *counts)),
+            }
+        }
+        self.retries_spent += other.retries_spent;
+        self.backoff_ms += other.backoff_ms;
+        self.deadline_hits += other.deadline_hits;
+        self.panics_isolated += other.panics_isolated;
+        self.watchdog_cells += other.watchdog_cells;
+        self.breaker_trips += other.breaker_trips;
+        self.breaker_skipped_sites
+            .extend(other.breaker_skipped_sites.iter().cloned());
+        self.affected_sites
+            .extend(other.affected_sites.iter().cloned());
+    }
 }
 
 impl fmt::Display for FaultReport {

@@ -422,6 +422,12 @@ pub struct JournalWriter {
     /// [`HALT_EXIT_CODE`]) after this many appends — CI's SIGKILL
     /// stand-in for the resume smoke test.
     halt_after: Option<usize>,
+    /// Deterministic hang switch: after this many appends the writer
+    /// sleeps forever *holding the file lock*, so every other worker
+    /// thread blocks on its next append and the journal stops growing
+    /// — the supervisor's heartbeat sees a wedged worker, and kill
+    /// tests have a process that is guaranteed alive until killed.
+    stall_after: Option<usize>,
     error: Mutex<Option<std::io::Error>>,
     /// Observe-only mirror: when an observer is attached, each append
     /// also bumps `journal_frames_written_total`.
@@ -455,6 +461,7 @@ impl JournalWriter {
             file: Mutex::new(file),
             appended: AtomicUsize::new(0),
             halt_after,
+            stall_after: None,
             error: Mutex::new(None),
             metrics: None,
         })
@@ -483,6 +490,7 @@ impl JournalWriter {
                 file: Mutex::new(file),
                 appended: AtomicUsize::new(0),
                 halt_after,
+                stall_after: None,
                 error: Mutex::new(None),
                 metrics: None,
             },
@@ -514,6 +522,27 @@ impl JournalWriter {
             let _ = file.sync_all();
             std::process::exit(i32::from(HALT_EXIT_CODE));
         }
+        if self.stall_after.is_some_and(|stall| n >= stall) {
+            // The deterministic hang: flush what we have, then sleep
+            // forever while holding the file lock. Other worker
+            // threads block on their next append, the journal stops
+            // growing, and the process stays alive until something
+            // external (a supervisor heartbeat, a test's SIGKILL)
+            // ends it.
+            let _ = file.sync_all();
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+    }
+
+    /// Attaches the deterministic hang switch: after `stall` appends
+    /// the writer sleeps forever holding the file lock (see the field
+    /// doc). `None` leaves the writer untouched.
+    #[must_use]
+    pub fn with_stall_after(mut self, stall: Option<usize>) -> JournalWriter {
+        self.stall_after = stall;
+        self
     }
 
     /// Attaches a metrics registry: every subsequent append also
@@ -544,6 +573,15 @@ pub fn per_client_counts(cells: &[JournalCell]) -> BTreeMap<ClientId, usize> {
     let mut counts = BTreeMap::new();
     for cell in cells {
         *counts.entry(cell.record.client).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Per-server record counts for `wsitool journal inspect --json`.
+pub fn per_server_counts(cells: &[JournalCell]) -> BTreeMap<ServerId, usize> {
+    let mut counts = BTreeMap::new();
+    for cell in cells {
+        *counts.entry(cell.record.server).or_insert(0) += 1;
     }
     counts
 }

@@ -56,11 +56,13 @@ pub mod obs;
 pub mod registry;
 pub mod report;
 pub mod results;
+pub mod shard;
 pub mod wire;
 
 pub use campaign::Campaign;
 pub use doccache::{DocCache, ParsedService, PipelineStats};
 pub use faults::{BreakerConfig, FaultKind, FaultPlan, FaultReport, ResilienceConfig};
 pub use journal::{JournalCell, JournalError, JournalWriter};
-pub use obs::{Clock, MetricsRegistry, Obs, TraceEvent, TracePhase, TraceSink};
+pub use obs::{Clock, MetricsRegistry, MetricsSnapshot, Obs, TraceEvent, TracePhase, TraceSink};
+pub use shard::{ShardSpec, Supervisor, SupervisorConfig};
 pub use results::{CampaignResults, InstantiationKind, ServiceRecord, TestRecord};

@@ -69,6 +69,22 @@ impl Histogram {
         self.max = self.max.max(value_ns);
     }
 
+    /// Fold `other` into this histogram: per-bucket counts, `count`
+    /// and `sum` add; `max` takes the larger value.
+    ///
+    /// Because quantiles are *defined* over the bucket vector (see
+    /// [`Histogram::quantile_ns`]), merging the per-shard bucket
+    /// vectors of a partitioned run reproduces the single-process
+    /// quantiles exactly — there is no interpolation to drift.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
     /// The bucket upper bound at or above quantile `q` (0.0..=1.0).
     ///
     /// Quantiles are reported as bucket bounds, not interpolated
@@ -228,17 +244,70 @@ impl MetricsRegistry {
             .collect()
     }
 
+    /// A point-in-time copy of every instrument, suitable for merging
+    /// across registries (sharded workers) or rendering offline.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters_snapshot().into_iter().collect(),
+            histograms: self.histograms_snapshot().into_iter().collect(),
+        }
+    }
+
     /// Render every instrument as Prometheus-style text: counters as
     /// `name value` lines, histograms as `_count`/`_sum`/`_max` plus
     /// the deterministic quantile gauges. Output is sorted by name and
     /// stable for a given set of values.
     pub fn render_prometheus(&self) -> String {
+        self.snapshot().render_prometheus()
+    }
+
+    /// Render every instrument as a single JSON object:
+    /// `{"counters": {...}, "histograms": {name: {count, sum, max,
+    /// p50, p95, p99, buckets: [...]}}}`. Key order is sorted, so the
+    /// output is stable.
+    pub fn render_json(&self) -> String {
+        self.snapshot().render_json()
+    }
+}
+
+/// An immutable copy of a registry's instruments: what a shard worker
+/// writes to disk and what the supervisor merges.
+///
+/// Merging is exact, not approximate: counters add (so one
+/// `obs_events_dropped` total survives the merge), histogram bucket
+/// vectors add bin-wise, and quantiles are recomputed from the merged
+/// buckets — identical to what a single registry fed all the
+/// observations would report, because quantiles are defined as bucket
+/// bounds ([`Histogram::quantile_ns`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Fold `other` into this snapshot: counters add, histograms merge
+    /// bin-wise ([`Histogram::merge`]).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Prometheus-style text, same layout as
+    /// [`MetricsRegistry::render_prometheus`].
+    pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
-        for (name, value) in self.counters_snapshot() {
+        for (name, value) in &self.counters {
             let _ = writeln!(out, "{name} {value}");
         }
-        for (name, h) in self.histograms_snapshot() {
-            let (base, labels) = split_labels(&name);
+        for (name, h) in &self.histograms {
+            let (base, labels) = split_labels(name);
             let _ = writeln!(out, "{base}_count{labels} {}", h.count);
             let _ = writeln!(out, "{base}_sum{labels} {}", h.sum);
             let _ = writeln!(out, "{base}_max{labels} {}", h.max);
@@ -249,20 +318,18 @@ impl MetricsRegistry {
         out
     }
 
-    /// Render every instrument as a single JSON object:
-    /// `{"counters": {...}, "histograms": {name: {count, sum, max,
-    /// p50, p95, p99, buckets: [...]}}}`. Key order is sorted, so the
-    /// output is stable.
+    /// The JSON object form, byte-identical to what
+    /// [`MetricsRegistry::render_json`] produces for the same values.
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
-        for (i, (name, value)) in self.counters_snapshot().iter().enumerate() {
+        for (i, (name, value)) in self.counters.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             let _ = write!(out, "{}:{value}", json_string(name));
         }
         out.push_str("},\"histograms\":{");
-        for (i, (name, h)) in self.histograms_snapshot().iter().enumerate() {
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -287,6 +354,190 @@ impl MetricsRegistry {
         }
         out.push_str("}}");
         out
+    }
+
+    /// Parse the exact JSON shape [`MetricsSnapshot::render_json`]
+    /// emits (as written by `wsitool … --metrics-out` in JSON mode and
+    /// by shard workers). The derived `p50`/`p95`/`p99` fields are
+    /// accepted and discarded — quantiles are always recomputed from
+    /// the bucket vector, so a snapshot round-trips bit-identically.
+    ///
+    /// Returns `None` on any structural mismatch; this is a recovery
+    /// path for our own files, not a general JSON parser.
+    pub fn parse_json(src: &str) -> Option<MetricsSnapshot> {
+        let mut p = Parser { bytes: src.as_bytes(), at: 0 };
+        let snapshot = p.snapshot()?;
+        p.skip_ws();
+        if p.at != p.bytes.len() {
+            return None;
+        }
+        Some(snapshot)
+    }
+}
+
+/// Cursor over the byte form of a snapshot JSON document.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.at += 1;
+        }
+    }
+
+    fn eat(&mut self, token: u8) -> Option<()> {
+        self.skip_ws();
+        if self.bytes.get(self.at) == Some(&token) {
+            self.at += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    /// True (and consumed) when the next non-space byte is `token`.
+    fn peek_eat(&mut self, token: u8) -> bool {
+        self.skip_ws();
+        if self.bytes.get(self.at) == Some(&token) {
+            self.at += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match *self.bytes.get(self.at)? {
+                b'"' => {
+                    self.at += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.at += 1;
+                    match *self.bytes.get(self.at)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.at + 1..self.at + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.at += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.at += 1;
+                }
+                _ => {
+                    // Advance one whole UTF-8 scalar, not one byte.
+                    let rest = std::str::from_utf8(&self.bytes[self.at..]).ok()?;
+                    let c = rest.chars().next()?;
+                    out.push(c);
+                    self.at += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<u64> {
+        self.skip_ws();
+        let start = self.at;
+        while self.bytes.get(self.at).is_some_and(u8::is_ascii_digit) {
+            self.at += 1;
+        }
+        if self.at == start {
+            return None;
+        }
+        std::str::from_utf8(&self.bytes[start..self.at])
+            .ok()?
+            .parse()
+            .ok()
+    }
+
+    fn key(&mut self, want: &str) -> Option<()> {
+        let got = self.string()?;
+        if got != want {
+            return None;
+        }
+        self.eat(b':')
+    }
+
+    fn snapshot(&mut self) -> Option<MetricsSnapshot> {
+        let mut snap = MetricsSnapshot::default();
+        self.eat(b'{')?;
+        self.key("counters")?;
+        self.eat(b'{')?;
+        if !self.peek_eat(b'}') {
+            loop {
+                let name = self.string()?;
+                self.eat(b':')?;
+                let value = self.number()?;
+                snap.counters.insert(name, value);
+                if self.peek_eat(b'}') {
+                    break;
+                }
+                self.eat(b',')?;
+            }
+        }
+        self.eat(b',')?;
+        self.key("histograms")?;
+        self.eat(b'{')?;
+        if !self.peek_eat(b'}') {
+            loop {
+                let name = self.string()?;
+                self.eat(b':')?;
+                snap.histograms.insert(name, self.histogram()?);
+                if self.peek_eat(b'}') {
+                    break;
+                }
+                self.eat(b',')?;
+            }
+        }
+        self.eat(b'}')?;
+        Some(snap)
+    }
+
+    fn histogram(&mut self) -> Option<Histogram> {
+        let mut h = Histogram::default();
+        self.eat(b'{')?;
+        self.key("count")?;
+        h.count = self.number()?;
+        self.eat(b',')?;
+        self.key("sum")?;
+        h.sum = self.number()?;
+        self.eat(b',')?;
+        self.key("max")?;
+        h.max = self.number()?;
+        for q in ["p50", "p95", "p99"] {
+            self.eat(b',')?;
+            self.key(q)?;
+            let _ = self.number()?; // derived; recomputed from buckets
+        }
+        self.eat(b',')?;
+        self.key("buckets")?;
+        self.eat(b'[')?;
+        for (i, bucket) in h.buckets.iter_mut().enumerate() {
+            if i > 0 {
+                self.eat(b',')?;
+            }
+            *bucket = self.number()?;
+        }
+        self.eat(b']')?;
+        self.eat(b'}')?;
+        Some(h)
     }
 }
 
@@ -374,5 +625,67 @@ mod tests {
     #[test]
     fn json_escaping_covers_specials() {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    /// The sharding edge case called out in ISSUE 6: observations
+    /// split across per-shard registries, merged bucket-wise, must
+    /// report p50/p95/p99 identical to one registry that saw every
+    /// observation — including values that straddle bucket boundaries
+    /// and land in the overflow bucket.
+    #[test]
+    fn split_registries_merge_to_single_process_quantiles() {
+        let values: Vec<u64> = (0..500)
+            .map(|i: u64| (i * i * 7919) % 9_000_000_000) // spans all buckets + overflow
+            .chain([0, 1, 999, 1_000, 1_001, u64::MAX])
+            .collect();
+
+        let single = MetricsRegistry::new();
+        let shards: Vec<MetricsRegistry> = (0..3).map(|_| MetricsRegistry::new()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            single.observe_ns("phase_ns", v);
+            single.add("cells_total", 1);
+            shards[i % 3].observe_ns("phase_ns", v);
+            shards[i % 3].add("cells_total", 1);
+        }
+        // Skewed instruments: only some shards ever see them.
+        single.add("obs_events_dropped", 7);
+        shards[0].add("obs_events_dropped", 2);
+        shards[2].add("obs_events_dropped", 5);
+        single.observe_ns("rare_ns", 42);
+        shards[1].observe_ns("rare_ns", 42);
+
+        let mut merged = MetricsSnapshot::default();
+        for shard in &shards {
+            merged.merge(&shard.snapshot());
+        }
+        let want = single.snapshot();
+        let got = merged.histograms.get("phase_ns").unwrap();
+        let reference = want.histograms.get("phase_ns").unwrap();
+        for q in [0.50, 0.95, 0.99] {
+            assert_eq!(got.quantile_ns(q), reference.quantile_ns(q), "q={q}");
+        }
+        assert_eq!(merged, want); // buckets, counts, sums, max, counters
+        assert_eq!(merged.render_json(), single.render_json());
+        assert_eq!(merged.render_prometheus(), single.render_prometheus());
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_bit_identically() {
+        let reg = MetricsRegistry::new();
+        reg.observe_ns("phase_generate_ns{server=\"Metro\"}", 2_000);
+        reg.observe_ns("phase_generate_ns{server=\"Metro\"}", u64::MAX);
+        reg.add("cells_total", 11);
+        reg.add("weird \"name\"\n", 1);
+        let json = reg.render_json();
+        let parsed = MetricsSnapshot::parse_json(&json).expect("own output parses");
+        assert_eq!(parsed, reg.snapshot());
+        assert_eq!(parsed.render_json(), json);
+        assert_eq!(MetricsSnapshot::parse_json("{}"), None);
+        assert_eq!(MetricsSnapshot::parse_json(&json[..json.len() - 1]), None);
+        let empty = MetricsRegistry::new().render_json();
+        assert_eq!(
+            MetricsSnapshot::parse_json(&empty),
+            Some(MetricsSnapshot::default())
+        );
     }
 }

@@ -27,4 +27,4 @@ pub use event::{
     MAX_EVENT_LINE_BYTES,
 };
 pub use export::{fmt_ns, Obs, ProgressMeter, SlowCell, SLOWEST_KEPT};
-pub use metrics::{Histogram, MetricsRegistry, BUCKET_BOUNDS_NS};
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, BUCKET_BOUNDS_NS};

@@ -13,10 +13,17 @@
 //!   [--trace-out FILE] [--metrics-out FILE] [--quiet]
 //!                                       #   …telemetry: JSON-lines trace, metrics
 //!                                       #   snapshot, suppress progress + report
+//!   [--shards N --shard-dir DIR]        #   …supervised multi-process sharding:
+//!   [--max-respawns N] [--heartbeat-ms N] [--backoff-ms N]
+//!   [--worker-halt K:C] [--worker-stall K:C]
+//!                                       #   …N supervised workers, crash/hang
+//!                                       #   recovery, deterministic merge
+//!   [--shard K/N --shard-dir DIR]       #   …run as one worker shard (spawned by
+//!                                       #   the supervisor; always resumes)
 //! wsitool chaos [--stride N] [--seed N] # fault-injected campaign + fault report
 //! wsitool metrics [--stride N] [--seed N] [--json] [--out FILE]
 //!                                       # deterministic instrumented-campaign metrics
-//! wsitool journal inspect <file>        # decode a campaign journal
+//! wsitool journal inspect <file> [--json]  # decode a campaign journal
 //! wsitool invoke <fqcn> [value]         # deploy + typed echo roundtrip
 //! wsitool export [stride] [dir]         # run + write services.tsv / tests.tsv
 //! wsitool complexity                    # run the complexity-extension matrix
@@ -24,7 +31,9 @@
 //! wsitool exchange-survey [--stride N] [--transport tcp|in-process]
 //!                                       # Communication/Execution survey (E15)
 //! wsitool bench-campaign [--stride N] [--iters N] [--out FILE]
-//!                                       # time shared vs per-cell parse, write JSON
+//!                [--full-stride N] [--full-shards N] [--skip-full]
+//!                                       # time shared vs per-cell parse + the
+//!                                       # sharded full paper matrix, write JSON
 //! ```
 //!
 //! Every campaign-family command echoes a `run config:` line with the
@@ -35,8 +44,10 @@
 //!
 //! The contract is documented in README.md and stable:
 //! `0` success, `1` runtime failure (including non-conformant audits),
-//! `2` usage errors, `9` deterministic journal halt
-//! (`--halt-after-cells`).
+//! `2` usage errors, `3` sharded campaign completed after recovering
+//! one or more crashed/hung workers, `4` shard supervision gave up
+//! after exhausting a worker's respawn budget, `9` deterministic
+//! journal halt (`--halt-after-cells`).
 
 use std::process::ExitCode;
 
@@ -46,11 +57,17 @@ use wsinterop::core::faults::BreakerConfig;
 use wsinterop::core::obs::{Clock, Obs};
 use wsinterop::core::registry::ServiceHost;
 use wsinterop::core::report::{Fig4, TableIII, Totals};
+use wsinterop::core::shard::{
+    merge_metrics_files, merge_shard_dir, merge_trace_files, verify_exactly_once,
+    write_merged_journal, ShardSpec, Supervisor, SupervisorConfig,
+};
 use wsinterop::core::wire;
 use wsinterop::core::Campaign;
 use wsinterop::compilers::{compiler_for, instantiate};
 use wsinterop::frameworks::client::{all_clients, CompilationMode};
-use wsinterop::frameworks::server::{all_servers, DeployOutcome, ServerSubsystem};
+use wsinterop::frameworks::server::{
+    all_servers, extension_servers, DeployOutcome, ServerId, ServerSubsystem,
+};
 use wsinterop::typecat::TypeEntry;
 use wsinterop::wsdl::de::from_xml_str;
 use wsinterop::wsdl::values;
@@ -60,6 +77,18 @@ use wsinterop::xml::writer::{write_document, WriteOptions};
 /// Exit code for runtime failures (I/O, refused deployments,
 /// non-conformant audits).
 const EXIT_RUNTIME: u8 = 1;
+
+/// Exit code when a sharded campaign completed, but only after the
+/// supervisor recovered at least one crashed or hung worker — the run
+/// is good (merged output verified exactly-once and bit-identical),
+/// the distinct code makes the recovery visible to CI.
+const EXIT_RECOVERED: u8 = 3;
+
+/// Exit code when shard supervision gave up: some worker exhausted
+/// its `--max-respawns` budget and the campaign is incomplete. No
+/// merged output is produced; per-shard journals keep the completed
+/// cells for a later `--resume`.
+const EXIT_GAVE_UP: u8 = 4;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -94,10 +123,16 @@ fn main() -> ExitCode {
                 }
             }
         }
-        Some("journal") => match (argv.next(), argv.next()) {
-            (Some("inspect"), Some(path)) => journal_inspect(path),
-            _ => usage(),
-        },
+        Some("journal") => {
+            let rest: Vec<&str> = argv.collect();
+            match rest.as_slice() {
+                ["inspect", path] => journal_inspect(path, false),
+                ["inspect", path, "--json"] | ["inspect", "--json", path] => {
+                    journal_inspect(path, true)
+                }
+                _ => usage(),
+            }
+        }
         Some("metrics") => {
             let rest: Vec<&str> = argv.collect();
             match parse_metrics_opts(&rest) {
@@ -120,6 +155,9 @@ fn main() -> ExitCode {
                 flag("--stride").and_then(|v| v.parse().ok()),
                 flag("--iters").and_then(|v| v.parse().ok()),
                 flag("--out"),
+                flag("--full-stride").and_then(|v| v.parse().ok()),
+                flag("--full-shards").and_then(|v| v.parse().ok()),
+                rest.contains(&"--skip-full"),
             )
         }
         Some("chaos") => {
@@ -174,12 +212,18 @@ fn usage() -> ExitCode {
          \x20 campaign [stride] [--extended] [--no-cache]  run the campaign (default stride 50)\n\
          \x20          [--journal FILE] [--resume] [--breaker N[,C]] [--halt-after-cells N]\n\
          \x20          [--trace-out FILE] [--metrics-out FILE] [--quiet]\n\
+         \x20          [--shards N] [--shard-dir DIR] [--max-respawns N]\n\
+         \x20          [--heartbeat-ms N] [--backoff-ms N]\n\
+         \x20          [--worker-halt K:C] [--worker-stall K:C]\n\
+         \x20                        …supervised multi-process sharding: N workers,\n\
+         \x20                        crash/hang recovery, deterministic merged output\n\
+         \x20          [--shard K/N --shard-dir DIR]  run as worker shard K of N\n\
          \x20 chaos [--stride N] [--seed N] [--transport tcp|in-process]\n\
          \x20       fault-injected campaign + fault report; `tcp` probes real sockets\n\
          \x20       (accepts the same --journal/--resume/--breaker/--trace-out flags as campaign)\n\
          \x20 metrics [--stride N] [--seed N] [--json] [--out FILE]\n\
          \x20                        deterministic instrumented-campaign metrics snapshot\n\
-         \x20 journal inspect <file>  decode a campaign journal (cells, config hash, torn tail)\n\
+         \x20 journal inspect <file> [--json]  decode a campaign journal (cells, config hash, torn tail)\n\
          \x20 export  [stride] [dir] run + write services.tsv / tests.tsv\n\
          \x20 complexity             run the complexity-extension matrix\n\
          \x20 serve [--port N] [--stride N] [--workers N] [--queue N]\n\
@@ -187,9 +231,12 @@ fn usage() -> ExitCode {
          \x20 exchange-survey [--stride N] [--transport tcp|in-process] [--addr HOST:PORT]\n\
          \x20                 [--shutdown-server]  Communication/Execution survey (E15)\n\
          \x20 bench-campaign [--stride N] [--iters N] [--out FILE]\n\
-         \x20                        time shared vs per-cell parse, write JSON\n\
+         \x20                [--full-stride N] [--full-shards N] [--skip-full]\n\
+         \x20                        time shared vs per-cell parse, then the sharded\n\
+         \x20                        full paper matrix; write JSON\n\
          \n\
-         exit codes: 0 success, 1 runtime failure, 2 usage error, 9 journal halt"
+         exit codes: 0 success, 1 runtime failure, 2 usage error,\n\
+         \x20           3 recovered worker crash(es), 4 supervision gave up, 9 journal halt"
     );
     ExitCode::from(2)
 }
@@ -449,6 +496,28 @@ struct RunOpts {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     quiet: bool,
+    /// Worker mode: run exactly this shard of the campaign
+    /// (`--shard K/N`, normally passed by the supervisor).
+    shard: Option<ShardSpec>,
+    /// Supervisor mode: partition the campaign across N worker
+    /// processes (`--shards N`).
+    shards: Option<usize>,
+    /// Directory holding the per-shard journals / metrics / traces and
+    /// the merged artifacts.
+    shard_dir: Option<String>,
+    /// Deterministic hang switch: sleep forever (holding the journal
+    /// lock) after N appends. Worker-side counterpart of
+    /// `--halt-after-cells`.
+    stall_after: Option<usize>,
+    max_respawns: usize,
+    heartbeat_ms: u64,
+    backoff_ms: u64,
+    /// Chaos injection for the supervisor: make worker K exit with the
+    /// journal-halt code after C cells — on its *first* attempt only.
+    worker_halt: Option<(usize, usize)>,
+    /// Chaos injection for the supervisor: make worker K hang after C
+    /// cells — on its *first* attempt only.
+    worker_stall: Option<(usize, usize)>,
 }
 
 fn parse_run_opts(rest: &[&str]) -> Result<RunOpts, String> {
@@ -465,6 +534,15 @@ fn parse_run_opts(rest: &[&str]) -> Result<RunOpts, String> {
         trace_out: None,
         metrics_out: None,
         quiet: false,
+        shard: None,
+        shards: None,
+        shard_dir: None,
+        stall_after: None,
+        max_respawns: 3,
+        heartbeat_ms: 30_000,
+        backoff_ms: 50,
+        worker_halt: None,
+        worker_stall: None,
     };
     let mut i = 0;
     while i < rest.len() {
@@ -520,6 +598,54 @@ fn parse_run_opts(rest: &[&str]) -> Result<RunOpts, String> {
                 };
                 opts.transport = parse_transport(raw)?;
             }
+            "--shard" => {
+                i += 1;
+                let Some(spec) = rest.get(i) else {
+                    return Err("--shard needs K/N (e.g. 0/3)".to_string());
+                };
+                opts.shard = Some(ShardSpec::parse(spec).map_err(|e| format!("--shard: {e}"))?);
+            }
+            "--shards" => {
+                i += 1;
+                opts.shards = Some(parse_flag_value(rest, i, "--shards")?);
+            }
+            "--shard-dir" => {
+                i += 1;
+                let Some(dir) = rest.get(i) else {
+                    return Err("--shard-dir needs a directory path".to_string());
+                };
+                opts.shard_dir = Some(dir.to_string());
+            }
+            "--stall-after-cells" => {
+                i += 1;
+                opts.stall_after = Some(parse_flag_value(rest, i, "--stall-after-cells")?);
+            }
+            "--max-respawns" => {
+                i += 1;
+                opts.max_respawns = parse_flag_value(rest, i, "--max-respawns")?;
+            }
+            "--heartbeat-ms" => {
+                i += 1;
+                opts.heartbeat_ms = parse_flag_value(rest, i, "--heartbeat-ms")?;
+            }
+            "--backoff-ms" => {
+                i += 1;
+                opts.backoff_ms = parse_flag_value(rest, i, "--backoff-ms")?;
+            }
+            "--worker-halt" => {
+                i += 1;
+                let Some(spec) = rest.get(i) else {
+                    return Err("--worker-halt needs K:C (worker index : cell count)".to_string());
+                };
+                opts.worker_halt = Some(parse_worker_chaos(spec, "--worker-halt")?);
+            }
+            "--worker-stall" => {
+                i += 1;
+                let Some(spec) = rest.get(i) else {
+                    return Err("--worker-stall needs K:C (worker index : cell count)".to_string());
+                };
+                opts.worker_stall = Some(parse_worker_chaos(spec, "--worker-stall")?);
+            }
             bare => match bare.parse::<usize>() {
                 Ok(stride) => opts.stride = stride,
                 Err(_) => return Err(format!("unrecognized argument `{bare}`")),
@@ -528,7 +654,85 @@ fn parse_run_opts(rest: &[&str]) -> Result<RunOpts, String> {
         i += 1;
     }
     opts.stride = opts.stride.max(1);
+    validate_shard_opts(&opts)?;
     Ok(opts)
+}
+
+/// Parses the `K:C` argument of `--worker-halt` / `--worker-stall`.
+fn parse_worker_chaos(spec: &str, flag: &str) -> Result<(usize, usize), String> {
+    let parsed = spec.split_once(':').and_then(|(k, c)| {
+        Some((k.parse::<usize>().ok()?, c.parse::<usize>().ok()?))
+    });
+    parsed.ok_or_else(|| format!("{flag}: cannot parse `{spec}` (want K:C)"))
+}
+
+/// The sharding flag matrix: supervisor mode (`--shards`) and worker
+/// mode (`--shard`) are mutually exclusive; both are incompatible with
+/// single-process journalling and with the circuit breaker (breaker
+/// state depends on the full preceding per-client cell stream, which a
+/// shard does not see); the chaos/supervision knobs belong to exactly
+/// one of the two modes.
+fn validate_shard_opts(opts: &RunOpts) -> Result<(), String> {
+    let supervisor = opts.shards.is_some();
+    let worker = opts.shard.is_some();
+    if supervisor && worker {
+        return Err("--shards (supervisor) and --shard (worker) are mutually exclusive".to_string());
+    }
+    if let Some(n) = opts.shards {
+        if n == 0 {
+            return Err("--shards: need at least one worker".to_string());
+        }
+    }
+    if worker && opts.shard_dir.is_none() {
+        return Err("--shard needs --shard-dir (per-shard artifacts live there)".to_string());
+    }
+    if (supervisor || worker) && opts.breaker.is_some() {
+        return Err(
+            "sharding is incompatible with --breaker: breaker state depends on the \
+             full per-client cell stream, which a shard does not see"
+                .to_string(),
+        );
+    }
+    if (supervisor || worker) && opts.journal.is_some() {
+        return Err(
+            "sharding manages its own per-shard journals; drop --journal and use --shard-dir"
+                .to_string(),
+        );
+    }
+    if supervisor && opts.halt_after.is_some() {
+        return Err(
+            "--halt-after-cells halts the supervisor itself; use --worker-halt K:C to \
+             halt one worker"
+                .to_string(),
+        );
+    }
+    if opts.stall_after.is_some() && !worker && opts.journal.is_none() {
+        return Err("--stall-after-cells needs --shard or --journal (it stalls the journal writer)"
+            .to_string());
+    }
+    if !supervisor {
+        for (flag, set) in [
+            ("--worker-halt", opts.worker_halt.is_some()),
+            ("--worker-stall", opts.worker_stall.is_some()),
+        ] {
+            if set {
+                return Err(format!("{flag} needs --shards (it drives the supervisor)"));
+            }
+        }
+    }
+    if let Some(n) = opts.shards {
+        for (flag, pair) in [
+            ("--worker-halt", opts.worker_halt),
+            ("--worker-stall", opts.worker_stall),
+        ] {
+            if let Some((k, _)) = pair {
+                if k >= n {
+                    return Err(format!("{flag}: worker index {k} out of range (shards={n})"));
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 fn parse_flag_value<T: std::str::FromStr>(
@@ -662,8 +866,27 @@ fn journal_summary(opts: &RunOpts) {
     }
 }
 
-fn journal_inspect(path: &str) -> ExitCode {
-    use wsinterop::core::journal::{per_client_counts, read_journal};
+/// Escapes a string for embedding in the `journal inspect --json`
+/// output (platform/client names are ASCII identifiers, but the
+/// journal path is user input).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn journal_inspect(path: &str, json: bool) -> ExitCode {
+    use wsinterop::core::journal::{per_client_counts, per_server_counts, read_journal};
     let read = match read_journal(std::path::Path::new(path)) {
         Ok(read) => read,
         Err(e) => {
@@ -671,10 +894,41 @@ fn journal_inspect(path: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!("journal: {path}");
-    println!("config-hash=0x{:016x}", read.config_hash);
     let skipped = read.cells.iter().filter(|c| c.breaker_skipped).count();
     let disruptive = read.cells.iter().filter(|c| c.disruptive).count();
+    if json {
+        let object_of = |counts: std::collections::BTreeMap<String, usize>| {
+            counts
+                .into_iter()
+                .map(|(name, count)| format!("\"{}\":{count}", json_escape(&name)))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let per_server = object_of(
+            per_server_counts(&read.cells)
+                .into_iter()
+                .map(|(id, n)| (id.to_string(), n))
+                .collect(),
+        );
+        let per_client = object_of(
+            per_client_counts(&read.cells)
+                .into_iter()
+                .map(|(id, n)| (id.to_string(), n))
+                .collect(),
+        );
+        println!(
+            "{{\"journal\":\"{}\",\"config_hash\":\"0x{:016x}\",\"cells\":{},\
+             \"breaker_skipped\":{skipped},\"disruptive\":{disruptive},\"torn_bytes\":{},\
+             \"per_server\":{{{per_server}}},\"per_client\":{{{per_client}}}}}",
+            json_escape(path),
+            read.config_hash,
+            read.cells.len(),
+            read.torn_bytes,
+        );
+        return ExitCode::SUCCESS;
+    }
+    println!("journal: {path}");
+    println!("config-hash=0x{:016x}", read.config_hash);
     println!(
         "cells: {} (breaker-skipped {skipped}, disruptive {disruptive})",
         read.cells.len()
@@ -689,6 +943,10 @@ fn journal_inspect(path: &str) -> ExitCode {
 
 fn chaos(opts: &RunOpts) -> ExitCode {
     use wsinterop::core::faults::FaultPlan;
+    if opts.shards.is_some() || opts.shard.is_some() {
+        eprintln!("sharding supports the plain campaign only (chaos runs are single-process)");
+        return usage();
+    }
     println!(
         "running chaos campaign with stride {}, seed {}, {} transport…",
         opts.stride, opts.seed, opts.transport
@@ -738,6 +996,12 @@ fn chaos(opts: &RunOpts) -> ExitCode {
 }
 
 fn campaign(opts: &RunOpts) -> ExitCode {
+    if let Some(shards) = opts.shards {
+        return supervise_campaign(opts, shards);
+    }
+    if let Some(spec) = opts.shard {
+        return shard_worker(opts, spec);
+    }
     println!(
         "running {} campaign with stride {}{}…",
         if opts.extended {
@@ -782,6 +1046,264 @@ fn campaign(opts: &RunOpts) -> ExitCode {
     journal_summary(opts);
     if let Err(code) = finish_observability(&obs, opts) {
         return code;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs as one worker shard of a supervised campaign (`--shard K/N`).
+///
+/// A worker journals into its shard journal and *always* resumes it:
+/// a respawned replacement must replay the dead worker's completed
+/// cells, never truncate them. Nothing is printed to stdout — the
+/// supervisor owns the scientific record; per-shard artifacts
+/// (journal, services TSV, metrics snapshot) land in the shard dir.
+fn shard_worker(opts: &RunOpts, spec: ShardSpec) -> ExitCode {
+    let dir = std::path::PathBuf::from(opts.shard_dir.as_deref().unwrap_or("wsitool-shards"));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        return fail(format!("cannot create shard dir {}: {e}", dir.display()));
+    }
+    let base = if opts.extended {
+        Campaign::extended_sampled(opts.stride)
+    } else {
+        Campaign::sampled(opts.stride)
+    };
+    let obs = match build_observer(opts) {
+        Ok(obs) => obs,
+        Err(e) => return fail(e),
+    };
+    let journal = spec.journal_file(&dir);
+    let mut run = base
+        .with_doc_cache(!opts.no_cache)
+        .with_journal(journal.as_path())
+        .with_resume(true)
+        .with_shard(spec)
+        .with_observer(std::sync::Arc::clone(&obs));
+    if let Some(halt) = opts.halt_after {
+        run = run.with_halt_after_cells(halt);
+    }
+    if let Some(stall) = opts.stall_after {
+        run = run.with_stall_after_cells(stall);
+    }
+    eprintln!("shard {spec}: journal {}", journal.display());
+    let (results, _, _) = match run.try_run_with_stats() {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("shard {spec}: {e}");
+            return ExitCode::from(EXIT_RUNTIME);
+        }
+    };
+    // Publish the deploy-phase hand-off atomically: a crash mid-write
+    // must not leave a half-written TSV for the merge to trip on.
+    let services = spec.services_file(&dir);
+    let tmp = services.with_extension("tsv.tmp");
+    let write = std::fs::write(&tmp, wsinterop::core::export::services_tsv(&results))
+        .and_then(|()| std::fs::rename(&tmp, &services));
+    if let Err(e) = write {
+        return fail(format!(
+            "shard {spec}: cannot write {}: {e}",
+            services.display()
+        ));
+    }
+    if let Err(e) = std::fs::write(spec.metrics_file(&dir), obs.metrics_json()) {
+        return fail(format!("shard {spec}: cannot write metrics snapshot: {e}"));
+    }
+    if let Err(code) = finish_observability(&obs, opts) {
+        return code;
+    }
+    eprintln!(
+        "shard {spec}: done — {} service(s), {} test cell(s)",
+        results.services.len(),
+        results.tests.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Maps `(server, fqcn)` to its strided entry index — the same grid
+/// [`Campaign`] partitions on — for the supervisor's re-claimed-chunk
+/// accounting.
+fn chunk_index_map(opts: &RunOpts) -> std::collections::BTreeMap<(ServerId, String), usize> {
+    let servers = if opts.extended {
+        extension_servers()
+    } else {
+        all_servers()
+    };
+    let mut map = std::collections::BTreeMap::new();
+    for server in servers {
+        let id = server.info().id;
+        for (j, entry) in server
+            .catalog()
+            .entries()
+            .iter()
+            .step_by(opts.stride)
+            .enumerate()
+        {
+            map.insert((id, entry.fqcn.clone()), j);
+        }
+    }
+    map
+}
+
+/// The supervising parent of a sharded campaign (`--shards N`):
+/// partitions the run across N worker processes, recovers crashed and
+/// hung workers, then merges the per-shard artifacts into output
+/// bit-identical to an uninterrupted single-process run.
+fn supervise_campaign(opts: &RunOpts, shards: usize) -> ExitCode {
+    println!(
+        "running {} campaign with stride {} across {shards} supervised worker shard(s)…",
+        if opts.extended {
+            "extended (4-server)"
+        } else {
+            "paper (3-server)"
+        },
+        opts.stride,
+    );
+    let base = if opts.extended {
+        Campaign::extended_sampled(opts.stride)
+    } else {
+        Campaign::sampled(opts.stride)
+    };
+    // The shard layout is excluded from the config hash, so this echo —
+    // and every shard journal header — matches the unsharded run.
+    echo_run_config(opts.stride, None, &base);
+    let dir = std::path::PathBuf::from(opts.shard_dir.as_deref().unwrap_or("wsitool-shards"));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        return fail(format!("cannot create shard dir {}: {e}", dir.display()));
+    }
+    if !opts.resume {
+        for k in 0..shards {
+            let spec = ShardSpec::new(k, shards);
+            for file in [
+                spec.journal_file(&dir),
+                spec.services_file(&dir),
+                spec.metrics_file(&dir),
+                spec.trace_file(&dir),
+                spec.pid_file(&dir),
+                spec.log_file(&dir),
+            ] {
+                let _ = std::fs::remove_file(file);
+            }
+        }
+    }
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => return fail(format!("cannot locate own executable: {e}")),
+    };
+    let spawner = |spec: ShardSpec, attempt: usize| {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("campaign")
+            .arg(opts.stride.to_string())
+            .arg("--shard")
+            .arg(spec.to_string())
+            .arg("--shard-dir")
+            .arg(&dir)
+            .arg("--quiet");
+        if opts.extended {
+            cmd.arg("--extended");
+        }
+        if opts.no_cache {
+            cmd.arg("--no-cache");
+        }
+        if opts.trace_out.is_some() {
+            cmd.arg("--trace-out").arg(spec.trace_file(&dir));
+        }
+        // Injected chaos hits the first attempt only — the experiment
+        // is that the respawned replacement finishes the job.
+        if attempt == 0 {
+            if let Some((k, cells)) = opts.worker_halt {
+                if k == spec.index {
+                    cmd.arg("--halt-after-cells").arg(cells.to_string());
+                }
+            }
+            if let Some((k, cells)) = opts.worker_stall {
+                if k == spec.index {
+                    cmd.arg("--stall-after-cells").arg(cells.to_string());
+                }
+            }
+        }
+        cmd
+    };
+    let chunk_map = chunk_index_map(opts);
+    let config = SupervisorConfig {
+        max_respawns: opts.max_respawns,
+        heartbeat: std::time::Duration::from_millis(opts.heartbeat_ms),
+        backoff_base: std::time::Duration::from_millis(opts.backoff_ms),
+        ..SupervisorConfig::default()
+    };
+    let supervisor = Supervisor::new(&dir, shards, spawner)
+        .with_config(config)
+        .with_chunk_index(|server, fqcn| chunk_map.get(&(server, fqcn.to_string())).copied());
+    let outcome = match supervisor.run() {
+        Ok(outcome) => outcome,
+        Err(e) => return fail(format!("supervision failed: {e}")),
+    };
+    if !outcome.all_completed() {
+        for k in &outcome.gave_up {
+            eprintln!(
+                "shard {k}/{shards}: gave up after {} spawn(s)",
+                outcome.worker_attempts[*k]
+            );
+        }
+        eprintln!(
+            "supervision gave up: {} of {shards} shard(s) incomplete; \
+             per-shard journals kept in {} for --resume",
+            outcome.gave_up.len(),
+            dir.display(),
+        );
+        return ExitCode::from(EXIT_GAVE_UP);
+    }
+    let merged = match merge_shard_dir(&dir, shards) {
+        Ok(merged) => merged,
+        Err(e) => return fail(format!("shard merge refused: {e}")),
+    };
+    if let Err(e) = verify_exactly_once(&merged, all_clients().len()) {
+        return fail(format!("exactly-once verification failed: {e}"));
+    }
+    let merged_journal = dir.join("merged.journal");
+    if let Err(e) = write_merged_journal(&merged_journal, merged.config_hash, &merged.cells) {
+        return fail(format!("cannot write {}: {e}", merged_journal.display()));
+    }
+    let metrics = match merge_metrics_files(&dir, shards) {
+        Ok(metrics) => metrics,
+        Err(e) => return fail(format!("metrics merge refused: {e}")),
+    };
+    if let Err(e) = std::fs::write(dir.join("merged.metrics.json"), metrics.render_json()) {
+        return fail(format!("cannot write merged metrics: {e}"));
+    }
+    if let Some(path) = &opts.metrics_out {
+        if let Err(e) = std::fs::write(path, metrics.render_prometheus()) {
+            return fail(format!("cannot write {path}: {e}"));
+        }
+        eprintln!("metrics: wrote {path}");
+    }
+    if let Some(path) = &opts.trace_out {
+        let inputs: Vec<std::path::PathBuf> = (0..shards)
+            .map(|k| ShardSpec::new(k, shards).trace_file(&dir))
+            .collect();
+        match merge_trace_files(&inputs, std::path::Path::new(path)) {
+            Ok(events) => eprintln!("trace: merged {events} event(s) into {path}"),
+            Err(e) => return fail(format!("cannot merge traces into {path}: {e}")),
+        }
+    }
+    println!("{}", Fig4::from_results(&merged.results));
+    println!("{}", TableIII::from_results(&merged.results));
+    println!("{}", Totals::from_results(&merged.results));
+    println!(
+        "shards: {shards} worker(s), {} respawn(s) ({} hung), \
+         {} cell(s) re-claimed across {} chunk(s)",
+        outcome.respawns, outcome.hung_workers, outcome.reclaimed_cells, outcome.chunks_reclaimed
+    );
+    println!(
+        "journal: merged journal {} holds {} cell(s)",
+        merged_journal.display(),
+        merged.cells.len()
+    );
+    if outcome.recovered() {
+        eprintln!(
+            "note: {} worker crash(es)/hang(s) recovered; merged output verified \
+             — exiting {EXIT_RECOVERED} to make the recovery visible",
+            outcome.respawns,
+        );
+        return ExitCode::from(EXIT_RECOVERED);
     }
     ExitCode::SUCCESS
 }
@@ -1097,7 +1619,20 @@ fn exchange_survey(opts: &SurveyOpts) -> ExitCode {
 /// cache on and off and writes the comparison (wall times + parse/memo
 /// counters) as a machine-readable JSON snapshot, so CI can track the
 /// perf trajectory run over run.
-fn bench_campaign(stride: Option<usize>, iters: Option<usize>, out: Option<&str>) -> ExitCode {
+///
+/// Unless `--skip-full`, it then runs the *full stride-1 paper matrix*
+/// through the sharded supervisor (the bench process is the parent),
+/// records the wall clock and shard/respawn accounting, and checks the
+/// merged totals against the paper's published headline numbers — the
+/// `full_matrix` block of the snapshot, gated in CI.
+fn bench_campaign(
+    stride: Option<usize>,
+    iters: Option<usize>,
+    out: Option<&str>,
+    full_stride: Option<usize>,
+    full_shards: Option<usize>,
+    skip_full: bool,
+) -> ExitCode {
     let stride = stride.unwrap_or(200).max(1);
     let iters = iters.unwrap_or(5).max(1);
     let out = out.unwrap_or("BENCH_campaign.json");
@@ -1158,6 +1693,81 @@ fn bench_campaign(stride: Option<usize>, iters: Option<usize>, out: Option<&str>
         (instrumented_ms / shared_ms.max(f64::EPSILON) - 1.0) * 100.0;
     let config_hash = Campaign::sampled(stride).config_hash();
 
+    let full_matrix = if skip_full {
+        "null".to_string()
+    } else {
+        let full_stride = full_stride.unwrap_or(1).max(1);
+        let full_shards = full_shards
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(3, |n| n.get().clamp(2, 4))
+            })
+            .max(1);
+        println!(
+            "full matrix: stride {full_stride} across {full_shards} supervised worker shard(s)…"
+        );
+        let dir = std::env::temp_dir().join(format!(
+            "wsitool-bench-shards-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let exe = match std::env::current_exe() {
+            Ok(exe) => exe,
+            Err(e) => return fail(format!("cannot locate own executable: {e}")),
+        };
+        let spawner = |spec: ShardSpec, _attempt: usize| {
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.arg("campaign")
+                .arg(full_stride.to_string())
+                .arg("--shard")
+                .arg(spec.to_string())
+                .arg("--shard-dir")
+                .arg(&dir)
+                .arg("--quiet");
+            cmd
+        };
+        let span = clock.start_span("bench-campaign/full-matrix");
+        let outcome = match Supervisor::new(&dir, full_shards, spawner).run() {
+            Ok(outcome) => outcome,
+            Err(e) => return fail(format!("full-matrix supervision failed: {e}")),
+        };
+        let wall_ms = span.elapsed_ns() as f64 / 1e6;
+        if !outcome.all_completed() {
+            return fail("full-matrix supervision gave up; bench aborted");
+        }
+        let merged = match merge_shard_dir(&dir, full_shards) {
+            Ok(merged) => merged,
+            Err(e) => return fail(format!("full-matrix merge refused: {e}")),
+        };
+        if let Err(e) = verify_exactly_once(&merged, all_clients().len()) {
+            return fail(format!("full-matrix exactly-once verification failed: {e}"));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        use wsinterop::core::expected;
+        let created = merged.results.services.len();
+        let full_deployed = merged.results.services.iter().filter(|s| s.deployed).count();
+        let full_tests = merged.results.tests.len();
+        let golden = full_stride == 1
+            && created == expected::TOTAL_CREATED
+            && full_deployed == expected::TOTAL_DEPLOYED
+            && full_tests == expected::TOTAL_TESTS;
+        println!(
+            "full matrix: {created} created, {full_deployed} deployed, {full_tests} tests \
+             in {wall_ms:.0} ms ({} respawn(s)); golden={golden}",
+            outcome.respawns
+        );
+        format!(
+            "{{ \"stride\": {full_stride}, \"shards\": {full_shards}, \"wall_ms\": {wall_ms:.3}, \
+             \"respawns\": {respawns}, \"hung_workers\": {hung}, \
+             \"reclaimed_cells\": {reclaimed}, \"chunks_reclaimed\": {chunks}, \
+             \"services_created\": {created}, \"services_deployed\": {full_deployed}, \
+             \"tests_classified\": {full_tests}, \"golden\": {golden} }}",
+            respawns = outcome.respawns,
+            hung = outcome.hung_workers,
+            reclaimed = outcome.reclaimed_cells,
+            chunks = outcome.chunks_reclaimed,
+        )
+    };
+
     let json = format!(
         "{{\n  \"bench\": \"campaign_scaling/stride-{stride}\",\n  \
          \"stride\": {stride},\n  \
@@ -1174,7 +1784,8 @@ fn bench_campaign(stride: Option<usize>, iters: Option<usize>, out: Option<&str>
          \"instrumentation_overhead_pct\": {instrumentation_overhead_pct:.1},\n  \
          \"shared\": {{ \"parses\": {sp}, \"distinct_docs\": {sd}, \"doc_memo_hits\": {sh}, \
          \"gen_runs\": {sg}, \"gen_memo_hits\": {sgh}, \"fault_bypasses\": {sf} }},\n  \
-         \"per_cell\": {{ \"parses\": {pp}, \"text_generates\": {pt} }}\n}}\n",
+         \"per_cell\": {{ \"parses\": {pp}, \"text_generates\": {pt} }},\n  \
+         \"full_matrix\": {full_matrix}\n}}\n",
         tests = results.tests.len(),
         sp = shared_stats.parses,
         sd = shared_stats.distinct_docs,

@@ -231,6 +231,39 @@ fn journal_inspect_agrees_with_the_campaign_config_hash() {
 }
 
 #[test]
+fn journal_inspect_json_is_machine_readable() {
+    let path = std::env::temp_dir().join(format!(
+        "wsitool-cli-inspect-json-{}.journal",
+        std::process::id()
+    ));
+    let path_str = path.to_str().unwrap();
+    let run = wsitool(&["campaign", "400", "--journal", path_str]);
+    assert!(run.status.success());
+
+    // Flag order must not matter.
+    let first = wsitool(&["journal", "inspect", path_str, "--json"]);
+    let second = wsitool(&["journal", "inspect", "--json", path_str]);
+    assert!(first.status.success());
+    assert_eq!(first.stdout, second.stdout);
+
+    let stdout = String::from_utf8_lossy(&first.stdout);
+    assert_eq!(stdout.lines().count(), 1, "single JSON line:\n{stdout}");
+    for needle in [
+        "{\"journal\":",
+        "\"config_hash\":\"0x",
+        "\"cells\":220",
+        "\"breaker_skipped\":0",
+        "\"torn_bytes\":0",
+        "\"per_server\":{",
+        "\"Metro\":",
+        "\"per_client\":{",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle}:\n{stdout}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn metrics_subcommand_prints_deterministic_prometheus_text() {
     let first = wsitool(&["metrics", "--stride", "400", "--seed", "42"]);
     assert!(first.status.success());

@@ -178,6 +178,26 @@ fn e5_jscript_crashes_on_own_platform() {
 }
 
 #[test]
+fn e17_sharded_full_matrix_reproduces_the_golden_tables() {
+    // E17 at stride 1: the full paper matrix split across three shards
+    // merges back to the exact single-process results — so every
+    // golden table above holds verbatim for a sharded run.
+    use wsinterop::core::shard::{merge_results, ShardSpec};
+    let merged = merge_results(
+        (0..3).map(|k| Campaign::paper().with_shard(ShardSpec::new(k, 3)).run()),
+    );
+    let full = results();
+    assert_eq!(full.services, merged.services);
+    assert_eq!(full.tests, merged.tests);
+    assert_eq!(merged.services.len(), expected::TOTAL_CREATED);
+    assert_eq!(
+        merged.services.iter().filter(|s| s.deployed).count(),
+        expected::TOTAL_DEPLOYED
+    );
+    assert_eq!(merged.tests.len(), expected::TOTAL_TESTS);
+}
+
+#[test]
 fn e5_error_disruptiveness_invariant() {
     // Errors are disruptive: a generation error without partial output
     // must never show compilation results. (Axis tools leave partial
