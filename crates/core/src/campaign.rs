@@ -74,13 +74,14 @@ use wsinterop_wsi::Analyzer;
 use crate::doccache::{content_hash, DocCache, ParsedService, PipelineStats};
 use crate::exchange::exchange_with_faults;
 use crate::faults::{
-    deploy_site, gen_site, lock_unpoisoned, sock_site, wire_site, BreakerConfig, BreakerState,
-    FaultKind, FaultLog, FaultPlan, FaultReport, PlanClientHook, PlanServerHook, ResilienceConfig,
+    deploy_site, gen_site, sock_site, wire_site, BreakerConfig, BreakerState, FaultKind, FaultLog,
+    FaultPlan, FaultReport, PlanClientHook, PlanServerHook, ResilienceConfig,
 };
 use crate::journal::{JournalCell, JournalError, JournalWriter};
 use crate::shard::ShardSpec;
 use crate::obs::{Obs, TracePhase};
 use crate::results::{CampaignResults, InstantiationKind, ServiceRecord, TestRecord};
+use crate::sync::{into_inner_unpoisoned, lock_unpoisoned};
 
 /// Work-queue claim granularity: one `fetch_add` claims a run of this
 /// many items, cutting shared-counter contention at high thread counts
@@ -102,6 +103,11 @@ pub struct Campaign {
     /// Share parsed descriptions through the content-addressed memo
     /// (`false` reproduces the historical parse-per-consumer pipeline).
     doc_cache: bool,
+    /// Lock stripes for the doc-cache memos. Excluded from
+    /// [`Campaign::config_hash`]: striping only spreads contention,
+    /// memo contents — and therefore results — are identical at any
+    /// stripe count.
+    cache_stripes: usize,
     /// Write-ahead journal path (`None` disables journaling).
     journal: Option<PathBuf>,
     /// Replay already-journaled cells instead of executing them.
@@ -193,6 +199,7 @@ impl Campaign {
             faults: None,
             resilience: ResilienceConfig::default(),
             doc_cache: true,
+            cache_stripes: crate::doccache::DEFAULT_MEMO_STRIPES,
             journal: None,
             resume: false,
             breaker: None,
@@ -292,6 +299,18 @@ impl Campaign {
     #[must_use]
     pub fn with_doc_cache(mut self, enabled: bool) -> Campaign {
         self.doc_cache = enabled;
+        self
+    }
+
+    /// Overrides the doc-cache memo stripe count (clamped to at least
+    /// 1; `1` reproduces the historical single-map memo). Excluded
+    /// from [`Campaign::config_hash`] — striping spreads lock
+    /// contention across the memo key space without changing what any
+    /// memo returns, so results are bit-identical at any stripe count
+    /// (pinned by the equivalence proptest in `tests/pipeline_cache`).
+    #[must_use]
+    pub fn with_cache_stripes(mut self, stripes: usize) -> Campaign {
+        self.cache_stripes = stripes.max(1);
         self
     }
 
@@ -481,9 +500,12 @@ impl Campaign {
         let (log, cache) = match &self.obs {
             Some(obs) => (
                 FaultLog::with_registry(obs.metrics_arc()),
-                DocCache::with_registry(obs.metrics_arc()),
+                DocCache::with_config(self.cache_stripes, obs.metrics_arc()),
             ),
-            None => (FaultLog::new(), DocCache::new()),
+            None => (
+                FaultLog::new(),
+                DocCache::with_stripe_count(self.cache_stripes),
+            ),
         };
         let mut results = CampaignResults::default();
 
@@ -572,13 +594,14 @@ impl Campaign {
                                 ));
                             }
                         }
+                        // lock-order: L5 (campaign collections) — held
+                        // only for the append, after all cell work.
                         lock_unpoisoned(&records).append(&mut local);
                     });
                 }
             });
-            let mut deployed: Vec<(ServiceRecord, Option<Arc<ParsedService>>)> = records
-                .into_inner()
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            let mut deployed: Vec<(ServiceRecord, Option<Arc<ParsedService>>)> =
+                into_inner_unpoisoned(records);
             deployed.sort_by(|a, b| a.0.fqcn.cmp(&b.0.fqcn));
 
             // Testing phase: all clients × all published descriptions,
@@ -617,6 +640,8 @@ impl Campaign {
                                 break;
                             };
                             let client_id = client.info().id;
+                            // lock-order: L5 (campaign collections) —
+                            // state moves out before any cell runs.
                             let mut state = lock_unpoisoned(&breaker_states)
                                 .remove(&client_id)
                                 .unwrap_or_default();
@@ -629,8 +654,11 @@ impl Campaign {
                                     &mut state,
                                 ));
                             }
+                            // lock-order: L5 (campaign collections).
                             lock_unpoisoned(&breaker_states).insert(client_id, state);
                         }
+                        // lock-order: L5 (campaign collections) — held
+                        // only for the append, after all cell work.
                         lock_unpoisoned(&tests).append(&mut local);
                     });
                 }
@@ -658,9 +686,7 @@ impl Campaign {
             results
                 .services
                 .extend(deployed.into_iter().map(|(record, _)| record));
-            let mut server_tests = tests
-                .into_inner()
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            let mut server_tests = into_inner_unpoisoned(tests);
             server_tests.sort_by(|a: &TestRecord, b: &TestRecord| {
                 (a.client, &a.fqcn).cmp(&(b.client, &b.fqcn))
             });
@@ -1049,8 +1075,7 @@ impl Campaign {
                 cell.breaker_skipped,
                 span,
             );
-            o.metrics().inc("campaign_cells_total");
-            o.progress().cell_done(o.clock());
+            o.record_cell_done();
         }
         cell.record
     }

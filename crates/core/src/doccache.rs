@@ -37,8 +37,8 @@ use wsinterop_frameworks::client::facts::DocFacts;
 use wsinterop_frameworks::client::{parse_for_generation, ClientId, ClientSubsystem, GenOutcome};
 use wsinterop_wsdl::Definitions;
 
-use crate::faults::lock_unpoisoned;
-use crate::obs::MetricsRegistry;
+use crate::sync::lock_unpoisoned;
+use crate::obs::{LazyCounter, MetricsRegistry};
 
 /// Registry names for the cache's instruments. Private: the public
 /// surface is [`PipelineStats`]; the names are documented in
@@ -143,19 +143,58 @@ pub fn content_hash(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Default number of independent lock stripes each memo is split
+/// across (see [`DocCache::with_stripe_count`]).
+pub const DEFAULT_MEMO_STRIPES: usize = 8;
+
+/// One lock stripe of the memo: a slice of the document memo and the
+/// matching slice of the generation memo, behind their own mutexes.
+///
+/// Striping by content hash means two workers contend only when they
+/// touch documents that land in the same stripe — at N stripes the
+/// expected contention on the parse-once hot path drops by ~N compared
+/// to the historical single-map memos, without changing what the memo
+/// stores: a key maps to exactly one stripe, so first-insert-wins and
+/// byte-verified hits behave exactly as before.
+#[derive(Debug, Default)]
+struct MemoStripe {
+    docs: Mutex<HashMap<u64, Arc<ParsedService>>>,
+    gen: Mutex<HashMap<(ClientId, u64), GenOutcome>>,
+}
+
 /// Campaign-wide content-addressed memo over parsed descriptions and
 /// per-client generation outcomes, with hit/miss accounting.
 ///
+/// The memos are split into hash-addressed lock stripes
+/// ([`DEFAULT_MEMO_STRIPES`] by default) so parallel workers only
+/// contend when their documents collide on a stripe; the stripe count
+/// is an execution detail with no observable effect on results (a
+/// property test pins single-stripe ≡ striped campaigns bit-for-bit).
+///
 /// The hit/miss counters are registry-backed instruments
-/// (`doccache_*` / `journal_cells_replayed_total`): an uninstrumented
+/// (`doccache_*` / `journal_cells_replayed_total`), pre-resolved into
+/// lock-free [`LazyCounter`] handles on first use: an uninstrumented
 /// cache owns a private [`MetricsRegistry`]; an instrumented campaign
 /// shares its observer's, so `wsitool metrics` sees the same numbers
 /// [`DocCache::stats`] reports.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct DocCache {
-    docs: Mutex<HashMap<u64, Arc<ParsedService>>>,
-    gen: Mutex<HashMap<(ClientId, u64), GenOutcome>>,
+    stripes: Box<[MemoStripe]>,
     metrics: Arc<MetricsRegistry>,
+    parses: LazyCounter,
+    doc_hits: LazyCounter,
+    gen_runs: LazyCounter,
+    gen_hits: LazyCounter,
+    fault_bypasses: LazyCounter,
+    text_generates: LazyCounter,
+    fault_text_generates: LazyCounter,
+    journal_replays: LazyCounter,
+}
+
+impl Default for DocCache {
+    fn default() -> DocCache {
+        DocCache::with_config(DEFAULT_MEMO_STRIPES, Arc::default())
+    }
 }
 
 impl DocCache {
@@ -166,10 +205,40 @@ impl DocCache {
 
     /// A fresh cache publishing its accounting into `metrics`.
     pub fn with_registry(metrics: Arc<MetricsRegistry>) -> DocCache {
+        DocCache::with_config(DEFAULT_MEMO_STRIPES, metrics)
+    }
+
+    /// A fresh cache with a custom stripe count and a private registry
+    /// (`1` reproduces the historical single-map memo — the baseline
+    /// the striping equivalence test compares against).
+    pub fn with_stripe_count(stripes: usize) -> DocCache {
+        DocCache::with_config(stripes, Arc::default())
+    }
+
+    /// A fresh cache with an explicit stripe count and registry.
+    pub fn with_config(stripes: usize, metrics: Arc<MetricsRegistry>) -> DocCache {
+        let stripes = stripes.max(1);
         DocCache {
+            stripes: (0..stripes).map(|_| MemoStripe::default()).collect(),
             metrics,
-            ..DocCache::default()
+            parses: LazyCounter::new(),
+            doc_hits: LazyCounter::new(),
+            gen_runs: LazyCounter::new(),
+            gen_hits: LazyCounter::new(),
+            fault_bypasses: LazyCounter::new(),
+            text_generates: LazyCounter::new(),
+            fault_text_generates: LazyCounter::new(),
+            journal_replays: LazyCounter::new(),
         }
+    }
+
+    /// The stripe owning content hash `hash`. A key maps to exactly
+    /// one stripe, so striping never changes which entry a lookup
+    /// sees; the fold mixes the high bits in so the stripe index stays
+    /// uniform even for hash families that vary mostly above bit 32.
+    fn stripe(&self, hash: u64) -> &MemoStripe {
+        let mixed = hash ^ (hash >> 32);
+        &self.stripes[(mixed as usize) % self.stripes.len()]
     }
 
     /// Parses `wsdl_xml` through the content-addressed memo: the first
@@ -177,25 +246,30 @@ impl DocCache {
     /// byte-identical sighting shares the same [`ParsedService`].
     pub fn parse(&self, wsdl_xml: String) -> Arc<ParsedService> {
         let hash = content_hash(wsdl_xml.as_bytes());
-        if let Some(hit) = lock_unpoisoned(&self.docs).get(&hash) {
+        let stripe = self.stripe(hash);
+        // lock-order: L1 (doccache memo stripe) — leaf lock,
+        // released before the counter bump.
+        let cached = lock_unpoisoned(&stripe.docs).get(&hash).map(Arc::clone);
+        if let Some(hit) = cached {
             if hit.wsdl_xml == wsdl_xml {
-                self.metrics.inc(M_DOC_HITS);
-                return Arc::clone(hit);
+                self.doc_hits.inc(&self.metrics, M_DOC_HITS);
+                return hit;
             }
             // A 64-bit collision between distinct documents: parse
             // fresh and keep it out of both memos. Correctness never
             // depends on the hash being collision-free.
-            self.metrics.inc(M_PARSES);
+            self.parses.inc(&self.metrics, M_PARSES);
             return Arc::new(ParsedService::parse_uncached(wsdl_xml));
         }
-        self.metrics.inc(M_PARSES);
+        self.parses.inc(&self.metrics, M_PARSES);
         let mut svc = ParsedService::parse_uncached(wsdl_xml);
         svc.memoizable = true;
         let svc = Arc::new(svc);
         // Two workers may race past the miss; first insert wins so the
         // canonical entry for a hash is unique (the loser's copy is
         // byte-identical anyway).
-        let mut docs = lock_unpoisoned(&self.docs);
+        // lock-order: L1 (doccache memo stripe) — leaf lock.
+        let mut docs = lock_unpoisoned(&stripe.docs);
         Arc::clone(docs.entry(hash).or_insert(svc))
     }
 
@@ -203,8 +277,8 @@ impl DocCache {
     /// bytes must hit the real parser and must never be shared with
     /// (or served to) pristine sites.
     pub fn parse_bypassing_memo(&self, wsdl_xml: String) -> Arc<ParsedService> {
-        self.metrics.inc(M_PARSES);
-        self.metrics.inc(M_FAULT_BYPASSES);
+        self.parses.inc(&self.metrics, M_PARSES);
+        self.fault_bypasses.inc(&self.metrics, M_FAULT_BYPASSES);
         let mut svc = ParsedService::parse_uncached(wsdl_xml);
         svc.fault_damaged = true;
         Arc::new(svc)
@@ -213,7 +287,7 @@ impl DocCache {
     /// Parses outside the memo for a cache-disabled run (counted as a
     /// plain parse, not a fault bypass).
     pub fn parse_unshared(&self, wsdl_xml: String) -> Arc<ParsedService> {
-        self.metrics.inc(M_PARSES);
+        self.parses.inc(&self.metrics, M_PARSES);
         Arc::new(ParsedService::parse_uncached(wsdl_xml))
     }
 
@@ -229,16 +303,21 @@ impl DocCache {
             Err(message) => return GenOutcome::fail(message.clone()),
         };
         let key = (client.info().id, svc.content_hash);
+        let stripe = self.stripe(svc.content_hash);
         if svc.memoizable {
-            if let Some(hit) = lock_unpoisoned(&self.gen).get(&key) {
-                self.metrics.inc(M_GEN_HITS);
-                return hit.clone();
+            // lock-order: L1 (doccache memo stripe) — leaf lock,
+            // released before the counter bump.
+            let hit = lock_unpoisoned(&stripe.gen).get(&key).cloned();
+            if let Some(hit) = hit {
+                self.gen_hits.inc(&self.metrics, M_GEN_HITS);
+                return hit;
             }
         }
-        self.metrics.inc(M_GEN_RUNS);
+        self.gen_runs.inc(&self.metrics, M_GEN_RUNS);
         let outcome = client.generate_from(defs, facts);
         if svc.memoizable {
-            lock_unpoisoned(&self.gen)
+            // lock-order: L1 (doccache memo stripe) — leaf lock.
+            lock_unpoisoned(&stripe.gen)
                 .entry(key)
                 .or_insert_with(|| outcome.clone());
         }
@@ -248,8 +327,8 @@ impl DocCache {
     /// Records one text-path generation (cache-disabled or chaos cells,
     /// where the tool re-parses the text itself).
     pub fn note_text_generate(&self) {
-        self.metrics.inc(M_PARSES);
-        self.metrics.inc(M_TEXT_GENERATES);
+        self.parses.inc(&self.metrics, M_PARSES);
+        self.text_generates.inc(&self.metrics, M_TEXT_GENERATES);
     }
 
     /// Records one text-path generation over a **fault-damaged**
@@ -258,14 +337,15 @@ impl DocCache {
     /// its bypass parse lands in `fault_bypasses` and its generations
     /// here, never in `text_generates` too.
     pub fn note_fault_generate(&self) {
-        self.metrics.inc(M_PARSES);
-        self.metrics.inc(M_FAULT_TEXT_GENERATES);
+        self.parses.inc(&self.metrics, M_PARSES);
+        self.fault_text_generates
+            .inc(&self.metrics, M_FAULT_TEXT_GENERATES);
     }
 
     /// Records one cell replayed from a resume journal (no parse, no
     /// generation — the outcome came off disk).
     pub fn note_journal_replay(&self) {
-        self.metrics.inc(M_JOURNAL_REPLAYS);
+        self.journal_replays.inc(&self.metrics, M_JOURNAL_REPLAYS);
     }
 
     /// Snapshot of the parse/memo accounting, read back from the
@@ -275,7 +355,13 @@ impl DocCache {
         PipelineStats {
             parses: counter(M_PARSES),
             doc_memo_hits: counter(M_DOC_HITS),
-            distinct_docs: lock_unpoisoned(&self.docs).len(),
+            distinct_docs: self
+                .stripes
+                .iter()
+                // lock-order: L1 (doccache memo stripe) — one at a
+                // time, leaf.
+                .map(|s| lock_unpoisoned(&s.docs).len())
+                .sum(),
             gen_runs: counter(M_GEN_RUNS),
             gen_memo_hits: counter(M_GEN_HITS),
             fault_bypasses: counter(M_FAULT_BYPASSES),

@@ -37,6 +37,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
+use crate::sync::lock_unpoisoned;
 use wsinterop_frameworks::client::{ClientId, ClientSubsystem, GenOutcome};
 use wsinterop_frameworks::fault::{
     ClientFaultHook, ServerFaultHook, TRANSIENT_REFUSAL_PREFIX,
@@ -628,6 +629,8 @@ impl FaultLog {
     /// Records an injection of `kind` at `site` (idempotent per
     /// `(site, kind)` — retries re-observe the same fault).
     pub fn injected(&self, kind: FaultKind, site: &str) {
+        // lock-order: L2 (fault-log site map) — held across the L0
+        // counter bump so `(site, kind)` idempotence stays atomic.
         let mut sites = lock_unpoisoned(&self.sites);
         let kinds = sites.entry(site.to_string()).or_default();
         if !kinds.contains(&kind) {
@@ -665,6 +668,7 @@ impl FaultLog {
     /// Records one cell skipped by an open breaker (idempotent per
     /// site, so journal replay cannot double-count).
     pub fn breaker_skip(&self, site: &str) {
+        // lock-order: L2 (fault-log site map) — leaf.
         lock_unpoisoned(&self.breaker_skipped).insert(site.to_string());
     }
 
@@ -672,6 +676,8 @@ impl FaultLog {
     /// affected step surfaced a Warning/Error classification (or a
     /// refused deployment); otherwise the fault was masked.
     pub fn resolve(&self, site: &str, detected: bool) {
+        // lock-order: L2 (fault-log site map) — released before the
+        // L0 counter bumps.
         let kinds = lock_unpoisoned(&self.sites).get(site).cloned();
         let Some(kinds) = kinds else { return };
         let base = if detected { M_DETECTED } else { M_MASKED };
@@ -682,12 +688,17 @@ impl FaultLog {
 
     /// Whether any fault was injected at `site`.
     pub fn is_affected(&self, site: &str) -> bool {
+        // lock-order: L2 (fault-log site map) — leaf.
         lock_unpoisoned(&self.sites).contains_key(site)
     }
 
     /// Snapshot of the accounting, read back from the registry (the
     /// same instruments `wsitool metrics` exports).
     pub fn report(&self) -> FaultReport {
+        // lock-order: L2 (fault-log site maps) — taken one at a time
+        // (never nested with each other), `sites` held across L0
+        // registry reads so the snapshot is internally consistent.
+        let breaker_skipped_sites = lock_unpoisoned(&self.breaker_skipped).clone();
         let sites = lock_unpoisoned(&self.sites);
         let counter = |name: &str| self.metrics.counter(name) as usize;
         FaultReport {
@@ -710,16 +721,10 @@ impl FaultLog {
             panics_isolated: counter(M_PANICS),
             watchdog_cells: counter(M_WATCHDOG),
             breaker_trips: counter(M_BREAKER_TRIPS),
-            breaker_skipped_sites: lock_unpoisoned(&self.breaker_skipped).clone(),
+            breaker_skipped_sites,
             affected_sites: sites.keys().cloned().collect(),
         }
     }
-}
-
-/// Poison-tolerant lock: a panicking worker must not cascade into a
-/// poisoned-lock abort of the whole campaign.
-pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// Per-kind injection accounting.
@@ -908,6 +913,7 @@ impl ServerFaultHook for PlanServerHook<'_> {
                 .transient_failures(&site)
                 .min(self.resilience.max_retries + 1);
             let attempt = {
+                // lock-order: L2 (fault-hook attempt map) — leaf.
                 let mut attempts = lock_unpoisoned(&self.attempts);
                 let n = attempts.entry(site.clone()).or_insert(0);
                 *n += 1;

@@ -50,7 +50,7 @@ use wsinterop_frameworks::client::ClientId;
 use wsinterop_frameworks::server::ServerId;
 
 use crate::doccache::content_hash;
-use crate::faults::lock_unpoisoned;
+use crate::sync::lock_unpoisoned;
 use crate::results::{InstantiationKind, TestRecord};
 
 /// Journal format magic: `WSIJRNL` plus a format byte.
@@ -221,6 +221,15 @@ fn instantiation_from(code: u8) -> Option<Option<InstantiationKind>> {
 /// Encodes one cell as a complete record frame (length prefix, payload,
 /// checksum), ready to append.
 pub fn encode_cell(cell: &JournalCell) -> Vec<u8> {
+    let mut frame = Vec::new();
+    encode_cell_into(cell, &mut frame);
+    frame
+}
+
+/// Encodes one cell into a caller-provided frame buffer (cleared
+/// first). [`JournalWriter::append`] reuses one buffer per thread, so
+/// the steady-state append path allocates nothing.
+pub fn encode_cell_into(cell: &JournalCell, frame: &mut Vec<u8>) {
     let r = &cell.record;
     let mut flags = 0u16;
     for (bit, on) in [
@@ -238,19 +247,18 @@ pub fn encode_cell(cell: &JournalCell) -> Vec<u8> {
         }
     }
     let fqcn = r.fqcn.as_bytes();
-    let mut payload = Vec::with_capacity(7 + fqcn.len());
-    payload.push(server_code(r.server));
-    payload.push(client_code(r.client));
-    payload.extend_from_slice(&flags.to_le_bytes());
-    payload.push(instantiation_code(r.instantiation));
-    payload.extend_from_slice(&(fqcn.len() as u16).to_le_bytes());
-    payload.extend_from_slice(fqcn);
-
-    let mut frame = Vec::with_capacity(4 + payload.len() + 8);
-    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&payload);
-    frame.extend_from_slice(&content_hash(&payload).to_le_bytes());
-    frame
+    let payload_len = 7 + fqcn.len();
+    frame.clear();
+    frame.reserve(4 + payload_len + 8);
+    frame.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    frame.push(server_code(r.server));
+    frame.push(client_code(r.client));
+    frame.extend_from_slice(&flags.to_le_bytes());
+    frame.push(instantiation_code(r.instantiation));
+    frame.extend_from_slice(&(fqcn.len() as u16).to_le_bytes());
+    frame.extend_from_slice(fqcn);
+    let checksum = content_hash(&frame[4..]);
+    frame.extend_from_slice(&checksum.to_le_bytes());
 }
 
 /// Decodes one record payload. `None` means corruption (unknown codes,
@@ -432,6 +440,10 @@ pub struct JournalWriter {
     /// Observe-only mirror: when an observer is attached, each append
     /// also bumps `journal_frames_written_total`.
     metrics: Option<std::sync::Arc<crate::obs::MetricsRegistry>>,
+    /// Cached handle for `journal_frames_written_total`, so the append
+    /// path resolves the instrument name once instead of taking the
+    /// registry lock per frame.
+    frames_written: crate::obs::LazyCounter,
 }
 
 impl fmt::Debug for JournalWriter {
@@ -464,6 +476,7 @@ impl JournalWriter {
             stall_after: None,
             error: Mutex::new(None),
             metrics: None,
+            frames_written: crate::obs::LazyCounter::new(),
         })
     }
 
@@ -493,6 +506,7 @@ impl JournalWriter {
                 stall_after: None,
                 error: Mutex::new(None),
                 metrics: None,
+                frames_written: crate::obs::LazyCounter::new(),
             },
             read,
         ))
@@ -502,16 +516,43 @@ impl JournalWriter {
     /// [`JournalWriter::take_error`]; the campaign itself never aborts
     /// on journal I/O.
     pub fn append(&self, cell: &JournalCell) {
-        let frame = encode_cell(cell);
+        thread_local! {
+            /// Reusable frame-encode buffer: encoding happens outside
+            /// the file lock and allocates nothing in steady state.
+            static FRAME: std::cell::RefCell<Vec<u8>> = const { std::cell::RefCell::new(Vec::new()) };
+        }
+        let staged = FRAME.try_with(|buf| {
+            let mut frame = buf.borrow_mut();
+            encode_cell_into(cell, &mut frame);
+            self.write_frame(&frame);
+        });
+        if staged.is_err() {
+            // TLS gone (thread teardown): fall back to a fresh buffer
+            // rather than lose the frame.
+            self.write_frame(&encode_cell(cell));
+        }
+    }
+
+    /// Writes one already-encoded frame and runs the post-append
+    /// bookkeeping (count, metrics mirror, halt/stall switches). The
+    /// file lock is held across the write *and* the switches: halt
+    /// syncs under it, and stall sleeps forever under it so every
+    /// other worker blocks on its next append.
+    fn write_frame(&self, frame: &[u8]) {
+        // lock-order: L4 (journal file) — may acquire L4.b (error
+        // latch) and L0 (metrics registry) below; one complete frame
+        // per `write_all`, so a kill can only ever tear the tail.
         let mut file = lock_unpoisoned(&self.file);
-        if let Err(e) = file.write_all(&frame) {
+        if let Err(e) = file.write_all(frame) {
+            // lock-order: L4.b (journal error latch) — under L4.
             let mut slot = lock_unpoisoned(&self.error);
             slot.get_or_insert(e);
             return;
         }
         let n = self.appended.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(metrics) = &self.metrics {
-            metrics.inc("journal_frames_written_total");
+            self.frames_written
+                .inc(metrics, "journal_frames_written_total");
         }
         if self.halt_after.is_some_and(|halt| n >= halt) {
             // The deterministic kill: drop dead mid-campaign, exactly
@@ -564,6 +605,7 @@ impl JournalWriter {
 
     /// The first latched I/O error, if any.
     pub fn take_error(&self) -> Option<std::io::Error> {
+        // lock-order: L4.b (journal error latch) — leaf here.
         lock_unpoisoned(&self.error).take()
     }
 }

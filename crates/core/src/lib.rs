@@ -57,6 +57,7 @@ pub mod registry;
 pub mod report;
 pub mod results;
 pub mod shard;
+pub mod sync;
 pub mod wire;
 
 pub use campaign::Campaign;

@@ -19,7 +19,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use crate::faults::lock_unpoisoned;
+use crate::sync::lock_unpoisoned;
 use crate::obs::metrics::json_string;
 
 /// Default ring-buffer capacity: enough for a stride-200 campaign's
@@ -200,37 +200,44 @@ impl TraceEvent {
     /// Serialize as one JSON object on one line (no trailing newline).
     pub fn to_json_line(&self) -> String {
         let mut out = String::with_capacity(160);
+        self.write_json_line(&mut out);
+        out
+    }
+
+    /// Serialize into a caller-provided buffer (not cleared first) —
+    /// the sink's flush loop reuses one buffer across a whole batch so
+    /// streaming allocates nothing per event.
+    pub fn write_json_line(&self, out: &mut String) {
         out.push('{');
-        push_field(&mut out, "seq", &self.seq.to_string(), false);
-        push_field(&mut out, "phase", &json_string(self.phase.name()), true);
-        push_field(&mut out, "kind", &json_string(self.kind.name()), true);
-        push_field(&mut out, "server", &json_string(&self.server), true);
+        push_field(out, "seq", &self.seq.to_string(), false);
+        push_field(out, "phase", &json_string(self.phase.name()), true);
+        push_field(out, "kind", &json_string(self.kind.name()), true);
+        push_field(out, "server", &json_string(&self.server), true);
         match &self.client {
-            Some(c) => push_field(&mut out, "client", &json_string(c), true),
-            None => push_field(&mut out, "client", "null", true),
+            Some(c) => push_field(out, "client", &json_string(c), true),
+            None => push_field(out, "client", "null", true),
         }
-        push_field(&mut out, "type", &json_string(&self.type_id), true);
+        push_field(out, "type", &json_string(&self.type_id), true);
         match &self.outcome {
-            Some(o) => push_field(&mut out, "outcome", &json_string(o), true),
-            None => push_field(&mut out, "outcome", "null", true),
+            Some(o) => push_field(out, "outcome", &json_string(o), true),
+            None => push_field(out, "outcome", "null", true),
         }
         match &self.fault_site {
-            Some(s) => push_field(&mut out, "fault_site", &json_string(s), true),
-            None => push_field(&mut out, "fault_site", "null", true),
+            Some(s) => push_field(out, "fault_site", &json_string(s), true),
+            None => push_field(out, "fault_site", "null", true),
         }
-        push_field(&mut out, "retries", &self.retries.to_string(), true);
+        push_field(out, "retries", &self.retries.to_string(), true);
         push_field(
-            &mut out,
+            out,
             "breaker_open",
             if self.breaker_open { "true" } else { "false" },
             true,
         );
         match self.dur_ns {
-            Some(d) => push_field(&mut out, "dur_ns", &d.to_string(), true),
-            None => push_field(&mut out, "dur_ns", "null", true),
+            Some(d) => push_field(out, "dur_ns", &d.to_string(), true),
+            None => push_field(out, "dur_ns", "null", true),
         }
         out.push('}');
-        out
     }
 
     /// Parse one JSON line produced by [`TraceEvent::to_json_line`].
@@ -392,112 +399,291 @@ fn parse_json_string(src: &str, i: usize) -> Option<(String, usize)> {
     None
 }
 
-/// The bounded in-memory trace sink, optionally teeing every event to
-/// a JSON-lines file (`--trace-out`).
+/// Events a thread stages locally before taking the sink's merge lock.
+/// 64 events ≈ 32 spans: long enough to amortize the lock, short
+/// enough that the ring and the trace stream never lag a live worker
+/// by more than a few cells.
+const LOCAL_BATCH: usize = 64;
+
+/// One thread's shared staging buffer: the owning thread appends, and
+/// any reader may steal its contents through the sink's stage
+/// registry. The buffer mutex is all but uncontended — the owner takes
+/// it per event, readers only at observation points.
+type StageBuf = std::sync::Arc<Mutex<Vec<TraceEvent>>>;
+
+/// One thread's staging handle for one sink, plus the weak back-edge
+/// that lets the thread-exit destructor deregister the buffer and
+/// flush whatever is still pending. Dropping a `LocalStage` whose sink
+/// is already gone simply discards the events — nobody can observe a
+/// dropped sink.
+struct LocalStage {
+    sink_id: u64,
+    sink: std::sync::Weak<SinkCore>,
+    buf: StageBuf,
+}
+
+impl Drop for LocalStage {
+    fn drop(&mut self) {
+        if let Some(core) = self.sink.upgrade() {
+            // Deregister first so no reader re-steals a dead buffer,
+            // then publish the tail batch.
+            // lock-order: L3.a (stage registry) — released before the
+            // buffer/ring locks below.
+            lock_unpoisoned(&core.stages).retain(|s| !std::sync::Arc::ptr_eq(s, &self.buf));
+            // lock-order: L3.b (stage buffer) — above L3.c (ring).
+            let mut pending = lock_unpoisoned(&self.buf);
+            core.ingest(&mut pending);
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread staging handles, keyed by sink id (tests hold
+    /// several sinks at once; campaigns hold one). Thread exit drops
+    /// the stages, which deregisters the buffers and flushes every
+    /// pending event.
+    static STAGES: std::cell::RefCell<Vec<LocalStage>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Issues unique sink ids for the thread-local staging key.
+static NEXT_SINK_ID: AtomicU64 = AtomicU64::new(0);
+
+/// The shared state behind a [`TraceSink`]: the bounded ring, the
+/// sequence/drop accounting and the optional output stream. Kept
+/// behind an `Arc` so per-thread staging buffers can hold a weak
+/// back-edge for their exit flush.
 #[derive(Debug)]
-pub struct TraceSink {
+struct SinkCore {
+    id: u64,
     buf: Mutex<VecDeque<TraceEvent>>,
     capacity: usize,
-    /// Next sequence number == total events ever offered, so this one
-    /// atomic serves both [`TraceSink::record`]'s numbering and
+    /// Next sequence number == total events ever merged, so this one
+    /// atomic serves both the flush numbering and
     /// [`TraceSink::recorded`].
     seq: AtomicU64,
     dropped: AtomicU64,
-    /// Mirrors `out.is_some()` so the hot record path can skip the
-    /// file mutex (and the serialization) when nothing streams.
+    /// Mirrors `out.is_some()` so the flush path can skip the file
+    /// mutex (and the serialization) when nothing streams.
     has_out: std::sync::atomic::AtomicBool,
     out: Mutex<Option<File>>,
     write_error: Mutex<Option<String>>,
+    /// Every live thread's staging buffer, so read-side accessors can
+    /// steal staged tails from *all* threads — not just the caller's —
+    /// before reporting. This is what keeps accounting exact even for
+    /// a reader that races a worker's thread exit (`thread::scope` can
+    /// return before the worker's TLS destructors have run).
+    stages: Mutex<Vec<StageBuf>>,
+}
+
+impl SinkCore {
+    /// Merge a staged batch into the ring (and the output stream)
+    /// under one short lock hold.
+    ///
+    /// Sequence numbers are assigned here, while the buffer lock is
+    /// held, and the file write happens under that same lock — so both
+    /// the ring and the `--trace-out` stream stay monotonic in `seq`
+    /// even with concurrent flushers, exactly as when `record` itself
+    /// took the lock per event. An oversized serialized line (only
+    /// detectable when streaming) drops the event from *both* the file
+    /// and the ring, so each missing event is counted exactly once and
+    /// `recorded() - len()` always equals `dropped()`.
+    fn ingest(&self, pending: &mut Vec<TraceEvent>) {
+        if pending.is_empty() {
+            return;
+        }
+        // lock-order: L3.c (trace ring) — may acquire L3.d (trace out
+        // stream) below; nothing else is ever taken under it.
+        let mut buf = lock_unpoisoned(&self.buf);
+        let streaming = self.has_out.load(Ordering::Relaxed);
+        // One reusable line buffer and one file-lock hold per batch.
+        let mut line = String::new();
+        // lock-order: L3.d (trace out stream) — leaf, under L3.c.
+        let mut out = streaming.then(|| lock_unpoisoned(&self.out));
+        for mut event in pending.drain(..) {
+            event.seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            if let Some(out) = &mut out {
+                line.clear();
+                event.write_json_line(&mut line);
+                if line.len() > MAX_EVENT_LINE_BYTES {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                if let Some(file) = out.as_mut() {
+                    if let Err(e) = writeln!(file, "{line}") {
+                        // lock-order: L3.e (write-error latch) —
+                        // innermost of the sink chain.
+                        let mut err = lock_unpoisoned(&self.write_error);
+                        if err.is_none() {
+                            *err = Some(e.to_string());
+                        }
+                    }
+                }
+            }
+            if buf.len() >= self.capacity {
+                buf.pop_front();
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            buf.push_back(event);
+        }
+    }
+
+    /// Steal and merge every registered thread's staged tail. Each
+    /// buffer is ingested while its own mutex is held, so a racing
+    /// owner can neither interleave its batch mid-steal nor invert its
+    /// per-thread event order.
+    fn flush_stages(&self) {
+        // lock-order: L3.a (stage registry) — snapshot only; released
+        // before the buffer/ring locks below.
+        let stages: Vec<StageBuf> = lock_unpoisoned(&self.stages).clone();
+        for stage in stages {
+            // lock-order: L3.b (stage buffer) — above L3.c (ring).
+            let mut pending = lock_unpoisoned(&stage);
+            self.ingest(&mut pending);
+        }
+    }
+}
+
+/// The bounded in-memory trace sink, optionally teeing every event to
+/// a JSON-lines file (`--trace-out`).
+///
+/// Recording goes through **per-thread staging buffers**: a worker
+/// appends to its own registered buffer (one all-but-uncontended mutex
+/// per thread) and only every [`LOCAL_BATCH`] events — or at thread
+/// exit — takes the shared merge lock to publish the batch. Read-side
+/// accessors steal every registered buffer's staged tail first, so
+/// they stay exact no matter which threads recorded or whether those
+/// threads have finished tearing down. Workers therefore no longer
+/// serialize on a single ring mutex per event, while every pinned
+/// invariant of the single-lock design still holds: `seq` is assigned
+/// under the merge lock (ring and stream stay seq-monotonic), eviction
+/// still counts into `dropped`, and `recorded() - len() == dropped()`
+/// at every observation point.
+#[derive(Debug)]
+pub struct TraceSink {
+    core: std::sync::Arc<SinkCore>,
 }
 
 impl TraceSink {
     /// A sink holding at most `capacity` events in memory.
     pub fn with_capacity(capacity: usize) -> TraceSink {
         TraceSink {
-            // Reserve the whole ring up front (bounded at 64Ki events)
-            // so no grow-realloc ever happens inside the record lock.
-            buf: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 65_536))),
-            capacity: capacity.max(1),
-            seq: AtomicU64::new(0),
-            dropped: AtomicU64::new(0),
-            has_out: std::sync::atomic::AtomicBool::new(false),
-            out: Mutex::new(None),
-            write_error: Mutex::new(None),
+            core: std::sync::Arc::new(SinkCore {
+                id: NEXT_SINK_ID.fetch_add(1, Ordering::Relaxed),
+                // Reserve the whole ring up front (bounded at 64Ki
+                // events) so no grow-realloc ever happens inside the
+                // merge lock.
+                buf: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 65_536))),
+                capacity: capacity.max(1),
+                seq: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                has_out: std::sync::atomic::AtomicBool::new(false),
+                out: Mutex::new(None),
+                write_error: Mutex::new(None),
+                stages: Mutex::new(Vec::new()),
+            }),
         }
     }
 
     /// Stream every subsequent event to `path` as JSON lines.
     pub fn set_output(&self, path: &Path) -> std::io::Result<()> {
+        self.flush_local();
         let file = File::create(path)?;
-        *lock_unpoisoned(&self.out) = Some(file);
-        self.has_out.store(true, Ordering::Relaxed);
+        // lock-order: L3.d (trace out stream) — leaf here.
+        *lock_unpoisoned(&self.core.out) = Some(file);
+        self.core.has_out.store(true, Ordering::Relaxed);
         Ok(())
     }
 
-    /// Record one event: assigns its sequence number, appends it to
-    /// the ring (evicting — and counting — the oldest on overflow) and
-    /// streams it to the output file when one is set.
-    ///
-    /// The sequence number is assigned while the buffer lock is held
-    /// and the file write happens under that same lock, so both the
-    /// ring and the `--trace-out` stream are monotonic in `seq` even
-    /// with concurrent recorders. An oversized serialized line (only
-    /// detectable when streaming) drops the event from *both* the file
-    /// and the ring, so each missing event is counted exactly once and
-    /// `recorded() - len()` always equals `dropped()`.
-    pub fn record(&self, mut event: TraceEvent) {
-        let mut buf = lock_unpoisoned(&self.buf);
-        event.seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        if self.has_out.load(Ordering::Relaxed) {
-            let line = event.to_json_line();
-            if line.len() > MAX_EVENT_LINE_BYTES {
-                self.dropped.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-            let mut out = lock_unpoisoned(&self.out);
-            if let Some(file) = out.as_mut() {
-                if let Err(e) = writeln!(file, "{line}") {
-                    let mut err = lock_unpoisoned(&self.write_error);
-                    if err.is_none() {
-                        *err = Some(e.to_string());
-                    }
+    /// Record one event into the calling thread's staging buffer,
+    /// publishing the batch to the ring (and the output stream) every
+    /// [`LOCAL_BATCH`] events. See the type docs for the merge
+    /// semantics; [`TraceSink::flush_local`] forces the tail batch
+    /// out early.
+    pub fn record(&self, event: TraceEvent) {
+        let mut event = Some(event);
+        let staged = STAGES.try_with(|stages| {
+            let mut stages = stages.borrow_mut();
+            let stage = match stages.iter_mut().find(|s| s.sink_id == self.core.id) {
+                Some(stage) => stage,
+                None => {
+                    // Adopting a new sink is the natural moment to
+                    // forget stages whose sink has been dropped.
+                    stages.retain(|s| s.sink.strong_count() > 0);
+                    let buf: StageBuf =
+                        std::sync::Arc::new(Mutex::new(Vec::with_capacity(LOCAL_BATCH)));
+                    // lock-order: L3.a (stage registry) — leaf here.
+                    lock_unpoisoned(&self.core.stages).push(std::sync::Arc::clone(&buf));
+                    stages.push(LocalStage {
+                        sink_id: self.core.id,
+                        sink: std::sync::Arc::downgrade(&self.core),
+                        buf,
+                    });
+                    stages.last_mut().expect("just pushed")
                 }
+            };
+            // lock-order: L3.b (stage buffer) — uncontended unless a
+            // reader is stealing; held across the batch ingest so the
+            // thread's event order survives concurrent steals.
+            let mut pending = lock_unpoisoned(&stage.buf);
+            pending.push(event.take().expect("event staged once"));
+            if pending.len() >= LOCAL_BATCH {
+                self.core.ingest(&mut pending);
+            }
+        });
+        if staged.is_err() {
+            // Thread-local storage is gone (we are inside thread
+            // teardown): publish directly rather than lose the event.
+            if let Some(event) = event.take() {
+                self.core.ingest(&mut vec![event]);
             }
         }
-        if buf.len() >= self.capacity {
-            buf.pop_front();
-            self.dropped.fetch_add(1, Ordering::Relaxed);
-        }
-        buf.push_back(event);
     }
 
-    /// Total events offered to the sink.
+    /// Publish every thread's staged events now. Read-side accessors
+    /// call this implicitly, so observation points always see exact
+    /// accounting regardless of which threads recorded; worker threads
+    /// also flush their own tail automatically at thread exit.
+    pub fn flush_local(&self) {
+        self.core.flush_stages();
+    }
+
+    /// Total events published to the sink (every thread's staged tail
+    /// is flushed first, so a caller always sees everything recorded
+    /// so far).
     pub fn recorded(&self) -> u64 {
-        self.seq.load(Ordering::Relaxed)
+        self.core.flush_stages();
+        self.core.seq.load(Ordering::Relaxed)
     }
 
     /// Events evicted on overflow or refused as oversized — the value
     /// the exporter publishes as `obs_events_dropped`.
     pub fn dropped(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
+        self.core.flush_stages();
+        self.core.dropped.load(Ordering::Relaxed)
     }
 
     /// First trace-file write error, if any (latched, like the journal
     /// writer's).
     pub fn write_error(&self) -> Option<String> {
-        lock_unpoisoned(&self.write_error).clone()
+        self.core.flush_stages();
+        // lock-order: L3.e (write-error latch) — leaf here.
+        lock_unpoisoned(&self.core.write_error).clone()
     }
 
     /// Drain and return the buffered events in `seq` order (sequence
-    /// numbers are assigned under the buffer lock, so arrival order
-    /// and seq order coincide).
+    /// numbers are assigned under the merge lock, so publish order and
+    /// seq order coincide).
     pub fn drain(&self) -> Vec<TraceEvent> {
-        lock_unpoisoned(&self.buf).drain(..).collect()
+        self.core.flush_stages();
+        // lock-order: L3.c (trace ring) — leaf here.
+        lock_unpoisoned(&self.core.buf).drain(..).collect()
     }
 
     /// Number of events currently buffered.
     pub fn len(&self) -> usize {
-        lock_unpoisoned(&self.buf).len()
+        self.core.flush_stages();
+        // lock-order: L3.c (trace ring) — leaf here.
+        lock_unpoisoned(&self.core.buf).len()
     }
 
     /// True when no events are buffered.

@@ -10,15 +10,16 @@
 //! pipeline (the determinism contract: telemetry observes, never
 //! steers).
 
+use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock, RwLock};
 
-use crate::faults::lock_unpoisoned;
 use crate::obs::clock::{Clock, Stopwatch};
 use crate::obs::event::{TraceEvent, TracePhase, TraceSink};
-use crate::obs::metrics::MetricsRegistry;
+use crate::obs::metrics::{HistogramHandle, LazyCounter, MetricsRegistry};
+use crate::sync::{lock_unpoisoned, read_unpoisoned, write_unpoisoned};
 
 /// How many slowest cells the end-of-run report keeps.
 pub const SLOWEST_KEPT: usize = 10;
@@ -38,6 +39,26 @@ pub struct SlowCell {
     pub dur_ns: u64,
 }
 
+/// Dense index for the per-phase handle cache (covers every
+/// [`TracePhase`] variant).
+fn phase_idx(phase: TracePhase) -> usize {
+    match phase {
+        TracePhase::Describe => 0,
+        TracePhase::Generate => 1,
+        TracePhase::Compile => 2,
+        TracePhase::Exchange => 3,
+        TracePhase::Wire => 4,
+    }
+}
+
+/// Number of [`TracePhase`] variants, for the handle array.
+const PHASE_COUNT: usize = 5;
+
+/// Key of the per-pair histogram cache. Both name halves are
+/// `&'static str` in every caller (framework/client registry names),
+/// so the key allocates nothing.
+type PairKey = (usize, &'static str, Option<&'static str>);
+
 /// The observer: clock + metrics + trace sink + progress, attached to
 /// a campaign with [`crate::Campaign::with_observer`].
 #[derive(Debug)]
@@ -54,6 +75,17 @@ pub struct Obs {
     /// depends on arrival order.
     slowest_floor: AtomicU64,
     progress: ProgressMeter,
+    /// Aggregate per-phase histogram handles, resolved on first use so
+    /// an untouched phase never registers (exports stay identical to
+    /// the name-lookup era).
+    phase_ns: [OnceLock<HistogramHandle>; PHASE_COUNT],
+    /// Per-(phase, server, client) histogram handles. After the first
+    /// span of a pair, `end_phase` neither builds the labeled metric
+    /// name nor touches the registry lock — one shared-read lookup
+    /// here replaces both.
+    pair_ns: RwLock<HashMap<PairKey, HistogramHandle>>,
+    /// `campaign_cells_total`, resolved once.
+    cells_total: LazyCounter,
 }
 
 impl Obs {
@@ -66,6 +98,9 @@ impl Obs {
             slowest: Mutex::new(Vec::new()),
             slowest_floor: AtomicU64::new(0),
             progress: ProgressMeter::new(),
+            phase_ns: [const { OnceLock::new() }; PHASE_COUNT],
+            pair_ns: RwLock::new(HashMap::new()),
+            cells_total: LazyCounter::new(),
         }
     }
 
@@ -164,27 +199,17 @@ impl Obs {
         }
         self.trace.record(event);
 
-        let base = phase.metric_ns();
-        self.metrics.observe_ns(base, dur_ns);
-        let mut labeled = String::with_capacity(base.len() + 32);
-        labeled.push_str(base);
-        match client {
-            Some(c) => {
-                labeled.push_str("{client=\"");
-                labeled.push_str(c);
-                labeled.push_str("\",server=\"");
-            }
-            None => labeled.push_str("{server=\""),
-        }
-        labeled.push_str(server);
-        labeled.push_str("\"}");
-        self.metrics.observe_ns(&labeled, dur_ns);
+        self.phase_ns[phase_idx(phase)]
+            .get_or_init(|| self.metrics.histogram_handle(phase.metric_ns()))
+            .observe_ns(dur_ns);
+        self.pair_handle(phase, server, client).observe_ns(dur_ns);
 
         // Fast path: a span strictly faster than the full table's
         // floor can never enter the top 10 — no lock, no allocation.
         if dur_ns < self.slowest_floor.load(Ordering::Relaxed) {
             return;
         }
+        // lock-order: L2 (obs handle caches / slowest table) — leaf.
         let mut slowest = lock_unpoisoned(&self.slowest);
         slowest.push(SlowCell {
             server: server.to_string(),
@@ -210,8 +235,55 @@ impl Obs {
         }
     }
 
+    /// The per-pair histogram handle for `(phase, server, client)`,
+    /// building the labeled metric name (e.g.
+    /// `phase_generate_ns{client="gSOAP",server="Metro"}`) only on the
+    /// pair's first span. Steady state is one shared-read map hit.
+    fn pair_handle(
+        &self,
+        phase: TracePhase,
+        server: &'static str,
+        client: Option<&'static str>,
+    ) -> HistogramHandle {
+        let key: PairKey = (phase_idx(phase), server, client);
+        {
+            // lock-order: L2 (obs handle caches) — leaf.
+            let cache = read_unpoisoned(&self.pair_ns);
+            if let Some(handle) = cache.get(&key) {
+                return handle.clone();
+            }
+        }
+        let base = phase.metric_ns();
+        let mut labeled = String::with_capacity(base.len() + 32);
+        labeled.push_str(base);
+        match client {
+            Some(c) => {
+                labeled.push_str("{client=\"");
+                labeled.push_str(c);
+                labeled.push_str("\",server=\"");
+            }
+            None => labeled.push_str("{server=\""),
+        }
+        labeled.push_str(server);
+        labeled.push_str("\"}");
+        let handle = self.metrics.histogram_handle(&labeled);
+        // lock-order: L2 (obs handle caches) — leaf.
+        write_unpoisoned(&self.pair_ns)
+            .entry(key)
+            .or_insert(handle)
+            .clone()
+    }
+
+    /// Count one finished campaign cell: bumps `campaign_cells_total`
+    /// through its cached handle and advances the progress meter.
+    pub fn record_cell_done(&self) {
+        self.cells_total.inc(&self.metrics, "campaign_cells_total");
+        self.progress.cell_done(&self.clock);
+    }
+
     /// The current slowest-cells table (duration descending).
     pub fn slowest_cells(&self) -> Vec<SlowCell> {
+        // lock-order: L2 (obs handle caches / slowest table) — leaf.
         lock_unpoisoned(&self.slowest).clone()
     }
 

@@ -20,7 +20,9 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, OnceLock, RwLock};
+
+use crate::sync::{read_unpoisoned, write_unpoisoned};
 
 /// Upper bounds (inclusive, in nanoseconds) of the fixed histogram
 /// buckets: a power-of-two ladder from 1µs to ~8.6s, plus an implicit
@@ -151,25 +153,94 @@ impl AtomicHistogram {
     }
 }
 
-/// Poison-tolerant read lock (same policy as
-/// [`crate::faults::lock_unpoisoned`]: instruments hold no invariants
-/// a panicked observer could have broken mid-update).
-fn read_unpoisoned<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
-    lock.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+/// A pre-resolved reference to one counter cell. Incrementing through
+/// a handle is a single relaxed atomic add — no name lookup and no
+/// registry lock, which is what keeps hot paths free of shared-map
+/// traffic at any thread count. Clones share the same cell.
+#[derive(Debug, Clone)]
+pub struct CounterHandle(Arc<AtomicU64>);
+
+impl CounterHandle {
+    /// Add 1 to the counter.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `delta` to the counter.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
 }
 
-fn write_unpoisoned<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
-    lock.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+/// A pre-resolved reference to one histogram cell; observing through
+/// it touches only the cell's relaxed atomics (see [`CounterHandle`]).
+#[derive(Debug, Clone)]
+pub struct HistogramHandle(Arc<AtomicHistogram>);
+
+impl HistogramHandle {
+    /// Record one latency observation.
+    pub fn observe_ns(&self, value_ns: u64) {
+        self.0.observe(value_ns);
+    }
+
+    /// A point-in-time copy of the cell.
+    pub fn snapshot(&self) -> Histogram {
+        self.0.snapshot()
+    }
+}
+
+/// A named counter whose registry handle is resolved on first use and
+/// cached forever after.
+///
+/// This keeps registration *lazy* — an instrument appears in exports
+/// only once it has actually been touched, exactly like the name-keyed
+/// [`MetricsRegistry::add`] path it replaces — while the steady state
+/// is a pure [`CounterHandle`] atomic add. The cell is bound to the
+/// first registry it is used with; owners that carry their own
+/// `Arc<MetricsRegistry>` (doc cache, journal writer) always pass the
+/// same one.
+#[derive(Debug, Default)]
+pub struct LazyCounter {
+    cell: OnceLock<CounterHandle>,
+}
+
+impl LazyCounter {
+    /// An unresolved lazy counter.
+    pub const fn new() -> LazyCounter {
+        LazyCounter {
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Add `delta` to the counter `name` in `registry`, resolving and
+    /// caching the handle on first use.
+    pub fn add(&self, registry: &MetricsRegistry, name: &str, delta: u64) {
+        self.cell
+            .get_or_init(|| registry.counter_handle(name))
+            .add(delta);
+    }
+
+    /// Add 1 (see [`LazyCounter::add`]).
+    pub fn inc(&self, registry: &MetricsRegistry, name: &str) {
+        self.add(registry, name, 1);
+    }
 }
 
 /// The registry. The steady-state increment path is a shared read
 /// lock plus a relaxed atomic add — worker threads never serialize on
 /// each other once an instrument exists; the write lock is taken only
-/// the first time a name appears.
+/// the first time a name appears. Hot paths go one step further and
+/// resolve a [`CounterHandle`]/[`HistogramHandle`] once, after which
+/// the registry lock is not touched again until export.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
-    counters: RwLock<BTreeMap<String, AtomicU64>>,
-    histograms: RwLock<BTreeMap<String, AtomicHistogram>>,
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<AtomicHistogram>>>,
 }
 
 impl MetricsRegistry {
@@ -185,6 +256,7 @@ impl MetricsRegistry {
 
     /// Add `delta` to counter `name`.
     pub fn add(&self, name: &str, delta: u64) {
+        // lock-order: L0 (metrics registry map) — innermost.
         {
             let counters = read_unpoisoned(&self.counters);
             if let Some(c) = counters.get(name) {
@@ -194,12 +266,46 @@ impl MetricsRegistry {
         }
         write_unpoisoned(&self.counters)
             .entry(name.to_string())
-            .or_insert_with(|| AtomicU64::new(0))
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
             .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Resolve (registering at zero if needed) a pre-shared handle to
+    /// counter `name`. Increments through the handle never touch the
+    /// registry lock again.
+    pub fn counter_handle(&self, name: &str) -> CounterHandle {
+        // lock-order: L0 (metrics registry map) — innermost.
+        {
+            if let Some(c) = read_unpoisoned(&self.counters).get(name) {
+                return CounterHandle(Arc::clone(c));
+            }
+        }
+        CounterHandle(Arc::clone(
+            write_unpoisoned(&self.counters)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        ))
+    }
+
+    /// Resolve (registering an empty cell if needed) a pre-shared
+    /// handle to histogram `name` (see [`MetricsRegistry::counter_handle`]).
+    pub fn histogram_handle(&self, name: &str) -> HistogramHandle {
+        // lock-order: L0 (metrics registry map) — innermost.
+        {
+            if let Some(h) = read_unpoisoned(&self.histograms).get(name) {
+                return HistogramHandle(Arc::clone(h));
+            }
+        }
+        HistogramHandle(Arc::clone(
+            write_unpoisoned(&self.histograms)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicHistogram::new())),
+        ))
     }
 
     /// Current value of counter `name` (0 when never touched).
     pub fn counter(&self, name: &str) -> u64 {
+        // lock-order: L0 (metrics registry map) — innermost.
         read_unpoisoned(&self.counters)
             .get(name)
             .map(|c| c.load(Ordering::Relaxed))
@@ -208,6 +314,7 @@ impl MetricsRegistry {
 
     /// Record one latency observation into histogram `name`.
     pub fn observe_ns(&self, name: &str, value_ns: u64) {
+        // lock-order: L0 (metrics registry map) — innermost.
         {
             let histograms = read_unpoisoned(&self.histograms);
             if let Some(h) = histograms.get(name) {
@@ -217,19 +324,21 @@ impl MetricsRegistry {
         }
         write_unpoisoned(&self.histograms)
             .entry(name.to_string())
-            .or_insert_with(AtomicHistogram::new)
+            .or_insert_with(|| Arc::new(AtomicHistogram::new()))
             .observe(value_ns);
     }
 
     /// Snapshot of histogram `name`, if it has ever been observed.
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        // lock-order: L0 (metrics registry map) — innermost.
         read_unpoisoned(&self.histograms)
             .get(name)
-            .map(AtomicHistogram::snapshot)
+            .map(|h| h.snapshot())
     }
 
     /// All counter (name, value) pairs in name order.
     pub fn counters_snapshot(&self) -> Vec<(String, u64)> {
+        // lock-order: L0 (metrics registry map) — innermost.
         read_unpoisoned(&self.counters)
             .iter()
             .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
@@ -238,6 +347,7 @@ impl MetricsRegistry {
 
     /// All histogram (name, snapshot) pairs in name order.
     pub fn histograms_snapshot(&self) -> Vec<(String, Histogram)> {
+        // lock-order: L0 (metrics registry map) — innermost.
         read_unpoisoned(&self.histograms)
             .iter()
             .map(|(k, v)| (k.clone(), v.snapshot()))

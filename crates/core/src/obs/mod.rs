@@ -27,4 +27,7 @@ pub use event::{
     MAX_EVENT_LINE_BYTES,
 };
 pub use export::{fmt_ns, Obs, ProgressMeter, SlowCell, SLOWEST_KEPT};
-pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, BUCKET_BOUNDS_NS};
+pub use metrics::{
+    CounterHandle, Histogram, HistogramHandle, LazyCounter, MetricsRegistry, MetricsSnapshot,
+    BUCKET_BOUNDS_NS,
+};

@@ -82,7 +82,7 @@ impl TestRecord {
 }
 
 /// Everything a campaign run produced.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CampaignResults {
     /// Per-service deployment records (Preparation + step a).
     pub services: Vec<ServiceRecord>,

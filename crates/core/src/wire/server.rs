@@ -32,7 +32,7 @@ use wsinterop_wsdl::{soap, Definitions};
 use wsinterop_xml::writer::{write_document, WriteOptions};
 
 use crate::exchange::serve_echo;
-use crate::faults::lock_unpoisoned;
+use crate::sync::lock_unpoisoned;
 use crate::obs::{MetricsRegistry, Stopwatch};
 
 use super::http::{self, HttpError, HttpLimits, Request};
@@ -321,6 +321,7 @@ fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
     loop {
         // Hold the receiver lock only for the claim, never while
         // serving.
+        // lock-order: L2 (wire accept queue) — leaf.
         let stream = lock_unpoisoned(rx).recv();
         let Ok(stream) = stream else {
             return; // Sender dropped: accept loop is gone, queue drained.

@@ -158,6 +158,7 @@ fn main() -> ExitCode {
                 flag("--full-stride").and_then(|v| v.parse().ok()),
                 flag("--full-shards").and_then(|v| v.parse().ok()),
                 rest.contains(&"--skip-full"),
+                rest.contains(&"--scaling"),
             )
         }
         Some("chaos") => {
@@ -230,10 +231,11 @@ fn usage() -> ExitCode {
          \x20                        hardened loopback SOAP endpoint (POST /__admin/shutdown stops it)\n\
          \x20 exchange-survey [--stride N] [--transport tcp|in-process] [--addr HOST:PORT]\n\
          \x20                 [--shutdown-server]  Communication/Execution survey (E15)\n\
-         \x20 bench-campaign [--stride N] [--iters N] [--out FILE]\n\
+         \x20 bench-campaign [--stride N] [--iters N] [--out FILE] [--scaling]\n\
          \x20                [--full-stride N] [--full-shards N] [--skip-full]\n\
          \x20                        time shared vs per-cell parse, then the sharded\n\
-         \x20                        full paper matrix; write JSON\n\
+         \x20                        full paper matrix; --scaling adds the -j1..-jN\n\
+         \x20                        thread ladder + output bit-identity check; write JSON\n\
          \n\
          exit codes: 0 success, 1 runtime failure, 2 usage error,\n\
          \x20           3 recovered worker crash(es), 4 supervision gave up, 9 journal halt"
@@ -1632,6 +1634,7 @@ fn bench_campaign(
     full_stride: Option<usize>,
     full_shards: Option<usize>,
     skip_full: bool,
+    scaling: bool,
 ) -> ExitCode {
     let stride = stride.unwrap_or(200).max(1);
     let iters = iters.unwrap_or(5).max(1);
@@ -1692,6 +1695,99 @@ fn bench_campaign(
     let instrumentation_overhead_pct =
         (instrumented_ms / shared_ms.max(f64::EPSILON) - 1.0) * 100.0;
     let config_hash = Campaign::sampled(stride).config_hash();
+
+    let scaling_json = if !scaling {
+        "null".to_string()
+    } else {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        // Doubling ladder, always ending at the core count: 1, 2, 4, …
+        // On a single-core box this degenerates to [1] and the
+        // efficiency below is exactly 1.0 by construction.
+        let mut ladder = vec![1usize];
+        let mut next = 2usize;
+        while next < cores {
+            ladder.push(next);
+            next *= 2;
+        }
+        if cores > 1 {
+            ladder.push(cores);
+        }
+        println!("scaling: thread ladder {ladder:?} on {cores} core(s)…");
+
+        // Wall clock per thread count, interleaved min-of-rounds like
+        // the mode bench above (same one-sided-noise reasoning).
+        let mut walls = vec![f64::INFINITY; ladder.len()];
+        for _ in 0..iters {
+            for (i, &threads) in ladder.iter().enumerate() {
+                walls[i] =
+                    walls[i].min(run_once(&|| Campaign::sampled(stride).with_threads(threads)));
+            }
+        }
+        let t1 = walls[0];
+        let jmax = *ladder.last().expect("ladder never empty");
+        let tj = *walls.last().expect("ladder never empty");
+        // Near-linear scaling ⇒ t(-jN) ≈ t(-j1)/N ⇒ efficiency ≈ 1.
+        let efficiency = t1 / (jmax as f64 * tj.max(f64::EPSILON));
+
+        // Bit-identity across the ladder: results, the virtual-clock
+        // metrics export and the canonicalized trace stream at every
+        // thread count must equal the -j1 run's. (Trace seq and line
+        // order legitimately vary with worker interleaving, so events
+        // are compared with seq zeroed, sorted — same set, same
+        // payloads.)
+        let observed_run = |threads: usize| {
+            let obs = std::sync::Arc::new(Obs::new(Clock::virtual_seeded(42)));
+            let results = Campaign::sampled(stride)
+                .with_threads(threads)
+                .with_observer(std::sync::Arc::clone(&obs))
+                .run();
+            let metrics = obs.metrics_json();
+            let mut lines: Vec<String> = obs
+                .trace()
+                .drain()
+                .into_iter()
+                .map(|mut event| {
+                    event.seq = 0;
+                    event.to_json_line()
+                })
+                .collect();
+            lines.sort();
+            (results, metrics, lines)
+        };
+        let baseline = observed_run(1);
+        let mut outputs_identical = true;
+        for &threads in ladder.iter().skip(1) {
+            let run = observed_run(threads);
+            if run != baseline {
+                outputs_identical = false;
+                eprintln!(
+                    "scaling: -j{threads} output diverged from -j1 \
+                     (results {}, metrics {}, traces {})",
+                    if run.0 == baseline.0 { "ok" } else { "DIFFER" },
+                    if run.1 == baseline.1 { "ok" } else { "DIFFER" },
+                    if run.2 == baseline.2 { "ok" } else { "DIFFER" },
+                );
+            }
+        }
+
+        let points: Vec<String> = ladder
+            .iter()
+            .zip(&walls)
+            .map(|(threads, wall)| {
+                format!("{{ \"threads\": {threads}, \"wall_ms\": {wall:.3} }}")
+            })
+            .collect();
+        println!(
+            "scaling: -j1 {t1:.1} ms → -j{jmax} {tj:.1} ms; efficiency {efficiency:.2}; \
+             outputs identical across ladder: {outputs_identical}"
+        );
+        format!(
+            "{{ \"cores\": {cores}, \"points\": [{}], \
+             \"scaling_efficiency\": {efficiency:.3}, \
+             \"outputs_identical\": {outputs_identical} }}",
+            points.join(", ")
+        )
+    };
 
     let full_matrix = if skip_full {
         "null".to_string()
@@ -1785,6 +1881,7 @@ fn bench_campaign(
          \"shared\": {{ \"parses\": {sp}, \"distinct_docs\": {sd}, \"doc_memo_hits\": {sh}, \
          \"gen_runs\": {sg}, \"gen_memo_hits\": {sgh}, \"fault_bypasses\": {sf} }},\n  \
          \"per_cell\": {{ \"parses\": {pp}, \"text_generates\": {pt} }},\n  \
+         \"scaling\": {scaling_json},\n  \
          \"full_matrix\": {full_matrix}\n}}\n",
         tests = results.tests.len(),
         sp = shared_stats.parses,

@@ -207,3 +207,81 @@ fn sink_overflow_is_reported_in_the_exported_metrics() {
         "drops must surface in the exporter: {text}"
     );
 }
+
+// --- per-thread trace staging: merge invariants under any schedule --
+
+/// The per-thread staging buffers must preserve the single-lock
+/// sink's exact accounting under *any* merge schedule: however worker
+/// flushes interleave, every recorded event is either in the ring or
+/// counted in `dropped` (`recorded - len == dropped`), the drained
+/// ring is seq-sorted with a dense tail, and a teed trace file stays
+/// seq-monotonic. Each permutation perturbs the flush cadence and
+/// yield points to force different interleavings of the merge lock.
+#[test]
+fn per_thread_trace_merge_preserves_accounting_under_schedule_permutations() {
+    use wsinterop::core::obs::{TraceEvent, TracePhase, TraceSink};
+
+    let threads = 4u64;
+    let per_thread = 150u64;
+    for permutation in 0u64..6 {
+        let path = temp_path(&format!("perm-{permutation}.jsonl"));
+        let sink = TraceSink::with_capacity(64);
+        sink.set_output(&path).expect("trace file opens");
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let sink = &sink;
+                let path = &path;
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        sink.record(TraceEvent::enter(
+                            TracePhase::Generate,
+                            "Metro",
+                            format!("t{t}.e{i}"),
+                        ));
+                        // Permutation-dependent schedule: vary where
+                        // each thread yields and force some flushes
+                        // mid-stream so batches merge at different
+                        // points in different runs of the loop.
+                        if (i + t + permutation) % 3 == 0 {
+                            std::thread::yield_now();
+                        }
+                        if (i + permutation) % 29 == 0 {
+                            sink.flush_local();
+                        }
+                    }
+                    let _ = path;
+                });
+            }
+        });
+        let recorded = sink.recorded();
+        let dropped = sink.dropped();
+        let buffered = sink.len();
+        assert_eq!(recorded, threads * per_thread, "permutation {permutation}");
+        assert_eq!(
+            recorded - buffered as u64,
+            dropped,
+            "ring + drop accounting must balance (permutation {permutation})"
+        );
+        let events = sink.drain();
+        assert_eq!(events.len(), buffered);
+        assert!(
+            events.windows(2).all(|w| w[0].seq < w[1].seq),
+            "drained ring must be seq-sorted (permutation {permutation})"
+        );
+        assert_eq!(
+            events.last().expect("ring non-empty").seq,
+            recorded - 1,
+            "ring tail must be the newest event (permutation {permutation})"
+        );
+        // The teed file saw *every* event (it never evicts), in seq
+        // order: the merge lock serializes seq assignment and writes.
+        let text = std::fs::read_to_string(&path).expect("trace file readable");
+        let lines = read_trace_lines(&text).expect("every line parses");
+        assert_eq!(lines.len() as u64, recorded, "permutation {permutation}");
+        assert!(
+            lines.windows(2).all(|w| w[0].seq < w[1].seq),
+            "trace file must be seq-monotonic (permutation {permutation})"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,8 +1,10 @@
 //! End-to-end contract of the parse-once campaign pipeline: the shared
 //! parsed-description cache must be invisible in the results (cached
 //! and uncached runs bit-identical, with and without fault injection)
-//! and visible only in the accounting.
+//! and visible only in the accounting — and the memo's lock striping
+//! must be equally invisible at any stripe or thread count.
 
+use proptest::prelude::*;
 use wsinterop::core::{Campaign, FaultPlan};
 
 #[test]
@@ -56,4 +58,43 @@ fn fault_bypasses_are_counted_apart_from_plain_text_generates() {
     assert_eq!(stats.fault_text_generates, 11 * stats.fault_bypasses);
     let rendered = stats.to_string();
     assert!(rendered.contains("over fault-damaged docs"), "{rendered}");
+}
+
+proptest! {
+    // Campaign runs are milliseconds each at these strides, but a full
+    // default case count would still dominate the suite — a modest
+    // sample over (stride, seed, threads, stripes) exercises every
+    // striping interaction that matters.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Memo lock striping is invisible: for arbitrary stride, fault
+    /// seed, thread count and stripe count, the striped-memo campaign
+    /// is bit-identical — services, tests, fault report and the memo
+    /// accounting itself — to the historical single-map memo
+    /// (`with_cache_stripes(1)`).
+    #[test]
+    fn striped_memo_campaign_is_bit_identical_to_single_map_memo(
+        stride in 97usize..400,
+        seed in 0u64..1000,
+        threads in 1usize..9,
+        stripes in 2usize..33,
+    ) {
+        let single = Campaign::sampled(stride)
+            .with_faults(FaultPlan::seeded(seed))
+            .with_threads(threads)
+            .with_cache_stripes(1);
+        let striped = Campaign::sampled(stride)
+            .with_faults(FaultPlan::seeded(seed))
+            .with_threads(threads)
+            .with_cache_stripes(stripes);
+        // Striping is execution shape, not configuration: journals and
+        // shard merges must keep working across stripe counts.
+        prop_assert_eq!(single.config_hash(), striped.config_hash());
+        let (single_results, single_report, single_stats) = single.run_with_stats();
+        let (striped_results, striped_report, striped_stats) = striped.run_with_stats();
+        prop_assert_eq!(&single_results.services, &striped_results.services);
+        prop_assert_eq!(&single_results.tests, &striped_results.tests);
+        prop_assert_eq!(single_report, striped_report);
+        prop_assert_eq!(single_stats, striped_stats);
+    }
 }
