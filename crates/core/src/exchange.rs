@@ -265,6 +265,29 @@ pub fn exchange_with_faults(
     classify_response(&request, &response, value)
 }
 
+/// Runs the Communication + Execution cycle for a pre-serialized
+/// request envelope whose first top-level argument is expected to echo
+/// back as `expected` — the in-process leg of a fuzz case
+/// ([`crate::fuzz`]). Unlike [`exchange`], the request is *given*, not
+/// built from a probe value: the fuzz generator already serialized
+/// adversarial structured content through [`soap::request_with_args`],
+/// and this function only runs the wire-conformance gate, the server's
+/// echo, and the shared response classifier over it.
+pub fn exchange_generated(
+    defs: &Definitions,
+    request_xml: &str,
+    expected: &str,
+) -> ExchangeOutcome {
+    if let Some(violation) = first_message_violation(request_xml) {
+        return ExchangeOutcome::NonConformantMessage {
+            side: "request",
+            detail: violation,
+        };
+    }
+    let response = serve_echo(defs, request_xml);
+    classify_response(request_xml, &response, expected)
+}
+
 /// Client-side classification of a received response envelope — shared
 /// verbatim between the in-process exchange and the loopback TCP
 /// transport ([`crate::wire`]), which is what makes the two surveys

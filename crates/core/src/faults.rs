@@ -220,6 +220,17 @@ pub fn sock_site(server: ServerId, fqcn: &str) -> String {
     format!("sock/{server:?}/{fqcn}")
 }
 
+/// Site key for one fuzzed (server, service) exchange unit.
+///
+/// The fuzz driver arms payload-property triggers from this key:
+/// [`FaultPlan::decide`] with [`FaultKind::ClientGenPanic`] arms an
+/// injected crash and [`FaultPlan::slow_virtual_ms`] arms a virtual
+/// hang, both gated on a property of the *generated payload* so the
+/// failure is a pure function of the input — and therefore shrinkable.
+pub fn fuzz_site(server: ServerId, fqcn: &str) -> String {
+    format!("fuzz/{server:?}/{fqcn}")
+}
+
 /// A seeded, deterministic fault plan.
 ///
 /// Decisions are pure functions of `(seed, kind, site)`; the plan

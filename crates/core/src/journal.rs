@@ -31,12 +31,26 @@
 //! header  := magic "WSIJRNL\x01" (8) | version u16 LE | config_hash u64 LE
 //!            | fnv1a(previous 18 bytes) u64 LE
 //! record  := payload_len u32 LE | payload | fnv1a(payload) u64 LE
-//! payload := server u8 | client u8 | flags u16 LE | instantiation u8
+//! payload := cell | fuzz-repro | fuzz-unit        (discriminated on byte 0)
+//! cell    := server u8 (0–3) | client u8 | flags u16 LE | instantiation u8
 //!            | fqcn_len u16 LE | fqcn utf-8 bytes
+//! fuzz-repro := 0xF5 | server u8 | client u8 | outcome u8 | case_index u32 LE
+//!            | seed u64 LE | digest u64 LE | fqcn_len u16 LE | fqcn
+//!            | tape_len u32 LE | tape_len × choice u32 LE
+//! fuzz-unit  := 0xF6 | server u8 | fqcn_len u16 LE | fqcn | n u32 LE
+//!            | n × outcome u8
 //! ```
 //!
 //! All integers are little-endian; enum codes are frozen (append-only)
-//! so journals stay readable across releases.
+//! so journals stay readable across releases. The two fuzz payloads
+//! (PR 8) ride the same frame format: byte 0 of a cell payload is a
+//! server code (0–3), so the tags `0xF5`/`0xF6` can never collide with
+//! a valid cell. A fuzz *unit* (all case outcomes for one
+//! server × service) is appended as one atomic batch — its shrunk
+//! reproducer frames immediately followed by the unit frame — so the
+//! reader treats reproducers as *pending* until their unit frame
+//! commits them; a tail of uncommitted reproducers is truncated on
+//! fuzz resume exactly like a torn frame.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -141,6 +155,55 @@ pub struct JournalCell {
     /// compiler crash or a crash-class generation error) — the breaker
     /// trigger taxonomy.
     pub disruptive: bool,
+}
+
+/// Frozen payload tag for a shrunk fuzz reproducer record.
+pub const FUZZ_REPRO_TAG: u8 = 0xF5;
+
+/// Frozen payload tag for a fuzz unit-outcome record.
+pub const FUZZ_UNIT_TAG: u8 = 0xF6;
+
+/// Number of defined fuzz outcome codes (see `core::fuzz`); anything
+/// `>=` this is corruption. The journal stores outcomes as raw bytes so
+/// the on-disk format does not depend on the fuzz module's enum.
+const FUZZ_OUTCOME_CODES: u8 = 5;
+
+/// One journaled shrunk reproducer: everything needed to replay a
+/// failing fuzz case from `(seed, tape)` alone, plus a digest of the
+/// shrunk request for artifact identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzReproRecord {
+    /// Server whose deployed service the case was generated against.
+    pub server: ServerId,
+    /// Client the outcome is attributed to in the 11×3 table.
+    pub client: ClientId,
+    /// Raw fuzz outcome code (`core::fuzz::FuzzOutcome::code`).
+    pub outcome: u8,
+    /// Index of the case within its unit (`0..cases`).
+    pub case_index: u32,
+    /// The per-case generator seed the tape replays under.
+    pub seed: u64,
+    /// [`content_hash`] of the shrunk request envelope.
+    pub digest: u64,
+    /// Fully-qualified class name of the fuzzed service.
+    pub fqcn: String,
+    /// The shrunk choice tape; replaying it under `seed` rebuilds the
+    /// minimal failing request bit-identically.
+    pub tape: Vec<u32>,
+}
+
+/// One journaled fuzz unit: the outcome code of every case generated
+/// against one `server × service`, in case order. Client attribution is
+/// positional (`case i` exercises client `i % 11`), so the full 11×3
+/// outcome table rebuilds from these records alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzUnitRecord {
+    /// Server whose deployed service was fuzzed.
+    pub server: ServerId,
+    /// Fully-qualified class name of the fuzzed service.
+    pub fqcn: String,
+    /// Raw outcome code per case, in case order.
+    pub outcomes: Vec<u8>,
 }
 
 // --- enum codes (frozen; append-only) -------------------------------
@@ -306,6 +369,117 @@ pub fn decode_payload(payload: &[u8]) -> Option<JournalCell> {
     })
 }
 
+/// Appends one complete frame (length prefix, payload, checksum) to a
+/// caller-owned buffer — the shared framing behind the fuzz encoders,
+/// which batch several frames into one atomic `write_all`.
+fn push_frame(buf: &mut Vec<u8>, payload: &[u8]) {
+    buf.reserve(12 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf.extend_from_slice(&content_hash(payload).to_le_bytes());
+}
+
+/// Encodes one shrunk reproducer as a complete record frame.
+pub fn encode_fuzz_repro(r: &FuzzReproRecord) -> Vec<u8> {
+    let fqcn = r.fqcn.as_bytes();
+    let mut payload = Vec::with_capacity(30 + fqcn.len() + 4 * r.tape.len());
+    payload.push(FUZZ_REPRO_TAG);
+    payload.push(server_code(r.server));
+    payload.push(client_code(r.client));
+    payload.push(r.outcome);
+    payload.extend_from_slice(&r.case_index.to_le_bytes());
+    payload.extend_from_slice(&r.seed.to_le_bytes());
+    payload.extend_from_slice(&r.digest.to_le_bytes());
+    payload.extend_from_slice(&(fqcn.len() as u16).to_le_bytes());
+    payload.extend_from_slice(fqcn);
+    payload.extend_from_slice(&(r.tape.len() as u32).to_le_bytes());
+    for choice in &r.tape {
+        payload.extend_from_slice(&choice.to_le_bytes());
+    }
+    let mut frame = Vec::new();
+    push_frame(&mut frame, &payload);
+    frame
+}
+
+/// Decodes a [`FUZZ_REPRO_TAG`] payload. `None` means corruption — the
+/// reader truncates there, same as a damaged cell.
+pub fn decode_fuzz_repro(payload: &[u8]) -> Option<FuzzReproRecord> {
+    if payload.len() < 30 || payload[0] != FUZZ_REPRO_TAG {
+        return None;
+    }
+    let server = server_from(payload[1])?;
+    let client = client_from(payload[2])?;
+    let outcome = payload[3];
+    if outcome >= FUZZ_OUTCOME_CODES {
+        return None;
+    }
+    let case_index = read_u32_le(payload, 4)?;
+    let seed = read_u64_le(payload, 8)?;
+    let digest = read_u64_le(payload, 16)?;
+    let fqcn_len = u16::from_le_bytes([payload[24], payload[25]]) as usize;
+    let fqcn_end = 26usize.checked_add(fqcn_len)?;
+    let fqcn = std::str::from_utf8(payload.get(26..fqcn_end)?).ok()?.to_string();
+    let tape_len = read_u32_le(payload, fqcn_end)? as usize;
+    let tape_start = fqcn_end + 4;
+    if payload.len() != tape_start.checked_add(tape_len.checked_mul(4)?)? {
+        return None;
+    }
+    let mut tape = Vec::with_capacity(tape_len);
+    for i in 0..tape_len {
+        tape.push(read_u32_le(payload, tape_start + 4 * i)?);
+    }
+    Some(FuzzReproRecord {
+        server,
+        client,
+        outcome,
+        case_index,
+        seed,
+        digest,
+        fqcn,
+        tape,
+    })
+}
+
+/// Encodes one fuzz unit-outcome record as a complete record frame.
+pub fn encode_fuzz_unit(u: &FuzzUnitRecord) -> Vec<u8> {
+    let fqcn = u.fqcn.as_bytes();
+    let mut payload = Vec::with_capacity(8 + fqcn.len() + u.outcomes.len());
+    payload.push(FUZZ_UNIT_TAG);
+    payload.push(server_code(u.server));
+    payload.extend_from_slice(&(fqcn.len() as u16).to_le_bytes());
+    payload.extend_from_slice(fqcn);
+    payload.extend_from_slice(&(u.outcomes.len() as u32).to_le_bytes());
+    payload.extend_from_slice(&u.outcomes);
+    let mut frame = Vec::new();
+    push_frame(&mut frame, &payload);
+    frame
+}
+
+/// Decodes a [`FUZZ_UNIT_TAG`] payload. `None` means corruption.
+pub fn decode_fuzz_unit(payload: &[u8]) -> Option<FuzzUnitRecord> {
+    if payload.len() < 8 || payload[0] != FUZZ_UNIT_TAG {
+        return None;
+    }
+    let server = server_from(payload[1])?;
+    let fqcn_len = u16::from_le_bytes([payload[2], payload[3]]) as usize;
+    let fqcn_end = 4usize.checked_add(fqcn_len)?;
+    let fqcn = std::str::from_utf8(payload.get(4..fqcn_end)?).ok()?.to_string();
+    let n = read_u32_le(payload, fqcn_end)? as usize;
+    let outcomes_start = fqcn_end + 4;
+    if payload.len() != outcomes_start.checked_add(n)? {
+        return None;
+    }
+    let outcomes = payload[outcomes_start..].to_vec();
+    if outcomes.iter().any(|&code| code >= FUZZ_OUTCOME_CODES) {
+        return None;
+    }
+    Some(FuzzUnitRecord {
+        server,
+        fqcn,
+        outcomes,
+    })
+}
+
 fn encode_header(config_hash: u64) -> [u8; HEADER_LEN] {
     let mut header = [0u8; HEADER_LEN];
     header[..8].copy_from_slice(&MAGIC);
@@ -331,6 +505,16 @@ pub struct JournalReadOutcome {
     pub valid_len: u64,
     /// Bytes past the valid prefix (a torn or corrupted tail).
     pub torn_bytes: u64,
+    /// Every *committed* fuzz unit record, in file order.
+    pub fuzz_units: Vec<FuzzUnitRecord>,
+    /// Every committed shrunk reproducer, in file order. Reproducers
+    /// whose unit frame never landed (a kill mid-batch) are excluded —
+    /// their unit re-executes on resume and re-emits them.
+    pub repros: Vec<FuzzReproRecord>,
+    /// Length of the *fuzz-committed* prefix: like `valid_len` but also
+    /// excluding a trailing run of uncommitted reproducer frames.
+    /// [`JournalWriter::resume_fuzz`] truncates here.
+    pub fuzz_valid_len: u64,
 }
 
 impl JournalReadOutcome {
@@ -384,7 +568,13 @@ pub fn read_journal_bytes(bytes: &[u8]) -> Result<JournalReadOutcome, JournalErr
 
     let mut cells = Vec::new();
     let mut offsets = Vec::new();
+    let mut fuzz_units = Vec::new();
+    let mut repros = Vec::new();
+    // Reproducers are *pending* until their unit frame commits them —
+    // a kill between the two leaves a tail the fuzz resume truncates.
+    let mut pending_repros = Vec::new();
     let mut at = HEADER_LEN;
+    let mut fuzz_valid_at = HEADER_LEN;
     while let Some(payload_len) = read_u32_le(bytes, at) {
         if payload_len > MAX_PAYLOAD {
             break;
@@ -399,12 +589,35 @@ pub fn read_journal_bytes(bytes: &[u8]) -> Result<JournalReadOutcome, JournalErr
         if content_hash(payload) != sum {
             break;
         }
-        let Some(cell) = decode_payload(payload) else {
-            break;
-        };
-        offsets.push(at as u64);
-        cells.push(cell);
-        at += 12 + payload_len;
+        match payload.first() {
+            Some(&FUZZ_REPRO_TAG) => {
+                let Some(repro) = decode_fuzz_repro(payload) else {
+                    break;
+                };
+                pending_repros.push(repro);
+                at += 12 + payload_len;
+            }
+            Some(&FUZZ_UNIT_TAG) => {
+                let Some(unit) = decode_fuzz_unit(payload) else {
+                    break;
+                };
+                repros.append(&mut pending_repros);
+                fuzz_units.push(unit);
+                at += 12 + payload_len;
+                fuzz_valid_at = at;
+            }
+            _ => {
+                let Some(cell) = decode_payload(payload) else {
+                    break;
+                };
+                offsets.push(at as u64);
+                cells.push(cell);
+                at += 12 + payload_len;
+                if pending_repros.is_empty() {
+                    fuzz_valid_at = at;
+                }
+            }
+        }
     }
     Ok(JournalReadOutcome {
         config_hash,
@@ -412,6 +625,9 @@ pub fn read_journal_bytes(bytes: &[u8]) -> Result<JournalReadOutcome, JournalErr
         offsets,
         valid_len: at as u64,
         torn_bytes: (bytes.len() - at) as u64,
+        fuzz_units,
+        repros,
+        fuzz_valid_len: fuzz_valid_at as u64,
     })
 }
 
@@ -488,6 +704,27 @@ impl JournalWriter {
         config_hash: u64,
         halt_after: Option<usize>,
     ) -> Result<(JournalWriter, JournalReadOutcome), JournalError> {
+        JournalWriter::resume_at(path, config_hash, halt_after, false)
+    }
+
+    /// [`JournalWriter::resume`] for a fuzz run: truncates at the
+    /// *fuzz-committed* prefix ([`JournalReadOutcome::fuzz_valid_len`]),
+    /// discarding any trailing reproducer frames whose unit never
+    /// landed — that unit re-executes and re-emits them bit-identically.
+    pub fn resume_fuzz(
+        path: &Path,
+        config_hash: u64,
+        halt_after: Option<usize>,
+    ) -> Result<(JournalWriter, JournalReadOutcome), JournalError> {
+        JournalWriter::resume_at(path, config_hash, halt_after, true)
+    }
+
+    fn resume_at(
+        path: &Path,
+        config_hash: u64,
+        halt_after: Option<usize>,
+        fuzz: bool,
+    ) -> Result<(JournalWriter, JournalReadOutcome), JournalError> {
         let read = read_journal(path)?;
         if read.config_hash != config_hash {
             return Err(JournalError::ConfigMismatch {
@@ -495,8 +732,9 @@ impl JournalWriter {
                 found: read.config_hash,
             });
         }
+        let keep = if fuzz { read.fuzz_valid_len } else { read.valid_len };
         let mut file = OpenOptions::new().write(true).open(path)?;
-        file.set_len(read.valid_len)?;
+        file.set_len(keep)?;
         file.seek(SeekFrom::End(0))?;
         Ok((
             JournalWriter {
@@ -531,6 +769,23 @@ impl JournalWriter {
             // rather than lose the frame.
             self.write_frame(&encode_cell(cell));
         }
+    }
+
+    /// Appends one completed fuzz unit as a single atomic batch: the
+    /// unit's shrunk reproducer frames followed by its unit-outcome
+    /// frame, all in one `write_all`. The whole batch counts as *one*
+    /// append toward the halt/stall switches (`--halt-after-units`
+    /// halts between units, never between a reproducer and the unit
+    /// frame that commits it), and a kill can only ever tear the tail
+    /// of the batch — which the reader's pending-reproducer stash
+    /// already treats as uncommitted.
+    pub fn append_fuzz_batch(&self, repros: &[FuzzReproRecord], unit: &FuzzUnitRecord) {
+        let mut batch = Vec::new();
+        for repro in repros {
+            batch.extend_from_slice(&encode_fuzz_repro(repro));
+        }
+        batch.extend_from_slice(&encode_fuzz_unit(unit));
+        self.write_frame(&batch);
     }
 
     /// Writes one already-encoded frame and runs the post-append
@@ -775,6 +1030,126 @@ mod tests {
         drop(writer);
         let healed = read_journal(&path).unwrap();
         assert_eq!(healed.cells, all);
+        assert!(!healed.torn());
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn repro(case_index: u32, tape: &[u32]) -> FuzzReproRecord {
+        FuzzReproRecord {
+            server: ServerId::JBossWs,
+            client: ClientId::Gsoap,
+            outcome: 3,
+            case_index,
+            seed: 0xdead_beef_cafe_f00d,
+            digest: 0x0123_4567_89ab_cdef,
+            fqcn: "java.lang.String".to_string(),
+            tape: tape.to_vec(),
+        }
+    }
+
+    fn unit(outcomes: &[u8]) -> FuzzUnitRecord {
+        FuzzUnitRecord {
+            server: ServerId::JBossWs,
+            fqcn: "java.lang.String".to_string(),
+            outcomes: outcomes.to_vec(),
+        }
+    }
+
+    #[test]
+    fn fuzz_frames_roundtrip_alongside_cells() {
+        let mut bytes = journal_bytes(&[cell("a.A", false)], 11);
+        let r0 = repro(4, &[0, 7, 2]);
+        let r1 = repro(9, &[]);
+        let u0 = unit(&[0, 0, 3, 1, 4]);
+        bytes.extend_from_slice(&encode_fuzz_repro(&r0));
+        bytes.extend_from_slice(&encode_fuzz_repro(&r1));
+        bytes.extend_from_slice(&encode_fuzz_unit(&u0));
+        bytes.extend_from_slice(&encode_cell(&cell("b.B", true)));
+        let read = read_journal_bytes(&bytes).unwrap();
+        assert_eq!(read.cells.len(), 2);
+        assert_eq!(read.repros, vec![r0, r1]);
+        assert_eq!(read.fuzz_units, vec![u0]);
+        assert_eq!(read.valid_len, bytes.len() as u64);
+        assert_eq!(read.fuzz_valid_len, bytes.len() as u64);
+        assert!(!read.torn());
+    }
+
+    #[test]
+    fn uncommitted_repros_are_excluded_and_truncated_on_fuzz_resume() {
+        let mut bytes = journal_bytes(&[], 11);
+        let committed = repro(1, &[5]);
+        bytes.extend_from_slice(&encode_fuzz_repro(&committed));
+        bytes.extend_from_slice(&encode_fuzz_unit(&unit(&[0, 3])));
+        let committed_len = bytes.len() as u64;
+        // A kill between a reproducer frame and its unit frame: the
+        // reproducer is structurally valid but uncommitted.
+        bytes.extend_from_slice(&encode_fuzz_repro(&repro(7, &[1, 2, 3])));
+        let read = read_journal_bytes(&bytes).unwrap();
+        assert_eq!(read.repros, vec![committed]);
+        assert_eq!(read.fuzz_units.len(), 1);
+        assert_eq!(read.valid_len, bytes.len() as u64);
+        assert_eq!(read.fuzz_valid_len, committed_len);
+        assert!(!read.torn());
+    }
+
+    #[test]
+    fn damaged_fuzz_frames_truncate_without_panicking() {
+        let mut clean = journal_bytes(&[cell("a.A", false)], 11);
+        let prefix = clean.len();
+        clean.extend_from_slice(&encode_fuzz_repro(&repro(0, &[9, 9])));
+        clean.extend_from_slice(&encode_fuzz_unit(&unit(&[2])));
+        for at in prefix..clean.len() {
+            let mut damaged = clean.clone();
+            damaged[at] ^= 0x5a;
+            let out = read_journal_bytes(&damaged).unwrap();
+            // The cell prefix always survives; nothing recovered is
+            // ever wrong.
+            assert_eq!(out.cells.len(), 1, "flip at {at}");
+            assert!(out.fuzz_valid_len >= prefix as u64, "flip at {at}");
+        }
+        // Out-of-range outcome codes are corruption, not data.
+        let mut bad_unit = journal_bytes(&[], 11);
+        bad_unit.extend_from_slice(&encode_fuzz_unit(&unit(&[FUZZ_OUTCOME_CODES])));
+        let out = read_journal_bytes(&bad_unit).unwrap();
+        assert!(out.fuzz_units.is_empty());
+        assert!(out.torn());
+    }
+
+    #[test]
+    fn fuzz_batch_append_and_resume_converge() {
+        let path = std::env::temp_dir().join(format!(
+            "wsinterop-journal-fuzz-unit-{}.bin",
+            std::process::id()
+        ));
+        let r = repro(2, &[4, 0, 1]);
+        let u0 = unit(&[0, 0, 0, 2]);
+        let u1 = unit(&[1, 4]);
+        {
+            let writer = JournalWriter::create(&path, 42, None).unwrap();
+            writer.append_fuzz_batch(&[r.clone()], &u0);
+            writer.append_fuzz_batch(&[], &u1);
+            // The whole batch is one halt/stall tick.
+            assert_eq!(writer.appended(), 2);
+            assert!(writer.take_error().is_none());
+        }
+        let read = read_journal(&path).unwrap();
+        assert_eq!(read.repros, vec![r.clone()]);
+        assert_eq!(read.fuzz_units, vec![u0.clone(), u1.clone()]);
+
+        // Simulate a kill mid-batch: orphan reproducer on the tail.
+        let bytes = std::fs::read(&path).unwrap();
+        let mut torn = bytes.clone();
+        torn.extend_from_slice(&encode_fuzz_repro(&repro(9, &[8])));
+        std::fs::write(&path, &torn).unwrap();
+        let (writer, recovered) = JournalWriter::resume_fuzz(&path, 42, None).unwrap();
+        assert_eq!(recovered.fuzz_units, vec![u0.clone(), u1.clone()]);
+        assert_eq!(recovered.repros, vec![r.clone()]);
+        let u2 = unit(&[3]);
+        writer.append_fuzz_batch(&[repro(0, &[6])], &u2);
+        drop(writer);
+        let healed = read_journal(&path).unwrap();
+        assert_eq!(healed.fuzz_units, vec![u0, u1, u2]);
+        assert_eq!(healed.repros.len(), 2);
         assert!(!healed.torn());
         std::fs::remove_file(&path).ok();
     }

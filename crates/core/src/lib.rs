@@ -51,6 +51,7 @@ pub mod exchange;
 pub mod expected;
 pub mod export;
 pub mod faults;
+pub mod fuzz;
 pub mod journal;
 pub mod obs;
 pub mod registry;
@@ -63,6 +64,7 @@ pub mod wire;
 pub use campaign::Campaign;
 pub use doccache::{DocCache, ParsedService, PipelineStats};
 pub use faults::{BreakerConfig, FaultKind, FaultPlan, FaultReport, ResilienceConfig};
+pub use fuzz::{FuzzConfig, FuzzOutcome, FuzzTransport};
 pub use journal::{JournalCell, JournalError, JournalWriter};
 pub use obs::{Clock, MetricsRegistry, MetricsSnapshot, Obs, TraceEvent, TracePhase, TraceSink};
 pub use shard::{ShardSpec, Supervisor, SupervisorConfig};

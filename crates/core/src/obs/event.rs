@@ -44,6 +44,8 @@ pub enum TracePhase {
     Exchange,
     /// Real-socket exchange over the loopback transport (E15).
     Wire,
+    /// WSDL-guided property-based fuzzing of one exchange unit (E19).
+    Fuzz,
 }
 
 impl TracePhase {
@@ -55,6 +57,7 @@ impl TracePhase {
             TracePhase::Compile => "compile",
             TracePhase::Exchange => "exchange",
             TracePhase::Wire => "wire",
+            TracePhase::Fuzz => "fuzz",
         }
     }
 
@@ -68,6 +71,7 @@ impl TracePhase {
             TracePhase::Compile => "phase_compile_ns",
             TracePhase::Exchange => "phase_exchange_ns",
             TracePhase::Wire => "phase_wire_ns",
+            TracePhase::Fuzz => "phase_fuzz_ns",
         }
     }
 
@@ -78,6 +82,7 @@ impl TracePhase {
             "compile" => TracePhase::Compile,
             "exchange" => TracePhase::Exchange,
             "wire" => TracePhase::Wire,
+            "fuzz" => TracePhase::Fuzz,
             _ => return None,
         })
     }
@@ -425,14 +430,22 @@ struct LocalStage {
 impl Drop for LocalStage {
     fn drop(&mut self) {
         if let Some(core) = self.sink.upgrade() {
-            // Deregister first so no reader re-steals a dead buffer,
-            // then publish the tail batch.
-            // lock-order: L3.a (stage registry) — released before the
-            // buffer/ring locks below.
+            // Publish the tail batch FIRST, while the stage is still
+            // registered. Deregistering first opens a window where a
+            // reader's steal sees neither the stage nor its events and
+            // under-reports `recorded()` during thread teardown; with
+            // this order a concurrent reader either steals the tail
+            // itself (our ingest then merges nothing) or finds an
+            // already-empty buffer after it — exact either way. The
+            // owner is dying, so nothing is ever pushed after this.
+            {
+                // lock-order: L3.b (stage buffer) — above L3.c (ring).
+                let mut pending = lock_unpoisoned(&self.buf);
+                core.ingest(&mut pending);
+            }
+            // lock-order: L3.a (stage registry) — taken with no other
+            // sink lock held.
             lock_unpoisoned(&core.stages).retain(|s| !std::sync::Arc::ptr_eq(s, &self.buf));
-            // lock-order: L3.b (stage buffer) — above L3.c (ring).
-            let mut pending = lock_unpoisoned(&self.buf);
-            core.ingest(&mut pending);
         }
     }
 }

@@ -48,11 +48,12 @@ fn phase_idx(phase: TracePhase) -> usize {
         TracePhase::Compile => 2,
         TracePhase::Exchange => 3,
         TracePhase::Wire => 4,
+        TracePhase::Fuzz => 5,
     }
 }
 
 /// Number of [`TracePhase`] variants, for the handle array.
-const PHASE_COUNT: usize = 5;
+const PHASE_COUNT: usize = 6;
 
 /// Key of the per-pair histogram cache. Both name halves are
 /// `&'static str` in every caller (framework/client registry names),
@@ -331,6 +332,7 @@ impl Obs {
             TracePhase::Compile,
             TracePhase::Exchange,
             TracePhase::Wire,
+            TracePhase::Fuzz,
         ] {
             let Some(h) = self.metrics.histogram(phase.metric_ns()) else {
                 continue;

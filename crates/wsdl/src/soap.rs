@@ -60,15 +60,21 @@ pub fn envelope(payload: Element) -> Document {
     )
 }
 
-/// Builds a doc/literal-wrapped request for `op_name`, filling the
-/// wrapper's first child element with `arg_text`.
+/// Resolves the doc/literal input wrapper of `op_name`: the wrapper
+/// element declaration plus its namespace URI — the shared resolution
+/// walk behind [`request`] and [`request_with_args`], exposed so
+/// payload generators (the fuzz layer) can inspect the wrapper's
+/// argument declaration before building structured content.
 ///
 /// # Errors
 ///
 /// Fails when the operation, its input message, or the wrapper element
 /// cannot be resolved in `defs` — the same resolution steps a real
 /// client stub performs before serializing a call.
-pub fn request(defs: &Definitions, op_name: &str, arg_text: &str) -> Result<Document, SoapError> {
+pub fn input_wrapper<'a>(
+    defs: &'a Definitions,
+    op_name: &str,
+) -> Result<(&'a wsinterop_xsd::ElementDecl, &'a str), SoapError> {
     let op = defs
         .find_operation(op_name)
         .ok_or_else(|| SoapError::new(format!("no operation `{op_name}` in port types")))?;
@@ -94,20 +100,53 @@ pub fn request(defs: &Definitions, op_name: &str, arg_text: &str) -> Result<Docu
     let wrapper_decl = defs
         .resolve_part_element(part)
         .ok_or_else(|| SoapError::new(format!("unresolved wrapper element `{}`", wrapper_ref.local)))?;
+    Ok((wrapper_decl, &wrapper_ref.ns_uri))
+}
 
-    let mut wrapper = Element::new(&format!("m:{}", wrapper_decl.name))
-        .in_ns(wrapper_ref.ns_uri.clone())
-        .with_ns_decl(Some("m"), &wrapper_ref.ns_uri);
+/// Builds a doc/literal-wrapped request for `op_name`, filling the
+/// wrapper's first child element with `arg_text`.
+///
+/// # Errors
+///
+/// Same resolution failures as [`input_wrapper`].
+pub fn request(defs: &Definitions, op_name: &str, arg_text: &str) -> Result<Document, SoapError> {
+    let (wrapper_decl, ns_uri) = input_wrapper(defs, op_name)?;
+    let mut args = Vec::new();
     if let Some(inline) = &wrapper_decl.inline {
         if let Some(wsinterop_xsd::Particle::Element(first)) =
             inline.content.particles.first()
         {
-            wrapper.push_element(
+            args.push(
                 Element::new(&format!("m:{}", first.name))
-                    .in_ns(wrapper_ref.ns_uri.clone())
+                    .in_ns(ns_uri.to_string())
                     .with_text(arg_text),
             );
         }
+    }
+    request_with_args(defs, op_name, args)
+}
+
+/// Builds a doc/literal-wrapped request for `op_name` from
+/// caller-supplied argument elements (already named `m:{arg}` in the
+/// wrapper namespace, as [`request`] does). This is the structured
+/// entry point the fuzz generator serializes through: nested content,
+/// repeated arguments and adversarial text all pass through the same
+/// envelope construction a nominal request uses.
+///
+/// # Errors
+///
+/// Same resolution failures as [`input_wrapper`].
+pub fn request_with_args(
+    defs: &Definitions,
+    op_name: &str,
+    args: Vec<Element>,
+) -> Result<Document, SoapError> {
+    let (wrapper_decl, ns_uri) = input_wrapper(defs, op_name)?;
+    let mut wrapper = Element::new(&format!("m:{}", wrapper_decl.name))
+        .in_ns(ns_uri.to_string())
+        .with_ns_decl(Some("m"), ns_uri);
+    for arg in args {
+        wrapper.push_element(arg);
     }
     Ok(envelope(wrapper))
 }

@@ -21,6 +21,15 @@
 //!   [--shard K/N --shard-dir DIR]       #   …run as one worker shard (spawned by
 //!                                       #   the supervisor; always resumes)
 //! wsitool chaos [--stride N] [--seed N] # fault-injected campaign + fault report
+//! wsitool fuzz [--cases N] [--seed N]   # WSDL-guided property-based exchange
+//!   [--stride N] [-j N]                 #   fuzzing: seeded XSD payload generators,
+//!   [--transport in-process|tcp|both]   #   real-socket or in-process execution,
+//!   [--journal FILE] [--resume]         #   choice-tape shrinking, journaled
+//!   [--halt-after-units N]              #   reproducers (crash/resume-safe)
+//!   [--fault-seed N] [--crash-fqcn F] [--hang-fqcn F]
+//!   [--max-body-bytes N] [--wire-timeout-ms N] [--shrink-budget N]
+//!   [--shards N --shard-dir DIR]        #   …multi-process shards, merged
+//!                                       #   bit-identical to one process
 //! wsitool metrics [--stride N] [--seed N] [--json] [--out FILE]
 //!                                       # deterministic instrumented-campaign metrics
 //! wsitool journal inspect <file> [--json]  # decode a campaign journal
@@ -171,6 +180,16 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("fuzz") => {
+            let rest: Vec<&str> = argv.collect();
+            match parse_fuzz_opts(&rest) {
+                Ok(opts) => fuzz_cmd(&opts),
+                Err(e) => {
+                    eprintln!("{e}");
+                    usage()
+                }
+            }
+        }
         Some("export") => export(
             argv.next().and_then(|s| s.parse().ok()),
             argv.next().unwrap_or("."),
@@ -211,6 +230,7 @@ fn usage() -> ExitCode {
          \x20 matrix  <fqcn>         one service against all 11 clients\n\
          \x20 invoke  <fqcn> [val]   deploy + typed echo roundtrip\n\
          \x20 campaign [stride] [--extended] [--no-cache]  run the campaign (default stride 50)\n\
+         \x20          [--fuzz N]  …append a fuzz axis: N property-based cases per deployed service\n\
          \x20          [--journal FILE] [--resume] [--breaker N[,C]] [--halt-after-cells N]\n\
          \x20          [--trace-out FILE] [--metrics-out FILE] [--quiet]\n\
          \x20          [--shards N] [--shard-dir DIR] [--max-respawns N]\n\
@@ -222,13 +242,24 @@ fn usage() -> ExitCode {
          \x20 chaos [--stride N] [--seed N] [--transport tcp|in-process]\n\
          \x20       fault-injected campaign + fault report; `tcp` probes real sockets\n\
          \x20       (accepts the same --journal/--resume/--breaker/--trace-out flags as campaign)\n\
+         \x20 fuzz [--cases N] [--seed N] [--stride N] [-j N] [--extended]\n\
+         \x20      [--transport in-process|tcp|both] [--journal FILE] [--resume]\n\
+         \x20      [--halt-after-units N] [--fault-seed N] [--crash-fqcn F] [--hang-fqcn F]\n\
+         \x20      [--max-body-bytes N] [--wire-timeout-ms N] [--shrink-budget N]\n\
+         \x20      [--shards N --shard-dir DIR | --shard K/N --shard-dir DIR]\n\
+         \x20      [--trace-out FILE] [--metrics-out FILE] [--quiet]\n\
+         \x20                        WSDL-guided property-based exchange fuzzing:\n\
+         \x20                        per-pair outcome tables, tape-shrunk journaled\n\
+         \x20                        reproducers, deterministic at any -j/shard count\n\
          \x20 metrics [--stride N] [--seed N] [--json] [--out FILE]\n\
          \x20                        deterministic instrumented-campaign metrics snapshot\n\
          \x20 journal inspect <file> [--json]  decode a campaign journal (cells, config hash, torn tail)\n\
          \x20 export  [stride] [dir] run + write services.tsv / tests.tsv\n\
          \x20 complexity             run the complexity-extension matrix\n\
          \x20 serve [--port N] [--stride N] [--workers N] [--queue N]\n\
-         \x20                        hardened loopback SOAP endpoint (POST /__admin/shutdown stops it)\n\
+         \x20       [--max-body-bytes N] [--read-timeout-ms N]\n\
+         \x20                        hardened loopback SOAP endpoint (POST /__admin/shutdown stops it);\n\
+         \x20                        per-run 413 body cap and slow-loris deadline\n\
          \x20 exchange-survey [--stride N] [--transport tcp|in-process] [--addr HOST:PORT]\n\
          \x20                 [--shutdown-server]  Communication/Execution survey (E15)\n\
          \x20 bench-campaign [--stride N] [--iters N] [--out FILE] [--scaling]\n\
@@ -520,6 +551,9 @@ struct RunOpts {
     /// Chaos injection for the supervisor: make worker K hang after C
     /// cells — on its *first* attempt only.
     worker_stall: Option<(usize, usize)>,
+    /// The fuzz axis: after the campaign, run N property-based cases
+    /// against every deployed service and print the outcome table.
+    fuzz_cases: Option<usize>,
 }
 
 fn parse_run_opts(rest: &[&str]) -> Result<RunOpts, String> {
@@ -545,6 +579,7 @@ fn parse_run_opts(rest: &[&str]) -> Result<RunOpts, String> {
         backoff_ms: 50,
         worker_halt: None,
         worker_stall: None,
+        fuzz_cases: None,
     };
     let mut i = 0;
     while i < rest.len() {
@@ -648,6 +683,10 @@ fn parse_run_opts(rest: &[&str]) -> Result<RunOpts, String> {
                 };
                 opts.worker_stall = Some(parse_worker_chaos(spec, "--worker-stall")?);
             }
+            "--fuzz" => {
+                i += 1;
+                opts.fuzz_cases = Some(parse_flag_value(rest, i, "--fuzz")?);
+            }
             bare => match bare.parse::<usize>() {
                 Ok(stride) => opts.stride = stride,
                 Err(_) => return Err(format!("unrecognized argument `{bare}`")),
@@ -692,6 +731,13 @@ fn validate_shard_opts(opts: &RunOpts) -> Result<(), String> {
         return Err(
             "sharding is incompatible with --breaker: breaker state depends on the \
              full per-client cell stream, which a shard does not see"
+                .to_string(),
+        );
+    }
+    if (supervisor || worker) && opts.fuzz_cases.is_some() {
+        return Err(
+            "--fuzz rides the single-process campaign; shard the fuzz axis with \
+             `wsitool fuzz --shards N` instead"
                 .to_string(),
         );
     }
@@ -898,6 +944,9 @@ fn journal_inspect(path: &str, json: bool) -> ExitCode {
     };
     let skipped = read.cells.iter().filter(|c| c.breaker_skipped).count();
     let disruptive = read.cells.iter().filter(|c| c.disruptive).count();
+    let outcome_name = |code: u8| {
+        wsinterop::core::fuzz::FuzzOutcome::from_code(code).map_or("unknown", |o| o.name())
+    };
     if json {
         let object_of = |counts: std::collections::BTreeMap<String, usize>| {
             counts
@@ -918,14 +967,43 @@ fn journal_inspect(path: &str, json: bool) -> ExitCode {
                 .map(|(id, n)| (id.to_string(), n))
                 .collect(),
         );
+        // Reproducer records carry everything needed to replay the
+        // failing input from `(seed, tape)` alone.
+        let reproducers = read
+            .repros
+            .iter()
+            .map(|r| {
+                let tape = r
+                    .tape
+                    .iter()
+                    .map(u32::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!(
+                    "{{\"server\":\"{:?}\",\"client\":\"{}\",\"service\":\"{}\",\
+                     \"case\":{},\"outcome\":\"{}\",\"seed\":{},\
+                     \"digest\":\"0x{:016x}\",\"tape\":[{tape}]}}",
+                    r.server,
+                    json_escape(r.client.name()),
+                    json_escape(&r.fqcn),
+                    r.case_index,
+                    outcome_name(r.outcome),
+                    r.seed,
+                    r.digest,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         println!(
             "{{\"journal\":\"{}\",\"config_hash\":\"0x{:016x}\",\"cells\":{},\
              \"breaker_skipped\":{skipped},\"disruptive\":{disruptive},\"torn_bytes\":{},\
-             \"per_server\":{{{per_server}}},\"per_client\":{{{per_client}}}}}",
+             \"per_server\":{{{per_server}}},\"per_client\":{{{per_client}}},\
+             \"fuzz_units\":{},\"reproducers\":[{reproducers}]}}",
             json_escape(path),
             read.config_hash,
             read.cells.len(),
             read.torn_bytes,
+            read.fuzz_units.len(),
         );
         return ExitCode::SUCCESS;
     }
@@ -939,6 +1017,27 @@ fn journal_inspect(path: &str, json: bool) -> ExitCode {
     println!("per-client cells:");
     for (client, count) in per_client_counts(&read.cells) {
         println!("  {:<26} {count}", client.to_string());
+    }
+    if !read.fuzz_units.is_empty() {
+        let cases: usize = read.fuzz_units.iter().map(|u| u.outcomes.len()).sum();
+        println!(
+            "fuzz units: {} ({cases} case(s), {} reproducer(s))",
+            read.fuzz_units.len(),
+            read.repros.len()
+        );
+        for repro in &read.repros {
+            println!(
+                "  repro: {:?}/{} client={} case={} outcome={} seed={} tape={} digest=0x{:016x}",
+                repro.server,
+                repro.fqcn,
+                repro.client.name(),
+                repro.case_index,
+                outcome_name(repro.outcome),
+                repro.seed,
+                repro.tape.len(),
+                repro.digest,
+            );
+        }
     }
     ExitCode::SUCCESS
 }
@@ -997,6 +1096,494 @@ fn chaos(opts: &RunOpts) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Options for `wsitool fuzz`.
+struct FuzzOpts {
+    cases: usize,
+    seed: u64,
+    stride: usize,
+    threads: Option<usize>,
+    extended: bool,
+    transport: wsinterop::core::fuzz::FuzzTransport,
+    journal: Option<String>,
+    resume: bool,
+    halt_after_units: Option<usize>,
+    /// `--fault-seed N`: arm the chaos-rate fault plan under seed N
+    /// (default: the silent plan — only forced sites fire).
+    fault_seed: Option<u64>,
+    /// `--crash-fqcn F`: force an injected client panic at every
+    /// server's fuzz site for service F.
+    crash_fqcn: Option<String>,
+    /// `--hang-fqcn F`: force an armed hang (virtual deadline verdict)
+    /// at every server's fuzz site for service F.
+    hang_fqcn: Option<String>,
+    max_body_bytes: Option<usize>,
+    wire_timeout_ms: Option<u64>,
+    shrink_budget: Option<usize>,
+    shard: Option<ShardSpec>,
+    shards: Option<usize>,
+    shard_dir: Option<String>,
+    max_respawns: usize,
+    quiet: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+}
+
+fn parse_fuzz_opts(rest: &[&str]) -> Result<FuzzOpts, String> {
+    let mut opts = FuzzOpts {
+        cases: 16,
+        seed: 42,
+        stride: 200,
+        threads: None,
+        extended: false,
+        transport: wsinterop::core::fuzz::FuzzTransport::InProcess,
+        journal: None,
+        resume: false,
+        halt_after_units: None,
+        fault_seed: None,
+        crash_fqcn: None,
+        hang_fqcn: None,
+        max_body_bytes: None,
+        wire_timeout_ms: None,
+        shrink_budget: None,
+        shard: None,
+        shards: None,
+        shard_dir: None,
+        max_respawns: 3,
+        quiet: false,
+        trace_out: None,
+        metrics_out: None,
+    };
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i] {
+            "--extended" => opts.extended = true,
+            "--resume" => opts.resume = true,
+            "--quiet" => opts.quiet = true,
+            "--cases" => {
+                i += 1;
+                opts.cases = parse_flag_value(rest, i, "--cases")?;
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = parse_flag_value(rest, i, "--seed")?;
+            }
+            "--stride" => {
+                i += 1;
+                opts.stride = parse_flag_value(rest, i, "--stride")?;
+            }
+            "-j" | "--threads" => {
+                i += 1;
+                opts.threads = Some(parse_flag_value(rest, i, "-j")?);
+            }
+            "--transport" => {
+                i += 1;
+                let Some(raw) = rest.get(i) else {
+                    return Err("--transport needs in-process, tcp or both".to_string());
+                };
+                opts.transport =
+                    wsinterop::core::fuzz::FuzzTransport::parse(raw).map_err(|e| format!("--transport: {e}"))?;
+            }
+            "--journal" => {
+                i += 1;
+                let Some(path) = rest.get(i) else {
+                    return Err("--journal needs a file path".to_string());
+                };
+                opts.journal = Some(path.to_string());
+            }
+            "--halt-after-units" => {
+                i += 1;
+                opts.halt_after_units = Some(parse_flag_value(rest, i, "--halt-after-units")?);
+            }
+            "--fault-seed" => {
+                i += 1;
+                opts.fault_seed = Some(parse_flag_value(rest, i, "--fault-seed")?);
+            }
+            "--crash-fqcn" => {
+                i += 1;
+                let Some(fqcn) = rest.get(i) else {
+                    return Err("--crash-fqcn needs a service class name".to_string());
+                };
+                opts.crash_fqcn = Some(fqcn.to_string());
+            }
+            "--hang-fqcn" => {
+                i += 1;
+                let Some(fqcn) = rest.get(i) else {
+                    return Err("--hang-fqcn needs a service class name".to_string());
+                };
+                opts.hang_fqcn = Some(fqcn.to_string());
+            }
+            "--max-body-bytes" => {
+                i += 1;
+                opts.max_body_bytes = Some(parse_flag_value(rest, i, "--max-body-bytes")?);
+            }
+            "--wire-timeout-ms" => {
+                i += 1;
+                opts.wire_timeout_ms = Some(parse_flag_value(rest, i, "--wire-timeout-ms")?);
+            }
+            "--shrink-budget" => {
+                i += 1;
+                opts.shrink_budget = Some(parse_flag_value(rest, i, "--shrink-budget")?);
+            }
+            "--shard" => {
+                i += 1;
+                let Some(spec) = rest.get(i) else {
+                    return Err("--shard needs K/N (e.g. 0/3)".to_string());
+                };
+                opts.shard = Some(ShardSpec::parse(spec).map_err(|e| format!("--shard: {e}"))?);
+            }
+            "--shards" => {
+                i += 1;
+                opts.shards = Some(parse_flag_value(rest, i, "--shards")?);
+            }
+            "--shard-dir" => {
+                i += 1;
+                let Some(dir) = rest.get(i) else {
+                    return Err("--shard-dir needs a directory path".to_string());
+                };
+                opts.shard_dir = Some(dir.to_string());
+            }
+            "--max-respawns" => {
+                i += 1;
+                opts.max_respawns = parse_flag_value(rest, i, "--max-respawns")?;
+            }
+            "--trace-out" => {
+                i += 1;
+                let Some(path) = rest.get(i) else {
+                    return Err("--trace-out needs a file path".to_string());
+                };
+                opts.trace_out = Some(path.to_string());
+            }
+            "--metrics-out" => {
+                i += 1;
+                let Some(path) = rest.get(i) else {
+                    return Err("--metrics-out needs a file path".to_string());
+                };
+                opts.metrics_out = Some(path.to_string());
+            }
+            bare => return Err(format!("unrecognized argument `{bare}`")),
+        }
+        i += 1;
+    }
+    opts.cases = opts.cases.max(1);
+    opts.stride = opts.stride.max(1);
+    if opts.shards.is_some() && opts.shard.is_some() {
+        return Err("--shards (supervisor) and --shard (worker) are mutually exclusive".to_string());
+    }
+    if opts.shards == Some(0) {
+        return Err("--shards: need at least one worker".to_string());
+    }
+    if (opts.shards.is_some() || opts.shard.is_some()) && opts.journal.is_some() {
+        return Err(
+            "fuzz sharding manages its own per-shard journals; drop --journal and use --shard-dir"
+                .to_string(),
+        );
+    }
+    if opts.shard.is_some() && opts.shard_dir.is_none() {
+        return Err("--shard needs --shard-dir (per-shard journals live there)".to_string());
+    }
+    Ok(opts)
+}
+
+/// Builds the seeded fault plan for a fuzz run: silent (only forced
+/// sites fire) unless `--fault-seed` arms the chaos rates; forced
+/// crash/hang fqcns are armed at every server's fuzz site so the flag
+/// does not need to know which platforms deploy the service.
+fn fuzz_fault_plan(opts: &FuzzOpts) -> wsinterop::core::faults::FaultPlan {
+    use wsinterop::core::faults::{fuzz_site, FaultKind, FaultPlan};
+    let mut plan = match opts.fault_seed {
+        Some(seed) => FaultPlan::seeded(seed),
+        None => FaultPlan::silent(opts.seed),
+    };
+    let mut servers = ServerId::ALL.to_vec();
+    if opts.extended {
+        servers.push(ServerId::Axis2Java);
+    }
+    if let Some(fqcn) = &opts.crash_fqcn {
+        for server in &servers {
+            plan = plan.force_at(FaultKind::ClientGenPanic, fuzz_site(*server, fqcn));
+        }
+    }
+    if let Some(fqcn) = &opts.hang_fqcn {
+        for server in &servers {
+            plan = plan.force_at(FaultKind::SlowStep, fuzz_site(*server, fqcn));
+        }
+    }
+    plan
+}
+
+/// Assembles the library-level fuzz configuration from CLI options.
+fn fuzz_config(opts: &FuzzOpts) -> wsinterop::core::fuzz::FuzzConfig {
+    let mut config = wsinterop::core::fuzz::FuzzConfig::new(opts.cases, opts.seed);
+    config.stride = opts.stride;
+    config.extended = opts.extended;
+    config.transport = opts.transport;
+    config.plan = fuzz_fault_plan(opts);
+    if let Some(threads) = opts.threads {
+        config.threads = threads.max(1);
+    }
+    if let Some(bytes) = opts.max_body_bytes {
+        config.max_body = bytes;
+    }
+    if let Some(ms) = opts.wire_timeout_ms {
+        config.wire_timeout_ms = ms;
+    }
+    if let Some(budget) = opts.shrink_budget {
+        config.shrink_budget = budget;
+    }
+    config
+}
+
+/// Prints the byte-stable fuzz record: outcome table (with the totals
+/// line CI greps), then one line per journaled reproducer.
+fn print_fuzz_outcome(outcome: &wsinterop::core::fuzz::FuzzRunOutcome) {
+    println!("{}", outcome.table);
+    println!("fuzz reproducers: {}", outcome.repros.len());
+    for repro in &outcome.repros {
+        let name = wsinterop::core::fuzz::FuzzOutcome::from_code(repro.outcome)
+            .map_or("unknown", |o| o.name());
+        println!(
+            "repro: {:?}/{} client={} case={} outcome={name} seed={} tape={} digest=0x{:016x}",
+            repro.server,
+            repro.fqcn,
+            repro.client.name(),
+            repro.case_index,
+            repro.seed,
+            repro.tape.len(),
+            repro.digest,
+        );
+    }
+}
+
+fn fuzz_cmd(opts: &FuzzOpts) -> ExitCode {
+    if let Some(shards) = opts.shards {
+        return fuzz_supervise(opts, shards);
+    }
+    if let Some(spec) = opts.shard {
+        return fuzz_shard_worker(opts, spec);
+    }
+    let mut config = fuzz_config(opts);
+    config.journal = opts.journal.as_ref().map(std::path::PathBuf::from);
+    config.resume = opts.resume;
+    config.halt_after_units = opts.halt_after_units;
+    let obs = Obs::new(Clock::monotonic());
+    if let Some(path) = &opts.trace_out {
+        if let Err(e) = obs.set_trace_out(std::path::Path::new(path)) {
+            return fail(format!("cannot open trace output {path}: {e}"));
+        }
+    }
+    if !opts.quiet {
+        obs.progress().enable();
+    }
+    println!(
+        "run config: cases={} seed={} stride={} transport={} config-hash=0x{:016x}",
+        config.cases,
+        config.seed,
+        config.stride,
+        config.transport,
+        config.config_hash()
+    );
+    // Injected client panics are part of the experiment; keep the
+    // default hook's backtraces out of the record.
+    std::panic::set_hook(Box::new(|_| {}));
+    let run = wsinterop::core::fuzz::run(&config, Some(&obs));
+    let _ = std::panic::take_hook();
+    let outcome = match run {
+        Ok(outcome) => outcome,
+        Err(e) => return fail(e),
+    };
+    print_fuzz_outcome(&outcome);
+    if let Some(path) = &opts.journal {
+        println!(
+            "journal: {path} holds {} fuzz unit(s) ({} replayed on resume)",
+            outcome.units.len(),
+            outcome.replayed_units
+        );
+    }
+    // Wire-boundary telemetry goes to stderr: resume replays lose the
+    // counters (they are not part of the journaled science), so stdout
+    // stays byte-stable across fresh and resumed runs.
+    if outcome.cap_hits > 0 || outcome.divergences > 0 {
+        eprintln!(
+            "wire boundary: {} request(s) over the {}-byte cap, {} transport divergence(s)",
+            outcome.cap_hits, config.max_body, outcome.divergences
+        );
+    }
+    if !opts.quiet {
+        obs.progress().finish(obs.clock());
+    }
+    if let Some(path) = &opts.metrics_out {
+        if let Err(e) = std::fs::write(path, obs.metrics_text()) {
+            return fail(format!("cannot write {path}: {e}"));
+        }
+        eprintln!("metrics: wrote {path}");
+    }
+    if !opts.quiet {
+        eprint!("{}", obs.render_report());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs as one worker shard of a sharded fuzz run: journals into the
+/// shard journal and always resumes it, so a respawned replacement
+/// replays the dead worker's committed units instead of redoing them.
+/// Stdout stays silent — the supervisor owns the merged record.
+fn fuzz_shard_worker(opts: &FuzzOpts, spec: ShardSpec) -> ExitCode {
+    let dir = std::path::PathBuf::from(opts.shard_dir.as_deref().unwrap_or("wsitool-fuzz-shards"));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        return fail(format!("cannot create shard dir {}: {e}", dir.display()));
+    }
+    let mut config = fuzz_config(opts);
+    config.shard = Some(spec);
+    config.journal = Some(spec.journal_file(&dir));
+    config.resume = true;
+    config.halt_after_units = opts.halt_after_units;
+    eprintln!("fuzz shard {spec}: journal {}", spec.journal_file(&dir).display());
+    std::panic::set_hook(Box::new(|_| {}));
+    let run = wsinterop::core::fuzz::run(&config, None);
+    let _ = std::panic::take_hook();
+    match run {
+        Ok(outcome) => {
+            eprintln!(
+                "fuzz shard {spec}: done — {} unit(s), {} reproducer(s)",
+                outcome.units.len(),
+                outcome.repros.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(format!("fuzz shard {spec}: {e}")),
+    }
+}
+
+/// The supervising parent of a sharded fuzz run: spawns one worker
+/// process per shard, respawns failed workers (they resume their shard
+/// journal), then merges the per-shard journals into a canonical
+/// journal bit-identical to a single-process run.
+fn fuzz_supervise(opts: &FuzzOpts, shards: usize) -> ExitCode {
+    let config = fuzz_config(opts);
+    println!(
+        "run config: cases={} seed={} stride={} transport={} config-hash=0x{:016x}",
+        config.cases,
+        config.seed,
+        config.stride,
+        config.transport,
+        config.config_hash()
+    );
+    let dir = std::path::PathBuf::from(opts.shard_dir.as_deref().unwrap_or("wsitool-fuzz-shards"));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        return fail(format!("cannot create shard dir {}: {e}", dir.display()));
+    }
+    if !opts.resume {
+        for k in 0..shards {
+            let _ = std::fs::remove_file(ShardSpec::new(k, shards).journal_file(&dir));
+        }
+        let _ = std::fs::remove_file(dir.join("merged.journal"));
+    }
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => return fail(format!("cannot locate own executable: {e}")),
+    };
+    let spawn = |spec: ShardSpec| {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("fuzz")
+            .arg("--cases")
+            .arg(opts.cases.to_string())
+            .arg("--seed")
+            .arg(opts.seed.to_string())
+            .arg("--stride")
+            .arg(opts.stride.to_string())
+            .arg("--transport")
+            .arg(opts.transport.to_string())
+            .arg("--shard")
+            .arg(spec.to_string())
+            .arg("--shard-dir")
+            .arg(&dir)
+            .arg("--quiet");
+        if opts.extended {
+            cmd.arg("--extended");
+        }
+        if let Some(threads) = opts.threads {
+            cmd.arg("-j").arg(threads.to_string());
+        }
+        if let Some(seed) = opts.fault_seed {
+            cmd.arg("--fault-seed").arg(seed.to_string());
+        }
+        if let Some(fqcn) = &opts.crash_fqcn {
+            cmd.arg("--crash-fqcn").arg(fqcn);
+        }
+        if let Some(fqcn) = &opts.hang_fqcn {
+            cmd.arg("--hang-fqcn").arg(fqcn);
+        }
+        if let Some(bytes) = opts.max_body_bytes {
+            cmd.arg("--max-body-bytes").arg(bytes.to_string());
+        }
+        if let Some(ms) = opts.wire_timeout_ms {
+            cmd.arg("--wire-timeout-ms").arg(ms.to_string());
+        }
+        if let Some(budget) = opts.shrink_budget {
+            cmd.arg("--shrink-budget").arg(budget.to_string());
+        }
+        cmd.spawn()
+    };
+    let mut incomplete: Vec<usize> = (0..shards).collect();
+    let mut respawns = 0usize;
+    for round in 0..=opts.max_respawns {
+        let mut children = Vec::new();
+        for &k in &incomplete {
+            match spawn(ShardSpec::new(k, shards)) {
+                Ok(child) => children.push((k, child)),
+                Err(e) => return fail(format!("cannot spawn fuzz shard {k}/{shards}: {e}")),
+            }
+        }
+        let mut failed = Vec::new();
+        for (k, mut child) in children {
+            match child.wait() {
+                Ok(status) if status.success() => {}
+                Ok(status) => {
+                    eprintln!("fuzz shard {k}/{shards}: exited with {status}; will resume");
+                    failed.push(k);
+                }
+                Err(e) => return fail(format!("cannot wait for fuzz shard {k}/{shards}: {e}")),
+            }
+        }
+        if failed.is_empty() {
+            incomplete.clear();
+            break;
+        }
+        if round < opts.max_respawns {
+            respawns += failed.len();
+        }
+        incomplete = failed;
+    }
+    if !incomplete.is_empty() {
+        eprintln!(
+            "fuzz supervision gave up: shard(s) {incomplete:?} incomplete after {} round(s); \
+             per-shard journals kept in {} for --resume",
+            opts.max_respawns + 1,
+            dir.display()
+        );
+        return ExitCode::from(EXIT_GAVE_UP);
+    }
+    let (outcome, merged_path) =
+        match wsinterop::core::fuzz::merge_fuzz_shard_dir(&dir, shards, &config) {
+            Ok(merged) => merged,
+            Err(e) => return fail(format!("fuzz shard merge refused: {e}")),
+        };
+    print_fuzz_outcome(&outcome);
+    println!(
+        "journal: merged fuzz journal {} holds {} unit(s)",
+        merged_path.display(),
+        outcome.units.len()
+    );
+    if respawns > 0 {
+        eprintln!(
+            "note: {respawns} fuzz worker respawn(s) recovered; merged output verified \
+             — exiting {EXIT_RECOVERED} to make the recovery visible"
+        );
+        return ExitCode::from(EXIT_RECOVERED);
+    }
+    ExitCode::SUCCESS
+}
+
 fn campaign(opts: &RunOpts) -> ExitCode {
     if let Some(shards) = opts.shards {
         return supervise_campaign(opts, shards);
@@ -1045,6 +1632,21 @@ fn campaign(opts: &RunOpts) -> ExitCode {
         println!("{report}");
     }
     println!("{stats}");
+    if let Some(cases) = opts.fuzz_cases {
+        // The fuzz axis: property-based cases against every service the
+        // campaign just deployed, on the same stride and seed space.
+        let mut config = wsinterop::core::fuzz::FuzzConfig::new(cases, opts.seed);
+        config.stride = opts.stride;
+        config.extended = opts.extended;
+        match wsinterop::core::fuzz::run(&config, Some(&obs)) {
+            Ok(outcome) => {
+                println!("fuzz axis: {cases} case(s) per deployed service, seed {}", opts.seed);
+                println!("{}", outcome.table);
+                println!("fuzz reproducers: {}", outcome.repros.len());
+            }
+            Err(e) => return fail(format!("fuzz axis failed: {e}")),
+        }
+    }
     journal_summary(opts);
     if let Err(code) = finish_observability(&obs, opts) {
         return code;
@@ -1393,6 +1995,12 @@ struct ServeOpts {
     stride: usize,
     workers: usize,
     queue: usize,
+    /// Request-body cap (the 413 boundary), overridable per run so a
+    /// fuzz campaign can place the boundary where its generators
+    /// probe.
+    max_body: usize,
+    /// Read/write deadline in milliseconds — the slow-loris bound.
+    read_timeout_ms: u64,
 }
 
 fn parse_serve_opts(rest: &[&str]) -> Result<ServeOpts, String> {
@@ -1402,6 +2010,8 @@ fn parse_serve_opts(rest: &[&str]) -> Result<ServeOpts, String> {
         stride: 200,
         workers: defaults.workers,
         queue: defaults.queue_depth,
+        max_body: defaults.limits.max_body,
+        read_timeout_ms: defaults.read_timeout.as_millis() as u64,
     };
     let mut i = 0;
     while i < rest.len() {
@@ -1422,12 +2032,22 @@ fn parse_serve_opts(rest: &[&str]) -> Result<ServeOpts, String> {
                 i += 1;
                 opts.queue = parse_flag_value(rest, i, "--queue")?;
             }
+            "--max-body-bytes" => {
+                i += 1;
+                opts.max_body = parse_flag_value(rest, i, "--max-body-bytes")?;
+            }
+            "--read-timeout-ms" => {
+                i += 1;
+                opts.read_timeout_ms = parse_flag_value(rest, i, "--read-timeout-ms")?;
+            }
             bare => return Err(format!("unrecognized argument `{bare}`")),
         }
         i += 1;
     }
     opts.stride = opts.stride.max(1);
     opts.workers = opts.workers.max(1);
+    opts.max_body = opts.max_body.max(1);
+    opts.read_timeout_ms = opts.read_timeout_ms.max(1);
     Ok(opts)
 }
 
@@ -1438,11 +2058,15 @@ fn parse_serve_opts(rest: &[&str]) -> Result<ServeOpts, String> {
 fn serve(opts: &ServeOpts) -> ExitCode {
     let services = wire::host_survey_services(opts.stride);
     let deployed = services.len();
-    let config = wire::WireServerConfig {
+    let timeout = std::time::Duration::from_millis(opts.read_timeout_ms);
+    let mut config = wire::WireServerConfig {
         workers: opts.workers,
         queue_depth: opts.queue,
+        read_timeout: timeout,
+        write_timeout: timeout,
         ..wire::WireServerConfig::default()
     };
+    config.limits.max_body = opts.max_body;
     let server = match wire::WireServer::start(opts.port, services, config) {
         Ok(server) => server,
         Err(e) => return fail(format!("cannot bind loopback endpoint: {e}")),

@@ -1,0 +1,140 @@
+//! Exhaustive table test for the fuzz outcome taxonomy — the
+//! robustness analogue of `tests/classify_errors.rs`: every
+//! [`ExchangeOutcome`] variant pinned to its [`FuzzOutcome`] class,
+//! and every [`FuzzOutcome`] pinned to its campaign
+//! [`ErrorClass`] fold. The table is the contract: an exchange
+//! variant added without a row here fails the exhaustiveness count,
+//! and a classification flip (a hang silently downgraded to a clean
+//! reject, an accept suddenly tripping breakers) fails loudly.
+
+use wsinterop::core::exchange::ExchangeOutcome;
+use wsinterop::core::fuzz::FuzzOutcome;
+use wsinterop::frameworks::client::ErrorClass;
+
+use FuzzOutcome::{Accept, Crash, HangDeadline, RejectClean, WireError};
+
+/// One row: a representative exchange outcome and its expected fuzz
+/// class. String payloads mirror the wording the exchange layer
+/// actually produces (`exchange.rs`, `wire.rs`, the chaos layer).
+fn exchange_table() -> Vec<(ExchangeOutcome, FuzzOutcome)> {
+    vec![
+        (ExchangeOutcome::Completed { bytes_on_wire: 512 }, Accept),
+        (
+            ExchangeOutcome::ClientCannotInvoke {
+                reason: "undefined type referenced: `tns:Missing`".into(),
+            },
+            RejectClean,
+        ),
+        (
+            ExchangeOutcome::ServerFault {
+                reason: "no such operation `echoMissing`".into(),
+            },
+            RejectClean,
+        ),
+        (
+            ExchangeOutcome::EchoMismatch {
+                sent: "héllo".into(),
+                received: "h?llo".into(),
+            },
+            RejectClean,
+        ),
+        (
+            ExchangeOutcome::NonConformantMessage {
+                side: "request",
+                detail: "BP1.1 R1011: envelope children".into(),
+            },
+            RejectClean,
+        ),
+        // The transport split: a deadline is a hang, anything else on
+        // the wire is a wire error. Both wordings come from
+        // `wire::WireError::reason` / the exchange watchdog.
+        (
+            ExchangeOutcome::TransportError {
+                reason: "client read timeout after 2000ms".into(),
+            },
+            HangDeadline,
+        ),
+        (
+            ExchangeOutcome::TransportError {
+                reason: "virtual watchdog timeout (slow step)".into(),
+            },
+            HangDeadline,
+        ),
+        (
+            ExchangeOutcome::TransportError {
+                reason: "connection reset by peer".into(),
+            },
+            WireError,
+        ),
+        (
+            ExchangeOutcome::TransportError {
+                reason: "HTTP 413 Payload Too Large".into(),
+            },
+            WireError,
+        ),
+        (
+            ExchangeOutcome::TransportError {
+                reason: "response dropped by fault proxy".into(),
+            },
+            WireError,
+        ),
+    ]
+}
+
+#[test]
+fn every_exchange_outcome_maps_to_its_pinned_fuzz_class() {
+    let mut seen = std::collections::HashSet::new();
+    for (outcome, expected) in exchange_table() {
+        let got = FuzzOutcome::from_exchange(&outcome);
+        assert_eq!(
+            got, expected,
+            "exchange outcome {outcome} classified as {got}, table pins {expected}"
+        );
+        seen.insert(std::mem::discriminant(&outcome));
+    }
+    // Exhaustiveness: the table exercises every ExchangeOutcome
+    // variant (6 discriminants). A new variant must add a row here.
+    assert_eq!(seen.len(), 6, "table no longer covers every ExchangeOutcome variant");
+}
+
+#[test]
+fn every_fuzz_outcome_folds_to_its_pinned_error_class() {
+    let table: [(FuzzOutcome, Option<ErrorClass>); 5] = [
+        (Accept, None),
+        (RejectClean, Some(ErrorClass::Diagnostic)),
+        (HangDeadline, Some(ErrorClass::Disruptive)),
+        (Crash, Some(ErrorClass::Disruptive)),
+        (WireError, Some(ErrorClass::Disruptive)),
+    ];
+    assert_eq!(table.len(), FuzzOutcome::ALL.len());
+    for (i, (outcome, expected)) in table.into_iter().enumerate() {
+        assert_eq!(outcome, FuzzOutcome::ALL[i], "table must list ALL in order");
+        assert_eq!(
+            outcome.error_class(),
+            expected,
+            "{outcome} folded to the wrong campaign error class"
+        );
+    }
+}
+
+#[test]
+fn outcome_codes_names_and_severity_are_stable() {
+    // Journal codes and metric labels are a wire format: pinned here
+    // so a reorder of the enum can't silently re-key old journals.
+    let pinned: [(FuzzOutcome, u8, &str); 5] = [
+        (Accept, 0, "accept"),
+        (RejectClean, 1, "reject-clean"),
+        (HangDeadline, 2, "hang-deadline"),
+        (Crash, 3, "crash"),
+        (WireError, 4, "wire-error"),
+    ];
+    for (outcome, code, name) in pinned {
+        assert_eq!(outcome.code(), code);
+        assert_eq!(outcome.name(), name);
+        assert_eq!(FuzzOutcome::from_code(code), Some(outcome));
+    }
+    assert_eq!(FuzzOutcome::from_code(5), None);
+    // Severity is the derived order: a unit's worst outcome is `max`.
+    assert!(Accept < RejectClean && RejectClean < HangDeadline);
+    assert!(HangDeadline < Crash && Crash < WireError);
+}
