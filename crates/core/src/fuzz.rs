@@ -618,24 +618,95 @@ impl fmt::Display for FuzzOutcome {
 // --- injected failure triggers --------------------------------------
 
 /// A property of the generated payload that arms an injected failure.
-/// Evaluated on the pre-serialization `expected` text, so the trigger
-/// is a pure function of the input — which is what makes an injected
-/// crash or hang *shrinkable*: the minimal tape is the smallest input
-/// still exhibiting the property.
+/// Evaluated on the generated case alone (`request_xml` + the
+/// pre-serialization `expected` text), so the trigger is a pure
+/// function of the input — which is what makes an injected crash or
+/// hang *shrinkable*: the minimal tape is the smallest input still
+/// exhibiting the property.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PayloadProperty {
     /// Any non-ASCII byte in the echoed value.
     NonAscii,
     /// An XML-meaningful character (`<` or `&`) in the echoed value.
     XmlMeta,
+    /// The serialized request nests elements
+    /// [`DEEP_NESTING_THRESHOLD`] levels or deeper — the structural
+    /// stressor real stacks mishandle (stack-recursive parsers,
+    /// fixed-depth binders).
+    DeepNesting,
+    /// The echoed value is a boundary numeric: IEEE-754 specials
+    /// (`NaN`/`INF`/`-INF`) or an integer whose magnitude overflows
+    /// `xsd:int` — the 32-/64-bit seam the paper's frameworks disagree
+    /// on.
+    BoundaryNumeric,
+}
+
+/// Element depth at which [`PayloadProperty::DeepNesting`] holds. The
+/// SOAP scaffolding (`Envelope > Body > operation > part`) is 4
+/// levels, so 6 requires genuinely nested payload structure, which
+/// the generator only produces for nested complex types.
+pub const DEEP_NESTING_THRESHOLD: usize = 6;
+
+/// Maximum element nesting depth of a serialized XML document
+/// (self-closing elements count at their own level; declarations,
+/// comments and text add nothing).
+fn xml_element_depth(xml: &str) -> usize {
+    let bytes = xml.as_bytes();
+    let mut depth = 0usize;
+    let mut deepest = 0usize;
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'<' {
+            i += 1;
+            continue;
+        }
+        match bytes.get(i + 1) {
+            Some(b'/') => {
+                depth = depth.saturating_sub(1);
+                i += 2;
+            }
+            Some(b'?') | Some(b'!') => i += 2,
+            Some(_) => {
+                let end = xml[i..].find('>').map_or(bytes.len(), |e| i + e);
+                depth += 1;
+                deepest = deepest.max(depth);
+                if bytes.get(end.wrapping_sub(1)) == Some(&b'/') {
+                    depth -= 1;
+                }
+                i = end + 1;
+            }
+            None => break,
+        }
+    }
+    deepest
+}
+
+/// Whether `text` is a boundary numeric: an IEEE-754 special or an
+/// integer past the `xsd:int` range (either sign). Decimal-notation
+/// only, mirroring the generator's pools — scientific notation like
+/// `1e308` is a float edge the `NonAscii`/`XmlMeta` side never claims,
+/// not an integer overflow.
+fn is_boundary_numeric(text: &str) -> bool {
+    if matches!(text, "NaN" | "INF" | "-INF") {
+        return true;
+    }
+    text.parse::<i128>()
+        .map(|v| v > i128::from(i32::MAX) || v < i128::from(i32::MIN))
+        .unwrap_or(false)
 }
 
 impl PayloadProperty {
-    /// Whether `text` exhibits the property.
-    pub fn holds(self, text: &str) -> bool {
+    /// Whether the generated case exhibits the property. `request_xml`
+    /// is the serialized request, `expected` the pre-serialization
+    /// echoed value.
+    pub fn holds(self, request_xml: &str, expected: &str) -> bool {
         match self {
-            PayloadProperty::NonAscii => text.bytes().any(|b| b >= 0x80),
-            PayloadProperty::XmlMeta => text.contains('<') || text.contains('&'),
+            PayloadProperty::NonAscii => expected.bytes().any(|b| b >= 0x80),
+            PayloadProperty::XmlMeta => expected.contains('<') || expected.contains('&'),
+            PayloadProperty::DeepNesting => {
+                xml_element_depth(request_xml) >= DEEP_NESTING_THRESHOLD
+            }
+            PayloadProperty::BoundaryNumeric => is_boundary_numeric(expected),
         }
     }
 }
@@ -661,10 +732,11 @@ impl FuzzTrigger {
         FuzzTrigger {
             crash_armed: plan.decide(FaultKind::ClientGenPanic, &site),
             hang_armed: plan.slow_virtual_ms(&site).is_some(),
-            property: if property_hash.is_multiple_of(2) {
-                PayloadProperty::NonAscii
-            } else {
-                PayloadProperty::XmlMeta
+            property: match property_hash % 4 {
+                0 => PayloadProperty::NonAscii,
+                1 => PayloadProperty::XmlMeta,
+                2 => PayloadProperty::DeepNesting,
+                _ => PayloadProperty::BoundaryNumeric,
             },
         }
     }
@@ -678,12 +750,12 @@ impl FuzzTrigger {
         }
     }
 
-    fn hang_fires(&self, expected: &str) -> bool {
-        self.hang_armed && self.property.holds(expected)
+    fn hang_fires(&self, case: &GeneratedCase) -> bool {
+        self.hang_armed && self.property.holds(&case.request_xml, &case.expected)
     }
 
-    fn crash_fires(&self, expected: &str) -> bool {
-        self.crash_armed && self.property.holds(expected)
+    fn crash_fires(&self, case: &GeneratedCase) -> bool {
+        self.crash_armed && self.property.holds(&case.request_xml, &case.expected)
     }
 }
 
@@ -699,11 +771,11 @@ pub fn evaluate_in_process(
     case: &GeneratedCase,
     trigger: &FuzzTrigger,
 ) -> FuzzOutcome {
-    if trigger.hang_fires(&case.expected) {
+    if trigger.hang_fires(case) {
         return FuzzOutcome::HangDeadline;
     }
     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        if trigger.crash_fires(&case.expected) {
+        if trigger.crash_fires(case) {
             panic!("injected fuzz client panic");
         }
         FuzzOutcome::from_exchange(&exchange_generated(defs, &case.request_xml, &case.expected))
@@ -1217,8 +1289,8 @@ fn run_unit(
                     Err(_) => (FuzzOutcome::Crash, None),
                     Ok(Err(_)) => (FuzzOutcome::RejectClean, None),
                     Ok(Ok(case)) => {
-                        let triggered = trigger.hang_fires(&case.expected)
-                            || trigger.crash_fires(&case.expected);
+                        let triggered = trigger.hang_fires(&case)
+                            || trigger.crash_fires(&case);
                         let in_process = evaluate_in_process(defs, &case, &trigger);
                         let over_cap = case.request_xml.len() > config.max_body;
                         let outcome = match config.transport {

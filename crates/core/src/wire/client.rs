@@ -61,8 +61,13 @@ impl WireError {
         }
     }
 
-    /// Whether a retry can plausibly help (transient transport
-    /// conditions and `503` shedding — not framing or logic errors).
+    /// Whether a retry can plausibly help: transient transport
+    /// conditions plus the server's two *load*-shaped refusals —
+    /// `503` shedding and the `408` read deadline (the request may
+    /// simply have queued too long; a backed-off retry meets a
+    /// less-loaded server). Deterministic refusals (`413` caps, `400`
+    /// framing, `404`/`405` routing) are never retried: the same
+    /// request would fail the same way.
     pub fn retryable(&self) -> bool {
         matches!(
             self,
@@ -73,6 +78,7 @@ impl WireError {
                 | WireError::Closed
                 | WireError::Truncated
                 | WireError::Status(503)
+                | WireError::Status(408)
         )
     }
 }

@@ -339,6 +339,150 @@ pub fn read_response(stream: &TcpStream, limits: &HttpLimits) -> Result<Response
     })
 }
 
+/// A request head parsed from a complete in-memory head block — the
+/// incremental (nonblocking) server's parser. Where the blocking
+/// [`read_request`] pulls bytes off the socket itself, the event loop
+/// accumulates them into a buffer and hands the finished block here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestHead {
+    /// `GET` or `POST` (anything else is rejected upstream).
+    pub method: String,
+    /// Request target as sent (path plus optional `?query`).
+    pub target: String,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Whether the peer asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Finds the end of the head block in an accumulation buffer: the
+/// index one past the blank line, accepting both CRLF and bare-LF
+/// line endings (mirroring [`read_line`]'s tolerance).
+pub fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            if buf[i + 1..].first() == Some(&b'\n') {
+                return Some(i + 2);
+            }
+            if buf[i + 1..].starts_with(b"\r\n") {
+                return Some(i + 3);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses a complete head block (start line + headers + blank line)
+/// under the same limits and error taxonomy as the blocking reader:
+/// an over-long start line is [`HttpError::StartLineTooLong`], header
+/// floods are [`HttpError::HeadersTooLarge`], unparseable lines are
+/// `BadStartLine`/`BadHeader`.
+pub fn parse_request_head(head: &[u8], limits: &HttpLimits) -> Result<RequestHead, HttpError> {
+    let mut lines = head.split(|&b| b == b'\n').map(|line| {
+        let line = if line.last() == Some(&b'\r') { &line[..line.len() - 1] } else { line };
+        std::str::from_utf8(line).map_err(|_| HttpError::BadHeader("non-UTF-8 line".to_string()))
+    });
+    let start = match lines.next() {
+        Some(Ok(s)) => s,
+        Some(Err(e)) => return Err(e),
+        None => return Err(HttpError::BadStartLine(String::new())),
+    };
+    if start.len() > limits.max_start_line {
+        return Err(HttpError::StartLineTooLong);
+    }
+    let mut parts = start.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1.") => {
+            (m.to_string(), t.to_string(), v.to_string())
+        }
+        _ => return Err(HttpError::BadStartLine(truncate_for_display(start))),
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        let line = line?;
+        if line.is_empty() {
+            break;
+        }
+        if line.len() > limits.max_header_line || headers.len() >= limits.max_headers {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadHeader(truncate_for_display(line)));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let connection = headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase());
+    let keep_alive = match connection.as_deref() {
+        Some("close") => false,
+        Some(v) if v.contains("keep-alive") => true,
+        // HTTP/1.1 defaults to keep-alive; 1.0 to close.
+        _ => version == "HTTP/1.1",
+    };
+    Ok(RequestHead { method, target, headers, keep_alive })
+}
+
+/// The declared `Content-Length` of a parsed head, under the same
+/// rules as the blocking [`read_body`]: over-cap declarations are
+/// rejected *before* any body byte is buffered, a `POST` without a
+/// parseable length is [`HttpError::BadContentLength`].
+pub fn declared_body_len(
+    headers: &[(String, String)],
+    limits: &HttpLimits,
+    required: bool,
+) -> Result<usize, HttpError> {
+    let declared = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.parse::<usize>().map_err(|_| HttpError::BadContentLength));
+    let declared = match declared {
+        Some(Ok(n)) => n,
+        Some(Err(e)) => return Err(e),
+        None if required => return Err(HttpError::BadContentLength),
+        None => return Ok(0),
+    };
+    if declared > limits.max_body {
+        return Err(HttpError::BodyTooLarge { declared, limit: limits.max_body });
+    }
+    Ok(declared)
+}
+
+/// Renders one complete response (head + body) into a buffer — the
+/// nonblocking server's write path. `extra` headers (e.g.
+/// `Retry-After` on a `503` shed) are appended after the standard
+/// trio; with an empty `extra` slice the bytes are identical to what
+/// [`write_response`] puts on the wire, which is what keeps the E15
+/// loopback survey bit-identical across the server rewrite.
+pub fn render_response(
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra: &[(&str, &str)],
+    body: &[u8],
+    close: bool,
+) -> Vec<u8> {
+    let connection = if close { "close" } else { "keep-alive" };
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: {connection}\r\n",
+        body.len()
+    );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
 /// Serializes and writes one response. `close` adds
 /// `Connection: close`; keep-alive is otherwise implied by HTTP/1.1.
 pub fn write_response(
@@ -349,14 +493,8 @@ pub fn write_response(
     body: &[u8],
     close: bool,
 ) -> Result<(), HttpError> {
-    let connection = if close { "close" } else { "keep-alive" };
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: {connection}\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes()).map_err(|e| io_error(&e))?;
-    stream.write_all(body).map_err(|e| io_error(&e))?;
+    let bytes = render_response(status, reason, content_type, &[], body, close);
+    stream.write_all(&bytes).map_err(|e| io_error(&e))?;
     stream.flush().map_err(|e| io_error(&e))
 }
 

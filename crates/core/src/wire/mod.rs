@@ -26,7 +26,9 @@
 //! [`FaultPlan`]: crate::faults::FaultPlan
 
 pub mod client;
+mod conn;
 pub mod http;
+pub mod loadgen;
 pub mod proxy;
 pub mod server;
 
@@ -43,6 +45,7 @@ use crate::exchange::{
 
 pub use client::{WireClient, WireClientConfig, WireError};
 pub use http::HttpLimits;
+pub use loadgen::{CorpusEntry, LoadgenConfig, LoadgenCounts, LoadgenReport, OpProfile};
 pub use proxy::FaultProxy;
 pub use server::{
     host_survey_services, HostedService, WireServer, WireServerConfig, WireStats, SHUTDOWN_PATH,

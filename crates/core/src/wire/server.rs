@@ -1,44 +1,65 @@
-//! The hardened loopback SOAP endpoint: a threaded HTTP/1.1 server
-//! hosting every deployed echo service.
+//! The hardened loopback SOAP endpoint: a readiness-driven HTTP/1.1
+//! server hosting every deployed echo service.
 //!
-//! Hardening contract (DESIGN.md §10):
+//! Architecture (DESIGN.md §15): a small set of reactor threads share
+//! one nonblocking listener; each accepted socket becomes a
+//! per-connection state machine ([`super::conn::Conn`]) owned by
+//! exactly one reactor, so connection state is thread-confined and the
+//! serving path takes **no locks** (docs/CONCURRENCY.md). The only
+//! cross-thread coordination is the atomic admission [`Gauges`] and
+//! the handle-based [`WireStats`] counters.
 //!
-//! * **Bounded concurrency** — a fixed worker pool drains a bounded
-//!   accept queue; when pool *and* queue are saturated, new
-//!   connections are shed immediately with `503` by the accept thread.
-//!   Nothing ever queues unboundedly.
-//! * **Deadlines** — every connection carries read/write timeouts; a
-//!   peer that stalls mid-request (slow loris) gets `408` and the
-//!   socket back.
-//! * **Size limits** — request-line, header, and body caps are
-//!   enforced *before* buffering; an oversized message is refused with
-//!   `413` without allocating for it.
-//! * **Keep-alive** — up to a bounded number of requests per
-//!   connection.
-//! * **Graceful shutdown** — the accept loop stops, queued and
-//!   in-flight requests drain to completion, then workers exit.
+//! Degradation ladder (every layer answers with a well-formed,
+//! deterministic HTTP response):
+//!
+//! 1. **Accept-gate shedding** — beyond `workers + queue_depth` open
+//!    connections, a new peer gets `503` + `Retry-After` immediately.
+//!    Nothing ever queues unboundedly.
+//! 2. **In-flight budget with bounded queueing** — at most `workers`
+//!    connections are actively served; up to `queue_depth` more wait
+//!    *unread* for a slot, and the wait itself is deadline-bounded
+//!    (`503` + `Retry-After` on expiry).
+//! 3. **Per-connection deadlines** — read, write, and whole-connection
+//!    budgets: a slow-loris peer gets `408`, a peer that stops reading
+//!    its response is dropped, an idle keep-alive connection is closed
+//!    silently.
+//! 4. **Keep-alive demotion** — while any connection is queued, every
+//!    response is demoted to `Connection: close` so slots recycle
+//!    instead of being pinned by idle keep-alive sessions.
+//!
+//! Size limits (`413` before buffering) and graceful drain (stop
+//! accepting, serve what is in flight, then exit) carry over from the
+//! blocking design unchanged, as does every response byte — the E15
+//! loopback ≡ in-process equivalence depends on that.
 
 use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use wsinterop_wsdl::de::from_xml_str;
 use wsinterop_wsdl::{soap, Definitions};
 use wsinterop_xml::writer::{write_document, WriteOptions};
 
 use crate::exchange::serve_echo;
-use crate::sync::lock_unpoisoned;
-use crate::obs::{MetricsRegistry, Stopwatch};
+use crate::obs::{CounterHandle, HistogramHandle, MetricsRegistry};
 
-use super::http::{self, HttpError, HttpLimits, Request};
+use super::conn::{Conn, Drive, Phase};
+use super::http::{self, HttpLimits, Request};
 
 /// The admin path that triggers a remote graceful shutdown.
 pub const SHUTDOWN_PATH: &str = "/__admin/shutdown";
+
+/// Connections accepted per reactor pass before yielding to the
+/// drive loop (bounds accept latency vs. serving latency).
+const ACCEPT_BATCH: usize = 32;
+
+/// Reactor idle nap when no socket made progress. Short enough that
+/// deadline checks stay sharp, long enough not to spin a core.
+const IDLE_NAP: Duration = Duration::from_micros(500);
 
 /// One hosted echo service.
 pub struct HostedService {
@@ -85,24 +106,33 @@ pub fn host_survey_services(stride: usize) -> BTreeMap<String, HostedService> {
 /// Tuning for the hardened endpoint.
 #[derive(Debug, Clone)]
 pub struct WireServerConfig {
-    /// Worker-pool size.
+    /// In-flight budget: connections actively served at once.
     pub workers: usize,
-    /// Accept-queue depth; connections beyond `workers + queue_depth`
-    /// are shed with `503`.
+    /// Bounded queue: connections admitted past the accept gate but
+    /// waiting (unread) for an in-flight slot; beyond
+    /// `workers + queue_depth` open connections, new peers are shed
+    /// with `503`.
     pub queue_depth: usize,
-    /// Per-connection read deadline.
+    /// Reactor threads sharing the listener (each owns its accepted
+    /// connections).
+    pub reactors: usize,
+    /// Per-request read deadline; also bounds the queue wait.
     pub read_timeout: Duration,
-    /// Per-connection write deadline.
+    /// Per-response write deadline.
     pub write_timeout: Duration,
+    /// Whole-connection budget, keep-alive included.
+    pub total_timeout: Duration,
+    /// `Retry-After` seconds advertised on `503` sheds.
+    pub retry_after_secs: u64,
     /// Framing limits (start line, headers, body).
     pub limits: HttpLimits,
     /// Maximum requests served per keep-alive connection.
     pub keep_alive_requests: usize,
-    /// Optional shared telemetry registry. When set, the endpoint
-    /// mirrors every [`WireStats`] counter into it
-    /// (`wire_server_*_total`), tallies responses by status code
-    /// (`wire_server_responses_total{code="..."}`) and feeds the
-    /// per-request latency histogram (`wire_server_request_ns`).
+    /// Optional shared telemetry registry. When set, every
+    /// [`WireStats`] counter lives in it (`wire_server_*_total`),
+    /// responses are tallied by status code
+    /// (`wire_server_responses_total{code="..."}`) and the per-request
+    /// latency histogram (`wire_server_request_ns`) is fed.
     /// Observe-only: responses are byte-identical with or without it.
     pub metrics: Option<Arc<MetricsRegistry>>,
 }
@@ -112,8 +142,11 @@ impl Default for WireServerConfig {
         WireServerConfig {
             workers: 4,
             queue_depth: 8,
+            reactors: 2,
             read_timeout: Duration::from_millis(2000),
             write_timeout: Duration::from_millis(2000),
+            total_timeout: Duration::from_millis(30_000),
+            retry_after_secs: 1,
             limits: HttpLimits::default(),
             keep_alive_requests: 64,
             metrics: None,
@@ -121,85 +154,302 @@ impl Default for WireServerConfig {
     }
 }
 
-/// Live counters exposed for tests and the overload experiment (E15).
-/// All monotonic except the two gauges.
+/// Connection-lifecycle gauges. Gauges cannot ride on the monotonic
+/// registry counters, so they stay atomics shared between the accept
+/// gate (CAS admission) and the reactors; the registry mirrors them as
+/// opened/closed and admitted/completed counter pairs.
 #[derive(Debug, Default)]
-pub struct WireStats {
-    /// Connections accepted (including ones later shed).
-    pub accepted: AtomicUsize,
-    /// Connections shed with `503` at the accept gate.
-    pub shed: AtomicUsize,
-    /// Requests answered with a 2xx/5xx SOAP response.
-    pub served: AtomicUsize,
-    /// Requests refused with `413` (size caps).
-    pub oversized: AtomicUsize,
-    /// Connections timed out with `408` (slow loris).
-    pub timeouts: AtomicUsize,
-    /// Requests refused with `400` (framing).
-    pub malformed: AtomicUsize,
-    /// Requests answered `404`/`405`.
-    pub not_found: AtomicUsize,
-    /// Gauge: connections currently inside a worker.
-    pub in_flight: AtomicUsize,
-    /// Gauge: connections accepted but not yet claimed by a worker.
-    pub queued: AtomicUsize,
+pub(crate) struct Gauges {
+    /// Connections currently open (admitted or queued; sheds excluded).
+    pub(crate) open: AtomicUsize,
+    /// Connections currently holding an in-flight slot.
+    pub(crate) in_flight: AtomicUsize,
+    /// Connections currently parked in the bounded queue.
+    pub(crate) queued: AtomicUsize,
 }
 
-struct Shared {
+/// Pre-resolved status codes for `wire_server_responses_total`; any
+/// other code falls back to a by-name registry lookup.
+const RESPONSE_CODES: [u16; 8] = [200, 400, 404, 405, 408, 413, 500, 503];
+
+/// Live serving-path telemetry: registry-backed counter/histogram
+/// handles (pre-resolved once, per docs/CONCURRENCY.md rule 5) plus
+/// the lifecycle gauges. Cloning is cheap (`Arc`s all the way down)
+/// and clones observe the same live values — tests hold one across a
+/// shutdown.
+#[derive(Debug, Clone)]
+pub struct WireStats {
+    pub(crate) accepted: CounterHandle,
+    pub(crate) shed: CounterHandle,
+    pub(crate) served: CounterHandle,
+    pub(crate) oversized: CounterHandle,
+    pub(crate) timeouts: CounterHandle,
+    pub(crate) malformed: CounterHandle,
+    pub(crate) not_found: CounterHandle,
+    pub(crate) queue_timeouts: CounterHandle,
+    pub(crate) write_stalls: CounterHandle,
+    pub(crate) demoted: CounterHandle,
+    pub(crate) conn_opened: CounterHandle,
+    pub(crate) conn_closed: CounterHandle,
+    pub(crate) admitted: CounterHandle,
+    pub(crate) completed: CounterHandle,
+    pub(crate) request_ns: HistogramHandle,
+    responses: [(u16, CounterHandle); RESPONSE_CODES.len()],
+    pub(crate) gauges: Arc<Gauges>,
+    registry: Arc<MetricsRegistry>,
+}
+
+impl WireStats {
+    fn new(registry: Arc<MetricsRegistry>) -> WireStats {
+        let counter = |name: &str| registry.counter_handle(name);
+        WireStats {
+            accepted: counter("wire_server_accepted_total"),
+            shed: counter("wire_server_shed_total"),
+            served: counter("wire_server_served_total"),
+            oversized: counter("wire_server_oversized_total"),
+            timeouts: counter("wire_server_timeouts_total"),
+            malformed: counter("wire_server_malformed_total"),
+            not_found: counter("wire_server_not_found_total"),
+            queue_timeouts: counter("wire_server_queue_timeouts_total"),
+            write_stalls: counter("wire_server_write_stalls_total"),
+            demoted: counter("wire_server_demoted_total"),
+            conn_opened: counter("wire_server_conns_opened_total"),
+            conn_closed: counter("wire_server_conns_closed_total"),
+            admitted: counter("wire_server_admitted_total"),
+            completed: counter("wire_server_completed_total"),
+            request_ns: registry.histogram_handle("wire_server_request_ns"),
+            responses: RESPONSE_CODES.map(|code| {
+                (
+                    code,
+                    registry.counter_handle(&format!(
+                        "wire_server_responses_total{{code=\"{code}\"}}"
+                    )),
+                )
+            }),
+            gauges: Arc::new(Gauges::default()),
+            registry,
+        }
+    }
+
+    fn count_response(&self, status: u16) {
+        match self.responses.iter().find(|(code, _)| *code == status) {
+            Some((_, handle)) => handle.inc(),
+            None => self
+                .registry
+                .inc(&format!("wire_server_responses_total{{code=\"{status}\"}}")),
+        }
+    }
+
+    /// Connections accepted (including ones later shed).
+    pub fn accepted(&self) -> usize {
+        self.accepted.get() as usize
+    }
+
+    /// Connections shed with `503` (accept gate; queue-wait expiries
+    /// are [`WireStats::queue_timeouts`]).
+    pub fn shed(&self) -> usize {
+        self.shed.get() as usize
+    }
+
+    /// Requests answered with a 2xx/5xx SOAP/WSDL response.
+    pub fn served(&self) -> usize {
+        self.served.get() as usize
+    }
+
+    /// Requests refused with `413` (size caps).
+    pub fn oversized(&self) -> usize {
+        self.oversized.get() as usize
+    }
+
+    /// Requests timed out with `408` (slow loris / stalled body).
+    pub fn timeouts(&self) -> usize {
+        self.timeouts.get() as usize
+    }
+
+    /// Requests refused with `400` (framing).
+    pub fn malformed(&self) -> usize {
+        self.malformed.get() as usize
+    }
+
+    /// Requests answered `404`/`405`.
+    pub fn not_found(&self) -> usize {
+        self.not_found.get() as usize
+    }
+
+    /// Queued connections shed with `503` when their slot wait
+    /// exceeded the read deadline.
+    pub fn queue_timeouts(&self) -> usize {
+        self.queue_timeouts.get() as usize
+    }
+
+    /// Connections dropped because the peer stopped reading its
+    /// response before the write deadline.
+    pub fn write_stalls(&self) -> usize {
+        self.write_stalls.get() as usize
+    }
+
+    /// Keep-alive responses demoted to `Connection: close` because
+    /// connections were queued at response time.
+    pub fn demoted(&self) -> usize {
+        self.demoted.get() as usize
+    }
+
+    /// Gauge: connections currently open (admitted or queued).
+    pub fn open(&self) -> usize {
+        self.gauges.open.load(Ordering::SeqCst)
+    }
+
+    /// Gauge: connections currently holding an in-flight slot.
+    pub fn in_flight(&self) -> usize {
+        self.gauges.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Gauge: connections currently parked in the bounded queue.
+    pub fn queued(&self) -> usize {
+        self.gauges.queued.load(Ordering::SeqCst)
+    }
+}
+
+pub(crate) struct Shared {
     services: BTreeMap<String, HostedService>,
-    config: WireServerConfig,
-    stats: WireStats,
+    pub(crate) config: WireServerConfig,
+    pub(crate) stats: WireStats,
     stop: AtomicBool,
     addr: SocketAddr,
 }
 
+/// The reactor-side view of the server handed to every
+/// [`Conn::drive`] pass.
+pub(crate) struct Env<'a> {
+    pub(crate) config: &'a WireServerConfig,
+    pub(crate) stats: &'a WireStats,
+    shared: &'a Shared,
+}
+
+impl Env<'_> {
+    pub(crate) fn stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// The keep-alive demotion signal: any connection waiting for a
+    /// slot means idle keep-alive sessions must not pin theirs.
+    pub(crate) fn under_pressure(&self) -> bool {
+        self.stats.queued() > 0
+    }
+
+    pub(crate) fn count_response(&self, status: u16) {
+        self.stats.count_response(status);
+    }
+
+    /// Renders the deterministic overload refusal: `503` with a
+    /// `Retry-After` hint, used by both the accept gate and the
+    /// queue-wait deadline.
+    pub(crate) fn overload_response(&self, reason: &str) -> Vec<u8> {
+        self.count_response(503);
+        let retry_after = self.config.retry_after_secs.to_string();
+        http::render_response(
+            503,
+            "Service Unavailable",
+            "text/plain",
+            &[("Retry-After", &retry_after)],
+            reason.as_bytes(),
+            true,
+        )
+    }
+
+    /// Handles one parsed request and renders the full response.
+    pub(crate) fn respond(&self, request: &Request, close: bool) -> Vec<u8> {
+        let shared = self.shared;
+        let stats = self.stats;
+        let path = request.path();
+        let (status, reason, content_type, body): (u16, &str, &str, Vec<u8>) =
+            match (request.method.as_str(), path) {
+                ("POST", p) if p == SHUTDOWN_PATH => {
+                    request_stop(shared);
+                    (200, "OK", "text/plain", b"shutting down".to_vec())
+                }
+                ("GET", p) => match shared.services.get(p) {
+                    Some(service) if request.query() == Some("wsdl") => {
+                        stats.served.inc();
+                        (200, "OK", "text/xml", service.wsdl_xml.clone().into_bytes())
+                    }
+                    Some(_) => {
+                        stats.malformed.inc();
+                        (400, "Bad Request", "text/plain", b"expected ?wsdl".to_vec())
+                    }
+                    None => {
+                        stats.not_found.inc();
+                        (404, "Not Found", "text/plain", b"no such service".to_vec())
+                    }
+                },
+                ("POST", p) => match shared.services.get(p) {
+                    Some(service) => match soap_response(service, &request.body) {
+                        Ok((status, xml)) => {
+                            stats.served.inc();
+                            let reason =
+                                if status == 200 { "OK" } else { "Internal Server Error" };
+                            (status, reason, "text/xml", xml.into_bytes())
+                        }
+                        Err(detail) => {
+                            stats.malformed.inc();
+                            (400, "Bad Request", "text/plain", detail.into_bytes())
+                        }
+                    },
+                    None => {
+                        stats.not_found.inc();
+                        (404, "Not Found", "text/plain", b"no such service".to_vec())
+                    }
+                },
+                _ => {
+                    stats.not_found.inc();
+                    (405, "Method Not Allowed", "text/plain", b"GET or POST only".to_vec())
+                }
+            };
+        self.count_response(status);
+        http::render_response(status, reason, content_type, &[], &body, close)
+    }
+}
+
 /// The running loopback endpoint. Dropping it without calling
-/// [`WireServer::shutdown`] detaches the threads (they exit once asked
-/// to stop); tests and `wsitool serve` always shut down explicitly.
+/// [`WireServer::shutdown`] detaches the reactors (they exit once
+/// asked to stop); tests and `wsitool serve` always shut down
+/// explicitly.
 pub struct WireServer {
     shared: Arc<Shared>,
-    accept_handle: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    reactors: Vec<JoinHandle<()>>,
 }
 
 impl WireServer {
-    /// Binds `127.0.0.1:port` (0 ⇒ ephemeral) and starts the accept
-    /// thread and worker pool.
+    /// Binds `127.0.0.1:port` (0 ⇒ ephemeral) and starts the reactor
+    /// threads over a shared nonblocking listener.
     pub fn start(
         port: u16,
         services: BTreeMap<String, HostedService>,
         config: WireServerConfig,
     ) -> io::Result<WireServer> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let registry = config
+            .metrics
+            .clone()
+            .unwrap_or_else(|| Arc::new(MetricsRegistry::new()));
         let shared = Arc::new(Shared {
             services,
+            stats: WireStats::new(registry),
             config,
-            stats: WireStats::default(),
             stop: AtomicBool::new(false),
             addr,
         });
 
-        let (tx, rx) = sync_channel::<TcpStream>(shared.config.queue_depth.max(1));
-        let rx = Arc::new(Mutex::new(rx));
-        let mut workers = Vec::with_capacity(shared.config.workers.max(1));
-        for _ in 0..shared.config.workers.max(1) {
+        let mut reactors = Vec::new();
+        for _ in 0..shared.config.reactors.max(1) {
             let shared = Arc::clone(&shared);
-            let rx = Arc::clone(&rx);
-            workers.push(std::thread::spawn(move || worker_loop(&shared, &rx)));
+            let listener = listener.try_clone()?;
+            reactors.push(std::thread::spawn(move || reactor_loop(&shared, &listener)));
         }
 
-        let accept_shared = Arc::clone(&shared);
-        let accept_handle = std::thread::spawn(move || {
-            accept_loop(&accept_shared, &listener, tx);
-            // `tx` dropped here: workers drain the queue, then exit.
-        });
-
-        Ok(WireServer {
-            shared,
-            accept_handle: Some(accept_handle),
-            workers,
-        })
+        Ok(WireServer { shared, reactors })
     }
 
     /// The bound loopback address.
@@ -207,13 +457,15 @@ impl WireServer {
         self.shared.addr
     }
 
-    /// The live counters.
-    pub fn stats(&self) -> &WireStats {
-        &self.shared.stats
+    /// A live view of the serving-path counters and gauges (clones
+    /// share the underlying atomics, so it stays valid across
+    /// [`WireServer::shutdown`]).
+    pub fn stats(&self) -> WireStats {
+        self.shared.stats.clone()
     }
 
-    /// Asks the accept loop to stop without waiting for the drain —
-    /// the non-blocking half of [`WireServer::shutdown`].
+    /// Asks the reactors to stop accepting without waiting for the
+    /// drain — the non-blocking half of [`WireServer::shutdown`].
     pub fn request_stop(&self) {
         request_stop(&self.shared);
     }
@@ -225,13 +477,10 @@ impl WireServer {
     }
 
     /// Graceful shutdown: stop accepting, drain queued and in-flight
-    /// requests, join every thread.
+    /// requests, join every reactor.
     pub fn shutdown(mut self) {
         self.request_stop();
-        if let Some(handle) = self.accept_handle.take() {
-            let _ = handle.join();
-        }
-        for handle in self.workers.drain(..) {
+        for handle in self.reactors.drain(..) {
             let _ = handle.join();
         }
     }
@@ -241,240 +490,119 @@ impl WireServer {
     /// joins like [`WireServer::shutdown`].
     pub fn wait(self) {
         while !self.stopping() {
-            std::thread::sleep(std::time::Duration::from_millis(20));
+            std::thread::sleep(Duration::from_millis(20));
         }
         self.shutdown();
     }
 }
 
-/// Bumps a registry counter when the endpoint carries one — the
-/// telemetry mirror of the adjacent `WireStats` `fetch_add`.
-fn inc_metric(shared: &Shared, name: &str) {
-    if let Some(metrics) = &shared.config.metrics {
-        metrics.inc(name);
-    }
-}
-
+/// The reactors poll the stop flag every pass, so no wake-up
+/// connection is needed — flipping the flag is enough.
 fn request_stop(shared: &Shared) {
-    if shared.stop.swap(true, Ordering::SeqCst) {
-        return;
-    }
-    // Unblock the accept loop with a throwaway connection; if the
-    // connect fails the listener is already gone, which is fine.
-    let _ = TcpStream::connect(shared.addr);
+    shared.stop.store(true, Ordering::SeqCst);
 }
 
-fn accept_loop(
-    shared: &Shared,
-    listener: &TcpListener,
-    tx: std::sync::mpsc::SyncSender<TcpStream>,
-) {
+/// Claims one in-flight slot if the budget allows (CAS so concurrent
+/// reactors never overshoot `workers`).
+fn try_claim(gauge: &AtomicUsize, budget: usize) -> bool {
+    let mut current = gauge.load(Ordering::SeqCst);
+    while current < budget {
+        match gauge.compare_exchange(current, current + 1, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => return true,
+            Err(seen) => current = seen,
+        }
+    }
+    false
+}
+
+/// One reactor: accept a batch, promote queued connections into freed
+/// slots, drive every owned state machine, nap only when nothing
+/// moved. Exits when a stop is requested and its connections have
+/// drained.
+fn reactor_loop(shared: &Shared, listener: &TcpListener) {
+    let env = Env { config: &shared.config, stats: &shared.stats, shared };
+    let workers = shared.config.workers.max(1);
+    let gauges = &shared.stats.gauges;
+    let mut conns: Vec<Conn> = Vec::new();
     loop {
-        let Ok((stream, _)) = listener.accept() else {
-            // Accept errors are transient (EMFILE, aborted handshake);
-            // only a requested stop ends the loop below.
-            if shared.stop.load(Ordering::SeqCst) {
-                return;
+        let stopping = shared.stop.load(Ordering::SeqCst);
+        let mut progressed = false;
+
+        if !stopping {
+            for _ in 0..ACCEPT_BATCH {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        progressed = true;
+                        admit(&env, &mut conns, stream);
+                    }
+                    // WouldBlock: no pending handshake. Anything else
+                    // (EMFILE, aborted handshake) is transient — yield
+                    // and retry next pass.
+                    Err(_) => break,
+                }
             }
-            continue;
-        };
-        if shared.stop.load(Ordering::SeqCst) {
-            // The wake-up connection (or a late client) during
-            // shutdown: refuse politely and stop accepting.
-            shed(shared, stream, "server is shutting down");
+        }
+
+        let now = Instant::now();
+        // Promotion: queued connections claim freed in-flight slots in
+        // arrival order within this reactor.
+        for conn in conns.iter_mut() {
+            if matches!(conn.phase, Phase::Queued) && try_claim(&gauges.in_flight, workers) {
+                gauges.queued.fetch_sub(1, Ordering::SeqCst);
+                env.stats.admitted.inc();
+                conn.queued = false;
+                conn.promote(&env, now);
+                progressed = true;
+            }
+        }
+
+        conns.retain_mut(|conn| match conn.drive(&env, now) {
+            Drive::Progress => {
+                progressed = true;
+                true
+            }
+            Drive::Idle => true,
+            Drive::Close => {
+                conn.release(&env);
+                progressed = true;
+                false
+            }
+        });
+
+        if stopping && conns.is_empty() {
             return;
         }
-        shared.stats.accepted.fetch_add(1, Ordering::SeqCst);
-        inc_metric(shared, "wire_server_accepted_total");
-        shared.stats.queued.fetch_add(1, Ordering::SeqCst);
-        match tx.try_send(stream) {
-            Ok(()) => {}
-            Err(TrySendError::Full(stream)) => {
-                // Admission control: pool and queue are saturated —
-                // shed *now* rather than queue unboundedly.
-                shared.stats.queued.fetch_sub(1, Ordering::SeqCst);
-                shared.stats.shed.fetch_add(1, Ordering::SeqCst);
-                inc_metric(shared, "wire_server_shed_total");
-                shed(shared, stream, "worker pool saturated");
-            }
-            Err(TrySendError::Disconnected(_)) => return,
+        if !progressed {
+            std::thread::sleep(IDLE_NAP);
         }
     }
 }
 
-/// Refuses one connection with `503` on the accept thread. The write
-/// is bounded by the write deadline so a non-reading peer cannot stall
-/// admission control.
-fn shed(shared: &Shared, mut stream: TcpStream, reason: &str) {
-    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-    let _ = http::write_response(
-        &mut stream,
-        503,
-        "Service Unavailable",
-        "text/plain",
-        reason.as_bytes(),
-        true,
-    );
-}
-
-fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
-    loop {
-        // Hold the receiver lock only for the claim, never while
-        // serving.
-        // lock-order: L2 (wire accept queue) — leaf.
-        let stream = lock_unpoisoned(rx).recv();
-        let Ok(stream) = stream else {
-            return; // Sender dropped: accept loop is gone, queue drained.
-        };
-        shared.stats.queued.fetch_sub(1, Ordering::SeqCst);
-        shared.stats.in_flight.fetch_add(1, Ordering::SeqCst);
-        serve_connection(shared, stream);
-        shared.stats.in_flight.fetch_sub(1, Ordering::SeqCst);
-    }
-}
-
-fn serve_connection(shared: &Shared, stream: TcpStream) {
-    let config = &shared.config;
-    if stream.set_read_timeout(Some(config.read_timeout)).is_err()
-        || stream.set_write_timeout(Some(config.write_timeout)).is_err()
-    {
+/// Walks one new connection down the admission ladder: in-flight slot,
+/// bounded queue, or `503` shed.
+fn admit(env: &Env<'_>, conns: &mut Vec<Conn>, stream: TcpStream) {
+    let shared = env.shared;
+    let gauges = &shared.stats.gauges;
+    shared.stats.accepted.inc();
+    if stream.set_nonblocking(true).is_err() {
+        // Socket already dead; nothing to refuse.
         return;
     }
-    let mut stream = stream;
-    for served_before in 0..config.keep_alive_requests {
-        let request = match http::read_request(&stream, &config.limits) {
-            Ok(Some(request)) => request,
-            Ok(None) => return, // clean keep-alive close
-            Err(HttpError::Timeout) => {
-                // Slow loris on the first request gets a 408; an idle
-                // keep-alive connection just gets closed.
-                if served_before == 0 {
-                    shared.stats.timeouts.fetch_add(1, Ordering::SeqCst);
-                    inc_metric(shared, "wire_server_timeouts_total");
-                    let _ = http::write_response(
-                        &mut stream,
-                        408,
-                        "Request Timeout",
-                        "text/plain",
-                        b"read deadline exceeded",
-                        true,
-                    );
-                }
-                return;
-            }
-            Err(
-                HttpError::BodyTooLarge { .. }
-                | HttpError::StartLineTooLong
-                | HttpError::HeadersTooLarge,
-            ) => {
-                shared.stats.oversized.fetch_add(1, Ordering::SeqCst);
-                inc_metric(shared, "wire_server_oversized_total");
-                let _ = http::write_response(
-                    &mut stream,
-                    413,
-                    "Payload Too Large",
-                    "text/plain",
-                    b"request exceeds the configured limits",
-                    true,
-                );
-                return;
-            }
-            Err(
-                HttpError::BadStartLine(_)
-                | HttpError::BadHeader(_)
-                | HttpError::BadContentLength,
-            ) => {
-                shared.stats.malformed.fetch_add(1, Ordering::SeqCst);
-                inc_metric(shared, "wire_server_malformed_total");
-                let _ = http::write_response(
-                    &mut stream,
-                    400,
-                    "Bad Request",
-                    "text/plain",
-                    b"malformed request",
-                    true,
-                );
-                return;
-            }
-            Err(_) => return, // reset / closed mid-message: nothing to say
-        };
-        // Close after this response when the peer asked for it, the
-        // budget is exhausted, or a shutdown is in progress (in-flight
-        // requests drain; idle keep-alive must not pin workers).
-        let close = !request.keep_alive
-            || served_before + 1 == config.keep_alive_requests
-            || shared.stop.load(Ordering::SeqCst);
-        let span = shared.config.metrics.as_ref().map(|_| Stopwatch::real());
-        let ok = respond(shared, &mut stream, &request, close);
-        if let (Some(metrics), Some(span)) = (&shared.config.metrics, span) {
-            metrics.observe_ns("wire_server_request_ns", span.elapsed_ns());
-        }
-        if !ok || close {
-            return;
-        }
+    let now = Instant::now();
+    if try_claim(&gauges.in_flight, shared.config.workers.max(1)) {
+        gauges.open.fetch_add(1, Ordering::SeqCst);
+        shared.stats.conn_opened.inc();
+        shared.stats.admitted.inc();
+        conns.push(Conn::admitted(stream, env, now));
+    } else if try_claim(&gauges.queued, shared.config.queue_depth) {
+        gauges.open.fetch_add(1, Ordering::SeqCst);
+        shared.stats.conn_opened.inc();
+        conns.push(Conn::parked(stream, env, now));
+    } else {
+        shared.stats.shed.inc();
+        let response = env.overload_response("worker pool saturated");
+        conns.push(Conn::shed(stream, env, now, response));
     }
-}
-
-/// Handles one parsed request; returns `false` when the connection
-/// must close.
-fn respond(shared: &Shared, stream: &mut TcpStream, request: &Request, close: bool) -> bool {
-    let path = request.path();
-    let (status, reason, content_type, body): (u16, &str, &str, Vec<u8>) =
-        match (request.method.as_str(), path) {
-            ("POST", p) if p == SHUTDOWN_PATH => {
-                request_stop(shared);
-                (200, "OK", "text/plain", b"shutting down".to_vec())
-            }
-            ("GET", p) => match shared.services.get(p) {
-                Some(service) if request.query() == Some("wsdl") => {
-                    shared.stats.served.fetch_add(1, Ordering::SeqCst);
-                    inc_metric(shared, "wire_server_served_total");
-                    (200, "OK", "text/xml", service.wsdl_xml.clone().into_bytes())
-                }
-                Some(_) => {
-                    shared.stats.malformed.fetch_add(1, Ordering::SeqCst);
-                    inc_metric(shared, "wire_server_malformed_total");
-                    (400, "Bad Request", "text/plain", b"expected ?wsdl".to_vec())
-                }
-                None => {
-                    shared.stats.not_found.fetch_add(1, Ordering::SeqCst);
-                    inc_metric(shared, "wire_server_not_found_total");
-                    (404, "Not Found", "text/plain", b"no such service".to_vec())
-                }
-            },
-            ("POST", p) => match shared.services.get(p) {
-                Some(service) => match soap_response(service, &request.body) {
-                    Ok((status, xml)) => {
-                        shared.stats.served.fetch_add(1, Ordering::SeqCst);
-                        inc_metric(shared, "wire_server_served_total");
-                        let reason = if status == 200 { "OK" } else { "Internal Server Error" };
-                        (status, reason, "text/xml", xml.into_bytes())
-                    }
-                    Err(detail) => {
-                        shared.stats.malformed.fetch_add(1, Ordering::SeqCst);
-                        inc_metric(shared, "wire_server_malformed_total");
-                        (400, "Bad Request", "text/plain", detail.into_bytes())
-                    }
-                },
-                None => {
-                    shared.stats.not_found.fetch_add(1, Ordering::SeqCst);
-                    inc_metric(shared, "wire_server_not_found_total");
-                    (404, "Not Found", "text/plain", b"no such service".to_vec())
-                }
-            },
-            _ => {
-                shared.stats.not_found.fetch_add(1, Ordering::SeqCst);
-                inc_metric(shared, "wire_server_not_found_total");
-                (405, "Method Not Allowed", "text/plain", b"GET or POST only".to_vec())
-            }
-        };
-    if shared.config.metrics.is_some() {
-        inc_metric(
-            shared,
-            &format!("wire_server_responses_total{{code=\"{status}\"}}"),
-        );
-    }
-    http::write_response(stream, status, reason, content_type, &body, close).is_ok()
 }
 
 /// Produces the SOAP response envelope and its HTTP status for one

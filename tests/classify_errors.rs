@@ -155,6 +155,13 @@ fn table() -> Vec<Row> {
         // output, not evidence the client process is unhealthy.
         shared("malformed response framing: bad start line: `ZZTP/0.9`", Diagnostic),
         shared("http status 404", Diagnostic),
+        // ── Shared: the degradation ladder's refusal statuses ────────
+        // 503 (accept-gate/queue shed), 408 (read deadline) and 413
+        // (size cap) are deliberate, well-formed server answers — the
+        // client is healthy, so all three stay Diagnostic.
+        shared("http status 503", Diagnostic),
+        shared("http status 408", Diagnostic),
+        shared("http status 413", Diagnostic),
     ]
 }
 
@@ -225,4 +232,89 @@ fn wire_error_reasons_classify_by_transport_health() {
             e.reason()
         );
     }
+}
+
+/// Pins the client's retry policy for each rung of the server's
+/// degradation ladder: load-shaped refusals (`503` shed, `408`
+/// deadline) are retried with backoff, deterministic refusals (`413`
+/// cap, `400` framing, `404`/`405` routing) are surfaced immediately —
+/// retrying an identical request against a deterministic refusal can
+/// only reproduce it.
+#[test]
+fn overload_refusals_pin_retry_policy() {
+    let retried = [WireError::Status(503), WireError::Status(408)];
+    for e in retried {
+        assert!(e.retryable(), "{e:?} must be retried (load-shaped refusal)");
+    }
+    let surfaced = [
+        WireError::Status(413),
+        WireError::Status(400),
+        WireError::Status(404),
+        WireError::Status(405),
+        WireError::BadFraming("bad start line".to_string()),
+        WireError::Io("AddrInUse".to_string()),
+    ];
+    for e in surfaced {
+        assert!(!e.retryable(), "{e:?} must surface without a retry");
+    }
+    // Transport-level failures keep their retry budget too.
+    for e in [
+        WireError::Refused,
+        WireError::ConnectTimeout,
+        WireError::Timeout,
+        WireError::Reset,
+        WireError::Closed,
+        WireError::Truncated,
+    ] {
+        assert!(e.retryable(), "{e:?} must be retried");
+    }
+}
+
+/// End-to-end retry accounting for a shed: against a saturated server
+/// every attempt draws the accept-gate `503`, so the client spends its
+/// whole budget (`max_retries + 1` attempts, each shed) before
+/// surfacing `Status(503)` — pinned through the real socket stack, not
+/// just the `retryable()` table.
+#[test]
+fn saturated_server_consumes_the_full_retry_budget() {
+    use std::collections::BTreeMap;
+    use std::net::TcpStream;
+    use std::time::Duration;
+    use wsinterop::core::wire::{WireClient, WireClientConfig, WireServer, WireServerConfig};
+
+    let config = WireServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        read_timeout: Duration::from_secs(5),
+        ..WireServerConfig::default()
+    };
+    let server = WireServer::start(0, BTreeMap::new(), config).expect("bind loopback");
+    let addr = server.addr();
+    let stats = server.stats();
+
+    // Saturate capacity: one connection in flight, one queued.
+    let _held_in_flight = TcpStream::connect(addr).expect("connect");
+    let _held_in_queue = TcpStream::connect(addr).expect("connect");
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while stats.in_flight() != 1 || stats.queued() != 1 {
+        assert!(std::time::Instant::now() < deadline, "capacity never filled");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let client_config = WireClientConfig::default();
+    let attempts = client_config.max_retries + 1;
+    let client = WireClient::new(client_config);
+    let err = client
+        .get(addr, "/x?wsdl", "/x")
+        .expect_err("saturated server must shed");
+    assert!(
+        matches!(err, wsinterop::core::wire::WireError::Status(503)),
+        "expected the final attempt to surface 503, got {err:?}"
+    );
+    assert_eq!(
+        stats.shed(),
+        attempts as usize,
+        "every attempt (initial + retries) must be shed exactly once"
+    );
+    server.shutdown();
 }

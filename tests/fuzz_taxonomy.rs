@@ -117,6 +117,61 @@ fn every_fuzz_outcome_folds_to_its_pinned_error_class() {
     }
 }
 
+/// Table test for the trigger-property vocabulary: each
+/// [`PayloadProperty`] pinned against payloads that must and must not
+/// exhibit it. The properties gate injected crashes/hangs, so a
+/// predicate drift re-keys which fuzz cases fire — this table makes
+/// that a loud failure instead of a silent baseline shift.
+#[test]
+fn every_payload_property_holds_exactly_where_pinned() {
+    use wsinterop::core::fuzz::{PayloadProperty, DEEP_NESTING_THRESHOLD};
+    use PayloadProperty::{BoundaryNumeric, DeepNesting, NonAscii, XmlMeta};
+
+    let flat = "<e:Envelope><e:Body><echo><arg0>v</arg0></echo></e:Body></e:Envelope>";
+    let deep = "<e:Envelope><e:Body><echo><arg0><a><b>v</b></a></arg0></echo></e:Body></e:Envelope>";
+    let deep_self_closing =
+        "<e:Envelope><e:Body><echo><arg0><a><b/></a></arg0></echo></e:Body></e:Envelope>";
+    assert_eq!(DEEP_NESTING_THRESHOLD, 6, "threshold is part of the contract");
+
+    // (property, request_xml, expected-text, holds)
+    let table: Vec<(PayloadProperty, &str, &str, bool)> = vec![
+        // NonAscii and XmlMeta look only at the echoed value.
+        (NonAscii, flat, "héllo", true),
+        (NonAscii, flat, "\u{202E}rtl", true),
+        (NonAscii, flat, "plain ascii", false),
+        (XmlMeta, flat, "a<b", true),
+        (XmlMeta, flat, "fish&chips", true),
+        (XmlMeta, flat, "tame text", false),
+        // DeepNesting looks only at the serialized request: the SOAP
+        // scaffolding alone (4 levels) must not trip it, genuinely
+        // nested payloads (6 levels) must — whether the innermost
+        // element is self-closing or not.
+        (DeepNesting, flat, "irrelevant", false),
+        (DeepNesting, deep, "irrelevant", true),
+        (DeepNesting, deep_self_closing, "irrelevant", true),
+        // BoundaryNumeric: IEEE-754 specials and integers outside the
+        // xsd:int range; in-range extremes and non-numerics stay out.
+        (BoundaryNumeric, flat, "NaN", true),
+        (BoundaryNumeric, flat, "INF", true),
+        (BoundaryNumeric, flat, "-INF", true),
+        (BoundaryNumeric, flat, "2147483648", true),
+        (BoundaryNumeric, flat, "-2147483649", true),
+        (BoundaryNumeric, flat, "9223372036854775808", true),
+        (BoundaryNumeric, flat, "2147483647", false),
+        (BoundaryNumeric, flat, "-2147483648", false),
+        (BoundaryNumeric, flat, "0.30000000000000004", false),
+        (BoundaryNumeric, flat, "1e308", false),
+        (BoundaryNumeric, flat, "not a number", false),
+    ];
+    for (property, request_xml, expected, want) in table {
+        assert_eq!(
+            property.holds(request_xml, expected),
+            want,
+            "{property:?} on request {request_xml:?} / expected {expected:?}"
+        );
+    }
+}
+
 #[test]
 fn outcome_codes_names_and_severity_are_stable() {
     // Journal codes and metric labels are a wire format: pinned here

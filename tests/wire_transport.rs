@@ -68,14 +68,10 @@ fn overload_sheds_excess_connections_deterministically() {
     // One connection held inside the worker (it sends nothing, the
     // worker blocks in read)...
     let held_in_worker = TcpStream::connect(addr).expect("connect");
-    wait_for("in_flight", 1, || {
-        stats.in_flight.load(std::sync::atomic::Ordering::SeqCst)
-    });
+    wait_for("in_flight", 1, || stats.in_flight());
     // ...and one parked in the accept queue.
     let held_in_queue = TcpStream::connect(addr).expect("connect");
-    wait_for("queued", 1, || {
-        stats.queued.load(std::sync::atomic::Ordering::SeqCst)
-    });
+    wait_for("queued", 1, || stats.queued());
 
     // Capacity is now exactly exhausted: each extra connection must be
     // refused with 503 at the accept gate.
@@ -91,7 +87,7 @@ fn overload_sheds_excess_connections_deterministically() {
             "probe {i} expected 503, got: {response:?}"
         );
     }
-    assert_eq!(stats.shed.load(std::sync::atomic::Ordering::SeqCst), 3);
+    assert_eq!(stats.shed(), 3);
 
     drop(held_in_worker);
     drop(held_in_queue);
@@ -118,13 +114,7 @@ fn slow_loris_first_request_gets_408() {
         response.starts_with("HTTP/1.1 408 "),
         "expected 408, got: {response:?}"
     );
-    assert_eq!(
-        server
-            .stats()
-            .timeouts
-            .load(std::sync::atomic::Ordering::SeqCst),
-        1
-    );
+    assert_eq!(server.stats().timeouts(), 1);
     server.shutdown();
 }
 
@@ -177,9 +167,7 @@ fn graceful_shutdown_drains_in_flight_and_queued() {
     // In-flight: the worker is blocked mid-read on this half request.
     let mut in_flight = TcpStream::connect(addr).expect("connect");
     write!(in_flight, "GET {path}?wsdl HTTP/1.1\r\n").expect("write half");
-    wait_for("in_flight", 1, || {
-        stats.in_flight.load(std::sync::atomic::Ordering::SeqCst)
-    });
+    wait_for("in_flight", 1, || stats.in_flight());
 
     // Queued: a complete request already on the wire, not yet claimed.
     let mut queued = TcpStream::connect(addr).expect("connect");
@@ -188,9 +176,7 @@ fn graceful_shutdown_drains_in_flight_and_queued() {
         "GET {path}?wsdl HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n"
     )
     .expect("write full");
-    wait_for("queued", 1, || {
-        stats.queued.load(std::sync::atomic::Ordering::SeqCst)
-    });
+    wait_for("queued", 1, || stats.queued());
 
     server.request_stop();
 
@@ -242,13 +228,7 @@ fn keep_alive_serves_multiple_requests() {
         assert_eq!(response.status, 200, "round {round}");
         assert!(response.body_str().unwrap_or("").contains("definitions"));
     }
-    assert_eq!(
-        server
-            .stats()
-            .served
-            .load(std::sync::atomic::Ordering::SeqCst),
-        3
-    );
+    assert_eq!(server.stats().served(), 3);
     server.shutdown();
 }
 
