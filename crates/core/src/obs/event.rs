@@ -147,6 +147,11 @@ pub struct TraceEvent {
     pub breaker_open: bool,
     /// Exit-side duration in nanoseconds.
     pub dur_ns: Option<u64>,
+    /// Wire-server request correlation id (DESIGN.md §16), when the
+    /// span answers one admitted request. Serialized as the same
+    /// 16-hex-digit string the `X-Request-Id` response header carries,
+    /// so a trace line greps directly against client-side captures.
+    pub request_id: Option<u64>,
 }
 
 impl TraceEvent {
@@ -168,6 +173,7 @@ impl TraceEvent {
             retries: 0,
             breaker_open: false,
             dur_ns: None,
+            request_id: None,
         }
     }
 
@@ -199,6 +205,12 @@ impl TraceEvent {
     pub fn with_resilience(mut self, retries: u64, breaker_open: bool) -> TraceEvent {
         self.retries = retries;
         self.breaker_open = breaker_open;
+        self
+    }
+
+    /// Attach the wire-server request correlation id.
+    pub fn with_request_id(mut self, id: u64) -> TraceEvent {
+        self.request_id = Some(id);
         self
     }
 
@@ -241,6 +253,10 @@ impl TraceEvent {
         match self.dur_ns {
             Some(d) => push_field(out, "dur_ns", &d.to_string(), true),
             None => push_field(out, "dur_ns", "null", true),
+        }
+        match self.request_id {
+            Some(id) => push_field(out, "request_id", &json_string(&format!("{id:016x}")), true),
+            None => push_field(out, "request_id", "null", true),
         }
         out.push('}');
     }
@@ -289,6 +305,12 @@ impl TraceEvent {
                 JsonValue::Num(n) => Some(*n),
                 JsonValue::Null => None,
                 _ => return None,
+            },
+            // Absent on pre-§16 trace files — tolerated, not required.
+            request_id: match get("request_id") {
+                None | Some(JsonValue::Null) => None,
+                Some(JsonValue::Str(s)) => Some(u64::from_str_radix(s, 16).ok()?),
+                Some(_) => return None,
             },
         })
     }
@@ -711,6 +733,16 @@ impl Default for TraceSink {
     }
 }
 
+/// Clones share the same core (ring, accounting, output stream) — a
+/// clone is a second handle, not a second sink. The wire server's
+/// config carries one so every reactor records into the campaign's
+/// sink.
+impl Clone for TraceSink {
+    fn clone(&self) -> TraceSink {
+        TraceSink { core: std::sync::Arc::clone(&self.core) }
+    }
+}
+
 /// Read a JSON-lines trace file back into events, skipping blank
 /// lines; returns `None` if any non-blank line fails to parse.
 pub fn read_trace_lines(text: &str) -> Option<Vec<TraceEvent>> {
@@ -800,6 +832,26 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("read trace file");
         assert_eq!(read_trace_lines(&text).expect("parses").len(), 1);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn request_id_round_trips_and_absent_key_parses() {
+        let mut event = sample().with_request_id(0xDEAD_BEEF);
+        event.seq = 3;
+        let line = event.to_json_line();
+        assert!(line.contains("\"request_id\":\"00000000deadbeef\""));
+        let parsed = TraceEvent::from_json_line(&line).expect("parses");
+        assert_eq!(parsed.request_id, Some(0xDEAD_BEEF));
+        assert_eq!(parsed, event);
+        // Pre-§16 lines carry no request_id key at all.
+        let legacy = line
+            .replace(",\"request_id\":\"00000000deadbeef\"", "")
+            .replace(",\"request_id\":null", "");
+        let parsed = TraceEvent::from_json_line(&legacy).expect("parses");
+        assert_eq!(parsed.request_id, None);
+        // A non-hex or non-string id is rejected, not guessed at.
+        let bad = line.replace("\"00000000deadbeef\"", "\"zz\"");
+        assert!(TraceEvent::from_json_line(&bad).is_none());
     }
 
     #[test]

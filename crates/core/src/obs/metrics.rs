@@ -20,9 +20,9 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
-use crate::sync::{read_unpoisoned, write_unpoisoned};
+use crate::sync::{lock_unpoisoned, read_unpoisoned, write_unpoisoned};
 
 /// Upper bounds (inclusive, in nanoseconds) of the fixed histogram
 /// buckets: a power-of-two ladder from 1µs to ~8.6s, plus an implicit
@@ -38,6 +38,21 @@ pub const BUCKET_BOUNDS_NS: [u64; 24] = {
     bounds
 };
 
+/// One per-bucket exemplar: the most recent correlated observation
+/// that landed in a bucket. `id` is the request ID (rendered as 16 hex
+/// digits, matching the `X-Request-Id` response header), `value_ns`
+/// the exact latency that fell into `bucket`. An exemplar turns a p99
+/// bucket count into a concrete, trace-resolvable request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Disjoint-bin index into `Histogram::buckets`.
+    pub bucket: usize,
+    /// Correlation ID of the exemplified observation.
+    pub id: u64,
+    /// The exact observed value (always `<=` the bucket's bound).
+    pub value_ns: u64,
+}
+
 /// One fixed-bucket latency histogram.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Histogram {
@@ -50,6 +65,11 @@ pub struct Histogram {
     pub sum: u64,
     /// Largest observed value.
     pub max: u64,
+    /// Per-bucket exemplars (at most one per bucket, bucket-sorted).
+    /// Empty unless the cell was fed through
+    /// [`HistogramHandle::observe_ns_with_exemplar`] — plain
+    /// histograms render and merge exactly as before.
+    pub exemplars: Vec<Exemplar>,
 }
 
 /// Disjoint-bin index for one observation.
@@ -85,6 +105,28 @@ impl Histogram {
         self.count += other.count;
         self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
+        for e in &other.exemplars {
+            self.note_exemplar(*e);
+        }
+    }
+
+    /// Fold one exemplar into the per-bucket slots with a
+    /// *deterministic* precedence — larger `(value_ns, id)` wins — so
+    /// merging shard snapshots in any order yields the same exemplar
+    /// set. (The live path in `AtomicHistogram` keeps the *last*
+    /// observation instead; determinism only matters for merges.)
+    pub fn note_exemplar(&mut self, e: Exemplar) {
+        match self.exemplars.iter_mut().find(|x| x.bucket == e.bucket) {
+            Some(slot) => {
+                if (e.value_ns, e.id) > (slot.value_ns, slot.id) {
+                    *slot = e;
+                }
+            }
+            None => {
+                self.exemplars.push(e);
+                self.exemplars.sort_by_key(|x| x.bucket);
+            }
+        }
     }
 
     /// The bucket upper bound at or above quantile `q` (0.0..=1.0).
@@ -120,6 +162,12 @@ struct AtomicHistogram {
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
+    /// Last correlated observation per bucket. A leaf mutex, not an
+    /// atomic, because an exemplar is a (id, value) *pair* that must
+    /// never tear; it is touched only by `observe_with_exemplar`
+    /// callers (the wire server's response-complete path) and by
+    /// export-time snapshots, never by the plain `observe` hot path.
+    exemplars: Mutex<[Option<Exemplar>; BUCKET_BOUNDS_NS.len() + 1]>,
 }
 
 impl AtomicHistogram {
@@ -129,6 +177,7 @@ impl AtomicHistogram {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
+            exemplars: Mutex::new([None; BUCKET_BOUNDS_NS.len() + 1]),
         }
     }
 
@@ -143,12 +192,34 @@ impl AtomicHistogram {
         self.max.fetch_max(value_ns, Ordering::Relaxed);
     }
 
+    fn observe_with_exemplar(&self, value_ns: u64, id: u64) {
+        self.observe(value_ns);
+        let bucket = bucket_index(value_ns);
+        // lock-order: L0.b (exemplar slot) — leaf; nothing is ever
+        // acquired while this lock is held.
+        lock_unpoisoned(&self.exemplars)[bucket] = Some(Exemplar {
+            bucket,
+            id,
+            value_ns,
+        });
+    }
+
     fn snapshot(&self) -> Histogram {
+        // lock-order: L0.b (exemplar slot) — leaf; nothing is ever
+        // acquired while this lock is held. Callers may hold the L0
+        // registry map read lock (histograms_snapshot), which is why
+        // the slot sits strictly below L0.
+        let exemplars = lock_unpoisoned(&self.exemplars)
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
         Histogram {
             buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
             count: self.count.load(Ordering::Relaxed),
             sum: self.sum.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
+            exemplars,
         }
     }
 }
@@ -188,9 +259,54 @@ impl HistogramHandle {
         self.0.observe(value_ns);
     }
 
+    /// Record one latency observation *with* a correlation ID: the
+    /// bucket the value lands in remembers `(id, value_ns)` as its
+    /// exemplar (last write wins), exported by both renders. Costs one
+    /// leaf-mutex lock on top of [`HistogramHandle::observe_ns`], so
+    /// callers opt in per observation.
+    pub fn observe_ns_with_exemplar(&self, value_ns: u64, id: u64) {
+        self.0.observe_with_exemplar(value_ns, id);
+    }
+
     /// A point-in-time copy of the cell.
     pub fn snapshot(&self) -> Histogram {
         self.0.snapshot()
+    }
+}
+
+/// A pre-resolved reference to one gauge cell: an instantaneous
+/// level (open connections, queue depth) rather than a monotone
+/// count, rendered under `# TYPE … gauge`. Same locking story as
+/// [`CounterHandle`]: every operation is one atomic on the shared
+/// cell. `SeqCst` because gauges mirror admission-ladder state whose
+/// reads ( `/healthz`, `/statusz`) must not run ahead of the
+/// increments they report.
+#[derive(Debug, Clone)]
+pub struct GaugeHandle(Arc<AtomicU64>);
+
+impl GaugeHandle {
+    /// Overwrite the level.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::SeqCst);
+    }
+
+    /// Raise the level by `delta`.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::SeqCst);
+    }
+
+    /// Lower the level by `delta`, saturating at zero.
+    pub fn sub(&self, delta: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                Some(v.saturating_sub(delta))
+            });
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
     }
 }
 
@@ -240,6 +356,7 @@ impl LazyCounter {
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
     histograms: RwLock<BTreeMap<String, Arc<AtomicHistogram>>>,
 }
 
@@ -285,6 +402,31 @@ impl MetricsRegistry {
                 .entry(name.to_string())
                 .or_insert_with(|| Arc::new(AtomicU64::new(0))),
         ))
+    }
+
+    /// Resolve (registering at zero if needed) a pre-shared handle to
+    /// gauge `name` (see [`MetricsRegistry::counter_handle`]).
+    pub fn gauge_handle(&self, name: &str) -> GaugeHandle {
+        // lock-order: L0 (metrics registry map) — innermost.
+        {
+            if let Some(g) = read_unpoisoned(&self.gauges).get(name) {
+                return GaugeHandle(Arc::clone(g));
+            }
+        }
+        GaugeHandle(Arc::clone(
+            write_unpoisoned(&self.gauges)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        ))
+    }
+
+    /// Current value of gauge `name` (0 when never registered).
+    pub fn gauge(&self, name: &str) -> u64 {
+        // lock-order: L0 (metrics registry map) — innermost.
+        read_unpoisoned(&self.gauges)
+            .get(name)
+            .map(|g| g.load(Ordering::SeqCst))
+            .unwrap_or(0)
     }
 
     /// Resolve (registering an empty cell if needed) a pre-shared
@@ -345,6 +487,15 @@ impl MetricsRegistry {
             .collect()
     }
 
+    /// All gauge (name, value) pairs in name order.
+    pub fn gauges_snapshot(&self) -> Vec<(String, u64)> {
+        // lock-order: L0 (metrics registry map) — innermost.
+        read_unpoisoned(&self.gauges)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::SeqCst)))
+            .collect()
+    }
+
     /// All histogram (name, snapshot) pairs in name order.
     pub fn histograms_snapshot(&self) -> Vec<(String, Histogram)> {
         // lock-order: L0 (metrics registry map) — innermost.
@@ -359,22 +510,22 @@ impl MetricsRegistry {
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             counters: self.counters_snapshot().into_iter().collect(),
+            gauges: self.gauges_snapshot().into_iter().collect(),
             histograms: self.histograms_snapshot().into_iter().collect(),
         }
     }
 
-    /// Render every instrument as Prometheus-style text: counters as
-    /// `name value` lines, histograms as `_count`/`_sum`/`_max` plus
-    /// the deterministic quantile gauges. Output is sorted by name and
-    /// stable for a given set of values.
+    /// Render every instrument as Prometheus text exposition format
+    /// (see [`MetricsSnapshot::render_prometheus`]). Output is sorted
+    /// by family then series and stable for a given set of values.
     pub fn render_prometheus(&self) -> String {
         self.snapshot().render_prometheus()
     }
 
     /// Render every instrument as a single JSON object:
-    /// `{"counters": {...}, "histograms": {name: {count, sum, max,
-    /// p50, p95, p99, buckets: [...]}}}`. Key order is sorted, so the
-    /// output is stable.
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {name:
+    /// {count, sum, max, p50, p95, p99, buckets: [...]}}}`. Key order
+    /// is sorted, so the output is stable.
     pub fn render_json(&self) -> String {
         self.snapshot().render_json()
     }
@@ -393,37 +544,90 @@ impl MetricsRegistry {
 pub struct MetricsSnapshot {
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name (instantaneous levels).
+    pub gauges: BTreeMap<String, u64>,
     /// Histogram snapshots by name.
     pub histograms: BTreeMap<String, Histogram>,
 }
 
 impl MetricsSnapshot {
-    /// Fold `other` into this snapshot: counters add, histograms merge
-    /// bin-wise ([`Histogram::merge`]).
+    /// Fold `other` into this snapshot: counters and gauges add,
+    /// histograms merge bin-wise ([`Histogram::merge`]). Summing
+    /// gauges is the right merge for shard workers: each reports its
+    /// own level, and at quiesce every level is zero.
     pub fn merge(&mut self, other: &MetricsSnapshot) {
         for (name, value) in &other.counters {
             *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, value) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_insert(0) += value;
         }
         for (name, h) in &other.histograms {
             self.histograms.entry(name.clone()).or_default().merge(h);
         }
     }
 
-    /// Prometheus-style text, same layout as
-    /// [`MetricsRegistry::render_prometheus`].
+    /// Prometheus text exposition format: every family gets a
+    /// `# HELP` and `# TYPE` header (counters `counter`, gauges
+    /// `gauge`, histograms `histogram` with cumulative `_bucket{le=…}`
+    /// series plus `_sum`/`_count`); the deterministic `_max`/`_p50`/
+    /// `_p95`/`_p99` derivations are exported as their own gauge
+    /// families. Buckets carrying an exemplar render it in
+    /// OpenMetrics form (`… # {request_id="…"} value`). Families are
+    /// sorted by base name, series within a family by full name, so
+    /// output is byte-stable for a given set of values.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
-        for (name, value) in &self.counters {
-            let _ = writeln!(out, "{name} {value}");
-        }
+        render_scalar_families(&mut out, &self.counters, "counter");
+        render_scalar_families(&mut out, &self.gauges, "gauge");
+        let mut families: BTreeMap<&str, Vec<(&str, &Histogram)>> = BTreeMap::new();
         for (name, h) in &self.histograms {
             let (base, labels) = split_labels(name);
-            let _ = writeln!(out, "{base}_count{labels} {}", h.count);
-            let _ = writeln!(out, "{base}_sum{labels} {}", h.sum);
-            let _ = writeln!(out, "{base}_max{labels} {}", h.max);
-            let _ = writeln!(out, "{base}_p50{labels} {}", h.quantile_ns(0.50));
-            let _ = writeln!(out, "{base}_p95{labels} {}", h.quantile_ns(0.95));
-            let _ = writeln!(out, "{base}_p99{labels} {}", h.quantile_ns(0.99));
+            families.entry(base).or_default().push((labels, h));
+        }
+        for (base, members) in &families {
+            let _ = writeln!(out, "# HELP {base} {}", help_text(base));
+            let _ = writeln!(out, "# TYPE {base} histogram");
+            for (labels, h) in members {
+                let mut cumulative = 0u64;
+                for (i, &n) in h.buckets.iter().enumerate() {
+                    cumulative += n;
+                    let le = match BUCKET_BOUNDS_NS.get(i) {
+                        Some(bound) => bound.to_string(),
+                        None => "+Inf".to_string(),
+                    };
+                    let series = labels_with(labels, &format!("le=\"{le}\""));
+                    match h.exemplars.iter().find(|e| e.bucket == i) {
+                        Some(e) => {
+                            let _ = writeln!(
+                                out,
+                                "{base}_bucket{series} {cumulative} # {{request_id=\"{:016x}\"}} {}",
+                                e.id, e.value_ns
+                            );
+                        }
+                        None => {
+                            let _ = writeln!(out, "{base}_bucket{series} {cumulative}");
+                        }
+                    }
+                }
+                let _ = writeln!(out, "{base}_sum{labels} {}", h.sum);
+                let _ = writeln!(out, "{base}_count{labels} {}", h.count);
+            }
+            for (suffix, q) in [
+                ("max", None),
+                ("p50", Some(0.50)),
+                ("p95", Some(0.95)),
+                ("p99", Some(0.99)),
+            ] {
+                let _ = writeln!(out, "# TYPE {base}_{suffix} gauge");
+                for (labels, h) in members {
+                    let value = match q {
+                        Some(q) => h.quantile_ns(q),
+                        None => h.max,
+                    };
+                    let _ = writeln!(out, "{base}_{suffix}{labels} {value}");
+                }
+            }
         }
         out
     }
@@ -433,6 +637,13 @@ impl MetricsSnapshot {
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{value}", json_string(name));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -460,7 +671,18 @@ impl MetricsSnapshot {
                 }
                 let _ = write!(out, "{n}");
             }
-            out.push_str("]}");
+            out.push(']');
+            if !h.exemplars.is_empty() {
+                out.push_str(",\"exemplars\":[");
+                for (j, e) in h.exemplars.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "[{},{},{}]", e.bucket, e.id, e.value_ns);
+                }
+                out.push(']');
+            }
+            out.push('}');
         }
         out.push_str("}}");
         out
@@ -603,6 +825,21 @@ impl Parser<'_> {
             }
         }
         self.eat(b',')?;
+        self.key("gauges")?;
+        self.eat(b'{')?;
+        if !self.peek_eat(b'}') {
+            loop {
+                let name = self.string()?;
+                self.eat(b':')?;
+                let value = self.number()?;
+                snap.gauges.insert(name, value);
+                if self.peek_eat(b'}') {
+                    break;
+                }
+                self.eat(b',')?;
+            }
+        }
+        self.eat(b',')?;
         self.key("histograms")?;
         self.eat(b'{')?;
         if !self.peek_eat(b'}') {
@@ -646,6 +883,32 @@ impl Parser<'_> {
             *bucket = self.number()?;
         }
         self.eat(b']')?;
+        // Optional exemplar list — only written for cells that carry
+        // exemplars, so plain histograms keep their exact old shape.
+        if self.peek_eat(b',') {
+            self.key("exemplars")?;
+            self.eat(b'[')?;
+            if !self.peek_eat(b']') {
+                loop {
+                    self.eat(b'[')?;
+                    let bucket = self.number()? as usize;
+                    self.eat(b',')?;
+                    let id = self.number()?;
+                    self.eat(b',')?;
+                    let value_ns = self.number()?;
+                    self.eat(b']')?;
+                    h.exemplars.push(Exemplar {
+                        bucket,
+                        id,
+                        value_ns,
+                    });
+                    if self.peek_eat(b']') {
+                        break;
+                    }
+                    self.eat(b',')?;
+                }
+            }
+        }
         self.eat(b'}')?;
         Some(h)
     }
@@ -660,6 +923,71 @@ fn split_labels(name: &str) -> (&str, &str) {
         Some(i) => (&name[..i], &name[i..]),
         None => (name, ""),
     }
+}
+
+/// Append `extra` (a `key="value"` pair) to a `{…}` label set; an
+/// empty label set becomes `{extra}`.
+fn labels_with(labels: &str, extra: &str) -> String {
+    if labels.is_empty() {
+        format!("{{{extra}}}")
+    } else {
+        format!("{{{},{extra}}}", &labels[1..labels.len() - 1])
+    }
+}
+
+/// One scalar section (counters or gauges) in exposition format:
+/// series grouped into families by base name, each family headed by
+/// `# HELP` / `# TYPE` lines.
+fn render_scalar_families(out: &mut String, values: &BTreeMap<String, u64>, kind: &str) {
+    let mut families: BTreeMap<&str, Vec<(&str, u64)>> = BTreeMap::new();
+    for (name, value) in values {
+        let (base, _) = split_labels(name);
+        families.entry(base).or_default().push((name, *value));
+    }
+    for (base, members) in &families {
+        let _ = writeln!(out, "# HELP {base} {}", help_text(base));
+        let _ = writeln!(out, "# TYPE {base} {kind}");
+        for (name, value) in members {
+            let _ = writeln!(out, "{name} {value}");
+        }
+    }
+}
+
+/// The `# HELP` line for a metric family: a short description for the
+/// families this codebase emits, a generic fallback for ad-hoc names.
+/// Escaped per the exposition format (`\\` and `\n`).
+fn help_text(base: &str) -> String {
+    let text = match base {
+        "wire_server_request_ns" => "serving-path response latency (admin routes excluded)",
+        "wire_server_admin_request_ns" => "admin-route response latency",
+        "wire_server_open_conns" => "connections currently open",
+        "wire_server_in_flight" => "connections holding an in-flight slot",
+        "wire_server_queued" => "connections parked in the bounded accept queue",
+        "wire_server_responses_total" => "serving-path responses by status code",
+        "wire_server_admin_responses_total" => "admin-route responses by route",
+        "obs_events_recorded" => "trace events durably recorded",
+        "obs_events_dropped" => "trace events dropped at ring capacity",
+        _ => "wsinterop metric",
+    };
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escape one label *value* per the Prometheus text exposition format:
+/// backslash, double quote, and line feed. Callers bake labels into
+/// metric names (`name{key="value"}`), so escaping happens at bake
+/// time — for the framework/code labels this codebase uses the
+/// function is the identity, but ad-hoc values stay parseable.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Minimal JSON string escaping (quotes, backslash, control chars).
@@ -735,6 +1063,115 @@ mod tests {
     #[test]
     fn json_escaping_covers_specials() {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn label_value_escaping_covers_specials() {
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+        assert_eq!(escape_label_value("Metro"), "Metro");
+    }
+
+    /// The exhaustive exposition-format pin: every family carries
+    /// `# HELP` / `# TYPE` headers (exactly one per family, however
+    /// many series share the base name), gauges are typed `gauge`,
+    /// histograms emit cumulative `le`-labelled buckets ending at
+    /// `+Inf`, and every non-comment line is `name value`-shaped.
+    #[test]
+    fn prometheus_exposition_format_is_compliant() {
+        let reg = MetricsRegistry::new();
+        reg.inc("requests_total{code=\"200\"}");
+        reg.inc("requests_total{code=\"503\"}");
+        reg.gauge_handle("depth").set(3);
+        reg.observe_ns("lat_ns", 1_500);
+        let text = reg.render_prometheus();
+        assert_eq!(text.matches("# TYPE requests_total counter").count(), 1);
+        assert_eq!(text.matches("# HELP requests_total ").count(), 1);
+        assert!(text.contains("requests_total{code=\"200\"} 1"), "{text}");
+        assert!(text.contains("# TYPE depth gauge"), "{text}");
+        assert!(text.contains("\ndepth 3\n"), "{text}");
+        assert!(text.contains("# TYPE lat_ns histogram"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"1000\"} 0"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"2000\"} 1"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 1"), "{text}");
+        assert!(text.contains("lat_ns_sum 1500"), "{text}");
+        assert!(text.contains("lat_ns_count 1"), "{text}");
+        for suffix in ["max", "p50", "p95", "p99"] {
+            assert!(text.contains(&format!("# TYPE lat_ns_{suffix} gauge")), "{text}");
+        }
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "stray comment: {line}"
+                );
+                continue;
+            }
+            let value_part = match line.split_once(" # {") {
+                Some((head, _)) => head, // exemplar suffix
+                None => line,
+            };
+            let value = value_part.rsplit_once(' ').map(|(_, v)| v).unwrap_or("");
+            assert!(value.parse::<u64>().is_ok(), "bad series line: {line}");
+        }
+    }
+
+    #[test]
+    fn gauges_level_saturate_and_render_as_gauge() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge_handle("wire_server_queued");
+        g.add(2);
+        g.sub(1);
+        assert_eq!(g.get(), 1);
+        g.sub(5);
+        assert_eq!(g.get(), 0, "sub saturates at zero");
+        g.set(7);
+        assert_eq!(reg.gauge("wire_server_queued"), 7);
+        assert_eq!(reg.gauge("missing"), 0);
+        let json = reg.render_json();
+        assert!(json.contains("\"gauges\":{\"wire_server_queued\":7}"), "{json}");
+        let parsed = MetricsSnapshot::parse_json(&json).expect("parses");
+        assert_eq!(parsed.gauges.get("wire_server_queued"), Some(&7));
+        assert_eq!(parsed.render_json(), json);
+    }
+
+    #[test]
+    fn exemplars_record_render_merge_and_round_trip() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram_handle("wire_server_request_ns");
+        h.observe_ns_with_exemplar(1_500, 0xabcd);
+        h.observe_ns_with_exemplar(1_600, 0xbeef); // same bucket: last wins
+        h.observe_ns(9_999_999); // plain observation leaves no exemplar
+        let snap = h.snapshot();
+        assert_eq!(
+            snap.exemplars,
+            vec![Exemplar { bucket: 1, id: 0xbeef, value_ns: 1_600 }]
+        );
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("# {request_id=\"000000000000beef\"} 1600"),
+            "{text}"
+        );
+        let json = reg.render_json();
+        let parsed = MetricsSnapshot::parse_json(&json).expect("parses");
+        assert_eq!(parsed, reg.snapshot());
+        assert_eq!(parsed.render_json(), json);
+
+        // Snapshot merge is order-independent: larger (value, id) wins.
+        let mut a = Histogram::default();
+        a.observe(1_500);
+        a.note_exemplar(Exemplar { bucket: 1, id: 1, value_ns: 1_500 });
+        let mut b = Histogram::default();
+        b.observe(1_600);
+        b.note_exemplar(Exemplar { bucket: 1, id: 2, value_ns: 1_600 });
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(
+            ab.exemplars,
+            vec![Exemplar { bucket: 1, id: 2, value_ns: 1_600 }]
+        );
     }
 
     /// The sharding edge case called out in ISSUE 6: observations

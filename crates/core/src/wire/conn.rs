@@ -24,7 +24,7 @@ use std::net::TcpStream;
 use std::time::Instant;
 
 use super::http::{self, HttpError, Request, RequestHead};
-use super::server::Env;
+use super::server::{Env, PendingResponse};
 
 /// Bytes read per `read()` call; reads per conn per reactor pass are
 /// capped so one fast peer cannot starve the rest of the loop.
@@ -78,9 +78,11 @@ pub(crate) struct Conn {
     read_deadline: Instant,
     write_deadline: Instant,
     total_deadline: Instant,
-    /// Armed when a request is dispatched; cleared when its response
-    /// is fully flushed (feeds `wire_server_request_ns`).
-    req_started: Option<Instant>,
+    /// Armed when a request is dispatched; resolved when its response
+    /// is fully flushed (feeds `wire_server_request_ns` — or the
+    /// admin-plane histogram — plus the optional trace span, keyed by
+    /// the request's deterministic id).
+    pending: Option<PendingResponse>,
 }
 
 impl Conn {
@@ -126,7 +128,7 @@ impl Conn {
             read_deadline: now + env.config.read_timeout,
             write_deadline: now + env.config.write_timeout,
             total_deadline: now + env.config.total_timeout,
-            req_started: None,
+            pending: None,
         }
     }
 
@@ -349,9 +351,19 @@ impl Conn {
             env.stats.demoted.inc();
             close = true;
         }
-        self.req_started = Some(now);
-        let response = env.respond(&request, close);
-        self.outbuf = response;
+        let request_id = env.next_request_id();
+        // The path is only captured for the trace span — the serving
+        // path never allocates for telemetry that is switched off.
+        let path = env.config.trace.is_some().then(|| request.path().to_string());
+        let responded = env.respond(&request, close, request_id);
+        self.pending = Some(PendingResponse {
+            started: now,
+            request_id,
+            status: responded.status,
+            admin: responded.admin,
+            path,
+        });
+        self.outbuf = responded.bytes;
         self.written = 0;
         self.close_after_write = close;
         self.write_deadline = now + env.config.write_timeout;
@@ -368,10 +380,9 @@ impl Conn {
         let mut progressed = false;
         for _ in 0..MAX_IO_ROUNDS {
             if self.written == self.outbuf.len() {
-                if let Some(started) = self.req_started.take() {
-                    env.stats
-                        .request_ns
-                        .observe_ns(now.duration_since(started).as_nanos() as u64);
+                if let Some(pending) = self.pending.take() {
+                    let dur_ns = now.duration_since(pending.started).as_nanos() as u64;
+                    env.complete_response(&pending, dur_ns);
                 }
                 if self.close_after_write {
                     return Drive::Close;

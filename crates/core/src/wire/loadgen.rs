@@ -55,6 +55,10 @@ pub struct LoadgenConfig {
     pub abort_pct: u8,
     /// Percent of ops that declare a body over the server's cap.
     pub oversized_pct: u8,
+    /// Percent of ops that scrape the admin plane instead of posting
+    /// SOAP: `GET /metrics` + `GET /healthz`, each on a fresh
+    /// connection, classified into the scrape closed set.
+    pub scrape_pct: u8,
     /// Percent of *normal* ops that request keep-alive (connection
     /// churn is the complement).
     pub keep_alive_pct: u8,
@@ -82,6 +86,7 @@ impl Default for LoadgenConfig {
             slow_pct: 5,
             abort_pct: 5,
             oversized_pct: 5,
+            scrape_pct: 0,
             keep_alive_pct: 50,
             dawdle: Duration::from_millis(400),
             oversized_declared: (1 << 20) + 1,
@@ -108,6 +113,10 @@ pub enum OpProfile {
     /// Declare a body over the server's cap; expect `413` before any
     /// body byte is sent.
     Oversized,
+    /// Scrape the admin plane mid-load: `GET /metrics` then
+    /// `GET /healthz`, each on its own connection so the scrape rides
+    /// the same admission ladder as SOAP traffic.
+    Scrape,
 }
 
 /// The deterministic half of a run: what was planned (pure function
@@ -122,6 +131,8 @@ pub struct LoadgenCounts {
     pub planned_abort: usize,
     /// Planned oversized posts.
     pub planned_oversized: usize,
+    /// Planned admin scrape ops.
+    pub planned_scrape: usize,
     /// Planned keep-alive requests among the normal ops.
     pub planned_keep_alive: usize,
     /// `200` SOAP/WSDL responses.
@@ -145,6 +156,22 @@ pub struct LoadgenCounts {
     /// Responses carrying `Connection: close` against a keep-alive
     /// request (the demotion layer, or budget/drain closes).
     pub demoted: usize,
+    /// `/metrics` scrapes answered `200`.
+    pub scrape_ok: usize,
+    /// `/healthz` checks answered `200 ok`.
+    pub scrape_healthy: usize,
+    /// `/healthz` checks answered `503 degraded`/`503 draining` by the
+    /// route itself (the ladder is queueing or the server is
+    /// stopping).
+    pub scrape_degraded: usize,
+    /// Admin requests shed `503` by the accept gate or queue deadline
+    /// before reaching the route.
+    pub scrape_shed: usize,
+    /// Admin requests that ended in a transport-level close.
+    pub scrape_closed: usize,
+    /// Admin responses outside the scrape closed set — pinned to 0
+    /// like `malformed`.
+    pub scrape_malformed: usize,
 }
 
 /// The measured half of a run (excluded from byte-stable output).
@@ -157,6 +184,10 @@ pub struct LoadgenTiming {
     /// Latency over *served* requests only (`200`/`500`), measured
     /// request-start → response-read.
     pub latency: Histogram,
+    /// Latency over answered admin scrapes, kept out of the serving
+    /// histogram for the same reason the server splits
+    /// `wire_server_admin_request_ns` from `wire_server_request_ns`.
+    pub scrape_latency: Histogram,
 }
 
 /// One finished run.
@@ -168,7 +199,10 @@ pub struct LoadgenReport {
     pub timing: LoadgenTiming,
 }
 
-fn splitmix64(mut x: u64) -> u64 {
+/// Shared with the server's request-id stream (`server::Env`): both
+/// sides derive deterministic values from `(seed, ordinal)` with the
+/// same bijective mixer.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -183,12 +217,15 @@ pub fn plan_op(config: &LoadgenConfig, index: usize) -> OpProfile {
     let slow = config.slow_pct;
     let abort = slow.saturating_add(config.abort_pct);
     let oversized = abort.saturating_add(config.oversized_pct);
+    let scrape = oversized.saturating_add(config.scrape_pct);
     if roll < slow {
         OpProfile::SlowLoris
     } else if roll < abort {
         OpProfile::Abort
     } else if roll < oversized {
         OpProfile::Oversized
+    } else if roll < scrape {
+        OpProfile::Scrape
     } else {
         let ka_roll = ((bits >> 32) % 100) as u8;
         OpProfile::Normal { keep_alive: ka_roll < config.keep_alive_pct }
@@ -216,6 +253,7 @@ pub fn plan_counts(config: &LoadgenConfig) -> LoadgenCounts {
             OpProfile::SlowLoris => counts.planned_slow += 1,
             OpProfile::Abort => counts.planned_abort += 1,
             OpProfile::Oversized => counts.planned_oversized += 1,
+            OpProfile::Scrape => counts.planned_scrape += 1,
         }
     }
     counts
@@ -227,6 +265,7 @@ pub fn plan_counts(config: &LoadgenConfig) -> LoadgenCounts {
 struct ThreadTally {
     counts: LoadgenCounts,
     latency: Histogram,
+    scrape_latency: Histogram,
 }
 
 /// Runs the full mix against `addr` and classifies every outcome.
@@ -270,9 +309,11 @@ pub fn run(addr: SocketAddr, corpus: &[CorpusEntry], config: &LoadgenConfig) -> 
 
     let mut counts = plan_counts(config);
     let mut latency = Histogram::default();
+    let mut scrape_latency = Histogram::default();
     for tally in &tallies {
         merge_counts(&mut counts, &tally.counts);
         latency.merge(&tally.latency);
+        scrape_latency.merge(&tally.scrape_latency);
     }
     let req_per_s = if elapsed.as_secs_f64() > 0.0 {
         config.ops as f64 / elapsed.as_secs_f64()
@@ -281,7 +322,7 @@ pub fn run(addr: SocketAddr, corpus: &[CorpusEntry], config: &LoadgenConfig) -> 
     };
     LoadgenReport {
         counts,
-        timing: LoadgenTiming { elapsed, req_per_s, latency },
+        timing: LoadgenTiming { elapsed, req_per_s, latency, scrape_latency },
     }
 }
 
@@ -295,6 +336,12 @@ fn merge_counts(into: &mut LoadgenCounts, from: &LoadgenCounts) {
     into.closed += from.closed;
     into.malformed += from.malformed;
     into.demoted += from.demoted;
+    into.scrape_ok += from.scrape_ok;
+    into.scrape_healthy += from.scrape_healthy;
+    into.scrape_degraded += from.scrape_degraded;
+    into.scrape_shed += from.scrape_shed;
+    into.scrape_closed += from.scrape_closed;
+    into.scrape_malformed += from.scrape_malformed;
 }
 
 fn connect(addr: SocketAddr, config: &LoadgenConfig) -> Option<TcpStream> {
@@ -411,6 +458,39 @@ fn run_op(
             drop(stream); // mid-request close; the server must absorb it
             tally.counts.aborted += 1;
         }
+        OpProfile::Scrape => {
+            // Each admin request rides its own connection so the
+            // scrape walks the same admission ladder as SOAP traffic;
+            // both classify independently into the scrape closed set.
+            for target in ["/metrics", "/healthz"] {
+                let Some(mut stream) = connect(addr, config) else {
+                    tally.counts.scrape_closed += 1;
+                    continue;
+                };
+                let started = Instant::now();
+                if http::write_request(&mut stream, "GET", target, "127.0.0.1", None, b"", true)
+                    .is_err()
+                {
+                    tally.counts.scrape_closed += 1;
+                    continue;
+                }
+                match http::read_response(&stream, &config.limits) {
+                    Ok(response) => {
+                        tally.scrape_latency.observe(
+                            started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                        );
+                        classify_scrape(target, &response, &mut tally.counts);
+                    }
+                    Err(
+                        http::HttpError::ConnectionClosed
+                        | http::HttpError::Reset
+                        | http::HttpError::Timeout
+                        | http::HttpError::TruncatedBody { .. },
+                    ) => tally.counts.scrape_closed += 1,
+                    Err(_) => tally.counts.scrape_malformed += 1,
+                }
+            }
+        }
         OpProfile::Oversized => {
             let Some(mut stream) = connect(addr, config) else {
                 tally.counts.closed += 1;
@@ -441,6 +521,25 @@ fn run_op(
                 Err(_) => tally.counts.malformed += 1,
             }
         }
+    }
+}
+
+/// Classifies one admin response into the scrape closed set. The
+/// route's own `503 degraded`/`503 draining` is distinguished from an
+/// accept-gate shed by the body the healthz route writes — the ladder
+/// sheds with its overload reason text instead.
+fn classify_scrape(target: &str, response: &http::Response, counts: &mut LoadgenCounts) {
+    match (target, response.status) {
+        ("/metrics", 200) => counts.scrape_ok += 1,
+        ("/healthz", 200) => counts.scrape_healthy += 1,
+        ("/healthz", 503)
+            if response.body == b"degraded".as_slice()
+                || response.body == b"draining".as_slice() =>
+        {
+            counts.scrape_degraded += 1;
+        }
+        (_, 503) => counts.scrape_shed += 1,
+        _ => counts.scrape_malformed += 1,
     }
 }
 
@@ -481,6 +580,7 @@ mod tests {
             slow_pct: 10,
             abort_pct: 10,
             oversized_pct: 10,
+            scrape_pct: 10,
             ..LoadgenConfig::default()
         };
         let counts = plan_counts(&config);
@@ -488,14 +588,28 @@ mod tests {
             counts.planned_normal
                 + counts.planned_slow
                 + counts.planned_abort
-                + counts.planned_oversized,
+                + counts.planned_oversized
+                + counts.planned_scrape,
             config.ops
         );
-        // Each abusive profile gets a nonzero share at 10%.
+        // Each non-normal profile gets a nonzero share at 10%.
         assert!(counts.planned_slow > 0);
         assert!(counts.planned_abort > 0);
         assert!(counts.planned_oversized > 0);
+        assert!(counts.planned_scrape > 0);
         assert!(counts.planned_keep_alive <= counts.planned_normal);
+    }
+
+    #[test]
+    fn scrape_share_is_opt_in_and_leaves_default_plans_unchanged() {
+        // scrape_pct defaults to 0, so a pre-scrape plan is
+        // byte-identical to one computed by this build.
+        let config = LoadgenConfig { ops: 400, seed: 7, ..LoadgenConfig::default() };
+        let counts = plan_counts(&config);
+        assert_eq!(counts.planned_scrape, 0);
+        let scraping =
+            LoadgenConfig { ops: 400, seed: 7, scrape_pct: 15, ..LoadgenConfig::default() };
+        assert!(plan_counts(&scraping).planned_scrape > 0);
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod http;
 pub mod loadgen;
 pub mod proxy;
 pub mod server;
+pub mod watch;
 
 use std::net::SocketAddr;
 
@@ -49,6 +50,10 @@ pub use loadgen::{CorpusEntry, LoadgenConfig, LoadgenCounts, LoadgenReport, OpPr
 pub use proxy::FaultProxy;
 pub use server::{
     host_survey_services, HostedService, WireServer, WireServerConfig, WireStats, SHUTDOWN_PATH,
+};
+pub use watch::{
+    diff_samples, parse_prometheus, render_diff_table, scrape_text, SampleKind, ScrapeDiff,
+    SnapshotFrame, SnapshotRing,
 };
 
 /// Runs one Communication + Execution cycle **over the socket**: build

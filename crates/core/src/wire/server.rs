@@ -29,13 +29,23 @@
 //!
 //! Size limits (`413` before buffering) and graceful drain (stop
 //! accepting, serve what is in flight, then exit) carry over from the
-//! blocking design unchanged, as does every response byte — the E15
-//! loopback ≡ in-process equivalence depends on that.
+//! blocking design unchanged. Every dispatched response additionally
+//! carries a deterministic `X-Request-Id` header (DESIGN.md §16) —
+//! body bytes and status classification are untouched, which is what
+//! the E15 loopback ≡ in-process equivalence actually compares.
+//!
+//! The **admin plane** (§16) rides the same reactors: `GET /metrics`
+//! (Prometheus text), `GET /healthz` (readiness from the ladder
+//! state) and `GET /statusz` (JSON snapshot) are served through the
+//! identical state machine and `render_response` path as SOAP
+//! traffic, but accounted under `wire_server_admin_*` so the
+//! served-only latency histogram and its quantiles never mix scrape
+//! traffic into serving numbers.
 
 use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -45,10 +55,14 @@ use wsinterop_wsdl::{soap, Definitions};
 use wsinterop_xml::writer::{write_document, WriteOptions};
 
 use crate::exchange::serve_echo;
-use crate::obs::{CounterHandle, HistogramHandle, MetricsRegistry};
+use crate::obs::{
+    CounterHandle, GaugeHandle, HistogramHandle, MetricsRegistry, TraceEvent, TracePhase,
+    TraceSink,
+};
 
 use super::conn::{Conn, Drive, Phase};
 use super::http::{self, HttpLimits, Request};
+use super::loadgen::splitmix64;
 
 /// The admin path that triggers a remote graceful shutdown.
 pub const SHUTDOWN_PATH: &str = "/__admin/shutdown";
@@ -135,6 +149,16 @@ pub struct WireServerConfig {
     /// latency histogram (`wire_server_request_ns`) is fed.
     /// Observe-only: responses are byte-identical with or without it.
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Seed for the deterministic request-id stream: the id of the
+    /// n-th dispatched request is `splitmix64(seed ^ mix(n))`, a
+    /// bijective map, so ids are unique per request and the *set* of
+    /// ids for a run depends only on the seed and the request count —
+    /// not on reactor interleaving.
+    pub request_seed: u64,
+    /// Optional trace sink: when set, every dispatched request records
+    /// one `wire`-phase exit span carrying its request id, path,
+    /// status and flush-complete latency. Observe-only.
+    pub trace: Option<TraceSink>,
 }
 
 impl Default for WireServerConfig {
@@ -150,6 +174,8 @@ impl Default for WireServerConfig {
             limits: HttpLimits::default(),
             keep_alive_requests: 64,
             metrics: None,
+            request_seed: 0x5EED_1D00_C0DE_CAFE,
+            trace: None,
         }
     }
 }
@@ -168,9 +194,17 @@ pub(crate) struct Gauges {
     pub(crate) queued: AtomicUsize,
 }
 
-/// Pre-resolved status codes for `wire_server_responses_total`; any
-/// other code falls back to a by-name registry lookup.
+/// Pre-resolved status codes for `wire_server_responses_total` —
+/// every code the degradation ladder can emit. A code outside this
+/// set ticks `wire_server_responses_fallback_total` instead of taking
+/// the registry lock on the serving path (docs/CONCURRENCY.md rule 5);
+/// the set being exhaustive is pinned by a test, so the fallback
+/// counter staying 0 is itself an invariant.
 const RESPONSE_CODES: [u16; 8] = [200, 400, 404, 405, 408, 413, 500, 503];
+
+/// Admin-plane routes, pre-resolved like the status codes so a scrape
+/// never locks the registry either.
+const ADMIN_ROUTES: [&str; 4] = ["metrics", "healthz", "statusz", "shutdown"];
 
 /// Live serving-path telemetry: registry-backed counter/histogram
 /// handles (pre-resolved once, per docs/CONCURRENCY.md rule 5) plus
@@ -194,9 +228,26 @@ pub struct WireStats {
     pub(crate) admitted: CounterHandle,
     pub(crate) completed: CounterHandle,
     pub(crate) request_ns: HistogramHandle,
+    /// Admin-plane accounting (DESIGN.md §16): scrapes/health checks
+    /// ride the serving reactors but never touch the serving-path
+    /// counters or `wire_server_request_ns`.
+    pub(crate) admin: CounterHandle,
+    pub(crate) admin_request_ns: HistogramHandle,
+    admin_responses: [(&'static str, CounterHandle); ADMIN_ROUTES.len()],
     responses: [(u16, CounterHandle); RESPONSE_CODES.len()],
+    /// Responses with a status outside [`RESPONSE_CODES`] — the ladder
+    /// never produces one, so this stays 0; it replaces the old
+    /// by-name registry fallback that locked on the serving path.
+    responses_fallback: CounterHandle,
+    /// Ordinal source for the deterministic request-id stream.
+    pub(crate) req_seq: Arc<AtomicU64>,
+    /// Registry mirrors of the admission gauges, synced on scrape so
+    /// `/metrics` and `/statusz` expose live connection state.
+    open_gauge: GaugeHandle,
+    in_flight_gauge: GaugeHandle,
+    queued_gauge: GaugeHandle,
     pub(crate) gauges: Arc<Gauges>,
-    registry: Arc<MetricsRegistry>,
+    pub(crate) registry: Arc<MetricsRegistry>,
 }
 
 impl WireStats {
@@ -218,6 +269,16 @@ impl WireStats {
             admitted: counter("wire_server_admitted_total"),
             completed: counter("wire_server_completed_total"),
             request_ns: registry.histogram_handle("wire_server_request_ns"),
+            admin: counter("wire_server_admin_total"),
+            admin_request_ns: registry.histogram_handle("wire_server_admin_request_ns"),
+            admin_responses: ADMIN_ROUTES.map(|route| {
+                (
+                    route,
+                    registry.counter_handle(&format!(
+                        "wire_server_admin_responses_total{{route=\"{route}\"}}"
+                    )),
+                )
+            }),
             responses: RESPONSE_CODES.map(|code| {
                 (
                     code,
@@ -226,6 +287,11 @@ impl WireStats {
                     )),
                 )
             }),
+            responses_fallback: counter("wire_server_responses_fallback_total"),
+            req_seq: Arc::new(AtomicU64::new(0)),
+            open_gauge: registry.gauge_handle("wire_server_open_conns"),
+            in_flight_gauge: registry.gauge_handle("wire_server_in_flight"),
+            queued_gauge: registry.gauge_handle("wire_server_queued"),
             gauges: Arc::new(Gauges::default()),
             registry,
         }
@@ -234,10 +300,26 @@ impl WireStats {
     fn count_response(&self, status: u16) {
         match self.responses.iter().find(|(code, _)| *code == status) {
             Some((_, handle)) => handle.inc(),
-            None => self
-                .registry
-                .inc(&format!("wire_server_responses_total{{code=\"{status}\"}}")),
+            // Unreachable by construction (RESPONSE_CODES is the
+            // ladder's whole vocabulary); counted, never locked on.
+            None => self.responses_fallback.inc(),
         }
+    }
+
+    fn count_admin(&self, route: &str) {
+        match self.admin_responses.iter().find(|(name, _)| *name == route) {
+            Some((_, handle)) => handle.inc(),
+            None => self.responses_fallback.inc(),
+        }
+    }
+
+    /// Mirrors the live admission gauges into the registry so a render
+    /// (scrape, statusz, loadgen summary) reports current connection
+    /// state. Called on the admin path only — never while serving.
+    pub fn sync_gauges(&self) {
+        self.open_gauge.set(self.gauges.open.load(Ordering::SeqCst) as u64);
+        self.in_flight_gauge.set(self.gauges.in_flight.load(Ordering::SeqCst) as u64);
+        self.queued_gauge.set(self.gauges.queued.load(Ordering::SeqCst) as u64);
     }
 
     /// Connections accepted (including ones later shed).
@@ -308,6 +390,24 @@ impl WireStats {
     pub fn queued(&self) -> usize {
         self.gauges.queued.load(Ordering::SeqCst)
     }
+
+    /// Admin-plane requests answered (`/metrics`, `/healthz`,
+    /// `/statusz`, shutdown).
+    pub fn admin(&self) -> usize {
+        self.admin.get() as usize
+    }
+
+    /// Responses whose status fell outside the pre-resolved ladder set
+    /// — 0 by construction; pinned by tests.
+    pub fn responses_fallback(&self) -> usize {
+        self.responses_fallback.get() as usize
+    }
+
+    /// Request ids issued so far (== dispatched requests, admin
+    /// included).
+    pub fn request_ids_issued(&self) -> u64 {
+        self.req_seq.load(Ordering::SeqCst)
+    }
 }
 
 pub(crate) struct Shared {
@@ -316,6 +416,34 @@ pub(crate) struct Shared {
     pub(crate) stats: WireStats,
     stop: AtomicBool,
     addr: SocketAddr,
+    /// Server start time — `/statusz` uptime.
+    started: Instant,
+    /// FNV-1a over the numeric config fields — `/statusz` exposes it
+    /// so a scrape can tell two differently-tuned servers apart.
+    config_hash: u64,
+}
+
+/// What [`Env::respond`] hands back: the rendered bytes plus the
+/// accounting facts the connection resolves when the flush completes.
+pub(crate) struct Responded {
+    pub(crate) bytes: Vec<u8>,
+    pub(crate) status: u16,
+    /// Admin-plane responses are excluded from the serving histogram
+    /// and per-code counters.
+    pub(crate) admin: bool,
+}
+
+/// Armed at dispatch, resolved when the response is fully flushed:
+/// ties the latency observation (and the optional trace span) to the
+/// request's deterministic id.
+pub(crate) struct PendingResponse {
+    pub(crate) started: Instant,
+    pub(crate) request_id: u64,
+    pub(crate) status: u16,
+    pub(crate) admin: bool,
+    /// Request path — captured only when a trace sink is attached, so
+    /// the serving path allocates nothing for telemetry otherwise.
+    pub(crate) path: Option<String>,
 }
 
 /// The reactor-side view of the server handed to every
@@ -357,17 +485,134 @@ impl Env<'_> {
         )
     }
 
-    /// Handles one parsed request and renders the full response.
-    pub(crate) fn respond(&self, request: &Request, close: bool) -> Vec<u8> {
+    /// Draws the next deterministic request id: a bijective splitmix64
+    /// over the seeded stream ordinal, so every dispatched request
+    /// gets a unique id and the id *set* of a run is a pure function
+    /// of `(request_seed, request count)` — reactor interleaving only
+    /// permutes which request gets which id.
+    pub(crate) fn next_request_id(&self) -> u64 {
+        let ordinal = self.stats.req_seq.fetch_add(1, Ordering::SeqCst);
+        splitmix64(self.config.request_seed ^ ordinal.wrapping_mul(0xA076_1D64_78BD_642F))
+    }
+
+    /// Resolves a flushed response: feeds the serving histogram (with
+    /// the request id as that bucket's exemplar) or the admin-plane
+    /// histogram, and records the optional trace span. Called by the
+    /// connection exactly once per dispatched request.
+    pub(crate) fn complete_response(&self, pending: &PendingResponse, dur_ns: u64) {
+        if pending.admin {
+            self.stats.admin_request_ns.observe_ns(dur_ns);
+        } else {
+            self.stats.request_ns.observe_ns_with_exemplar(dur_ns, pending.request_id);
+        }
+        if let Some(trace) = &self.config.trace {
+            let path = pending.path.clone().unwrap_or_default();
+            trace.record(
+                TraceEvent::enter(TracePhase::Wire, "wire-server", path)
+                    .exit(status_label(pending.status), dur_ns)
+                    .with_request_id(pending.request_id),
+            );
+        }
+    }
+
+    /// Admin-plane routing (DESIGN.md §16). Returns `None` for SOAP
+    /// traffic; admin responses are rendered by the caller through the
+    /// same `render_response` path as everything else.
+    fn admin_route(
+        &self,
+        request: &Request,
+        path: &str,
+    ) -> Option<(&'static str, u16, &'static str, &'static str, Vec<u8>)> {
+        match (request.method.as_str(), path) {
+            ("GET", "/metrics") => {
+                self.stats.sync_gauges();
+                let body = self.stats.registry.render_prometheus().into_bytes();
+                Some(("metrics", 200, "OK", "text/plain; version=0.0.4", body))
+            }
+            ("GET", "/healthz") => Some(if self.stopping() {
+                ("healthz", 503, "Service Unavailable", "text/plain", b"draining".to_vec())
+            } else if self.under_pressure() {
+                // Degraded exactly when the ladder is queueing — the
+                // same signal that demotes keep-alive sessions.
+                ("healthz", 503, "Service Unavailable", "text/plain", b"degraded".to_vec())
+            } else {
+                ("healthz", 200, "OK", "text/plain", b"ok".to_vec())
+            }),
+            ("GET", "/statusz") => {
+                self.stats.sync_gauges();
+                let body = self.render_statusz().into_bytes();
+                Some(("statusz", 200, "OK", "application/json", body))
+            }
+            ("POST", p) if p == SHUTDOWN_PATH => {
+                request_stop(self.shared);
+                Some(("shutdown", 200, "OK", "text/plain", b"shutting down".to_vec()))
+            }
+            _ => None,
+        }
+    }
+
+    /// The `/statusz` JSON body: gauges, ladder rung counters, uptime
+    /// and build/config identity, hand-formatted with a fixed key
+    /// order so two scrapes differ only where the values do.
+    fn render_statusz(&self) -> String {
+        let stats = self.stats;
+        let shared = self.shared;
+        let stopping = self.stopping();
+        let healthy = !stopping && !self.under_pressure();
+        format!(
+            "{{\"healthy\":{healthy},\"stopping\":{stopping},\"uptime_ms\":{uptime},\
+             \"build\":\"{build}\",\"config_hash\":\"{hash:016x}\",\
+             \"gauges\":{{\"open\":{open},\"in_flight\":{in_flight},\"queued\":{queued}}},\
+             \"ladder\":{{\"accepted\":{accepted},\"shed\":{shed},\
+             \"queue_timeouts\":{queue_timeouts},\"timeouts\":{timeouts},\
+             \"demoted\":{demoted},\"write_stalls\":{write_stalls}}},\
+             \"requests\":{{\"served\":{served},\"oversized\":{oversized},\
+             \"malformed\":{malformed},\"not_found\":{not_found},\"admin\":{admin}}}}}",
+            uptime = shared.started.elapsed().as_millis(),
+            build = env!("CARGO_PKG_VERSION"),
+            hash = shared.config_hash,
+            open = stats.open(),
+            in_flight = stats.in_flight(),
+            queued = stats.queued(),
+            accepted = stats.accepted(),
+            shed = stats.shed(),
+            queue_timeouts = stats.queue_timeouts(),
+            timeouts = stats.timeouts(),
+            demoted = stats.demoted(),
+            write_stalls = stats.write_stalls(),
+            served = stats.served(),
+            oversized = stats.oversized(),
+            malformed = stats.malformed(),
+            not_found = stats.not_found(),
+            admin = stats.admin(),
+        )
+    }
+
+    /// Handles one parsed request and renders the full response. The
+    /// id is stamped into the `X-Request-Id` header of every
+    /// dispatched response, admin or served.
+    pub(crate) fn respond(&self, request: &Request, close: bool, request_id: u64) -> Responded {
         let shared = self.shared;
         let stats = self.stats;
         let path = request.path();
+        let id_hex = format!("{request_id:016x}");
+        if let Some((route, status, reason, content_type, body)) =
+            self.admin_route(request, path)
+        {
+            stats.admin.inc();
+            stats.count_admin(route);
+            let bytes = http::render_response(
+                status,
+                reason,
+                content_type,
+                &[("X-Request-Id", &id_hex)],
+                &body,
+                close,
+            );
+            return Responded { bytes, status, admin: true };
+        }
         let (status, reason, content_type, body): (u16, &str, &str, Vec<u8>) =
             match (request.method.as_str(), path) {
-                ("POST", p) if p == SHUTDOWN_PATH => {
-                    request_stop(shared);
-                    (200, "OK", "text/plain", b"shutting down".to_vec())
-                }
                 ("GET", p) => match shared.services.get(p) {
                     Some(service) if request.query() == Some("wsdl") => {
                         stats.served.inc();
@@ -406,8 +651,54 @@ impl Env<'_> {
                 }
             };
         self.count_response(status);
-        http::render_response(status, reason, content_type, &[], &body, close)
+        let bytes = http::render_response(
+            status,
+            reason,
+            content_type,
+            &[("X-Request-Id", &id_hex)],
+            &body,
+            close,
+        );
+        Responded { bytes, status, admin: false }
     }
+}
+
+/// Status → trace-outcome label without allocating for the ladder's
+/// own vocabulary.
+fn status_label(status: u16) -> std::borrow::Cow<'static, str> {
+    match status {
+        200 => "200".into(),
+        400 => "400".into(),
+        404 => "404".into(),
+        405 => "405".into(),
+        408 => "408".into(),
+        413 => "413".into(),
+        500 => "500".into(),
+        503 => "503".into(),
+        other => other.to_string().into(),
+    }
+}
+
+/// FNV-1a over the numeric config fields — stable across runs of the
+/// same build + tuning, different for any retune.
+fn config_hash(config: &WireServerConfig) -> u64 {
+    fn mix(h: &mut u64, v: u64) {
+        for b in v.to_le_bytes() {
+            *h ^= u64::from(b);
+            *h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    mix(&mut h, config.workers as u64);
+    mix(&mut h, config.queue_depth as u64);
+    mix(&mut h, config.reactors as u64);
+    mix(&mut h, config.read_timeout.as_millis() as u64);
+    mix(&mut h, config.write_timeout.as_millis() as u64);
+    mix(&mut h, config.total_timeout.as_millis() as u64);
+    mix(&mut h, config.retry_after_secs);
+    mix(&mut h, config.keep_alive_requests as u64);
+    mix(&mut h, config.request_seed);
+    h
 }
 
 /// The running loopback endpoint. Dropping it without calling
@@ -437,9 +728,11 @@ impl WireServer {
         let shared = Arc::new(Shared {
             services,
             stats: WireStats::new(registry),
+            config_hash: config_hash(&config),
             config,
             stop: AtomicBool::new(false),
             addr,
+            started: Instant::now(),
         });
 
         let mut reactors = Vec::new();
@@ -626,4 +919,59 @@ fn soap_response(service: &HostedService, body: &[u8]) -> Result<(u16, String), 
     };
     let status = if soap::is_fault(&response) { 500 } else { 200 };
     Ok((status, response))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_codes_are_all_preresolved_never_fall_back() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let stats = WireStats::new(Arc::clone(&registry));
+        for code in RESPONSE_CODES {
+            stats.count_response(code);
+        }
+        for route in ADMIN_ROUTES {
+            stats.count_admin(route);
+        }
+        assert_eq!(stats.responses_fallback(), 0, "ladder set must be exhaustive");
+        for code in RESPONSE_CODES {
+            assert_eq!(
+                registry.counter(&format!("wire_server_responses_total{{code=\"{code}\"}}")),
+                1
+            );
+        }
+        // A code outside the vocabulary ticks the fallback counter
+        // rather than taking the registry lock by name.
+        stats.count_response(418);
+        assert_eq!(stats.responses_fallback(), 1);
+        assert_eq!(registry.counter("wire_server_responses_fallback_total"), 1);
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_seed_determined() {
+        let seed = 0xABCD_EF01_2345_6789u64;
+        let ids: Vec<u64> = (0..10_000u64)
+            .map(|n| splitmix64(seed ^ n.wrapping_mul(0xA076_1D64_78BD_642F)))
+            .collect();
+        let unique: std::collections::BTreeSet<u64> = ids.iter().copied().collect();
+        assert_eq!(unique.len(), ids.len(), "bijective stream never collides");
+        let again: Vec<u64> = (0..10_000u64)
+            .map(|n| splitmix64(seed ^ n.wrapping_mul(0xA076_1D64_78BD_642F)))
+            .collect();
+        assert_eq!(ids, again);
+    }
+
+    #[test]
+    fn config_hash_tracks_tuning() {
+        let a = WireServerConfig::default();
+        let mut b = WireServerConfig::default();
+        assert_eq!(config_hash(&a), config_hash(&b));
+        b.workers += 1;
+        assert_ne!(config_hash(&a), config_hash(&b));
+        let mut c = WireServerConfig::default();
+        c.request_seed ^= 1;
+        assert_ne!(config_hash(&a), config_hash(&c));
+    }
 }

@@ -38,8 +38,11 @@
 //! wsitool complexity                    # run the complexity-extension matrix
 //! wsitool serve [--port N] [--stride N] # hardened loopback SOAP endpoint
 //! wsitool loadgen [--ops N] [--seed N]  # seeded deterministic load run (slow-loris /
-//!   [--clients N] [--bench-out FILE]    #   abort / oversized mixes) against a
-//!                                       #   self-hosted endpoint; BENCH_wire.json
+//!   [--clients N] [--bench-out FILE]    #   abort / oversized / admin-scrape mixes)
+//!   [--scrape-pct N]                    #   against a self-hosted endpoint; BENCH_wire.json
+//! wsitool watch --addr HOST:PORT        # live introspection: poll /metrics + /healthz,
+//!   [--interval-ms N] [--count N]       #   deterministic rate/delta table per scrape,
+//!   [--snapshots FILE] [--ring N]       #   checksummed snapshot-ring journal
 //! wsitool exchange-survey [--stride N] [--transport tcp|in-process]
 //!                                       # Communication/Execution survey (E15)
 //! wsitool bench-campaign [--stride N] [--iters N] [--out FILE]
@@ -218,6 +221,16 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("watch") => {
+            let rest: Vec<&str> = argv.collect();
+            match parse_watch_opts(&rest) {
+                Ok(opts) => watch_cmd(&opts),
+                Err(e) => {
+                    eprintln!("{e}");
+                    usage()
+                }
+            }
+        }
         Some("exchange-survey") => {
             let rest: Vec<&str> = argv.collect();
             match parse_survey_opts(&rest) {
@@ -276,11 +289,16 @@ fn usage() -> ExitCode {
          \x20 loadgen [--ops N] [--clients N] [--seed N] [--stride N]\n\
          \x20         [--workers N] [--queue N] [--read-timeout-ms N]\n\
          \x20         [--slow-pct N] [--abort-pct N] [--oversized-pct N] [--keep-alive-pct N]\n\
-         \x20         [--bench-out FILE]\n\
+         \x20         [--scrape-pct N] [--bench-out FILE]\n\
          \x20                        seeded deterministic load run against a self-hosted\n\
-         \x20                        endpoint (slow-loris / abort / oversized mixes);\n\
-         \x20                        byte-stable plan + invariants on stdout, timing on\n\
-         \x20                        stderr, req/s + latency quantiles into BENCH_wire.json\n\
+         \x20                        endpoint (slow-loris / abort / oversized / admin-scrape\n\
+         \x20                        mixes); byte-stable plan + invariants on stdout, timing\n\
+         \x20                        on stderr, req/s + latency quantiles into BENCH_wire.json\n\
+         \x20 watch --addr HOST:PORT [--interval-ms N] [--count N]\n\
+         \x20       [--snapshots FILE] [--ring N] [--timeout-ms N] [--all]\n\
+         \x20                        poll a live server's /metrics + /healthz, print a\n\
+         \x20                        deterministic counter-rate / gauge-delta table per\n\
+         \x20                        scrape, journal a checksummed snapshot ring\n\
          \x20 exchange-survey [--stride N] [--transport tcp|in-process] [--addr HOST:PORT]\n\
          \x20                 [--shutdown-server]  Communication/Execution survey (E15)\n\
          \x20 bench-campaign [--stride N] [--iters N] [--out FILE] [--scaling]\n\
@@ -2123,6 +2141,9 @@ struct LoadgenOpts {
     abort_pct: u8,
     oversized_pct: u8,
     keep_alive_pct: u8,
+    /// Share of ops that scrape the admin plane (`/metrics` +
+    /// `/healthz`) mid-load instead of exchanging SOAP.
+    scrape_pct: u8,
     /// Where to write the BENCH_wire.json snapshot (`None` = don't).
     bench_out: Option<String>,
 }
@@ -2142,6 +2163,7 @@ fn parse_loadgen_opts(rest: &[&str]) -> Result<LoadgenOpts, String> {
         abort_pct: mix_defaults.abort_pct,
         oversized_pct: mix_defaults.oversized_pct,
         keep_alive_pct: mix_defaults.keep_alive_pct,
+        scrape_pct: mix_defaults.scrape_pct,
         bench_out: None,
     };
     let mut i = 0;
@@ -2191,6 +2213,10 @@ fn parse_loadgen_opts(rest: &[&str]) -> Result<LoadgenOpts, String> {
                 i += 1;
                 opts.keep_alive_pct = parse_flag_value(rest, i, "--keep-alive-pct")?;
             }
+            "--scrape-pct" => {
+                i += 1;
+                opts.scrape_pct = parse_flag_value(rest, i, "--scrape-pct")?;
+            }
             "--bench-out" => {
                 i += 1;
                 let Some(path) = rest.get(i) else {
@@ -2202,8 +2228,17 @@ fn parse_loadgen_opts(rest: &[&str]) -> Result<LoadgenOpts, String> {
         }
         i += 1;
     }
-    if opts.slow_pct.saturating_add(opts.abort_pct).saturating_add(opts.oversized_pct) > 100 {
-        return Err("--slow-pct + --abort-pct + --oversized-pct must not exceed 100".to_string());
+    if opts
+        .slow_pct
+        .saturating_add(opts.abort_pct)
+        .saturating_add(opts.oversized_pct)
+        .saturating_add(opts.scrape_pct)
+        > 100
+    {
+        return Err(
+            "--slow-pct + --abort-pct + --oversized-pct + --scrape-pct must not exceed 100"
+                .to_string(),
+        );
     }
     opts.ops = opts.ops.max(1);
     opts.clients = opts.clients.max(1);
@@ -2266,11 +2301,15 @@ fn loadgen_cmd(opts: &LoadgenOpts) -> ExitCode {
     }
 
     let read_timeout = std::time::Duration::from_millis(opts.read_timeout_ms);
+    // Shared registry so the run can cross-check the server's
+    // histograms (admin-plane exclusion, §16) after the drain.
+    let registry = std::sync::Arc::new(wsinterop::core::obs::MetricsRegistry::new());
     let server_config = wire::WireServerConfig {
         workers: opts.workers,
         queue_depth: opts.queue,
         read_timeout,
         write_timeout: read_timeout,
+        metrics: Some(std::sync::Arc::clone(&registry)),
         ..wire::WireServerConfig::default()
     };
     let server = match wire::WireServer::start(0, services, server_config) {
@@ -2287,6 +2326,7 @@ fn loadgen_cmd(opts: &LoadgenOpts) -> ExitCode {
         abort_pct: opts.abort_pct,
         oversized_pct: opts.oversized_pct,
         keep_alive_pct: opts.keep_alive_pct,
+        scrape_pct: opts.scrape_pct,
         // The dawdle must outlast the server's read deadline or the
         // slow-loris profile never triggers its 408.
         dawdle: std::time::Duration::from_millis(2 * opts.read_timeout_ms + 100),
@@ -2298,7 +2338,7 @@ fn loadgen_cmd(opts: &LoadgenOpts) -> ExitCode {
 
     println!(
         "run config: loadgen ops {} clients {} seed {} stride {} workers {} queue {} \
-         read-timeout-ms {} mix {}/{}/{}/{}",
+         read-timeout-ms {} mix {}/{}/{}/{}/{}",
         opts.ops,
         opts.clients,
         opts.seed,
@@ -2310,16 +2350,18 @@ fn loadgen_cmd(opts: &LoadgenOpts) -> ExitCode {
         opts.abort_pct,
         opts.oversized_pct,
         opts.keep_alive_pct,
+        opts.scrape_pct,
     );
     let plan = wire::loadgen::plan_counts(&config);
     println!(
-        "loadgen plan: normal {} (keep-alive {}) / slow {} / abort {} / oversized {} \
-         over {} corpus path(s)",
+        "loadgen plan: normal {} (keep-alive {}) / slow {} / abort {} / oversized {} / \
+         scrape {} over {} corpus path(s)",
         plan.planned_normal,
         plan.planned_keep_alive,
         plan.planned_slow,
         plan.planned_abort,
         plan.planned_oversized,
+        plan.planned_scrape,
         corpus.len(),
     );
 
@@ -2333,6 +2375,18 @@ fn loadgen_cmd(opts: &LoadgenOpts) -> ExitCode {
          closed {}, demoted {}, malformed {}",
         c.ok, c.fault, c.shed, c.timeout_408, c.too_large, c.aborted, c.closed, c.demoted,
         c.malformed,
+    );
+    eprintln!(
+        "loadgen scrape: metrics-ok {}, healthy {}, degraded {}, shed {}, closed {}, \
+         malformed {}; p99 {:.3} ms over {} sample(s)",
+        c.scrape_ok,
+        c.scrape_healthy,
+        c.scrape_degraded,
+        c.scrape_shed,
+        c.scrape_closed,
+        c.scrape_malformed,
+        report.timing.scrape_latency.quantile_ns(0.99) as f64 / 1e6,
+        report.timing.scrape_latency.count,
     );
     let lat = &report.timing.latency;
     eprintln!(
@@ -2360,10 +2414,19 @@ fn loadgen_cmd(opts: &LoadgenOpts) -> ExitCode {
         stats.oversized(),
         stats.malformed(),
     );
+    eprintln!(
+        "loadgen admin: requests {}, response fallbacks {}, request ids issued {}",
+        stats.admin(),
+        stats.responses_fallback(),
+        stats.request_ids_issued(),
+    );
 
     // Invariants: every op classified exactly once into the closed
     // set, nothing outside the ladder's vocabulary, and after the
-    // drain every connection-lifecycle gauge is back to zero.
+    // drain every connection-lifecycle gauge is back to zero. Scrape
+    // ops have their own closed world: each one issues exactly two
+    // admin requests (/metrics + /healthz), so their classifications
+    // must sum to twice the planned count.
     let accounted = c.ok
         + c.fault
         + c.shed
@@ -2372,12 +2435,43 @@ fn loadgen_cmd(opts: &LoadgenOpts) -> ExitCode {
         + c.aborted
         + c.closed
         + c.malformed;
+    let scrape_accounted = c.scrape_ok
+        + c.scrape_healthy
+        + c.scrape_degraded
+        + c.scrape_shed
+        + c.scrape_closed
+        + c.scrape_malformed;
+    let exchange_ops = opts.ops - plan.planned_scrape;
+    let scrape_requests = 2 * plan.planned_scrape;
     let leaks = stats.open() + stats.in_flight() + stats.queued();
-    let ok = accounted == opts.ops && c.malformed == 0 && leaks == 0;
+    // Admin-plane exclusion (DESIGN.md §16): serving and admin
+    // latencies land in disjoint histograms, and every observation
+    // maps back to a dispatched request id.
+    stats.sync_gauges();
+    let snap = registry.snapshot();
+    let hist_count =
+        |name: &str| snap.histograms.get(name).map_or(0, |h| h.count);
+    let serving_ns = hist_count("wire_server_request_ns");
+    let admin_ns = hist_count("wire_server_admin_request_ns");
+    let ids_issued = stats.request_ids_issued();
+    let admin_excluded = admin_ns <= stats.admin() as u64
+        && serving_ns + admin_ns <= ids_issued
+        && serving_ns <= ids_issued.saturating_sub(stats.admin() as u64);
+    let ok = accounted == exchange_ops
+        && scrape_accounted == scrape_requests
+        && c.malformed == 0
+        && c.scrape_malformed == 0
+        && stats.responses_fallback() == 0
+        && admin_excluded
+        && leaks == 0;
     println!(
-        "loadgen invariants: accounted {accounted}/{}, malformed {}, connection leaks \
+        "loadgen invariants: accounted {accounted}/{exchange_ops}, scrape accounted \
+         {scrape_accounted}/{scrape_requests}, malformed {}, scrape malformed {}, \
+         response fallbacks {}, admin excluded {admin_excluded}, connection leaks \
          {leaks}, server stopped true",
-        opts.ops, c.malformed,
+        c.malformed,
+        c.scrape_malformed,
+        stats.responses_fallback(),
     );
 
     if let Some(path) = &opts.bench_out {
@@ -2387,19 +2481,25 @@ fn loadgen_cmd(opts: &LoadgenOpts) -> ExitCode {
              \"stride\": {stride},\n  \"workers\": {workers},\n  \"queue_depth\": {queue},\n  \
              \"read_timeout_ms\": {rt},\n  \
              \"mix\": {{ \"slow_pct\": {sp}, \"abort_pct\": {ap}, \"oversized_pct\": {op}, \
-             \"keep_alive_pct\": {kp} }},\n  \
+             \"keep_alive_pct\": {kp}, \"scrape_pct\": {scp} }},\n  \
              \"plan\": {{ \"normal\": {pn}, \"keep_alive\": {pk}, \"slow\": {ps}, \
-             \"abort\": {pa}, \"oversized\": {po} }},\n  \
+             \"abort\": {pa}, \"oversized\": {po}, \"scrape\": {psc} }},\n  \
              \"outcomes\": {{ \"ok\": {ok_n}, \"fault\": {fault}, \"shed\": {shed}, \
              \"timeout_408\": {t408}, \"too_large\": {t413}, \"aborted\": {aborted}, \
              \"closed\": {closed}, \"demoted\": {demoted}, \"malformed\": {malformed} }},\n  \
+             \"scrape\": {{ \"metrics_ok\": {sc_ok}, \"healthy\": {sc_h}, \
+             \"degraded\": {sc_deg}, \"shed\": {sc_shed}, \"closed\": {sc_cl}, \
+             \"malformed\": {sc_mal} }},\n  \
              \"elapsed_ms\": {elapsed:.3},\n  \"req_per_s\": {rps:.3},\n  \
              \"latency_ns\": {{ \"count\": {lc}, \"p50\": {p50}, \"p95\": {p95}, \
              \"p99\": {p99}, \"max\": {lmax} }},\n  \"p99_bound_ns\": {p99_bound_ns},\n  \
+             \"scrape_p99_ns\": {scrape_p99},\n  \
              \"server\": {{ \"accepted\": {s_acc}, \"served\": {s_srv}, \"shed\": {s_shed}, \
              \"timeouts\": {s_to}, \"queue_timeouts\": {s_qto}, \"write_stalls\": {s_ws}, \
-             \"demoted\": {s_dem} }},\n  \
-             \"invariants\": {{ \"accounted\": {acc_ok}, \"malformed_responses\": {malformed}, \
+             \"demoted\": {s_dem}, \"admin\": {s_adm}, \"request_ids_issued\": {s_ids} }},\n  \
+             \"invariants\": {{ \"accounted\": {acc_ok}, \"scrape_accounted\": {scr_ok}, \
+             \"malformed_responses\": {malformed}, \"scrape_malformed\": {sc_mal}, \
+             \"response_fallbacks\": {s_fb}, \"admin_excluded\": {admin_excluded}, \
              \"connection_leaks\": {leaks}, \"server_stopped\": true }}\n}}\n",
             seed = opts.seed,
             ops = opts.ops,
@@ -2412,11 +2512,20 @@ fn loadgen_cmd(opts: &LoadgenOpts) -> ExitCode {
             ap = opts.abort_pct,
             op = opts.oversized_pct,
             kp = opts.keep_alive_pct,
+            scp = opts.scrape_pct,
             pn = plan.planned_normal,
             pk = plan.planned_keep_alive,
             ps = plan.planned_slow,
             pa = plan.planned_abort,
             po = plan.planned_oversized,
+            psc = plan.planned_scrape,
+            sc_ok = c.scrape_ok,
+            sc_h = c.scrape_healthy,
+            sc_deg = c.scrape_degraded,
+            sc_shed = c.scrape_shed,
+            sc_cl = c.scrape_closed,
+            sc_mal = c.scrape_malformed,
+            scrape_p99 = report.timing.scrape_latency.quantile_ns(0.99),
             ok_n = c.ok,
             fault = c.fault,
             shed = c.shed,
@@ -2440,7 +2549,11 @@ fn loadgen_cmd(opts: &LoadgenOpts) -> ExitCode {
             s_qto = stats.queue_timeouts(),
             s_ws = stats.write_stalls(),
             s_dem = stats.demoted(),
-            acc_ok = accounted == opts.ops,
+            s_adm = stats.admin(),
+            s_ids = stats.request_ids_issued(),
+            s_fb = stats.responses_fallback(),
+            acc_ok = accounted == exchange_ops,
+            scr_ok = scrape_accounted == scrape_requests,
         );
         if let Err(e) = std::fs::write(path, json) {
             return fail(format!("cannot write {path}: {e}"));
@@ -2453,6 +2566,141 @@ fn loadgen_cmd(opts: &LoadgenOpts) -> ExitCode {
     } else {
         fail("loadgen invariants violated")
     }
+}
+
+/// Options for `wsitool watch`.
+struct WatchOpts {
+    addr: std::net::SocketAddr,
+    interval_ms: u64,
+    count: usize,
+    /// Snapshot-ring capacity (oldest frames evicted beyond it).
+    ring: usize,
+    timeout_ms: u64,
+    /// Show unchanged samples too (default: changed rows only).
+    all: bool,
+    /// Where to persist the checksummed snapshot ring (`None` = don't).
+    snapshots: Option<String>,
+}
+
+fn parse_watch_opts(rest: &[&str]) -> Result<WatchOpts, String> {
+    let mut addr: Option<std::net::SocketAddr> = None;
+    let mut opts = WatchOpts {
+        addr: std::net::SocketAddr::from(([127, 0, 0, 1], 0)),
+        interval_ms: 1_000,
+        count: 5,
+        ring: 60,
+        timeout_ms: 2_000,
+        all: false,
+        snapshots: None,
+    };
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i] {
+            "--addr" => {
+                i += 1;
+                addr = Some(parse_flag_value(rest, i, "--addr")?);
+            }
+            "--interval-ms" => {
+                i += 1;
+                opts.interval_ms = parse_flag_value(rest, i, "--interval-ms")?;
+            }
+            "--count" => {
+                i += 1;
+                opts.count = parse_flag_value(rest, i, "--count")?;
+            }
+            "--ring" => {
+                i += 1;
+                opts.ring = parse_flag_value(rest, i, "--ring")?;
+            }
+            "--timeout-ms" => {
+                i += 1;
+                opts.timeout_ms = parse_flag_value(rest, i, "--timeout-ms")?;
+            }
+            "--all" => opts.all = true,
+            "--snapshots" => {
+                i += 1;
+                let Some(path) = rest.get(i) else {
+                    return Err("--snapshots needs a file path".to_string());
+                };
+                opts.snapshots = Some((*path).to_string());
+            }
+            bare => return Err(format!("unrecognized argument `{bare}`")),
+        }
+        i += 1;
+    }
+    let Some(addr) = addr else {
+        return Err("watch needs --addr HOST:PORT".to_string());
+    };
+    opts.addr = addr;
+    opts.interval_ms = opts.interval_ms.max(1);
+    opts.count = opts.count.max(1);
+    opts.ring = opts.ring.max(1);
+    opts.timeout_ms = opts.timeout_ms.max(1);
+    Ok(opts)
+}
+
+/// Live introspection loop (DESIGN.md §16): poll `/metrics` +
+/// `/healthz` on a running wire server, print a deterministic
+/// counter-rate / gauge-delta table for each consecutive pair of
+/// scrapes, and journal every parsed scrape into a checksummed
+/// snapshot ring. Frame timestamps are run-relative milliseconds, so
+/// a persisted journal diffs the same way the live session did. A
+/// monotonic sample moving backwards is a counter regression and
+/// fails the run.
+fn watch_cmd(opts: &WatchOpts) -> ExitCode {
+    let timeout = std::time::Duration::from_millis(opts.timeout_ms);
+    let mut ring = wire::SnapshotRing::new(opts.ring);
+    let mut prev: Option<std::collections::BTreeMap<String, u64>> = None;
+    let started = std::time::Instant::now();
+    for iteration in 0..opts.count {
+        if iteration > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(opts.interval_ms));
+        }
+        let (health_status, health_body) =
+            match wire::scrape_text(opts.addr, "/healthz", timeout) {
+                Ok(reply) => reply,
+                Err(e) => return fail(format!("healthz scrape failed: {e}")),
+            };
+        let (status, text) = match wire::scrape_text(opts.addr, "/metrics", timeout) {
+            Ok(reply) => reply,
+            Err(e) => return fail(format!("metrics scrape failed: {e}")),
+        };
+        if status != 200 {
+            return fail(format!("/metrics answered {status}, expected 200"));
+        }
+        let samples = match wire::parse_prometheus(&text) {
+            Ok(samples) => samples,
+            Err(e) => return fail(format!("unparseable /metrics payload: {e}")),
+        };
+        let at_ms = started.elapsed().as_millis() as u64;
+        let seq = ring.push(at_ms, samples.clone());
+        println!(
+            "scrape {seq}: {} sample(s), healthz {health_status} {}",
+            samples.len(),
+            health_body.trim_end(),
+        );
+        if let Some(prev) = &prev {
+            let rows = wire::diff_samples(prev, &samples, opts.interval_ms);
+            print!("{}", wire::render_diff_table(&rows, !opts.all));
+            let resets = rows
+                .iter()
+                .filter(|row| row.kind == wire::SampleKind::Counter && row.delta < 0)
+                .count();
+            if resets > 0 {
+                return fail(format!(
+                    "counter regression: {resets} monotonic sample(s) moved backwards"
+                ));
+            }
+        }
+        prev = Some(samples);
+    }
+    if let Some(path) = &opts.snapshots {
+        if let Err(e) = ring.persist(std::path::Path::new(path)) {
+            return fail(format!("cannot write {path}: {e}"));
+        }
+        eprintln!("wrote {} snapshot frame(s) to {path}", ring.frames.len());
+    }
+    ExitCode::SUCCESS
 }
 
 /// Options for `wsitool exchange-survey`.

@@ -182,11 +182,17 @@ fn metrics_text_is_parseable_and_stable() {
     let second = render();
     assert_eq!(first, second, "two identical runs must render identically");
 
-    // Every line is `name value` with an integer value, and the
-    // counter block and histogram block are each sorted by name.
+    // Every sample line is `name value` with an integer value
+    // (`# HELP`/`# TYPE` metadata and any `# {…}` exemplar suffix are
+    // Prometheus text-format furniture, not samples), and the counter
+    // block and histogram block are each sorted by name.
     let mut names = Vec::new();
     for line in first.lines() {
-        let (name, value) = line.rsplit_once(' ').expect("name value");
+        if line.starts_with('#') {
+            continue;
+        }
+        let sample = line.split(" # {").next().expect("split never yields nothing");
+        let (name, value) = sample.rsplit_once(' ').expect("name value");
         assert!(value.parse::<u64>().is_ok(), "non-integer value: {line}");
         names.push(name.to_string());
     }
